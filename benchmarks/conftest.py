@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make `harness` importable and default
+pytest-benchmark options sensible for model-level (not nanosecond) runs."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

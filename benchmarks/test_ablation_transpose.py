@@ -1,0 +1,66 @@
+"""Ablation (§5.1.4) — transpose indices vs explicit transposition.
+
+The DS^TD weight-gradient product needs the sparse operand in transposed
+order.  MegaBlocks walks the untouched value array through a secondary
+index; the ablation materializes the transposed matrix first (copying
+every nonzero).  Wall-clock (NumPy) and modeled A100 comparisons.
+"""
+
+import numpy as np
+
+from repro.gpu.blocksparse import (
+    block_sparse_op_time,
+    dsd_explicit_transpose_time,
+)
+from repro.gpu.device import A100_SXM4_80GB as A100
+from repro.sparse import Topology, dsd, random_block_sparse
+from repro.sparse.ablation import dsd_explicit_transpose
+
+from harness import print_header
+
+BS = 16
+E = 8
+
+
+def _sparse_operand():
+    topo = Topology.block_diagonal(np.full(E, 8), np.full(E, 4), BS)
+    rng = np.random.default_rng(0)
+    s = random_block_sparse(topo, rng, dtype=np.float32)
+    b = rng.standard_normal((topo.shape[0], 64)).astype(np.float32)
+    return s, b
+
+
+def test_ablation_transpose_indices_kernel(benchmark):
+    s, b = _sparse_operand()
+    out = benchmark(lambda: dsd(s, b, trans_s=True))
+    assert out.shape == (s.shape[1], 64)
+
+
+def test_ablation_explicit_transpose_kernel(benchmark):
+    s, b = _sparse_operand()
+    out = benchmark(lambda: dsd_explicit_transpose(s, b))
+    np.testing.assert_allclose(out, dsd(s, b, trans_s=True), atol=1e-3)
+
+
+def test_ablation_modeled_comparison(benchmark):
+    """On the A100 model, explicit transposition is strictly slower
+    (value copy + extra launch), while transpose indices pay only a
+    locality penalty on the weight-gradient ops."""
+
+    def compare():
+        tpe = [4096] * 8
+        h, f = 1024, 4096
+        indexed = block_sparse_op_time(tpe, h, f, "bwd2_weight", A100).total_s
+        explicit = dsd_explicit_transpose_time(tpe, h, f, A100).total_s
+        untransposed = block_sparse_op_time(tpe, h, f, "fwd2", A100).total_s
+        return indexed, explicit, untransposed
+
+    indexed, explicit, untransposed = benchmark(compare)
+    print_header("§5.1.4 Ablation: DS^TD strategies (modeled A100)")
+    print(f"transpose indices : {indexed * 1e6:8.1f} us")
+    print(f"explicit transpose: {explicit * 1e6:8.1f} us")
+    print(f"(same-shape DSD, no transpose: {untransposed * 1e6:8.1f} us)")
+    assert explicit > indexed
+    # §6.3: the overall op-level impact of the secondary index is <10%
+    # relative to the untransposed access pattern of the same shape.
+    assert indexed / untransposed < 1.35

@@ -1,0 +1,41 @@
+"""§6.1's dense-baseline series: Megatron-LM sustained throughput.
+
+"Megatron-LM sustains between 21% and 48% of the 2.5 petaFLOP peak
+throughput of this 8-GPU system with efficiency increasing with model
+size."  The modeled step times reproduce the monotone increase (at a
+higher absolute band — the model idealizes overlap; see EXPERIMENTS.md).
+"""
+
+from repro.configs import TABLE1, TABLE3_MICRO_BATCH_SIZES as T3
+from repro.configs.flops import transformer_train_flops
+from repro.gpu.training_cost import dense_step_time
+
+from harness import print_header
+
+PEAK_FLOPS = 8 * 312e12  # the paper's "2.5 petaFLOP" 8xA100 system
+
+
+def _series():
+    rows = []
+    for name in ("XS", "Small", "Medium", "Large", "XL"):
+        cfg = TABLE1[name]
+        mbs = T3["Megatron-LM"][cfg.name]
+        step = dense_step_time(cfg, mbs)
+        sustained = transformer_train_flops(cfg, 512) / step.total_s / PEAK_FLOPS
+        rows.append((cfg.name, mbs, step.total_s, sustained))
+    return rows
+
+
+def test_sustained_throughput_series(benchmark):
+    rows = benchmark(_series)
+    print_header(
+        "§6.1: Megatron-LM sustained fraction of 2.5 PFLOP peak (modeled)"
+    )
+    print(f"{'model':22} {'mbs':>4} {'step':>10} {'sustained':>10}  paper: 21-48%, increasing")
+    fracs = []
+    for name, mbs, step_s, frac in rows:
+        fracs.append(frac)
+        print(f"{name:22} {mbs:>4} {step_s * 1e3:>8.1f}ms {frac * 100:>9.1f}%")
+    # Shape claim: efficiency increases with model size.
+    assert all(a < b for a, b in zip(fracs, fracs[1:]))
+    assert all(0.15 < f < 0.75 for f in fracs)

@@ -1,0 +1,101 @@
+"""Figure 8 — dMoEs vs token-dropping MoEs at their best capacity factor.
+
+The paper trains MoEs at capacity factors {1, 1.5, 2}, builds the
+(time, loss) Pareto frontier, and compares each dMoE against the
+loss-equivalent point: even against the best token-dropping
+configuration, dMoEs win 1.38x/1.37x/1.18x for XS/Small/Medium.
+
+Here the loss axis is scaled training; the per-step time for each
+capacity factor comes from the A100 cost model (padding work scales with
+the factor).  The check: the dMoE reaches the frontier's quality in less
+modeled time than any dropping configuration.
+"""
+
+import numpy as np
+
+from repro.configs import TABLE2, TABLE3_MICRO_BATCH_SIZES as T3
+from repro.gpu.training_cost import moe_step_time
+from repro.training import pareto_frontier, time_to_loss
+
+from harness import print_header, run_training, val_curve
+
+CAPACITY_FACTORS = [1.0, 1.5, 2.0]
+STEPS = 120
+
+
+def _curves():
+    """(capacity factor -> history) plus the dMoE history, XS scale."""
+    out = {}
+    for cf in CAPACITY_FACTORS:
+        out[cf] = run_training("moe", "XS", capacity_factor=cf, steps=STEPS)
+    dmoe = run_training("dmoe", "XS", steps=STEPS)
+    return out, dmoe
+
+
+def test_fig8_dmoe_beats_best_dropping_moe(benchmark):
+    dropping, dmoe = benchmark.pedantic(_curves, rounds=1, iterations=1)
+    cfg = TABLE2["XS"]
+    mbs = T3["MegaBlocks"][cfg.name]
+
+    # Per-step modeled times: the token-dropping MoEs use the same micro
+    # batch as the dMoE (paper §6.2) but pay capacity_factor-scaled math.
+    dmoe_step = moe_step_time(cfg, mbs, "megablocks").total_s
+    drop_steps = {
+        cf: moe_step_time(cfg, mbs, "tutel", capacity_factor=cf).total_s
+        for cf in CAPACITY_FACTORS
+    }
+
+    print_header("Figure 8: dMoE vs Token-Dropping MoEs (XS scale)")
+    target = float(np.min(val_curve(dmoe)[1]))
+
+    # Time for each dropping MoE to reach the dMoE's final loss.
+    points = []
+    for cf, hist in dropping.items():
+        s, l = val_curve(hist)
+        steps_needed = time_to_loss(s, l, target)
+        final = float(np.min(l))
+        t = steps_needed * drop_steps[cf] if steps_needed is not None else None
+        points.append((cf, final, steps_needed, t))
+        print(
+            f"MoE cf={cf}: final={final:.4f} "
+            f"steps-to-dMoE-loss={steps_needed} modeled-time="
+            f"{t if t is None else round(t, 3)}"
+        )
+
+    s_dmoe, l_dmoe = val_curve(dmoe)
+    dmoe_steps_needed = time_to_loss(s_dmoe, l_dmoe, target)
+    t_dmoe = dmoe_steps_needed * dmoe_step
+    print(f"dMoE: final={target:.4f} modeled-time={t_dmoe:.3f}s")
+
+    reached = [t for _, _, _, t in points if t is not None]
+    if reached:
+        best_dropping = min(reached)
+        speedup = best_dropping / t_dmoe
+        print(f"\nspeedup vs best dropping MoE: {speedup:.2f}x (paper XS: 1.38x)")
+        assert speedup > 1.0
+    else:
+        # No dropping configuration reaches dMoE quality at all — an even
+        # stronger version of the paper's claim at this scale.
+        print("\nno dropping MoE reached dMoE quality within the budget")
+        assert all(final > target for _, final, _, _ in points)
+
+
+def test_fig8_pareto_frontier_structure(benchmark):
+    """The dropping-MoE frontier is non-trivial: higher capacity costs
+    more time per step but reaches better loss."""
+    dropping, _ = benchmark.pedantic(_curves, rounds=1, iterations=1)
+    cfg = TABLE2["XS"]
+    mbs = T3["MegaBlocks"][cfg.name]
+    pts = []
+    for cf, hist in dropping.items():
+        step_s = moe_step_time(cfg, mbs, "tutel", capacity_factor=cf).total_s
+        final = float(np.min(val_curve(hist)[1]))
+        pts.append((STEPS * step_s, final))
+    frontier = pareto_frontier(pts)
+    print_header("Figure 8: Pareto frontier of token-dropping MoEs")
+    for t, l in frontier:
+        print(f"time={t:.2f}s loss={l:.4f}")
+    assert len(frontier) >= 1
+    # Time increases with capacity factor in the cost model.
+    times = sorted(t for t, _ in pts)
+    assert times == [t for t, _ in sorted(pts)]

@@ -1,0 +1,36 @@
+"""Table 1 — Transformer model configurations.
+
+Regenerates the Weights(M) and GFLOPs columns from the config formulas
+and checks them against the published values.
+"""
+
+from repro.configs import TABLE1, TABLE1_EXPECTED, transformer_train_gflops
+
+from harness import print_header
+
+
+def _rows():
+    rows = []
+    for name, cfg in TABLE1.items():
+        rows.append(
+            (
+                cfg.name,
+                cfg.hidden_size,
+                cfg.num_layers,
+                cfg.num_parameters / 1e6,
+                transformer_train_gflops(cfg),
+            )
+        )
+    return rows
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark(_rows)
+    print_header("Table 1: Transformer Model Configurations")
+    print(f"{'Transformer':22} {'hidden':>7} {'layers':>7} "
+          f"{'Weights(M)':>11} {'paper':>6} {'GFLOPs':>8} {'paper':>6}")
+    for (name, h, l, w, g), key in zip(rows, TABLE1_EXPECTED):
+        pw, pg = TABLE1_EXPECTED[key]
+        print(f"{name:22} {h:>7} {l:>7} {w:>11.1f} {pw:>6} {g:>8.1f} {pg:>6}")
+        assert abs(w - pw) / pw < 0.01
+        assert abs(g - pg) / pg < 0.005

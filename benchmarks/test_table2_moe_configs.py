@@ -1,0 +1,30 @@
+"""Table 2 — MoE model configurations (64 experts, top-1)."""
+
+from repro.configs import TABLE2, TABLE2_EXPECTED, moe_train_flops
+
+from harness import print_header
+
+
+def _rows():
+    return [
+        (
+            cfg.name,
+            cfg.num_experts,
+            cfg.top_k,
+            cfg.num_parameters / 1e6,
+            moe_train_flops(cfg.base, cfg.top_k, 1.0) / 1e9,
+        )
+        for cfg in TABLE2.values()
+    ]
+
+
+def test_table2_reproduction(benchmark):
+    rows = benchmark(_rows)
+    print_header("Table 2: MoE Model Configurations")
+    print(f"{'MoE':12} {'experts':>8} {'top_k':>6} "
+          f"{'Weights(M)':>11} {'paper':>7} {'GFLOPs':>8} {'paper':>6}")
+    for (name, e, k, w, g), key in zip(rows, TABLE2_EXPECTED):
+        pw, pg = TABLE2_EXPECTED[key]
+        print(f"{name:12} {e:>8} {k:>6} {w:>11.1f} {pw:>7} {g:>8.1f} {pg:>6}")
+        assert abs(w - pw) / pw < 0.005
+        assert abs(g - pg) / pg < 0.005

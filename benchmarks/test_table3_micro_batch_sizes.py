@@ -1,0 +1,70 @@
+"""Table 3 — largest micro_batch_size fitting in 80GB, per framework.
+
+The memory model (repro.gpu.memory) computes per-GPU training state +
+activation + loss-head bytes; the benchmark searches powers of two and
+compares against every row of the paper's table.
+"""
+
+from repro.configs import TABLE1, TABLE2, TABLE3_MICRO_BATCH_SIZES
+from repro.gpu.memory import (
+    TUTEL_PEAK_CAPACITY_FACTOR,
+    dense_memory,
+    max_micro_batch,
+    megablocks_expansion,
+    moe_memory,
+    tutel_expansion,
+)
+
+from harness import print_header
+
+
+def _compute_all():
+    rows = []
+    for cfg in TABLE1.values():
+        rows.append(
+            ("Megatron-LM", cfg.name, max_micro_batch(lambda b: dense_memory(cfg, b)))
+        )
+    for name, cfg in TABLE2.items():
+        rows.append(
+            (
+                "MegaBlocks",
+                cfg.name,
+                max_micro_batch(
+                    lambda b: moe_memory(cfg, b, megablocks_expansion(cfg.top_k))
+                ),
+            )
+        )
+    for name, cfg in TABLE2.items():
+        exp = tutel_expansion(cfg.top_k, TUTEL_PEAK_CAPACITY_FACTOR[name])
+        rows.append(
+            ("Tutel", cfg.name, max_micro_batch(lambda b: moe_memory(cfg, b, exp)))
+        )
+    return rows
+
+
+def test_table3_reproduction(benchmark):
+    rows = benchmark(_compute_all)
+    print_header("Table 3: Micro Batch Sizes Used for Model Training")
+    print(f"{'Framework':12} {'Model':22} {'model':>6} {'paper':>6}")
+    for framework, model, got in rows:
+        want = TABLE3_MICRO_BATCH_SIZES[framework][model]
+        print(f"{framework:12} {model:22} {got:>6} {want:>6}")
+        assert got == want
+
+
+def test_tutel_memory_pressure_reduces_micro_batch(benchmark):
+    """§6.1: padding memory forces Tutel to 2x/4x/8x smaller batches."""
+
+    def factors():
+        out = []
+        for name, cfg in TABLE2.items():
+            mb = TABLE3_MICRO_BATCH_SIZES["MegaBlocks"][cfg.name]
+            tu = TABLE3_MICRO_BATCH_SIZES["Tutel"][cfg.name]
+            out.append((name, mb // tu))
+        return out
+
+    got = benchmark(factors)
+    print_header("§6.1: MegaBlocks/Tutel micro-batch ratio")
+    for (name, ratio), want in zip(got, (2, 4, 8)):
+        print(f"dMoE-{name:8} ratio={ratio} (paper {want})")
+        assert ratio == want

@@ -1,0 +1,87 @@
+"""Reproduce the token-dropping study of paper §3 (Figure 2) in miniature.
+
+Trains MoE language models at several fixed capacity factors plus the
+dropless dMoE, reporting the drop fraction each configuration suffered
+and the validation loss it reached — the quality/compute trade-off that
+motivates MegaBlocks.
+
+Run:  python examples/capacity_factor_study.py [--steps 120]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import dMoE
+from repro.data import LMDataset, PileConfig, SyntheticPile
+from repro.moe import MoELayer
+from repro.nn import TransformerLM
+from repro.training import Adam, Trainer, TrainerConfig
+from repro.utils import seed_all
+
+VOCAB = 128
+HIDDEN = 32
+SEQ = 32
+EXPERTS = 8
+
+
+def run(capacity_factor, steps):
+    """Train one configuration; None means the dropless dMoE."""
+    seed_all(0)
+    pile = SyntheticPile(
+        PileConfig(vocab_size=VOCAB, num_domains=EXPERTS, branching=4), seed=7
+    )
+    train, val = LMDataset(pile.token_stream(100_000, 64), seq_len=SEQ).split(0.05)
+
+    if capacity_factor is None:
+        factory = lambda i: dMoE(
+            HIDDEN, 4 * HIDDEN, EXPERTS, block_size=8, rng=100 + i,
+            load_balance_coef=0.01,
+        )
+    else:
+        factory = lambda i: MoELayer(
+            HIDDEN, 4 * HIDDEN, EXPERTS, capacity_factor=capacity_factor,
+            rng=100 + i, load_balance_coef=0.01,
+        )
+    model = TransformerLM(
+        VOCAB, HIDDEN, num_layers=2, num_heads=2, max_seq_len=SEQ,
+        ffn_factory=factory, rng=3,
+    )
+    cfg = TrainerConfig(
+        global_batch=16, micro_batch=8, max_steps=steps,
+        eval_every=steps, log_every=steps,
+    )
+    trainer = Trainer(model, train, val, cfg,
+                      optimizer=Adam(model.parameters(), lr=3e-3))
+    hist = trainer.train()
+
+    drops = [
+        m.last_plan.drop_fraction
+        for m in model.modules()
+        if hasattr(m, "last_plan")
+        and m.last_plan is not None
+        and hasattr(m.last_plan, "drop_fraction")
+    ]
+    return hist.final_val_loss(), (float(np.mean(drops)) if drops else 0.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=120)
+    args = parser.parse_args()
+
+    print(f"{'configuration':20} {'drop fraction':>14} {'val loss':>9}")
+    for cf in (0.5, 1.0, 1.5, 2.0):
+        loss, drop = run(cf, args.steps)
+        print(f"MoE cf={cf:<13} {drop * 100:>13.1f}% {loss:>9.4f}")
+    loss, drop = run(None, args.steps)
+    print(f"{'dMoE (dropless)':20} {drop * 100:>13.1f}% {loss:>9.4f}")
+    print(
+        "\nExpected shape (paper Fig. 2): loss improves as the capacity "
+        "factor grows,\nwith the dropless model best — dropping tokens "
+        "costs model quality."
+    )
+
+
+if __name__ == "__main__":
+    main()

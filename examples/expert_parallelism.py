@@ -1,0 +1,67 @@
+"""Simulated distributed dMoE: expert model parallelism over 8 ranks.
+
+The paper trains with 8-way expert parallelism (§6.1): experts shard
+across GPUs and tokens travel through all-to-alls.  This example runs
+the same dataflow in-process, verifies it computes exactly the
+single-process dMoE function, and reports the communication volumes —
+which are then priced on the modeled A100 NVLink fabric.
+
+Run:  python examples/expert_parallelism.py
+"""
+
+import numpy as np
+
+from repro import Tensor, dMoE
+from repro.distributed import DeviceMesh, ExpertParallelDMoE
+from repro.gpu import A100_SXM4_80GB, all_to_all_time
+from repro.utils import seed_all
+
+WORLD = 8
+EXPERTS = 32
+HIDDEN = 64
+
+
+def main() -> None:
+    seed_all(0)
+    layer = dMoE(
+        hidden_size=HIDDEN, ffn_hidden_size=128, num_experts=EXPERTS,
+        top_k=2, block_size=16, rng=0, load_balance_coef=0.0,
+    )
+    layer.eval()
+    mesh = DeviceMesh(world=WORLD, expert_parallel=WORLD)
+    ep = ExpertParallelDMoE(layer, mesh)
+    print(f"{EXPERTS} experts over {WORLD} ranks -> "
+          f"{ep.local_experts} experts/rank")
+
+    # Each simulated rank holds its own micro batch of tokens.
+    rng = np.random.default_rng(1)
+    per_rank = [rng.standard_normal((96, HIDDEN)) for _ in range(WORLD)]
+
+    result = ep.forward(per_rank)
+
+    # Exactness: the distributed computation is the same function.
+    reference, _ = layer(Tensor(np.concatenate(per_rank), dtype=np.float64))
+    diff = np.abs(np.concatenate(result.outputs_per_rank) - reference.data).max()
+    print(f"max |distributed - single process| = {diff:.2e}")
+
+    print("\nper-rank tokens received after the dispatch all-to-all:")
+    print(f"  {result.tokens_received_per_rank}")
+    imbalance = max(result.tokens_received_per_rank) / (
+        sum(result.tokens_received_per_rank) / WORLD
+    )
+    print(f"  load imbalance vs uniform: {imbalance:.2f}x "
+          "(the dMoE computes it without padding to the max)")
+
+    log = result.comm_log
+    bytes_per_rank = log.total_bytes_per_rank("all_to_all")
+    print(f"\ncollectives: {log.counts()}")
+    print(f"all-to-all bytes/rank: {bytes_per_rank / 1e6:.2f} MB")
+    modeled = sum(
+        all_to_all_time(r.bytes_sent_per_rank, WORLD, A100_SXM4_80GB)
+        for r in log.records
+    )
+    print(f"modeled time on 8xA100 NVLink: {modeled * 1e6:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""A tour of the block-sparse kernel library (paper §5.1).
+
+Walks through the hybrid blocked-CSR-COO format, the transpose
+secondary index, and all six matrix products a dMoE layer's forward and
+backward passes issue — each checked against a dense reference.
+
+Run:  python examples/kernel_tour.py
+"""
+
+import numpy as np
+
+from repro.sparse import (
+    BlockSparseMatrix,
+    Topology,
+    dds,
+    dsd,
+    metadata_bytes,
+    sdd,
+)
+
+BS = 4
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- The topology of Figure 3C: variable-size expert groups. -------
+    tokens_blocks = np.array([2, 1, 3])  # imbalanced: 8/4/12 token rows
+    ffn_blocks = np.array([2, 2, 2])
+    topo = Topology.block_diagonal(tokens_blocks, ffn_blocks, BS)
+    print("block-diagonal topology (1 = nonzero block):")
+    print(topo.to_block_mask().astype(int))
+    print(f"shape {topo.shape}, {topo.nnz_blocks} nonzero blocks, "
+          f"metadata {metadata_bytes(topo)} bytes vs "
+          f"{topo.nnz * 2} value bytes (fp16)")
+
+    # --- Hybrid blocked-CSR-COO (Figure 5). ----------------------------
+    print("\nBCSR row offsets:   ", topo.row_offsets.tolist())
+    print("column indices:     ", topo.column_indices.tolist())
+    print("COO row indices:    ", topo.row_indices.tolist(),
+          "  <- §5.1.3: SDD threadblocks read coordinates directly")
+    print("transpose offsets:  ", topo.transpose_block_offsets.tolist(),
+          "  <- §5.1.4: value-array order for transposed iteration")
+
+    # --- The six products of a 2-layer expert MLP (§5.1). --------------
+    m, n = topo.shape
+    k = 8
+    x = rng.standard_normal((m, k))    # permuted tokens
+    w1 = rng.standard_normal((k, n))   # concatenated expert weights
+    w2 = rng.standard_normal((n, k))
+
+    h = sdd(x, w1, topo)                       # forward layer 1
+    y = dsd(h, w2)                             # forward layer 2
+    dy = rng.standard_normal(y.shape)
+    dh = sdd(dy, w2, topo, trans_b=True)       # SDD^T : layer-2 dgrad
+    dw2 = dsd(h, dy, trans_s=True)             # DS^TD : layer-2 wgrad
+    dx = dsd(dh, w1, trans_b=True)             # DSD^T : layer-1 dgrad
+    dw1 = dds(x, dh, trans_a=True)             # DD^TS : layer-1 wgrad
+
+    # Dense reference for every product.
+    hd = h.to_dense()
+    dhd = dh.to_dense()
+    checks = {
+        "SDD   (fwd1)": (hd, np.where(hd != 0, x @ w1, 0.0)),
+        "DSD   (fwd2)": (y, hd @ w2),
+        "SDD^T (bwd2 dgrad)": (dhd, np.where(dhd != 0, dy @ w2.T, 0.0)),
+        "DS^TD (bwd2 wgrad)": (dw2, hd.T @ dy),
+        "DSD^T (bwd1 dgrad)": (dx, dhd @ w1.T),
+        "DD^TS (bwd1 wgrad)": (dw1, x.T @ dhd),
+    }
+    print("\nkernel vs dense reference (max abs error):")
+    for name, (got, want) in checks.items():
+        err = np.abs(got - want).max()
+        print(f"  {name:20} {err:.2e}")
+        assert err < 1e-9
+
+    # --- Transposed access without copying values. ----------------------
+    mat = BlockSparseMatrix(topo, h.values)
+    via_index = mat.transpose_values()
+    via_copy = mat.explicit_transpose().values
+    print(f"\ntranspose-index traversal == explicit transpose: "
+          f"{np.allclose(via_index, via_copy)} (no value copy needed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""One-command reproduction driver.
+
+Regenerates every model-based table/figure (fast) and prints the
+commands for the training-based figures (minutes each).  For the full
+paper-vs-measured record, see EXPERIMENTS.md.
+
+Run:  python examples/reproduce_all.py [--output REPORT.md]
+"""
+
+import argparse
+import subprocess
+import sys
+
+from repro.report import generate_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write the markdown report here instead of stdout")
+    parser.add_argument("--run-training-figures", action="store_true",
+                        help="also run the scaled-training benchmarks "
+                             "(Figures 2/7/8; several minutes)")
+    args = parser.parse_args()
+
+    report = generate_report()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(report)
+        print(f"model-based experiments written to {args.output}")
+    else:
+        print(report)
+
+    training_benches = [
+        "benchmarks/test_fig2_capacity_factor_loss.py",
+        "benchmarks/test_fig7_e2e_dmoe.py",
+        "benchmarks/test_fig8_dropping_moe.py",
+    ]
+    if args.run_training_figures:
+        cmd = [sys.executable, "-m", "pytest", *training_benches,
+               "--benchmark-only", "-q", "-s"]
+        print("\nrunning training-based figures:", " ".join(cmd))
+        raise SystemExit(subprocess.call(cmd))
+    print("\ntraining-based figures (scaled training, ~2-4 min total):")
+    for b in training_benches:
+        print(f"  pytest {b} --benchmark-only -s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Sliding-window sparse attention on the MegaBlocks kernels.
+
+Paper §4 argues block-sparse matmul is worth optimizing because it is a
+*general-purpose* primitive — sparse attention (Child et al., 2019)
+being the flagship other application.  This example builds a Transformer
+LM whose attention uses the library's SDD/DSD kernels over a banded
+causal topology, verifies exactness against dense attention at full
+window, and shows the compute saving as the window narrows.
+
+Run:  python examples/sparse_attention_lm.py
+"""
+
+import numpy as np
+
+from repro import Tensor
+from repro.data import LMDataset, PileConfig, SyntheticPile
+from repro.nn import CausalSelfAttention, TransformerLM
+from repro.nn.sparse_attention import BlockSparseCausalSelfAttention
+from repro.training import Adam, Trainer, TrainerConfig
+from repro.utils import seed_all
+
+HID, HEADS, SEQ, BS = 32, 2, 64, 8
+
+
+def exactness_check() -> None:
+    seed_all(0)
+    sparse = BlockSparseCausalSelfAttention(
+        HID, HEADS, block_size=BS, window_blocks=None, rng=0
+    )
+    dense = CausalSelfAttention(HID, HEADS, rng=1)
+    dense.load_state_dict(sparse.state_dict())
+    x = np.random.default_rng(2).standard_normal((1, SEQ, HID))
+    diff = np.abs(
+        sparse(Tensor(x.copy(), dtype=np.float64)).data
+        - dense(Tensor(x.copy(), dtype=np.float64)).data
+    ).max()
+    print(f"full-window block-sparse vs dense attention: max diff {diff:.2e}")
+
+
+def flops_table() -> None:
+    print("\nattention FLOPs per head vs window (seq=512, block=8):")
+    full = None
+    for window in (64, 16, 4, 1):
+        layer = BlockSparseCausalSelfAttention(
+            HID, HEADS, block_size=BS, window_blocks=window
+        )
+        f = layer.attention_flops(512)
+        full = full or f
+        print(f"  window={window:3} blocks: {f / 1e6:8.2f} MFLOPs "
+              f"({f / full * 100:5.1f}% of full causal)")
+
+
+def train_windowed_lm(steps: int = 60) -> None:
+    """A short LM run with window_blocks=2 sliding-window attention."""
+    seed_all(0)
+    pile = SyntheticPile(PileConfig(vocab_size=128, num_domains=4), seed=7)
+    train, val = LMDataset(pile.token_stream(80_000, 64), seq_len=SEQ).split(0.05)
+
+    def attention_block_factory(hidden, heads, rng):
+        return BlockSparseCausalSelfAttention(
+            hidden, heads, block_size=BS, window_blocks=2, rng=rng
+        )
+
+    model = TransformerLM(128, HID, num_layers=2, num_heads=HEADS,
+                          max_seq_len=SEQ, rng=3)
+    # Swap the attention modules for the block-sparse variant.
+    for block in model.blocks:
+        block.attn = attention_block_factory(HID, HEADS, rng=5)
+
+    cfg = TrainerConfig(global_batch=8, micro_batch=4, max_steps=steps,
+                        eval_every=steps // 2, log_every=steps // 4)
+    trainer = Trainer(model, train, val, cfg,
+                      optimizer=Adam(model.parameters(), lr=3e-3))
+    hist = trainer.train()
+    print(f"\nwindowed-attention LM: loss {hist.records[0].loss:.3f} -> "
+          f"{hist.records[-1].loss:.3f} "
+          f"(final val {hist.final_val_loss():.3f})")
+
+
+def main() -> None:
+    exactness_check()
+    flops_table()
+    train_windowed_lm()
+
+
+if __name__ == "__main__":
+    main()

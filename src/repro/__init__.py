@@ -1,0 +1,57 @@
+"""MegaBlocks reproduction: dropless Mixture-of-Experts via block sparsity.
+
+A pure-Python/NumPy implementation of *MegaBlocks: Efficient Sparse
+Training with Mixture-of-Experts* (Gale et al., MLSys 2023), including:
+
+- :mod:`repro.core` — the dropless MoE (dMoE) layer built on block-sparse
+  SDD/DSD products (the paper's primary contribution);
+- :mod:`repro.sparse` — the block-sparse kernel library with hybrid
+  blocked-CSR-COO metadata and transpose indices;
+- :mod:`repro.moe` — routing and the token-dropping baselines (GShard /
+  Switch / Tutel formulations);
+- :mod:`repro.autograd` / :mod:`repro.nn` — the NumPy autodiff engine and
+  Transformer stack everything trains on;
+- :mod:`repro.gpu` — an analytical A100 performance model reproducing the
+  paper's timing figures and tables;
+- :mod:`repro.data` / :mod:`repro.training` / :mod:`repro.distributed` —
+  synthetic Pile data, the training harness, and simulated data/expert
+  parallelism;
+- :mod:`repro.configs` — the paper's model tables as code.
+
+Quickstart::
+
+    import numpy as np
+    from repro import dMoE, Tensor
+
+    layer = dMoE(hidden_size=64, ffn_hidden_size=128, num_experts=8,
+                 block_size=16, rng=0)
+    x = Tensor(np.random.randn(256, 64), requires_grad=True)
+    out, aux_loss = layer(x)          # no token is ever dropped
+    (out.sum() + aux_loss).backward() # block-sparse backward passes
+"""
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core import dMoE, make_topology
+from repro.moe import DynamicCapacityMoELayer, MoELayer, Router
+from repro.nn import MLP, TransformerLM
+from repro.sparse import BlockSparseMatrix, Topology, dds, dsd, sdd
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "dMoE",
+    "make_topology",
+    "MoELayer",
+    "DynamicCapacityMoELayer",
+    "Router",
+    "TransformerLM",
+    "MLP",
+    "Topology",
+    "BlockSparseMatrix",
+    "sdd",
+    "dsd",
+    "dds",
+    "__version__",
+]

@@ -1,0 +1,113 @@
+"""Reverse-mode autodiff machinery.
+
+A :class:`Function` bundles a forward computation on raw ``numpy`` arrays
+with the corresponding backward (vector-Jacobian product).  Calling
+``Function.apply(...)`` records a node in the tape when any tensor input
+requires gradients; :meth:`repro.autograd.tensor.Tensor.backward` later
+replays the tape in reverse topological order.
+
+The design mirrors ``torch.autograd.Function`` deliberately: the paper's
+kernels plug in as Functions whose backward issues the transposed sparse
+products (SDD^T, DS^TD, ...) described in §5.1 of MegaBlocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Context:
+    """Per-call scratch space connecting ``forward`` and ``backward``."""
+
+    __slots__ = ("saved", "extras")
+
+    def __init__(self) -> None:
+        self.saved: Tuple[Any, ...] = ()
+        self.extras: dict = {}
+
+    def save_for_backward(self, *items: Any) -> None:
+        """Stash arrays (or any values) needed by ``backward``."""
+        self.saved = items
+
+    @property
+    def saved_arrays(self) -> Tuple[Any, ...]:
+        return self.saved
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting NumPy broadcasting."""
+    if grad.shape == tuple(shape):
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement ``forward(ctx, *args, **kwargs) -> np.ndarray`` and
+    ``backward(ctx, grad) -> tuple`` where the tuple has one entry per
+    *tensor* positional argument (``None`` for non-differentiable inputs).
+    """
+
+    @staticmethod
+    def forward(ctx: Context, *args: Any, **kwargs: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args: Any, **kwargs: Any):
+        from repro.autograd.tensor import Tensor, is_grad_enabled
+
+        tensor_args = [a for a in args if isinstance(a, Tensor)]
+        raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
+        requires_grad = is_grad_enabled() and any(
+            t.requires_grad for t in tensor_args
+        )
+
+        ctx = Context()
+        out_data = cls.forward(ctx, *raw_args, **kwargs)
+        out = Tensor(out_data, requires_grad=requires_grad)
+        if requires_grad:
+            out._node = Node(cls, ctx, args)
+        return out
+
+
+class Node:
+    """Tape entry: which Function produced a tensor and from what inputs."""
+
+    __slots__ = ("fn", "ctx", "inputs")
+
+    def __init__(self, fn: type, ctx: Context, inputs: Sequence[Any]) -> None:
+        self.fn = fn
+        self.ctx = ctx
+        self.inputs = inputs
+
+    def tensor_inputs(self):
+        from repro.autograd.tensor import Tensor
+
+        return [a for a in self.inputs if isinstance(a, Tensor)]
+
+    def backward(self, grad: np.ndarray):
+        grads = self.fn.backward(self.ctx, grad)
+        if not isinstance(grads, (tuple, list)):
+            grads = (grads,)
+        tin = self.tensor_inputs()
+        if len(grads) != len(tin):
+            raise RuntimeError(
+                f"{self.fn.__name__}.backward returned {len(grads)} grads "
+                f"for {len(tin)} tensor inputs"
+            )
+        return list(zip(tin, grads))

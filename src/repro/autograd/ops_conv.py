@@ -1,0 +1,112 @@
+"""1-D convolution with channel groups (paper §2.3).
+
+The paper notes that convolutional experts can be computed in parallel
+"with grouped convolutions" — the convolutional analogue of batched
+matmul for MLP experts.  This module provides the primitive: an
+im2col-based conv1d whose ``groups`` parameter partitions channels so
+group ``g`` (one expert) convolves independently with its own filters.
+
+Layout: inputs ``(batch, in_channels, length)``, weights
+``(out_channels, in_channels / groups, kernel)``, 'same'-style padding
+chosen by the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def _im2col(x: np.ndarray, kernel: int, padding: int) -> np.ndarray:
+    """(B, C, L) -> (B, C, kernel, L_out) patch view (copied)."""
+    b, c, l = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+    l_out = x.shape[-1] - kernel + 1
+    # Strided sliding windows.
+    s0, s1, s2 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x, shape=(b, c, kernel, l_out), strides=(s0, s1, s2, s2), writeable=False
+    )
+    return np.ascontiguousarray(windows)
+
+
+class _Conv1d(Function):
+    @staticmethod
+    def forward(ctx, x, weight, bias, padding, groups):
+        b, c_in, l = x.shape
+        c_out, c_in_g, kernel = weight.shape
+        if c_in % groups or c_out % groups:
+            raise ValueError(
+                f"channels ({c_in} in, {c_out} out) not divisible by "
+                f"groups={groups}"
+            )
+        if c_in_g != c_in // groups:
+            raise ValueError(
+                f"weight expects {c_in_g} input channels per group, "
+                f"got {c_in // groups}"
+            )
+        cols = _im2col(x, kernel, padding)  # (B, C_in, K, L_out)
+        l_out = cols.shape[-1]
+        cpg_in = c_in // groups
+        cpg_out = c_out // groups
+        out = np.empty((b, c_out, l_out), dtype=np.result_type(x, weight))
+        for g in range(groups):
+            xg = cols[:, g * cpg_in : (g + 1) * cpg_in]  # (B, cpg_in, K, L)
+            wg = weight[g * cpg_out : (g + 1) * cpg_out]  # (cpg_out, cpg_in, K)
+            out[:, g * cpg_out : (g + 1) * cpg_out] = np.einsum(
+                "bckl,ock->bol", xg, wg, optimize=True
+            )
+        if bias is not None:
+            out += bias[None, :, None]
+        ctx.save_for_backward(x, weight, padding, groups, cols)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        x, weight, padding, groups, cols = ctx.saved
+        b, c_in, l = x.shape
+        c_out, _, kernel = weight.shape
+        cpg_in = c_in // groups
+        cpg_out = c_out // groups
+
+        gw = np.zeros_like(weight)
+        gcols = np.zeros_like(cols)
+        for g in range(groups):
+            sl_in = slice(g * cpg_in, (g + 1) * cpg_in)
+            sl_out = slice(g * cpg_out, (g + 1) * cpg_out)
+            gg = grad[:, sl_out]  # (B, cpg_out, L_out)
+            gw[sl_out] = np.einsum(
+                "bckl,bol->ock", cols[:, sl_in], gg, optimize=True
+            )
+            gcols[:, sl_in] = np.einsum(
+                "bol,ock->bckl", gg, weight[sl_out], optimize=True
+            )
+        # col2im: scatter patch gradients back to input positions.
+        gx_pad = np.zeros((b, c_in, l + 2 * padding), dtype=grad.dtype)
+        l_out = cols.shape[-1]
+        for k in range(kernel):
+            gx_pad[:, :, k : k + l_out] += gcols[:, :, k, :]
+        gx = gx_pad[:, :, padding : padding + l] if padding else gx_pad
+        gbias = grad.sum(axis=(0, 2))
+        return gx, gw, gbias
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """Differentiable grouped 1-D convolution (stride 1)."""
+    args = [as_tensor(x), as_tensor(weight)]
+    if bias is not None:
+        args.append(as_tensor(bias))
+        return _Conv1d.apply(*args, padding=int(padding), groups=int(groups))
+    # Keep the tensor-argument count consistent for backward by passing
+    # a zero bias (its gradient is discarded by requires_grad=False).
+    zero_bias = as_tensor(np.zeros(weight.shape[0], dtype=np.float32))
+    return _Conv1d.apply(args[0], args[1], zero_bias, padding=int(padding), groups=int(groups))

@@ -1,0 +1,68 @@
+"""Loss functions (fused, numerically stable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+class _CrossEntropy(Function):
+    """Mean token-level cross entropy over logits of shape (..., vocab).
+
+    Targets with value ``ignore_index`` contribute neither loss nor
+    gradient (used to mask padding positions).
+    """
+
+    @staticmethod
+    def forward(ctx, logits, targets, ignore_index=-100):
+        flat = logits.reshape(-1, logits.shape[-1])
+        tgt = targets.reshape(-1)
+        valid = tgt != ignore_index
+        n_valid = max(int(valid.sum()), 1)
+
+        shifted = flat - flat.max(axis=-1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        log_probs = shifted - log_z
+
+        safe_tgt = np.where(valid, tgt, 0)
+        picked = log_probs[np.arange(flat.shape[0]), safe_tgt]
+        loss = -(picked * valid).sum() / n_valid
+
+        ctx.save_for_backward(log_probs, safe_tgt, valid, n_valid, logits.shape)
+        return np.asarray(loss, dtype=flat.dtype)
+
+    @staticmethod
+    def backward(ctx, grad):
+        log_probs, tgt, valid, n_valid, shape = ctx.saved
+        probs = np.exp(log_probs)
+        probs[np.arange(probs.shape[0]), tgt] -= 1.0
+        probs *= (valid / n_valid)[:, None]
+        return (grad * probs.reshape(shape),)
+
+
+def cross_entropy(logits, targets, ignore_index: int = -100) -> Tensor:
+    """Mean cross-entropy between ``logits`` (..., V) and int ``targets`` (...)."""
+    tgt = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    return _CrossEntropy.apply(
+        as_tensor(logits), tgt.astype(np.int64), ignore_index=ignore_index
+    )
+
+
+class _MSE(Function):
+    @staticmethod
+    def forward(ctx, pred, target):
+        diff = pred - target
+        ctx.save_for_backward(diff)
+        return np.asarray((diff**2).mean(), dtype=pred.dtype)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (diff,) = ctx.saved
+        return (grad * 2.0 * diff / diff.size, grad * -2.0 * diff / diff.size)
+
+
+def mse_loss(pred, target) -> Tensor:
+    """Mean squared error between two tensors of the same shape."""
+    return _MSE.apply(as_tensor(pred), as_tensor(target))

@@ -1,0 +1,233 @@
+"""The :class:`Tensor` — a ``numpy.ndarray`` with a gradient tape.
+
+Only the machinery lives here; the actual differentiable operations are
+defined in ``ops_basic``/``ops_nn``/``ops_loss`` and registered as methods
+via :func:`register_tensor_op` to keep this module import-cycle free.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.function import Node
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable tape recording inside the block (evaluation / inference)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+
+def _coerce_data(data: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(data, Tensor):
+        data = data.data
+    was_array = isinstance(data, np.ndarray)
+    arr = np.asarray(data)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif not was_array and arr.dtype == np.float64:
+        # Python floats/lists default to float32, matching the
+        # mixed-precision setup in the paper.  Existing ndarrays keep
+        # their dtype so float64 computations stay float64.
+        arr = arr.astype(np.float32)
+    return arr
+
+
+class Tensor:
+    """N-dimensional array with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_node", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        dtype=None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data: np.ndarray = _coerce_data(data, dtype)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._node: Optional[Node] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_tag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(
+            self.data
+        )
+
+    def detach(self) -> "Tensor":
+        """A view of the data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Accumulate gradients into every reachable leaf tensor.
+
+        ``grad`` defaults to ones for scalar outputs (the usual loss case);
+        non-scalar outputs require an explicit seed gradient.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() on a non-scalar tensor requires an explicit "
+                    f"gradient (shape {self.shape})"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = grad.reshape(self.data.shape)
+
+        order = self._topological_order()
+        grads: dict = {id(self): grad}
+        tensors: dict = {id(self): self}
+
+        for t in order:
+            g = grads.pop(id(t), None)
+            if g is None:
+                continue
+            if t.requires_grad and t._node is None:
+                # Leaf: accumulate.
+                if t.grad is None:
+                    t.grad = g.astype(t.data.dtype, copy=True)
+                else:
+                    t.grad = t.grad + g
+            if t._node is not None:
+                for inp, ig in t._node.backward(g):
+                    if ig is None or not inp.requires_grad:
+                        continue
+                    ig = np.asarray(ig)
+                    key = id(inp)
+                    tensors[key] = inp
+                    if key in grads:
+                        grads[key] = grads[key] + ig
+                    else:
+                        grads[key] = ig
+                    if inp._node is None:
+                        # Leaf encountered mid-walk: accumulate immediately
+                        # (it will not reappear in `order` processing).
+                        pass
+        # Any remaining grads belong to leaves that were inputs of the last
+        # processed nodes; flush them.
+        for key, g in grads.items():
+            t = tensors[key]
+            if t.requires_grad and t._node is None:
+                if t.grad is None:
+                    t.grad = g.astype(t.data.dtype, copy=True)
+                else:
+                    t.grad = t.grad + g
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Reverse topological order of the tape reachable from ``self``."""
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            t, processed = stack.pop()
+            if processed:
+                order.append(t)
+                continue
+            if id(t) in visited:
+                continue
+            visited.add(id(t))
+            stack.append((t, True))
+            if t._node is not None:
+                for inp in t._node.tensor_inputs():
+                    if id(inp) not in visited:
+                        stack.append((inp, False))
+        order.reverse()
+        return order
+
+
+def register_tensor_op(name: str, fn: Callable) -> None:
+    """Attach ``fn`` as a Tensor method (used by the ops modules)."""
+    setattr(Tensor, name, fn)
+
+
+def as_tensor(x: ArrayLike, dtype=None) -> Tensor:
+    """Coerce ``x`` to a Tensor without copying when already one."""
+    if isinstance(x, Tensor):
+        return x
+    return Tensor(x, dtype=dtype)
+
+
+def zeros(shape, dtype=np.float32, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(shape, dtype=np.float32, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def full(shape, value, dtype=np.float32, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.full(shape, value, dtype=dtype), requires_grad=requires_grad)
+
+
+def randn(*shape, rng=None, dtype=np.float32, requires_grad: bool = False) -> Tensor:
+    from repro.utils.rng import get_rng
+
+    data = get_rng(rng).standard_normal(shape).astype(dtype)
+    return Tensor(data, requires_grad=requires_grad)

@@ -1,0 +1,139 @@
+"""Command-line training entry point.
+
+Train any of the paper's configurations (scaled down by default) on the
+synthetic Pile, with checkpointing and resume:
+
+    python -m repro.cli --model XS --system dmoe --scale 0.0625 --steps 200
+    python -m repro.cli --resume runs/dmoe-xs.npz --steps 100
+
+Systems follow §6: ``dense``, ``dmoe`` (MegaBlocks), ``tutel-dmoe``
+(dynamic capacity padding), ``moe`` (fixed capacity factor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro.data import LMDataset, PileConfig, SyntheticPile
+from repro.models import SYSTEMS, build_model, scaled_config
+from repro.training import (
+    Adam,
+    Trainer,
+    TrainerConfig,
+    WarmupCosineLR,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.utils.logging import get_logger
+from repro.utils.rng import seed_all
+
+logger = get_logger("cli")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.cli", description="Train a MegaBlocks-reproduction model."
+    )
+    p.add_argument("--model", default="XS", help="Table-1 size: XS/Small/Medium/Large/XL")
+    p.add_argument("--system", default="dmoe", choices=SYSTEMS)
+    p.add_argument("--scale", type=float, default=1 / 16,
+                   help="model scale in (0, 1]; 1.0 = paper dimensions")
+    p.add_argument("--num-experts", type=int, default=None)
+    p.add_argument("--capacity-factor", type=float, default=1.0)
+    p.add_argument("--top-k", type=int, default=1)
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--global-batch", type=int, default=16)
+    p.add_argument("--micro-batch", type=int, default=8)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--vocab-size", type=int, default=512)
+    p.add_argument("--tokens", type=int, default=300_000,
+                   help="synthetic-Pile tokens to generate")
+    p.add_argument("--amp", action="store_true", help="use the GradScaler")
+    p.add_argument("--checkpoint", default=None, help="path to save when done")
+    p.add_argument("--resume", default=None, help="checkpoint to restore first")
+    p.add_argument("--eval-every", type=int, default=None)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    seed_all(args.seed)
+
+    cfg = scaled_config(args.model, args.scale, vocab_size=args.vocab_size)
+    logger.info(
+        "building %s (%s): hidden=%d layers=%d seq=%d vocab=%d",
+        cfg.name, args.system, cfg.hidden_size, cfg.num_layers,
+        cfg.seq_len, cfg.vocab_size,
+    )
+    model = build_model(
+        args.model,
+        system=args.system,
+        scale=args.scale,
+        num_experts=args.num_experts,
+        capacity_factor=args.capacity_factor,
+        top_k=args.top_k,
+        vocab_size=args.vocab_size,
+        rng=args.seed,
+    )
+    logger.info("parameters: %.2fM", model.num_parameters() / 1e6)
+
+    pile = SyntheticPile(
+        PileConfig(vocab_size=cfg.vocab_size, num_domains=8), seed=args.seed + 1
+    )
+    stream = pile.token_stream(args.tokens, seq_len=min(cfg.seq_len * 2, 256))
+    train, val = LMDataset(stream, seq_len=cfg.seq_len).split(0.05)
+
+    optimizer = Adam(model.parameters(), lr=args.lr)
+    start_step = 0
+    if args.resume:
+        meta = load_checkpoint(args.resume, model, optimizer)
+        start_step = int(meta.get("step", 0))
+        logger.info("resumed %s at step %d", args.resume, start_step)
+
+    tcfg = TrainerConfig(
+        global_batch=args.global_batch,
+        micro_batch=args.micro_batch,
+        max_steps=args.steps,
+        eval_every=args.eval_every or max(args.steps // 5, 1),
+        log_every=max(args.steps // 10, 1),
+        use_grad_scaler=args.amp,
+    )
+    trainer = Trainer(
+        model, train, val, tcfg,
+        optimizer=optimizer,
+        schedule=WarmupCosineLR(args.lr, args.steps, warmup_steps=args.steps // 20),
+        rng=args.seed + 2,
+    )
+    history = trainer.train(
+        callback=lambda r: logger.info(
+            "step %d loss %.4f%s", r.step, r.loss,
+            f" val {r.val_loss:.4f}" if r.val_loss is not None else "",
+        )
+    )
+    final = history.final_val_loss()
+    logger.info("done: final val loss %.4f", final if final is not None else float("nan"))
+
+    if trainer.routing_stats:
+        cfs = [s.max_dynamic_capacity_factor for s in trainer.routing_stats]
+        logger.info(
+            "dynamic capacity factor: mean %.2f peak %.2f",
+            float(np.mean(cfs)), float(np.max(cfs)),
+        )
+    if args.checkpoint:
+        os.makedirs(os.path.dirname(args.checkpoint) or ".", exist_ok=True)
+        save_checkpoint(
+            args.checkpoint, model, optimizer,
+            step=start_step + args.steps,
+            extra={"val_loss": final, "system": args.system, "model": args.model},
+        )
+        logger.info("checkpoint written to %s", args.checkpoint)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

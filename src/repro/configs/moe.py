@@ -1,0 +1,100 @@
+"""Tables 2 and 3: MoE model configurations and training micro-batch sizes.
+
+Each MoE model mirrors the Transformer configuration of the same size with
+every FFN layer replaced by a 64-expert MoE layer (top-1 routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.configs.transformer import (
+    TABLE1,
+    TransformerConfig,
+)
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """One row of Table 2."""
+
+    name: str
+    base: TransformerConfig
+    num_experts: int = 64
+    top_k: int = 1
+
+    @property
+    def hidden_size(self) -> int:
+        return self.base.hidden_size
+
+    @property
+    def num_layers(self) -> int:
+        return self.base.num_layers
+
+    @property
+    def ffn_hidden_size(self) -> int:
+        return self.base.ffn_hidden_size
+
+    @property
+    def router_params_per_layer(self) -> int:
+        return self.hidden_size * self.num_experts
+
+    @property
+    def expert_params_per_layer(self) -> int:
+        """All experts of one layer (each expert is a full FFN)."""
+        return self.num_experts * self.base.ffn_params_per_layer
+
+    @property
+    def num_parameters(self) -> int:
+        dense_without_ffn = self.base.num_parameters - (
+            self.base.num_layers * self.base.ffn_params_per_layer
+        )
+        return dense_without_ffn + self.num_layers * (
+            self.expert_params_per_layer + self.router_params_per_layer
+        )
+
+
+MOE_XS = MoEConfig("dMoE-XS", TABLE1["XS"])
+MOE_SMALL = MoEConfig("dMoE-Small", TABLE1["Small"])
+MOE_MEDIUM = MoEConfig("dMoE-Medium", TABLE1["Medium"])
+
+TABLE2: Dict[str, MoEConfig] = {
+    "XS": MOE_XS,
+    "Small": MOE_SMALL,
+    "Medium": MOE_MEDIUM,
+}
+
+#: Expected Table 2 values: name -> (weights in millions, GFLOPs).
+TABLE2_EXPECTED = {
+    "XS": (839, 316),
+    "Small": (3693, 879),
+    "Medium": (13041, 2487),
+}
+
+#: Table 3: the largest micro_batch_size that fits in 80GB per framework.
+TABLE3_MICRO_BATCH_SIZES: Dict[str, Dict[str, int]] = {
+    "Megatron-LM": {
+        "Transformer-XS": 64,
+        "Transformer-Small": 32,
+        "Transformer-Medium": 16,
+        "Transformer-Large": 16,
+        "Transformer-XL": 8,
+    },
+    "MegaBlocks": {
+        "dMoE-XS": 64,
+        "dMoE-Small": 32,
+        "dMoE-Medium": 8,
+    },
+    "Tutel": {
+        "dMoE-XS": 32,
+        "dMoE-Small": 8,
+        "dMoE-Medium": 1,
+    },
+}
+
+#: Training setup shared by all §6 experiments.
+GLOBAL_BATCH_SIZE = 512
+NUM_GPUS = 8
+EXPERT_PARALLEL_WAYS = 8
+TRAIN_TOKENS = 10_000_000_000

@@ -1,0 +1,94 @@
+"""Table 1: Transformer model configurations.
+
+All models follow the paper: ``ffn_hidden_size = 4 * hidden_size``,
+attention head size 64, sequence length 1024, GPT-2 vocabulary 51200.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """One row of Table 1."""
+
+    name: str
+    hidden_size: int
+    num_layers: int
+    vocab_size: int = 51200
+    seq_len: int = 1024
+    head_size: int = 64
+
+    @property
+    def ffn_hidden_size(self) -> int:
+        return 4 * self.hidden_size
+
+    @property
+    def num_heads(self) -> int:
+        return self.hidden_size // self.head_size
+
+    # ------------------------------------------------------------------
+    # Parameter counting (matches Table 1's Weights column).
+    # ------------------------------------------------------------------
+    @property
+    def embedding_params(self) -> int:
+        """Tied token embedding plus learned positions."""
+        return self.vocab_size * self.hidden_size + self.seq_len * self.hidden_size
+
+    @property
+    def attention_params_per_layer(self) -> int:
+        h = self.hidden_size
+        return 4 * h * h + 4 * h  # QKV + output projection, with biases
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        h, f = self.hidden_size, self.ffn_hidden_size
+        return 2 * h * f + f + h  # two matrices plus biases
+
+    @property
+    def layernorm_params_per_layer(self) -> int:
+        return 4 * self.hidden_size  # two LNs, scale + shift
+
+    @property
+    def num_parameters(self) -> int:
+        per_layer = (
+            self.attention_params_per_layer
+            + self.ffn_params_per_layer
+            + self.layernorm_params_per_layer
+        )
+        final_ln = 2 * self.hidden_size
+        return self.embedding_params + self.num_layers * per_layer + final_ln
+
+    def scaled(self, hidden_size: int, num_layers: int, **overrides) -> "TransformerConfig":
+        """A reduced-size variant for laptop-scale training runs."""
+        return replace(
+            self, hidden_size=hidden_size, num_layers=num_layers, **overrides
+        )
+
+
+#: Table 1 rows.
+TRANSFORMER_XS = TransformerConfig("Transformer-XS", 512, 6)
+TRANSFORMER_SMALL = TransformerConfig("Transformer-Small", 768, 12)
+TRANSFORMER_MEDIUM = TransformerConfig("Transformer-Medium", 1024, 24)
+TRANSFORMER_LARGE = TransformerConfig("Transformer-Large", 1536, 24)
+TRANSFORMER_XL = TransformerConfig("Transformer-XL", 2048, 24)
+
+TABLE1: Dict[str, TransformerConfig] = {
+    "XS": TRANSFORMER_XS,
+    "Small": TRANSFORMER_SMALL,
+    "Medium": TRANSFORMER_MEDIUM,
+    "Large": TRANSFORMER_LARGE,
+    "XL": TRANSFORMER_XL,
+}
+
+#: Expected Table 1 values for regression-testing the formulas:
+#: name -> (weights in millions, GFLOPs per sequence).
+TABLE1_EXPECTED = {
+    "XS": (46, 316),
+    "Small": (125, 879),
+    "Medium": (356, 2487),
+    "Large": (760, 5122),
+    "XL": (1316, 8684),
+}

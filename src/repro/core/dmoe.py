@@ -1,0 +1,143 @@
+"""dMoE: the dropless Mixture-of-Experts layer of MegaBlocks.
+
+Follows the pseudo-code of Figure 6 exactly:
+
+1. route tokens to experts (indices + confidence weights);
+2. build the block-sparse topology from the assignments;
+3. ``padded_gather`` groups tokens by expert, padding each group to a
+   multiple of the block size;
+4. experts compute as an SDD followed by a DSD over the block-diagonal
+   topology (Figure 3C) — *no token is ever dropped and no slot beyond
+   the block-rounding is padded*;
+5. ``padded_scatter`` un-permutes and scales by router weights.
+
+Backward passes run through the sparse autograd wrappers, issuing the
+SDD^T / DS^TD / DSD^T / DD^TS products of §5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ACTIVATIONS, getitem
+from repro.autograd.tensor import Tensor
+from repro.core.topology_builder import expert_of_padded_row, make_topology
+from repro.moe.experts import ExpertWeights
+from repro.moe.permute import (
+    PaddedPlan,
+    make_padded_plan,
+    padded_gather,
+    padded_scatter,
+)
+from repro.moe.router import Router, RoutingResult
+from repro.nn.module import Module
+from repro.sparse.autograd_ops import dsd_mm, sdd_mm, sparse_bias_add
+from repro.sparse.topology import Topology
+from repro.utils.rng import RngLike
+
+
+class dMoE(Module):
+    """Dropless MoE layer over 2-layer MLP experts (block-sparse compute).
+
+    Args:
+        hidden_size / ffn_hidden_size: expert MLP dimensions;
+            ``ffn_hidden_size`` must be a multiple of ``block_size``.
+        num_experts: experts in the layer.
+        top_k: experts per token.
+        block_size: sparse block side (128 in the paper; smaller values
+            keep tests fast and are numerically identical).
+        activation: expert nonlinearity.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        ffn_hidden_size: int,
+        num_experts: int,
+        top_k: int = 1,
+        block_size: int = 128,
+        activation: str = "gelu",
+        load_balance_coef: float = 0.01,
+        z_loss_coef: float = 0.0,
+        init_std: float = 0.02,
+        output_scale_layers: int = 1,
+        router: Optional[Module] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if ffn_hidden_size % block_size:
+            raise ValueError(
+                f"ffn_hidden_size={ffn_hidden_size} must be a multiple of "
+                f"block_size={block_size}"
+            )
+        self.hidden_size = hidden_size
+        self.ffn_hidden_size = ffn_hidden_size
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.block_size = block_size
+        self.activation = activation
+        # Any router returning a RoutingResult works (see
+        # repro.moe.routing_alt for BASE / Sinkhorn alternatives).
+        self.router = router if router is not None else Router(
+            hidden_size,
+            num_experts,
+            top_k=top_k,
+            load_balance_coef=load_balance_coef,
+            z_loss_coef=z_loss_coef,
+            init_std=init_std,
+            rng=rng,
+        )
+        self.experts = ExpertWeights(
+            num_experts,
+            hidden_size,
+            ffn_hidden_size,
+            init_std=init_std,
+            output_scale_layers=output_scale_layers,
+            rng=rng,
+        )
+        self.last_plan: Optional[PaddedPlan] = None
+        self.last_topology: Optional[Topology] = None
+        self.last_routing: Optional[RoutingResult] = None
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Optional[Tensor]]:
+        """Apply the layer; returns ``(output, aux_loss)``.
+
+        ``x`` may be ``(tokens, hidden)`` or ``(batch, seq, hidden)``.
+        """
+        orig_shape = x.shape
+        if x.ndim == 3:
+            x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
+
+        # (1) Assign tokens to experts.
+        routing = self.router(x)
+
+        # (2) Create the sparse matrix topology (Figure 3C).
+        plan = make_padded_plan(
+            routing.expert_indices, self.num_experts, self.block_size
+        )
+        topology = make_topology(plan, self.ffn_hidden_size)
+        self.last_plan = plan
+        self.last_topology = topology
+        self.last_routing = routing
+
+        # (3) Permute the tokens to group by expert (padded to blocks).
+        xp = padded_gather(x, plan)
+
+        # (4) Compute the expert layers: SDD -> activation -> DSD.
+        act = ACTIVATIONS[self.activation]
+        e = self.experts
+        h = sdd_mm(xp, e.w1_flat(), topology)
+        h = sparse_bias_add(h, e.b1_flat(), topology)
+        h = act(h)
+        y = dsd_mm(h, e.w2_flat(), topology)
+        row_expert = expert_of_padded_row(plan)
+        y = y + getitem(e.b2, row_expert)
+
+        # (5) Un-permute the tokens and scale by router confidence.
+        out = padded_scatter(y, plan, routing.expert_weights)
+
+        if len(orig_shape) == 3:
+            out = out.reshape(orig_shape)
+        return out, routing.aux_loss

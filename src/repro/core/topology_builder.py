@@ -1,0 +1,44 @@
+"""Sparse-topology construction from expert assignments (Figure 6, line 12).
+
+``make_topology`` turns a padded permutation plan into the Figure-3C
+block-diagonal topology: expert ``e`` owns a group of
+``padded_tokens_e / block_size`` block rows by ``ffn_hidden / block_size``
+block columns.  The transposed metadata is built at the same time (§5.2)
+and amortized across all six matrix products of the layer's forward and
+backward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moe.permute import PaddedPlan
+from repro.sparse.topology import Topology
+
+
+def make_topology(plan: PaddedPlan, ffn_hidden_size: int) -> Topology:
+    """Block-diagonal topology for the hidden activations of a dMoE layer.
+
+    The sparse matrix has shape ``(total_padded_tokens,
+    num_experts * ffn_hidden_size)``; the nonzero region of expert ``e`` is
+    its padded token rows crossed with its ffn column slice.
+    """
+    bs = plan.block_size
+    if ffn_hidden_size % bs:
+        raise ValueError(
+            f"ffn_hidden_size={ffn_hidden_size} must be a multiple of the "
+            f"block size {bs} (paper §5.2 pads tokens, not features)"
+        )
+    num_experts = len(plan.padded_tokens_per_expert)
+    ffn_blocks = ffn_hidden_size // bs
+    return Topology.block_diagonal(
+        rows_per_block_group=plan.blocks_per_expert,
+        cols_per_block_group=np.full(num_experts, ffn_blocks, dtype=np.int64),
+        block_size=bs,
+    )
+
+
+def expert_of_padded_row(plan: PaddedPlan) -> np.ndarray:
+    """Expert id owning each padded row (length ``total_padded``)."""
+    num_experts = len(plan.padded_tokens_per_expert)
+    return np.repeat(np.arange(num_experts), plan.padded_tokens_per_expert)

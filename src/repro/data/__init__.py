@@ -1,0 +1,7 @@
+"""Data substrate: synthetic Pile corpus, BPE tokenizer, LM batching."""
+
+from repro.data.synthetic_pile import PileConfig, SyntheticPile
+from repro.data.tokenizer import BPETokenizer
+from repro.data.dataset import Batch, LMDataset
+
+__all__ = ["PileConfig", "SyntheticPile", "BPETokenizer", "Batch", "LMDataset"]

@@ -1,0 +1,79 @@
+"""Language-model dataset: flat token stream to (input, target) batches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, get_rng
+
+
+@dataclass
+class Batch:
+    """One LM training batch: targets are inputs shifted by one."""
+
+    inputs: np.ndarray  # (batch, seq) int64
+    targets: np.ndarray  # (batch, seq) int64
+
+    @property
+    def num_tokens(self) -> int:
+        return self.inputs.size
+
+
+class LMDataset:
+    """Next-token-prediction dataset over a flat token stream.
+
+    The stream is chopped into non-overlapping windows of ``seq_len + 1``
+    tokens; window ``[:-1]`` is the input and ``[1:]`` the target,
+    matching standard LM training.
+    """
+
+    def __init__(self, tokens: np.ndarray, seq_len: int) -> None:
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        self.seq_len = seq_len
+        num_windows = (len(tokens) - 1) // seq_len
+        if num_windows < 1:
+            raise ValueError(
+                f"stream of {len(tokens)} tokens too short for seq_len={seq_len}"
+            )
+        usable = num_windows * seq_len + 1
+        self.inputs = tokens[: usable - 1].reshape(num_windows, seq_len)
+        self.targets = tokens[1:usable].reshape(num_windows, seq_len)
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def batch(self, indices: np.ndarray) -> Batch:
+        return Batch(inputs=self.inputs[indices], targets=self.targets[indices])
+
+    def iter_batches(
+        self,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: RngLike = None,
+        drop_last: bool = True,
+    ) -> Iterator[Batch]:
+        """One epoch of batches."""
+        order = np.arange(len(self))
+        if shuffle:
+            get_rng(rng).shuffle(order)
+        stop = len(order) - (len(order) % batch_size if drop_last else 0)
+        for start in range(0, stop, batch_size):
+            yield self.batch(order[start : start + batch_size])
+
+    def split(self, val_fraction: float = 0.1) -> Tuple["LMDataset", "LMDataset"]:
+        """Deterministic train/validation split by window index."""
+        if not 0.0 < val_fraction < 1.0:
+            raise ValueError("val_fraction must be in (0, 1)")
+        n_val = max(int(len(self) * val_fraction), 1)
+        train = object.__new__(LMDataset)
+        val = object.__new__(LMDataset)
+        for ds, sl in ((train, slice(None, -n_val)), (val, slice(-n_val, None))):
+            ds.seq_len = self.seq_len
+            ds.inputs = self.inputs[sl]
+            ds.targets = self.targets[sl]
+        return train, val

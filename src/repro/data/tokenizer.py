@@ -1,0 +1,139 @@
+"""A small byte-pair-encoding tokenizer (GPT-2-style, from scratch).
+
+The paper tokenizes The Pile with GPT-2's BPE (vocab 51200).  This is a
+self-contained reimplementation of the algorithm — frequency-based merge
+learning over a word-frequency dictionary, greedy merge application at
+encode time — adequate for the text examples and tokenizer tests, not a
+performance-parity clone.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_WORD_RE = re.compile(r"\w+|[^\w\s]+")
+
+#: Marker appended to word-final symbols so merges respect boundaries.
+_END = "</w>"
+
+
+class BPETokenizer:
+    """Byte-pair encoding over whitespace-split words.
+
+    Usage::
+
+        tok = BPETokenizer.train(corpus_lines, vocab_size=512)
+        ids = tok.encode("hello world")
+        text = tok.decode(ids)
+    """
+
+    def __init__(
+        self,
+        merges: List[Tuple[str, str]],
+        vocab: Dict[str, int],
+    ) -> None:
+        self.merges = merges
+        self.merge_ranks = {pair: i for i, pair in enumerate(merges)}
+        self.vocab = vocab
+        self.inverse_vocab = {i: s for s, i in vocab.items()}
+        self.unk_id = vocab["<unk>"]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def train(
+        texts: Iterable[str],
+        vocab_size: int = 512,
+        num_merges: Optional[int] = None,
+    ) -> "BPETokenizer":
+        """Learn merges from text until ``vocab_size`` symbols exist."""
+        word_freq: Counter = Counter()
+        for line in texts:
+            for w in _WORD_RE.findall(line.lower()):
+                word_freq[w] += 1
+
+        # Start from characters (with the end-of-word marker).
+        words: Dict[Tuple[str, ...], int] = {}
+        symbols = {"<unk>", "<pad>"}
+        for w, f in word_freq.items():
+            pieces = tuple(list(w[:-1]) + [w[-1] + _END])
+            words[pieces] = words.get(pieces, 0) + f
+            symbols.update(pieces)
+
+        merges: List[Tuple[str, str]] = []
+        budget = (
+            num_merges
+            if num_merges is not None
+            else max(vocab_size - len(symbols), 0)
+        )
+        for _ in range(budget):
+            pair_freq: Counter = Counter()
+            for pieces, f in words.items():
+                for a, b in zip(pieces, pieces[1:]):
+                    pair_freq[(a, b)] += f
+            if not pair_freq:
+                break
+            # Deterministic: frequency desc, then lexicographic.
+            (a, b), top_freq = max(pair_freq.items(), key=lambda kv: (kv[1], kv[0]))
+            if top_freq < 2:
+                break
+            merged = a + b
+            symbols.add(merged)
+            merges.append((a, b))
+            new_words: Dict[Tuple[str, ...], int] = {}
+            for pieces, f in words.items():
+                out: List[str] = []
+                i = 0
+                while i < len(pieces):
+                    if i + 1 < len(pieces) and pieces[i] == a and pieces[i + 1] == b:
+                        out.append(merged)
+                        i += 2
+                    else:
+                        out.append(pieces[i])
+                        i += 1
+                key = tuple(out)
+                new_words[key] = new_words.get(key, 0) + f
+            words = new_words
+
+        vocab = {s: i for i, s in enumerate(sorted(symbols))}
+        return BPETokenizer(merges, vocab)
+
+    # ------------------------------------------------------------------
+    def _encode_word(self, word: str) -> List[str]:
+        pieces = list(word[:-1]) + [word[-1] + _END] if word else []
+        while len(pieces) > 1:
+            best_rank = None
+            best_i = -1
+            for i, pair in enumerate(zip(pieces, pieces[1:])):
+                rank = self.merge_ranks.get(pair)
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank, best_i = rank, i
+            if best_rank is None:
+                break
+            pieces[best_i : best_i + 2] = [pieces[best_i] + pieces[best_i + 1]]
+        return pieces
+
+    def encode(self, text: str) -> List[int]:
+        """Token ids for ``text`` (unknown symbols map to ``<unk>``)."""
+        ids: List[int] = []
+        for w in _WORD_RE.findall(text.lower()):
+            for piece in self._encode_word(w):
+                ids.append(self.vocab.get(piece, self.unk_id))
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Best-effort inverse of :meth:`encode`."""
+        out: List[str] = []
+        for i in ids:
+            s = self.inverse_vocab.get(int(i), "<unk>")
+            if s.endswith(_END):
+                out.append(s[: -len(_END)])
+                out.append(" ")
+            else:
+                out.append(s)
+        return "".join(out).strip()
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)

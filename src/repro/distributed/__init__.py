@@ -1,0 +1,27 @@
+"""Simulated distributed training: mesh, collectives, expert parallelism."""
+
+from repro.distributed.mesh import DeviceMesh
+from repro.distributed.collectives import (
+    CommLog,
+    CommRecord,
+    all_gather,
+    all_reduce,
+    all_to_all,
+)
+from repro.distributed.expert_parallel import (
+    ExpertParallelDMoE,
+    ExpertParallelResult,
+)
+from repro.distributed.data_parallel import DataParallelTrainer
+
+__all__ = [
+    "DeviceMesh",
+    "CommLog",
+    "CommRecord",
+    "all_reduce",
+    "all_to_all",
+    "all_gather",
+    "ExpertParallelDMoE",
+    "ExpertParallelResult",
+    "DataParallelTrainer",
+]

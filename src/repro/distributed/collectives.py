@@ -1,0 +1,96 @@
+"""Simulated collectives with communication-volume accounting.
+
+The paper trains on 8 GPUs with data parallelism plus 8-way expert model
+parallelism (§6.1).  This module simulates the collective operations in
+process (numpy in, numpy out) while logging the exact bytes each rank
+sends, so the cost model's communication terms can be validated against
+the volumes the real algorithms would move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class CommRecord:
+    """One collective: operation name and per-rank bytes sent."""
+
+    op: str
+    world: int
+    bytes_sent_per_rank: float
+
+
+@dataclass
+class CommLog:
+    """Accumulates collective traffic for a simulated run."""
+
+    records: List[CommRecord] = field(default_factory=list)
+
+    def log(self, op: str, world: int, bytes_sent_per_rank: float) -> None:
+        self.records.append(CommRecord(op, world, bytes_sent_per_rank))
+
+    def total_bytes_per_rank(self, op: str = "") -> float:
+        return sum(
+            r.bytes_sent_per_rank
+            for r in self.records
+            if not op or r.op == op
+        )
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.op] = out.get(r.op, 0) + 1
+        return out
+
+
+def all_reduce(
+    shards: Sequence[np.ndarray], log: CommLog = None
+) -> List[np.ndarray]:
+    """Sum the per-rank arrays; every rank receives the total.
+
+    Ring algorithm traffic: each rank sends ``2*(w-1)/w`` of its buffer.
+    """
+    world = len(shards)
+    total = np.sum(np.stack(shards, axis=0), axis=0)
+    if log is not None and world > 1:
+        per_rank = 2.0 * (world - 1) / world * shards[0].nbytes
+        log.log("all_reduce", world, per_rank)
+    return [total.copy() for _ in range(world)]
+
+
+def all_to_all(
+    buffers: Sequence[Sequence[np.ndarray]], log: CommLog = None
+) -> List[List[np.ndarray]]:
+    """Exchange ``buffers[src][dst]`` so rank ``dst`` receives a list
+    indexed by ``src`` — the token-dispatch primitive of expert parallelism.
+    """
+    world = len(buffers)
+    for row in buffers:
+        if len(row) != world:
+            raise ValueError("all_to_all requires a square buffer grid")
+    received = [
+        [np.array(buffers[src][dst], copy=True) for src in range(world)]
+        for dst in range(world)
+    ]
+    if log is not None and world > 1:
+        sent = max(
+            sum(buffers[src][dst].nbytes for dst in range(world) if dst != src)
+            for src in range(world)
+        )
+        log.log("all_to_all", world, float(sent))
+    return received
+
+
+def all_gather(
+    shards: Sequence[np.ndarray], log: CommLog = None
+) -> List[np.ndarray]:
+    """Every rank receives the concatenation of all shards (axis 0)."""
+    world = len(shards)
+    full = np.concatenate([np.asarray(s) for s in shards], axis=0)
+    if log is not None and world > 1:
+        log.log("all_gather", world, float((world - 1) * shards[0].nbytes))
+    return [full.copy() for _ in range(world)]

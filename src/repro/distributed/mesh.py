@@ -1,0 +1,39 @@
+"""Simulated device mesh for combined data + expert parallelism."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceMesh:
+    """Rank bookkeeping for the paper's 8-GPU configuration.
+
+    The paper uses data parallelism for non-expert layers and expert
+    model parallelism for MoE layers over the *same* 8 GPUs, so both
+    group sizes equal ``world`` here; the class still separates them so
+    other shapes can be modeled.
+    """
+
+    world: int = 8
+    expert_parallel: int = 8
+
+    def __post_init__(self) -> None:
+        if self.world < 1 or self.expert_parallel < 1:
+            raise ValueError("world and expert_parallel must be >= 1")
+        if self.world % self.expert_parallel:
+            raise ValueError(
+                "expert_parallel must divide world "
+                f"({self.expert_parallel} vs {self.world})"
+            )
+
+    def experts_per_rank(self, num_experts: int) -> int:
+        if num_experts % self.expert_parallel:
+            raise ValueError(
+                f"{num_experts} experts not divisible across "
+                f"{self.expert_parallel} ranks"
+            )
+        return num_experts // self.expert_parallel
+
+    def owner_of_expert(self, expert: int, num_experts: int) -> int:
+        return expert // self.experts_per_rank(num_experts)

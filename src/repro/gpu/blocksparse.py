@@ -1,0 +1,236 @@
+"""Timing model for the block-sparse kernels (reproduces Figure 9).
+
+A block-sparse product over the dMoE topology decomposes into one
+independent matmul per expert group; the kernel schedules every 128x128
+output block as one threadblock in a *single* launch.  The model reuses
+the dense roofline machinery with three sparse-specific effects:
+
+- **grid**: total tiles = sum of per-expert tiles (variable group sizes
+  are free — this is the point of the formulation);
+- **reordering**: the wave footprint follows BCSR order inside an expert
+  group rather than the globally swizzled order of a dense kernel, so the
+  L2 panel reuse is computed per group (paper §6.3 attributes the ±4%
+  spread vs cuBLAS to exactly this);
+- **transposed access** (DS^TD / DD^TS weight gradients): walking the
+  value array through transpose indices has little spatial locality, so
+  panel traffic for the sparse operand is inflated by
+  :data:`TRANSPOSE_LOCALITY_PENALTY` (paper: <10% op-level impact).
+
+The §5.1.3 ablations are also modeled here: over-launching one
+threadblock per *dense* grid position (Gale et al., 2020) and the pure
+BCSR row-search variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.matmul import (
+    K_PIPELINE_ELEMENTS,
+    KernelTime,
+    tile_efficiency,
+)
+from repro.gpu.tiling import MEGABLOCKS_TILE, TileConfig, wave_utilization, waves
+from repro.utils.shapes import ceil_div
+
+#: Extra DRAM traffic factor for the sparse operand when iterated in
+#: transposed order through the secondary index (poor spatial locality).
+TRANSPOSE_LOCALITY_PENALTY = 2.2
+
+#: Extra latency for a BCSR row binary-search per threadblock (the
+#: mechanism §5.1.3's row indices replace), seconds per log2(rows) step.
+CSR_SEARCH_STEP_S = 1.5e-8
+
+
+@dataclass(frozen=True)
+class GroupedProblem:
+    """One expert group's matmul: ``m x n`` output with depth ``k``."""
+
+    m: int
+    n: int
+    k: int
+
+
+def moe_layer_problems(
+    tokens_per_expert: Sequence[int],
+    hidden_size: int,
+    ffn_hidden_size: int,
+    op: str,
+) -> List[GroupedProblem]:
+    """Per-expert problems for one of the six FFN training matmuls.
+
+    ``op`` is one of ``fwd1`` (SDD), ``fwd2`` (DSD), ``bwd2_data``
+    (SDD^T), ``bwd2_weight`` (DS^TD), ``bwd1_data`` (DSD^T),
+    ``bwd1_weight`` (DD^TS); shapes follow §5.1.
+    """
+    shapes = {
+        "fwd1": lambda t: (t, ffn_hidden_size, hidden_size),
+        "fwd2": lambda t: (t, hidden_size, ffn_hidden_size),
+        "bwd2_data": lambda t: (t, ffn_hidden_size, hidden_size),
+        "bwd2_weight": lambda t: (ffn_hidden_size, hidden_size, t),
+        "bwd1_data": lambda t: (t, hidden_size, ffn_hidden_size),
+        "bwd1_weight": lambda t: (hidden_size, ffn_hidden_size, t),
+    }
+    if op not in shapes:
+        raise ValueError(f"unknown op {op!r}; options {sorted(shapes)}")
+    return [
+        GroupedProblem(*shapes[op](int(t))) for t in tokens_per_expert if t > 0
+    ]
+
+
+TRANSPOSED_OPS = frozenset({"bwd2_weight", "bwd1_weight"})
+
+
+def grouped_matmul_time(
+    problems: Sequence[GroupedProblem],
+    device: DeviceSpec,
+    tile: TileConfig = MEGABLOCKS_TILE,
+    dtype_bytes: int = 2,
+    transposed_sparse: bool = False,
+    search_rows: bool = False,
+) -> KernelTime:
+    """Model all expert groups as one block-sparse kernel launch."""
+    if not problems:
+        return KernelTime(0.0, 0.0, device.kernel_launch_latency_s, 0, 0.0)
+
+    grid = 0
+    padded_flops = 0.0
+    dram_bytes = 0.0
+    weighted_pipeline = 0.0
+    slots = device.sm_count * tile.threadblocks_per_sm
+    for p in problems:
+        tiles_m = ceil_div(p.m, tile.m)
+        tiles_n = ceil_div(p.n, tile.n)
+        g = tiles_m * tiles_n
+        grid += g
+        flops = 2.0 * tiles_m * tile.m * tiles_n * tile.n * p.k
+        padded_flops += flops
+        weighted_pipeline += flops * (p.k / (p.k + K_PIPELINE_ELEMENTS))
+        # Per-group wave traffic: BCSR order walks a group row-major, so a
+        # wave's footprint inside the group spans whole block rows.
+        concurrent = min(g, slots)
+        rows = min(tiles_m, max(1, ceil_div(concurrent, tiles_n)))
+        cols = min(tiles_n, concurrent)
+        panel_bytes = (rows * tile.m + cols * tile.n) * p.k * dtype_bytes
+        if transposed_sparse:
+            # The sparse operand is the k-extent here; its panels are
+            # gathered through transpose indices with poor locality.
+            panel_bytes += (
+                (TRANSPOSE_LOCALITY_PENALTY - 1.0)
+                * rows
+                * tile.m
+                * p.k
+                * dtype_bytes
+            )
+        group_waves = max(1.0, g / slots)
+        dram_bytes += group_waves * panel_bytes
+        dram_bytes += p.m * p.n * dtype_bytes  # output write
+        dram_bytes = max(
+            dram_bytes, 0.0
+        )
+    # Compulsory lower bound: every operand element read once.
+    compulsory = sum(
+        (p.m * p.k + p.k * p.n + p.m * p.n) * dtype_bytes for p in problems
+    )
+    dram_bytes = max(dram_bytes, compulsory)
+
+    util = wave_utilization(grid, device.sm_count, tile.threadblocks_per_sm)
+    pipeline = weighted_pipeline / padded_flops if padded_flops else 1.0
+    eff = tile_efficiency(tile) * pipeline * max(util, 1e-9)
+    compute_s = padded_flops / (device.fp16_flops * eff)
+    if search_rows:
+        # Binary search through row_offsets on every threadblock start.
+        total_rows = sum(ceil_div(p.m, tile.m) for p in problems)
+        steps = np.log2(max(total_rows, 2))
+        compute_s += (
+            grid * steps * CSR_SEARCH_STEP_S
+        ) / slots  # searches overlap across SMs
+    memory_s = dram_bytes / device.hbm_bytes_per_s
+    return KernelTime(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        launch_s=device.kernel_launch_latency_s,
+        grid=grid,
+        utilization=util,
+    )
+
+
+def block_sparse_op_time(
+    tokens_per_expert: Sequence[int],
+    hidden_size: int,
+    ffn_hidden_size: int,
+    op: str,
+    device: DeviceSpec,
+    tile: TileConfig = MEGABLOCKS_TILE,
+) -> KernelTime:
+    """Modeled time for one of the six dMoE FFN matmuls."""
+    problems = moe_layer_problems(tokens_per_expert, hidden_size, ffn_hidden_size, op)
+    return grouped_matmul_time(
+        problems, device, tile, transposed_sparse=op in TRANSPOSED_OPS
+    )
+
+
+def sdd_overlaunch_time(
+    tokens_per_expert: Sequence[int],
+    hidden_size: int,
+    ffn_hidden_size: int,
+    device: DeviceSpec,
+    tile: TileConfig = MEGABLOCKS_TILE,
+) -> KernelTime:
+    """§5.1.3 ablation: launch the full dense grid, early-exit empties.
+
+    The dense grid is ``total_token_tiles x (num_experts * ffn_tiles)``;
+    occupancy is ``1/num_experts``, so at 64 experts 98.4% of launched
+    threadblocks exit immediately — their scheduling latency is the
+    overhead the hybrid COO row indices remove.
+    """
+    problems = moe_layer_problems(
+        tokens_per_expert, hidden_size, ffn_hidden_size, "fwd1"
+    )
+    base = grouped_matmul_time(problems, device, tile)
+    total_row_tiles = sum(ceil_div(p.m, tile.m) for p in problems)
+    dense_grid = total_row_tiles * len(list(tokens_per_expert)) * ceil_div(
+        ffn_hidden_size, tile.n
+    )
+    empty = max(dense_grid - base.grid, 0)
+    slots = device.sm_count * tile.threadblocks_per_sm
+    empty_s = ceil_div(empty, slots) * device.threadblock_start_latency_s
+    return KernelTime(
+        compute_s=base.compute_s + empty_s,
+        memory_s=base.memory_s,
+        launch_s=base.launch_s,
+        grid=dense_grid,
+        utilization=base.utilization,
+    )
+
+
+def dsd_explicit_transpose_time(
+    tokens_per_expert: Sequence[int],
+    hidden_size: int,
+    ffn_hidden_size: int,
+    device: DeviceSpec,
+    tile: TileConfig = MEGABLOCKS_TILE,
+) -> KernelTime:
+    """§5.1.4 ablation: materialize S^T before the weight-gradient DSD.
+
+    Adds a bandwidth-bound copy of every nonzero value (read + write)
+    plus a kernel launch, then runs the product without the transpose
+    penalty.
+    """
+    problems = moe_layer_problems(
+        tokens_per_expert, hidden_size, ffn_hidden_size, "bwd2_weight"
+    )
+    base = grouped_matmul_time(problems, device, tile, transposed_sparse=False)
+    nnz_values = sum(int(t) * ffn_hidden_size for t in tokens_per_expert)
+    copy_s = 2.0 * nnz_values * 2 / device.hbm_bytes_per_s
+    return KernelTime(
+        compute_s=base.compute_s,
+        memory_s=base.memory_s + copy_s,
+        launch_s=base.launch_s + device.kernel_launch_latency_s,
+        grid=base.grid,
+        utilization=base.utilization,
+    )

@@ -1,0 +1,37 @@
+"""Communication cost model for the 8xA100 NVLink node of §6.
+
+Standard alpha-beta models: ring all-reduce for data-parallel gradient
+synchronization, direct-exchange all-to-all for expert-parallel token
+dispatch (Fedus et al., 2022).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.device import DeviceSpec
+
+
+def all_reduce_time(bytes_per_gpu: float, world: int, device: DeviceSpec) -> float:
+    """Ring all-reduce: ``2*(w-1)/w`` of the buffer crosses each link."""
+    if world <= 1 or bytes_per_gpu <= 0:
+        return 0.0
+    volume = 2.0 * (world - 1) / world * bytes_per_gpu
+    latency = 2.0 * (world - 1) * device.nvlink_latency_s
+    return volume / device.nvlink_bytes_per_s + latency
+
+
+def all_to_all_time(bytes_per_gpu: float, world: int, device: DeviceSpec) -> float:
+    """All-to-all: each GPU sends ``(w-1)/w`` of its buffer over NVLink."""
+    if world <= 1 or bytes_per_gpu <= 0:
+        return 0.0
+    volume = (world - 1) / world * bytes_per_gpu
+    latency = (world - 1) * device.nvlink_latency_s
+    return volume / device.nvlink_bytes_per_s + latency
+
+
+def all_gather_time(bytes_per_gpu: float, world: int, device: DeviceSpec) -> float:
+    """Ring all-gather of ``bytes_per_gpu`` shards."""
+    if world <= 1 or bytes_per_gpu <= 0:
+        return 0.0
+    volume = (world - 1) * bytes_per_gpu
+    latency = (world - 1) * device.nvlink_latency_s
+    return volume / device.nvlink_bytes_per_s + latency

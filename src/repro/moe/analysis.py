@@ -1,0 +1,102 @@
+"""Routing analysis: load balance and expert specialization.
+
+The paper conjectures MoE gains come from "experts specializing to
+different parts of the data distribution" (§2).  The synthetic Pile has
+explicit domain labels, so specialization is directly measurable here:
+this module computes the expert-domain co-occurrence, its mutual
+information, and the balance statistics (dynamic capacity factor over
+time) that feed the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def expert_domain_counts(
+    expert_indices: np.ndarray,
+    domain_labels: np.ndarray,
+    num_experts: int,
+    num_domains: int,
+) -> np.ndarray:
+    """``counts[e, d]`` = routed copies of domain-``d`` tokens at expert ``e``.
+
+    ``expert_indices`` is ``(tokens, top_k)``; ``domain_labels`` is one
+    label per token (broadcast over the top-k copies).
+    """
+    idx = np.asarray(expert_indices)
+    if idx.ndim == 1:
+        idx = idx[:, None]
+    labels = np.asarray(domain_labels).reshape(-1)
+    if len(labels) != idx.shape[0]:
+        raise ValueError("one domain label per token required")
+    counts = np.zeros((num_experts, num_domains), dtype=np.int64)
+    flat_e = idx.reshape(-1)
+    flat_d = np.repeat(labels, idx.shape[1])
+    np.add.at(counts, (flat_e, flat_d), 1)
+    return counts
+
+
+def mutual_information(counts: np.ndarray) -> float:
+    """Mutual information (nats) of the expert/domain joint distribution.
+
+    Zero when routing ignores domains; up to ``min(log E, log D)`` for a
+    perfect expert-per-domain specialization.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    joint = counts / total
+    pe = joint.sum(axis=1, keepdims=True)
+    pd = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(joint > 0, joint / (pe * pd), 1.0)
+        mi = float((joint * np.log(ratio)).sum())
+    return max(mi, 0.0)
+
+
+def specialization_score(counts: np.ndarray) -> float:
+    """Normalized MI in [0, 1]: MI / log(min(num_experts, num_domains))."""
+    e, d = counts.shape
+    cap = np.log(min(e, d))
+    if cap <= 0:
+        return 0.0
+    return mutual_information(counts) / cap
+
+
+def dominant_domain_per_expert(counts: np.ndarray) -> np.ndarray:
+    """The domain each expert serves most (argmax over its row)."""
+    return np.asarray(counts).argmax(axis=1)
+
+
+@dataclass
+class BalanceTimeline:
+    """Dynamic capacity factor statistics across training steps."""
+
+    steps: np.ndarray
+    dynamic_capacity_factors: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.dynamic_capacity_factors.mean())
+
+    @property
+    def peak(self) -> float:
+        return float(self.dynamic_capacity_factors.max())
+
+    def spikes(self, threshold: float) -> np.ndarray:
+        """Steps whose dynamic factor exceeded ``threshold`` — the
+        unpredictable spikes Hwang et al. (2022) report."""
+        mask = self.dynamic_capacity_factors > threshold
+        return self.steps[mask]
+
+
+def balance_timeline(routing_stats: Sequence) -> BalanceTimeline:
+    """Build a :class:`BalanceTimeline` from Trainer.routing_stats."""
+    steps = np.array([s.step for s in routing_stats])
+    cfs = np.array([s.max_dynamic_capacity_factor for s in routing_stats])
+    return BalanceTimeline(steps=steps, dynamic_capacity_factors=cfs)

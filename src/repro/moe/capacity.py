@@ -1,0 +1,79 @@
+"""Expert capacity arithmetic (paper §2.2).
+
+``expert_capacity = num_tokens / num_experts * capacity_factor`` — the
+number of token slots each expert processes in the token-dropping
+formulation.  Tokens beyond capacity are dropped; unfilled slots are
+padded.  The dynamic capacity factor (Tutel, Hwang et al. 2022) picks the
+smallest factor that avoids dropping for the current batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.shapes import ceil_div
+
+
+def expert_capacity(
+    num_tokens: int,
+    num_experts: int,
+    capacity_factor: float,
+    top_k: int = 1,
+) -> int:
+    """Token slots per expert for a given capacity factor.
+
+    Routed slots total ``num_tokens * top_k``; a factor of 1.0 gives each
+    expert exactly its share under a perfectly uniform assignment.  The
+    result is rounded up and floored at 1 so tiny batches still compute.
+    """
+    if num_tokens < 0 or num_experts <= 0 or top_k <= 0:
+        raise ValueError("num_tokens >= 0, num_experts > 0, top_k > 0 required")
+    if capacity_factor <= 0:
+        raise ValueError(f"capacity_factor must be positive, got {capacity_factor}")
+    exact = num_tokens * top_k / num_experts * capacity_factor
+    return max(int(np.ceil(exact)), 1)
+
+
+def tokens_per_expert(
+    expert_indices: np.ndarray, num_experts: int
+) -> np.ndarray:
+    """Histogram of routed token-slots per expert."""
+    return np.bincount(
+        np.asarray(expert_indices).reshape(-1), minlength=num_experts
+    ).astype(np.int64)
+
+
+def min_capacity_factor(
+    expert_indices: np.ndarray, num_experts: int, top_k: int = 1
+) -> float:
+    """Smallest capacity factor that drops no tokens for this batch.
+
+    This is Tutel's dynamic capacity factor: ``max_e count_e`` expressed as
+    a multiple of the uniform share.  The paper reports factors as high as
+    11 for some models.
+    """
+    idx = np.asarray(expert_indices)
+    num_tokens = idx.shape[0]
+    if num_tokens == 0:
+        return 1.0
+    counts = tokens_per_expert(idx, num_experts)
+    uniform = num_tokens * top_k / num_experts
+    return float(counts.max()) / uniform if uniform > 0 else 1.0
+
+
+def dropped_token_count(
+    expert_indices: np.ndarray, num_experts: int, capacity: int
+) -> int:
+    """Number of routed slots exceeding ``capacity`` (i.e., dropped)."""
+    counts = tokens_per_expert(expert_indices, num_experts)
+    return int(np.maximum(counts - capacity, 0).sum())
+
+
+def padding_fraction(
+    expert_indices: np.ndarray, num_experts: int, capacity: int
+) -> float:
+    """Fraction of expert slots that are padding (wasted compute)."""
+    counts = tokens_per_expert(expert_indices, num_experts)
+    kept = np.minimum(counts, capacity)
+    total_slots = num_experts * capacity
+    return float(total_slots - kept.sum()) / total_slots if total_slots else 0.0

@@ -1,0 +1,174 @@
+"""Convolutional MoE layer via grouped convolutions (paper §2.3).
+
+"For convolutional experts, the layers can be computed with grouped
+convolutions" — the conv analogue of Figure 3A's batched matmul.  Routing
+is per *sequence* (a feature map is dispatched whole, as in conv MoEs):
+
+1. the router scores each sequence from its mean-pooled features;
+2. sequences dispatch into a fixed ``(num_experts, capacity)`` buffer
+   (dropping the overflow, exactly like the token-dropping MLP MoE);
+3. the buffer is reshaped to ``(capacity, num_experts * channels, L)`` so
+   one **grouped conv** with ``groups=num_experts`` runs every expert's
+   filters on its own slice in a single call;
+4. outputs scatter back scaled by router confidence.
+
+This inherits all the capacity-factor pathologies of §2.2 — the layer
+exists as the conv baseline, and its tests double as evidence that the
+grouped-conv formulation equals the per-expert loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ACTIVATIONS, gather_rows, getitem, scatter_rows, softmax
+from repro.autograd.ops_conv import conv1d
+from repro.autograd.tensor import Tensor
+from repro.moe.capacity import expert_capacity
+from repro.moe.permute import DroppingPlan, make_dropping_plan
+from repro.moe.router import top_k_indices
+from repro.nn import init
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike
+
+
+class ConvExpertWeights(Module):
+    """Stacked 2-layer conv experts: C -> hidden_channels -> C."""
+
+    def __init__(
+        self,
+        num_experts: int,
+        channels: int,
+        hidden_channels: int,
+        kernel_size: int = 3,
+        init_std: float = 0.02,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd ('same' padding)")
+        self.num_experts = num_experts
+        self.channels = channels
+        self.hidden_channels = hidden_channels
+        self.kernel_size = kernel_size
+        # Grouped layout: expert e owns output channels
+        # [e*hidden : (e+1)*hidden] of w1 and [e*C : (e+1)*C] of w2.
+        self.w1 = Parameter(
+            init.normal(
+                (num_experts * hidden_channels, channels, kernel_size),
+                init_std,
+                rng,
+            )
+        )
+        self.b1 = Parameter(init.zeros(num_experts * hidden_channels))
+        self.w2 = Parameter(
+            init.normal(
+                (num_experts * channels, hidden_channels, kernel_size),
+                init_std,
+                rng,
+            )
+        )
+        self.b2 = Parameter(init.zeros(num_experts * channels))
+
+
+class ConvMoELayer(Module):
+    """Sequence-routed mixture of convolutional experts.
+
+    Args:
+        channels: input/output channels per sequence.
+        hidden_channels: expert bottleneck width.
+        num_experts / capacity_factor / top_k: routing setup (sequences,
+            not tokens, are the routed unit here).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        hidden_channels: int,
+        num_experts: int,
+        kernel_size: int = 3,
+        capacity_factor: float = 1.0,
+        top_k: int = 1,
+        activation: str = "gelu",
+        init_std: float = 0.02,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.channels = channels
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.capacity_factor = capacity_factor
+        self.activation = activation
+        self.kernel_size = kernel_size
+        self.router_proj = Linear(
+            channels, num_experts, bias=False, init_std=init_std, rng=rng
+        )
+        self.experts = ConvExpertWeights(
+            num_experts, channels, hidden_channels, kernel_size, init_std, rng
+        )
+        self.last_plan: Optional[DroppingPlan] = None
+
+    # ------------------------------------------------------------------
+    def _route(self, x: Tensor):
+        """Mean-pool over length, then score like the token router."""
+        pooled = x.mean(axis=2)  # (B, C)
+        scores = softmax(self.router_proj(pooled), axis=-1)
+        indices = top_k_indices(scores.data, self.top_k)
+        rows = np.arange(indices.shape[0])[:, None]
+        weights = getitem(scores, (rows, indices))
+        return indices, weights
+
+    def _grouped_expert_conv(self, buf: Tensor) -> Tensor:
+        """(E, cap, C, L) -> (E, cap, C, L) through both conv layers.
+
+        The (E, cap) leading dims fold into channels so a single grouped
+        conv per layer computes every expert in parallel (§2.3).
+        """
+        e = self.experts
+        E, cap = self.num_experts, buf.shape[1]
+        L = buf.shape[3]
+        pad = self.kernel_size // 2
+        # -> (cap, E*C, L): group g holds expert g's dispatched sequences.
+        x = buf.transpose((1, 0, 2, 3)).reshape((cap, E * self.channels, L))
+        h = conv1d(x, e.w1, e.b1, padding=pad, groups=E)
+        h = ACTIVATIONS[self.activation](h)
+        y = conv1d(h, e.w2, e.b2, padding=pad, groups=E)
+        return y.reshape((cap, E, self.channels, L)).transpose((1, 0, 2, 3))
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, None]:
+        """``x``: (batch, channels, length) -> same shape.
+
+        Dropped sequences output zero (residual carries them), matching
+        the token-dropping MLP formulation.
+        """
+        batch, channels, length = x.shape
+        if channels != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {channels}")
+        indices, weights = self._route(x)
+        capacity = expert_capacity(
+            batch, self.num_experts, self.capacity_factor, self.top_k
+        )
+        plan = make_dropping_plan(indices, self.num_experts, capacity)
+        self.last_plan = plan
+
+        flat = x.reshape((batch, channels * length))
+        dispatched = gather_rows(flat, plan.dispatch_tokens.reshape(-1))
+        buf = dispatched.reshape(
+            (self.num_experts, capacity, channels, length)
+        )
+        out_buf = self._grouped_expert_conv(buf)
+
+        flat_out = out_buf.reshape(
+            (self.num_experts * capacity, channels * length)
+        )
+        slot_weights = gather_rows(
+            weights.reshape((batch * self.top_k, 1)),
+            plan.dispatch_copies.reshape(-1),
+        )
+        combined = scatter_rows(
+            flat_out * slot_weights, plan.dispatch_tokens.reshape(-1), batch
+        )
+        return combined.reshape((batch, channels, length)), None

@@ -1,0 +1,165 @@
+"""Token-dropping MoE layer (GShard / Switch Transformer formulation).
+
+This is the prevalent baseline of paper §2 / Figure 1: tokens are routed,
+permuted into a fixed ``(num_experts, capacity)`` buffer (dropping the
+overflow, padding the slack), experts run as one batched matrix
+multiplication (Figure 3A), and results are combined scaled by router
+probabilities.  Dropped tokens output zero and survive through the
+residual connection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ACTIVATIONS
+from repro.autograd.tensor import Tensor
+from repro.moe.capacity import expert_capacity
+from repro.moe.experts import ExpertWeights
+from repro.moe.permute import (
+    DroppingPlan,
+    dropping_gather,
+    dropping_scatter,
+    make_dropping_plan,
+)
+from repro.moe.router import Router, RoutingResult
+from repro.nn.module import Module
+from repro.utils.rng import RngLike
+
+
+class MoELayer(Module):
+    """Fixed-capacity-factor MoE layer over 2-layer MLP experts.
+
+    Args:
+        hidden_size / ffn_hidden_size: expert MLP dimensions.
+        num_experts: experts in the layer (64 in the paper's models).
+        capacity_factor: multiplier on the uniform share (paper §2.2);
+            tokens beyond ``num_tokens/num_experts * capacity_factor`` per
+            expert are dropped.
+        top_k: experts per token.
+        activation: expert nonlinearity.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        ffn_hidden_size: int,
+        num_experts: int,
+        capacity_factor: float = 1.0,
+        top_k: int = 1,
+        activation: str = "gelu",
+        load_balance_coef: float = 0.01,
+        z_loss_coef: float = 0.0,
+        init_std: float = 0.02,
+        output_scale_layers: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.ffn_hidden_size = ffn_hidden_size
+        self.num_experts = num_experts
+        self.capacity_factor = capacity_factor
+        self.top_k = top_k
+        self.activation = activation
+        self.router = Router(
+            hidden_size,
+            num_experts,
+            top_k=top_k,
+            load_balance_coef=load_balance_coef,
+            z_loss_coef=z_loss_coef,
+            init_std=init_std,
+            rng=rng,
+        )
+        self.experts = ExpertWeights(
+            num_experts,
+            hidden_size,
+            ffn_hidden_size,
+            init_std=init_std,
+            output_scale_layers=output_scale_layers,
+            rng=rng,
+        )
+        self.last_plan: Optional[DroppingPlan] = None
+        self.last_routing: Optional[RoutingResult] = None
+
+    # ------------------------------------------------------------------
+    def _capacity(self, num_tokens: int) -> int:
+        return expert_capacity(
+            num_tokens, self.num_experts, self.capacity_factor, self.top_k
+        )
+
+    def _compute_experts(self, dispatched: Tensor) -> Tensor:
+        """Batched-matmul expert MLP over (num_experts, capacity, hidden)."""
+        act = ACTIVATIONS[self.activation]
+        e = self.experts
+        h = dispatched @ e.w1 + e.b1.reshape((self.num_experts, 1, e.ffn_hidden_size))
+        h = act(h)
+        return h @ e.w2 + e.b2.reshape((self.num_experts, 1, e.hidden_size))
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Optional[Tensor]]:
+        """Apply the layer; returns ``(output, aux_loss)``.
+
+        ``x`` may be ``(tokens, hidden)`` or ``(batch, seq, hidden)``; the
+        output matches the input shape.
+        """
+        orig_shape = x.shape
+        if x.ndim == 3:
+            x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
+        num_tokens = x.shape[0]
+
+        routing = self.router(x)
+        capacity = self._capacity(num_tokens)
+        plan = make_dropping_plan(
+            routing.expert_indices, self.num_experts, capacity
+        )
+        self.last_plan = plan
+        self.last_routing = routing
+
+        dispatched = dropping_gather(x, plan)
+        expert_out = self._compute_experts(dispatched)
+        out = dropping_scatter(expert_out, plan, routing.expert_weights)
+
+        if len(orig_shape) == 3:
+            out = out.reshape(orig_shape)
+        return out, routing.aux_loss
+
+
+class DynamicCapacityMoELayer(MoELayer):
+    """Tutel-style dMoE baseline: dynamic capacity factor (Hwang et al. 2022).
+
+    Before each forward pass the capacity is raised to the smallest value
+    that drops no tokens, so quality matches the dropless formulation but
+    every expert still computes (and stores activations for) the *maximum*
+    group size — the padding overhead MegaBlocks removes (paper §6.1).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.pop("capacity_factor", None)
+        super().__init__(*args, capacity_factor=1.0, **kwargs)
+        self.last_dynamic_capacity: Optional[int] = None
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Optional[Tensor]]:
+        orig_shape = x.shape
+        if x.ndim == 3:
+            x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
+
+        routing = self.router(x)
+        counts = np.bincount(
+            routing.expert_indices.reshape(-1), minlength=self.num_experts
+        )
+        capacity = max(int(counts.max()), 1)
+        self.last_dynamic_capacity = capacity
+        plan = make_dropping_plan(routing.expert_indices, self.num_experts, capacity)
+        if plan.num_dropped:
+            raise AssertionError("dynamic capacity must never drop tokens")
+        self.last_plan = plan
+        self.last_routing = routing
+
+        dispatched = dropping_gather(x, plan)
+        expert_out = self._compute_experts(dispatched)
+        out = dropping_scatter(expert_out, plan, routing.expert_weights)
+
+        if len(orig_shape) == 3:
+            out = out.reshape(orig_shape)
+        return out, routing.aux_loss

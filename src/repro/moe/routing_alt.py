@@ -1,0 +1,246 @@
+"""Alternative MoE routing algorithms (paper §7, "MoE Routing").
+
+The paper positions dMoE as *complementary* to improved routing; these
+implementations let the two be combined and compared:
+
+- :class:`BaseLayerRouter` — BASE layers (Lewis et al., 2021): routing as
+  a balanced linear assignment maximizing aggregate token-expert
+  affinity; guaranteed no drops and perfect balance.
+- :class:`SinkhornRouter` — the approximation of Clark et al. (2022):
+  Sinkhorn-normalize the score matrix toward a balanced transport plan,
+  then route greedily; balance is approximate, so it is typically paired
+  with a capacity factor.
+- :class:`HashRouter` — static hash-based assignment (Roller et al.,
+  2021): no learned routing at all.
+- :class:`ExpertChoiceRouter` — expert-choice routing (Zhou et al.,
+  2022): each *expert* selects its top-``capacity`` tokens, guaranteeing
+  balance but allowing a token to be chosen by several or zero experts.
+
+All return the same :class:`~repro.moe.router.RoutingResult` contract as
+the learned top-k router, so any of them can drive the dMoE layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.autograd import getitem, softmax
+from repro.autograd.tensor import Tensor
+from repro.moe.router import RoutingResult, load_balancing_loss
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.utils.rng import RngLike
+from repro.utils.shapes import ceil_div
+
+
+class BaseLayerRouter(Module):
+    """BASE-layer routing: balanced linear assignment (Lewis et al. 2021).
+
+    Tokens are assigned to experts so every expert receives an equal
+    share (±1) while maximizing the total affinity, solved exactly with
+    the Hungarian algorithm on a token x slot cost matrix.  Guaranteed
+    dropless and perfectly balanced; cost is cubic in tokens, which is
+    why Clark et al. (2022) sought the Sinkhorn approximation below.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        init_std: float = 0.02,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.top_k = 1
+        self.proj = Linear(
+            hidden_size, num_experts, bias=False, init_std=init_std, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> RoutingResult:
+        if x.ndim != 2:
+            raise ValueError(f"router expects (tokens, hidden), got {x.shape}")
+        num_tokens = x.shape[0]
+        logits = self.proj(x)
+        scores = softmax(logits, axis=-1)
+
+        # Expand experts into per-slot columns so assignment is balanced:
+        # slot j serves expert j % num_experts.
+        slots = ceil_div(num_tokens, self.num_experts) * self.num_experts
+        slot_expert = np.arange(slots) % self.num_experts
+        affinity = scores.data[:, slot_expert]  # (tokens, slots)
+        rows, cols = linear_sum_assignment(-affinity)
+        indices = slot_expert[cols][np.argsort(rows)][:, None].astype(np.int64)
+
+        token_rows = np.arange(num_tokens)[:, None]
+        weights = getitem(scores, (token_rows, indices))
+        return RoutingResult(
+            expert_indices=indices,
+            expert_weights=weights,
+            scores=scores,
+            load_balancing_loss=None,  # balance is structural
+            z_loss=None,
+        )
+
+
+def sinkhorn(scores: np.ndarray, iterations: int = 8, eps: float = 1e-9) -> np.ndarray:
+    """Sinkhorn normalization toward a doubly-"stochastic" plan.
+
+    Rows (tokens) normalize to 1; columns (experts) to tokens/experts —
+    the balanced marginals of Clark et al. (2022).
+    """
+    plan = np.asarray(scores, dtype=np.float64).copy()
+    if plan.ndim != 2:
+        raise ValueError("sinkhorn expects a 2-D score matrix")
+    num_tokens, num_experts = plan.shape
+    col_target = num_tokens / num_experts
+    for _ in range(iterations):
+        plan /= plan.sum(axis=1, keepdims=True) + eps
+        plan *= col_target / (plan.sum(axis=0, keepdims=True) + eps)
+    return plan
+
+
+class SinkhornRouter(Module):
+    """Approximately balanced routing via Sinkhorn (Clark et al. 2022).
+
+    Greedy top-1 on the Sinkhorn-normalized plan; the result is *close*
+    to balanced but not guaranteed, so Clark et al. pair it with a
+    capacity factor of 2 — or, here, with the dropless dMoE.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        iterations: int = 8,
+        load_balance_coef: float = 0.0,
+        init_std: float = 0.02,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.top_k = 1
+        self.iterations = iterations
+        self.load_balance_coef = load_balance_coef
+        self.proj = Linear(
+            hidden_size, num_experts, bias=False, init_std=init_std, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> RoutingResult:
+        if x.ndim != 2:
+            raise ValueError(f"router expects (tokens, hidden), got {x.shape}")
+        logits = self.proj(x)
+        scores = softmax(logits, axis=-1)
+        plan = sinkhorn(scores.data, iterations=self.iterations)
+        indices = plan.argmax(axis=1)[:, None].astype(np.int64)
+
+        rows = np.arange(x.shape[0])[:, None]
+        weights = getitem(scores, (rows, indices))
+        lb = None
+        if self.load_balance_coef > 0:
+            lb = load_balancing_loss(scores, indices, self.num_experts) * float(
+                self.load_balance_coef
+            )
+        return RoutingResult(
+            expert_indices=indices,
+            expert_weights=weights,
+            scores=scores,
+            load_balancing_loss=lb,
+            z_loss=None,
+        )
+
+
+class HashRouter(Module):
+    """Static hash routing (Roller et al. 2021): expert = hash(token id).
+
+    Needs the raw token ids, so it consumes ``(features, token_ids)``;
+    assignment weights are constant 1 (nothing to learn).  Balance
+    depends on the token distribution — skewed unigrams give skewed
+    loads, which is exactly the behaviour Clark et al. observed
+    underperforming learned routing.
+    """
+
+    def __init__(self, num_experts: int, seed: int = 0) -> None:
+        super().__init__()
+        self.num_experts = num_experts
+        self.top_k = 1
+        self.seed = seed
+        # A fixed random permutation-based hash: reproducible, well mixed.
+        self._mult = 0x9E3779B97F4A7C15 ^ (seed * 0xBF58476D1CE4E5B9)
+
+    def assign(self, token_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(token_ids, dtype=np.uint64).reshape(-1)
+        mixed = ids * np.uint64(self._mult % 2**64)
+        mixed ^= mixed >> np.uint64(31)
+        return (mixed % np.uint64(self.num_experts)).astype(np.int64)
+
+    def forward(self, x: Tensor, token_ids: np.ndarray) -> RoutingResult:
+        if x.ndim != 2:
+            raise ValueError(f"router expects (tokens, hidden), got {x.shape}")
+        indices = self.assign(token_ids)[:, None]
+        num_tokens = x.shape[0]
+        if len(indices) != num_tokens:
+            raise ValueError("token_ids must align with the token batch")
+        weights = Tensor(np.ones((num_tokens, 1), dtype=x.dtype))
+        scores = Tensor(
+            np.full((num_tokens, self.num_experts), 1.0 / self.num_experts, dtype=x.dtype)
+        )
+        return RoutingResult(
+            expert_indices=indices,
+            expert_weights=weights,
+            scores=scores,
+            load_balancing_loss=None,
+            z_loss=None,
+        )
+
+
+class ExpertChoiceRouter(Module):
+    """Expert-choice routing (Zhou et al. 2022): experts pick tokens.
+
+    Each expert selects its top ``capacity = tokens * factor /
+    num_experts`` scoring tokens.  Perfectly balanced by construction,
+    but a token can be selected zero times (dropped) or several times —
+    the residual token-dropping the paper notes this method retains.
+
+    The result uses a variable top-k encoding: ``expert_indices`` has one
+    row per (token, selection) pair padded to the max selections.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        capacity_factor: float = 1.0,
+        init_std: float = 0.02,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.capacity_factor = capacity_factor
+        self.proj = Linear(
+            hidden_size, num_experts, bias=False, init_std=init_std, rng=rng
+        )
+
+    def select(self, x: Tensor):
+        """Returns ``(chosen (num_experts, capacity) token ids, scores)``."""
+        if x.ndim != 2:
+            raise ValueError(f"router expects (tokens, hidden), got {x.shape}")
+        num_tokens = x.shape[0]
+        scores = softmax(self.proj(x), axis=-1)
+        capacity = max(
+            int(num_tokens * self.capacity_factor / self.num_experts), 1
+        )
+        # Expert e takes its top-capacity tokens by score column e.
+        order = np.argsort(-scores.data, axis=0, kind="stable")
+        chosen = order[:capacity].T.astype(np.int64)  # (experts, capacity)
+        return chosen, scores
+
+    def coverage(self, chosen: np.ndarray, num_tokens: int) -> np.ndarray:
+        """Selections per token: 0 means dropped, >1 means duplicated."""
+        return np.bincount(chosen.reshape(-1), minlength=num_tokens)

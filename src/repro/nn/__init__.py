@@ -1,0 +1,33 @@
+"""Neural-network module library built on :mod:`repro.autograd`."""
+
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.attention import CausalSelfAttention
+from repro.nn.sparse_attention import BlockSparseCausalSelfAttention
+from repro.nn.mlp import MLP
+from repro.nn.transformer import (
+    FFNFactory,
+    TransformerBlock,
+    TransformerLM,
+    TransformerOutput,
+)
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "CausalSelfAttention",
+    "BlockSparseCausalSelfAttention",
+    "MLP",
+    "TransformerBlock",
+    "TransformerLM",
+    "TransformerOutput",
+    "FFNFactory",
+    "init",
+]

@@ -1,0 +1,154 @@
+"""Module/Parameter system (the ``torch.nn.Module`` analogue).
+
+Modules own named :class:`Parameter` leaves and child modules, support
+recursive parameter iteration, train/eval mode, and flat state dicts for
+checkpointing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor registered as a trainable leaf of a Module."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network layers."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------
+    # Registration via attribute assignment.
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mname, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mname}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for m in self._modules.values():
+            yield from m.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (recursive)."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of qualified parameter names to array copies."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            arr = np.asarray(state[name], dtype=p.data.dtype)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {arr.shape} vs {p.data.shape}"
+                )
+            p.data[...] = arr
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_repr = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_repr})"
+
+
+class ModuleList(Module):
+    """An indexable container of sub-modules."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        self._items = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> None:
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, i: int) -> Module:
+        return self._items[i]
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,95 @@
+"""Ablation implementations: the alternatives the paper rejected.
+
+MegaBlocks motivates its two metadata mechanisms against concrete
+baselines; this module implements those baselines so the ablation
+benchmarks can measure the gap:
+
+- §5.1.3 SDD parallelization:
+  * :func:`sdd_csr_search` — pure BCSR; every "threadblock" binary-searches
+    ``row_offsets`` to find its output row.
+  * :func:`sdd_overlaunch` — launch one threadblock per *dense* block of
+    the output grid and early-exit the empty ones (Gale et al., 2020);
+    cheap at 50-90% sparsity, wasteful at MoE sparsity (1/num_experts
+    density).
+  * the production kernel (:func:`repro.sparse.ops.sdd`) reads the COO row
+    index directly.
+
+- §5.1.4 transposed access:
+  * :func:`dsd_explicit_transpose` — materialize S^T (copy all values and
+    rebuild metadata), then run the non-transposed DSD.
+  * the production kernel walks transpose indices with zero copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.sparse.ops import _col_block_view, _row_block_view, dsd
+from repro.sparse.topology import Topology
+
+
+def sdd_csr_search(
+    a: np.ndarray, b: np.ndarray, topology: Topology
+) -> BlockSparseMatrix:
+    """SDD where each block's row is recovered by searching ``row_offsets``.
+
+    This is what plain BCSR forces: the block id ``k`` is known (one
+    threadblock per nonzero) but its row must be found with
+    ``searchsorted`` over the row pointer — the extra latency §5.1.3's row
+    indices remove.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    bs = topology.block_size
+    # Binary search: row r owns block ids [row_offsets[r], row_offsets[r+1]).
+    block_ids = np.arange(topology.nnz_blocks)
+    found_rows = (
+        np.searchsorted(topology.row_offsets, block_ids, side="right") - 1
+    ).astype(np.int64)
+    a_blocks = _row_block_view(a, bs, False)[found_rows]
+    b_blocks = _col_block_view(b, bs, False)[topology.column_indices]
+    return BlockSparseMatrix(topology, np.matmul(a_blocks, b_blocks))
+
+
+def sdd_overlaunch(
+    a: np.ndarray, b: np.ndarray, topology: Topology
+) -> BlockSparseMatrix:
+    """SDD with one launch per dense output block, early-exiting empties.
+
+    Models Gale et al. (2020): the full ``block_rows x block_cols`` grid is
+    enumerated; occupied positions compute, the rest return immediately.
+    The returned matrix is identical to the production kernel; the cost
+    difference (launch overhead proportional to the *dense* grid) is what
+    the performance model charges in
+    :func:`repro.gpu.blocksparse.sdd_overlaunch_time`.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    bs = topology.block_size
+    occupied = np.zeros((topology.block_rows, topology.block_cols), dtype=np.int64)
+    occupied[topology.row_indices, topology.column_indices] = (
+        np.arange(topology.nnz_blocks) + 1
+    )
+    values = np.zeros((topology.nnz_blocks, bs, bs), dtype=np.result_type(a, b))
+    a_view = _row_block_view(a, bs, False)
+    b_view = _col_block_view(b, bs, False)
+    launched = 0
+    for r in range(topology.block_rows):
+        for c in range(topology.block_cols):
+            launched += 1
+            slot = occupied[r, c]
+            if slot == 0:
+                continue  # empty threadblock: early exit
+            values[slot - 1] = a_view[r] @ b_view[c]
+    out = BlockSparseMatrix(topology, values)
+    return out
+
+
+def dsd_explicit_transpose(s: BlockSparseMatrix, b: np.ndarray) -> np.ndarray:
+    """DS^TD by materializing the transposed matrix first.
+
+    Copies every nonzero value and rebuilds all metadata — the runtime and
+    storage cost that transpose indices avoid (§5.1.4).
+    """
+    return dsd(s.explicit_transpose(), b)

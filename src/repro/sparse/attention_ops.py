@@ -1,0 +1,118 @@
+"""Sparse softmax for block-sparse attention.
+
+Paper §4 motivates block-sparse kernels as *general-purpose* primitives
+whose cost amortizes across applications — sparse attention (Child et
+al., 2019) being the canonical other user.  This module supplies the one
+missing piece for attention over a block-sparse score matrix: a
+numerically-stable softmax across each token row's nonzero blocks, with
+causal masking, differentiable end to end.
+
+The data layout is the library's standard: a value array in BCSR order
+plus a :class:`~repro.sparse.topology.Topology`; rows of the softmax run
+across all nonzero blocks of a block row (gathered via ``row_offsets``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.sparse.topology import Topology
+
+_NEG = -1e30
+
+
+def causal_block_mask(
+    topology: Topology, block_row: int, block_cols: np.ndarray
+) -> np.ndarray:
+    """Validity mask ``(num_blocks, bs, bs)`` for one block row.
+
+    Entry (r, c) of block (block_row, bc) is valid iff its global column
+    ``bc*bs + c`` is at most its global row ``block_row*bs + r``.
+    """
+    bs = topology.block_size
+    rows = block_row * bs + np.arange(bs)[:, None]  # (bs, 1)
+    cols = block_cols[:, None, None] * bs + np.arange(bs)[None, None, :]
+    return cols <= rows[None, :, :]
+
+
+def _row_segments(topology: Topology):
+    offs = topology.row_offsets
+    for br in range(topology.block_rows):
+        lo, hi = int(offs[br]), int(offs[br + 1])
+        if hi > lo:
+            yield br, lo, hi
+
+
+class _SparseCausalSoftmax(Function):
+    """Row-wise causal softmax over the nonzero blocks of each block row."""
+
+    @staticmethod
+    def forward(ctx, values, topology, scale=1.0):
+        bs = topology.block_size
+        out = np.zeros_like(values)
+        for br, lo, hi in _row_segments(topology):
+            blocks = values[lo:hi] * scale  # (k, bs, bs)
+            cols = topology.column_indices[lo:hi]
+            mask = causal_block_mask(topology, br, cols)
+            # (bs, k*bs): all key positions of this block row, per token.
+            scores = np.where(mask, blocks, _NEG).transpose(1, 0, 2).reshape(
+                bs, -1
+            )
+            shifted = scores - scores.max(axis=1, keepdims=True)
+            e = np.exp(shifted)
+            denom = e.sum(axis=1, keepdims=True)
+            probs = np.where(denom > 0, e / np.maximum(denom, 1e-30), 0.0)
+            out[lo:hi] = probs.reshape(bs, hi - lo, bs).transpose(1, 0, 2)
+            out[lo:hi][~mask] = 0.0
+        ctx.save_for_backward(out, topology, scale)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        probs, topology, scale = ctx.saved
+        bs = topology.block_size
+        gvalues = np.zeros_like(grad)
+        for br, lo, hi in _row_segments(topology):
+            p = probs[lo:hi].transpose(1, 0, 2).reshape(bs, -1)
+            g = grad[lo:hi].transpose(1, 0, 2).reshape(bs, -1)
+            dot = (p * g).sum(axis=1, keepdims=True)
+            gs = scale * p * (g - dot)
+            gvalues[lo:hi] = gs.reshape(bs, hi - lo, bs).transpose(1, 0, 2)
+        return (gvalues,)
+
+
+def sparse_causal_softmax(
+    values: Tensor, topology: Topology, scale: float = 1.0
+) -> Tensor:
+    """Differentiable causal softmax over block-sparse attention scores.
+
+    ``values`` is the SDD output ``(nnz_blocks, bs, bs)``; each token row
+    is normalized over every causally-valid key position present in the
+    topology.  Rows with no valid key (can't happen for causal banded
+    topologies that include the diagonal) produce zeros.
+    """
+    return _SparseCausalSoftmax.apply(as_tensor(values), topology, float(scale))
+
+
+def banded_causal_topology(
+    seq_len: int, block_size: int, window_blocks: int
+) -> Topology:
+    """The local-attention topology of Child et al. (2019), causal form.
+
+    Block (i, j) is nonzero iff ``j <= i`` and ``i - j < window_blocks``;
+    ``window_blocks`` of 1 is block-local attention, ``seq_len //
+    block_size`` recovers full causal attention.
+    """
+    if seq_len % block_size:
+        raise ValueError(
+            f"seq_len={seq_len} must be a multiple of block_size={block_size}"
+        )
+    if window_blocks < 1:
+        raise ValueError("window_blocks must be >= 1")
+    n = seq_len // block_size
+    i = np.arange(n)[:, None]
+    j = np.arange(n)[None, :]
+    mask = (j <= i) & (i - j < window_blocks)
+    return Topology.from_block_mask(mask, block_size)

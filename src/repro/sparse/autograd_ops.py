@@ -1,0 +1,115 @@
+"""Autograd wrappers for the block-sparse kernels.
+
+A sparse activation travels the tape as a Tensor holding the *value array*
+``(nnz_blocks, bs, bs)``; the (non-differentiable) topology rides along as
+a plain argument.  The backward passes issue exactly the transposed
+products listed in MegaBlocks §5.1:
+
+- ``h = sdd_mm(x, w, topo)``  →  ``dx = DSD^T(dh, w)``, ``dw = DD^TS(x, dh)``
+- ``y = dsd_mm(h, w, topo)``  →  ``dh = SDD^T(dy, w)``, ``dw = DS^TD(h, dy)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.sparse.ops import dds, dsd, sdd
+from repro.sparse.topology import Topology
+
+
+class _SddMM(Function):
+    """values = blocks of (X @ W) sampled by ``topology``."""
+
+    @staticmethod
+    def forward(ctx, x, w, topology):
+        ctx.save_for_backward(x, w, topology)
+        return sdd(x, w, topology).values
+
+    @staticmethod
+    def backward(ctx, grad_values):
+        x, w, topology = ctx.saved
+        grad_sparse = BlockSparseMatrix(topology, grad_values)
+        # DSD^T: dX = dH @ W^T
+        dx = dsd(grad_sparse, w, trans_b=True)
+        # DD^TS: dW = X^T @ dH
+        dw = dds(x, grad_sparse, trans_a=True)
+        return dx, dw
+
+
+class _DsdMM(Function):
+    """y = H @ W for block-sparse H (values Tensor + topology)."""
+
+    @staticmethod
+    def forward(ctx, h_values, w, topology):
+        ctx.save_for_backward(h_values, w, topology)
+        return dsd(BlockSparseMatrix(topology, h_values), w)
+
+    @staticmethod
+    def backward(ctx, grad_y):
+        h_values, w, topology = ctx.saved
+        # SDD^T: dH = dY @ W^T sampled at H's topology.
+        dh = sdd(grad_y, w, topology, trans_b=True).values
+        # DS^TD: dW = H^T @ dY via transpose indices.
+        dw = dsd(BlockSparseMatrix(topology, h_values), grad_y, trans_s=True)
+        return dh, dw
+
+
+def sdd_mm(x: Tensor, w: Tensor, topology: Topology) -> Tensor:
+    """Differentiable SDD; returns the sparse value array as a Tensor."""
+    return _SddMM.apply(as_tensor(x), as_tensor(w), topology)
+
+
+def dsd_mm(h_values: Tensor, w: Tensor, topology: Topology) -> Tensor:
+    """Differentiable DSD over sparse values produced by :func:`sdd_mm`."""
+    return _DsdMM.apply(as_tensor(h_values), as_tensor(w), topology)
+
+
+class _SparseBiasAdd(Function):
+    """Add per-column bias to sparse values (layer-1 bias inside experts)."""
+
+    @staticmethod
+    def forward(ctx, values, bias, topology):
+        bs = topology.block_size
+        per_block = bias.reshape(topology.block_cols, bs)[topology.column_indices]
+        ctx.save_for_backward(topology)
+        return values + per_block[:, None, :]
+
+    @staticmethod
+    def backward(ctx, grad):
+        (topology,) = ctx.saved
+        bs = topology.block_size
+        gbias_blocks = grad.sum(axis=1)  # (nnz, bs): sum over block rows
+        gbias = np.zeros((topology.block_cols, bs), dtype=grad.dtype)
+        np.add.at(gbias, topology.column_indices, gbias_blocks)
+        return grad, gbias.reshape(-1)
+
+
+def sparse_bias_add(values: Tensor, bias: Tensor, topology: Topology) -> Tensor:
+    """Differentiable column-bias add on sparse values."""
+    return _SparseBiasAdd.apply(as_tensor(values), as_tensor(bias), topology)
+
+
+class _DdsMM(Function):
+    """y = A @ S for dense A and block-sparse S (values Tensor)."""
+
+    @staticmethod
+    def forward(ctx, a, s_values, topology):
+        ctx.save_for_backward(a, s_values, topology)
+        return dds(a, BlockSparseMatrix(topology, s_values))
+
+    @staticmethod
+    def backward(ctx, grad_y):
+        a, s_values, topology = ctx.saved
+        # dA = dY @ S^T  (DDS^T, BCSR row iteration).
+        da = dds(grad_y, BlockSparseMatrix(topology, s_values), trans_s=True)
+        # dS = A^T @ dY sampled at S's topology (SDD with trans_a).
+        ds = sdd(a, grad_y, topology, trans_a=True).values
+        return da, ds
+
+
+def dds_mm(a: Tensor, s_values: Tensor, topology: Topology) -> Tensor:
+    """Differentiable DDS: dense ``a`` times a block-sparse matrix."""
+    return _DdsMM.apply(as_tensor(a), as_tensor(s_values), topology)

@@ -1,0 +1,81 @@
+"""Block-sparse matrix arithmetic beyond the matmul kernels.
+
+Utility operations the MoE layers don't need on the hot path but a
+library user does: addition/scaling on shared topologies, retopology
+(projecting values onto a different pattern), norms, and spy-style
+density summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.sparse.topology import Topology
+
+
+def add(a: BlockSparseMatrix, b: BlockSparseMatrix) -> BlockSparseMatrix:
+    """Elementwise sum; the operands must share their topology.
+
+    Sharing is structural (same pattern), not identity: matrices built
+    from equal masks add fine.
+    """
+    if a.topology != b.topology:
+        raise ValueError("block-sparse addition requires matching topologies")
+    return BlockSparseMatrix(a.topology, a.values + b.values)
+
+
+def scale(a: BlockSparseMatrix, alpha: float) -> BlockSparseMatrix:
+    """Scalar multiple ``alpha * A``."""
+    return BlockSparseMatrix(a.topology, alpha * a.values)
+
+
+def frobenius_norm(a: BlockSparseMatrix) -> float:
+    """||A||_F — only nonzero blocks contribute, by construction."""
+    return float(np.sqrt((a.values.astype(np.float64) ** 2).sum()))
+
+
+def project(a: BlockSparseMatrix, topology: Topology) -> BlockSparseMatrix:
+    """Re-sample ``a`` onto ``topology``.
+
+    Blocks present in both keep their values; blocks only in the new
+    topology are zero; blocks only in the old one are dropped.  Used to
+    move values between routing steps whose topologies differ.
+    """
+    if a.topology.shape != topology.shape or a.topology.block_size != topology.block_size:
+        raise ValueError("projection requires equal shapes and block sizes")
+    old = a.topology
+    # Map (row, col) -> position in the old value array.
+    lookup = {
+        (int(r), int(c)): i
+        for i, (r, c) in enumerate(zip(old.row_indices, old.column_indices))
+    }
+    bs = topology.block_size
+    values = np.zeros((topology.nnz_blocks, bs, bs), dtype=a.values.dtype)
+    for i, (r, c) in enumerate(
+        zip(topology.row_indices, topology.column_indices)
+    ):
+        j = lookup.get((int(r), int(c)))
+        if j is not None:
+            values[i] = a.values[j]
+    return BlockSparseMatrix(topology, values)
+
+
+def row_block_norms(a: BlockSparseMatrix) -> np.ndarray:
+    """Frobenius norm of each block row (length ``block_rows``).
+
+    Handy for inspecting which experts' activations carry energy.
+    """
+    topo = a.topology
+    sq = (a.values.astype(np.float64) ** 2).sum(axis=(1, 2))
+    out = np.zeros(topo.block_rows)
+    np.add.at(out, topo.row_indices, sq)
+    return np.sqrt(out)
+
+
+def density_profile(topology: Topology) -> str:
+    """A spy-plot string: ``#`` for nonzero blocks, ``.`` for empty."""
+    mask = topology.to_block_mask()
+    return "\n".join("".join("#" if x else "." for x in row) for row in mask)

@@ -1,0 +1,110 @@
+"""Block-sparse matrix: a :class:`Topology` plus per-block dense values."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.topology import Topology
+
+
+class BlockSparseMatrix:
+    """Values stored as ``(nnz_blocks, block_size, block_size)`` in BCSR order.
+
+    Blocks are dense inside; only the block pattern is sparse, matching the
+    paper's 128x128 block sparsity.  The same value array can be traversed
+    in transposed order via ``topology.transpose_block_offsets`` without
+    copying (§5.1.4).
+    """
+
+    __slots__ = ("topology", "values")
+
+    def __init__(self, topology: Topology, values: np.ndarray) -> None:
+        bs = topology.block_size
+        values = np.asarray(values)
+        expected = (topology.nnz_blocks, bs, bs)
+        if values.shape != expected:
+            raise ValueError(
+                f"values shape {values.shape} does not match topology "
+                f"(expected {expected})"
+            )
+        self.topology = topology
+        self.values = values
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.topology.shape
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def nnz_blocks(self) -> int:
+        return self.topology.nnz_blocks
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockSparseMatrix(shape={self.shape}, "
+            f"block_size={self.topology.block_size}, "
+            f"nnz_blocks={self.nnz_blocks}, dtype={self.dtype})"
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(topology: Topology, dtype=np.float32) -> "BlockSparseMatrix":
+        bs = topology.block_size
+        return BlockSparseMatrix(
+            topology, np.zeros((topology.nnz_blocks, bs, bs), dtype=dtype)
+        )
+
+    @staticmethod
+    def from_dense(dense: np.ndarray, topology: Topology) -> "BlockSparseMatrix":
+        """Extract the nonzero blocks of ``dense`` per ``topology``.
+
+        Values outside the topology are dropped (sampled, as in SDD).
+        """
+        dense = np.asarray(dense)
+        if dense.shape != topology.shape:
+            raise ValueError(
+                f"dense shape {dense.shape} != topology shape {topology.shape}"
+            )
+        bs = topology.block_size
+        blocked = dense.reshape(
+            topology.block_rows, bs, topology.block_cols, bs
+        ).transpose(0, 2, 1, 3)
+        values = blocked[topology.row_indices, topology.column_indices]
+        return BlockSparseMatrix(topology, np.ascontiguousarray(values))
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full matrix with zeros outside the topology."""
+        t = self.topology
+        bs = t.block_size
+        blocked = np.zeros(
+            (t.block_rows, t.block_cols, bs, bs), dtype=self.values.dtype
+        )
+        blocked[t.row_indices, t.column_indices] = self.values
+        return np.ascontiguousarray(
+            blocked.transpose(0, 2, 1, 3).reshape(t.shape)
+        )
+
+    def transpose_values(self) -> np.ndarray:
+        """Per-block-transposed values in transposed matrix order.
+
+        Equivalent to ``BlockSparseMatrix.from_dense(self.to_dense().T,
+        self.topology.transpose()).values`` but computed purely through the
+        transpose secondary index — this is the §5.1.4 mechanism and is
+        validated against the explicit materialization in tests.
+        """
+        gathered = self.values[self.topology.transpose_block_offsets]
+        return np.ascontiguousarray(np.swapaxes(gathered, -1, -2))
+
+    def explicit_transpose(self) -> "BlockSparseMatrix":
+        """Materialized transpose (copies values) — the costly alternative
+        the transpose index avoids; kept for ablation benchmarks."""
+        return BlockSparseMatrix(self.topology.transpose(), self.transpose_values())
+
+    def copy(self) -> "BlockSparseMatrix":
+        return BlockSparseMatrix(self.topology, self.values.copy())

@@ -1,0 +1,245 @@
+"""Block-sparse matrix products: SDD, DSD, DDS with all transpose variants.
+
+These are the NumPy analogues of the CUDA kernels in MegaBlocks §5.1.  The
+naming follows Triton's convention (output, left input, right input; "S"
+sparse / "D" dense), so the eight products the paper needs are:
+
+==========  =======================================  ======================
+Operation   Call                                     Used for (2-layer MLP)
+==========  =======================================  ======================
+SDD         ``sdd(x, w1, topo)``                     layer-1 forward
+DSD         ``dsd(h, w2)``                           layer-2 forward
+SDD^T       ``sdd(dy, w2, topo, trans_b=True)``      layer-2 data grad
+DS^TD       ``dsd(h, dy, trans_s=True)``             layer-2 weight grad
+DSD^T       ``dsd(dh, w1, trans_b=True)``            layer-1 data grad
+DD^TS       ``dds(x, dh, trans_a=True)``             layer-1 weight grad
+DDS / DDS^T ``dds(a, s[, trans_s=True])``            completeness
+==========  =======================================  ======================
+
+Each "threadblock" (one output block) is one slice of a batched einsum; the
+gather patterns mirror the hardware kernels:
+
+- SDD looks up output coordinates through the COO ``row_indices`` —
+  the hybrid blocked-CSR-COO mechanism of §5.1.3.
+- ``trans_s`` paths walk the value array through
+  ``transpose_block_offsets`` — the transpose indices of §5.1.4 — never
+  materializing a transposed copy of the values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.sparse.topology import Topology
+
+
+# ----------------------------------------------------------------------
+# Block-view helpers.  All return *views* (no copies) over the dense
+# operand, shaped so a fancy-index gather + batched matmul implements the
+# per-threadblock work.
+# ----------------------------------------------------------------------
+def _check_multiple(n: int, bs: int, what: str) -> None:
+    if n % bs:
+        raise ValueError(f"{what}={n} is not a multiple of block_size={bs}")
+
+
+def _row_block_view(a: np.ndarray, bs: int, transposed: bool) -> np.ndarray:
+    """(num_row_blocks, bs, K) view of ``a`` (effective shape (M, K)).
+
+    ``transposed`` means ``a`` is stored as (K, M) and used as A^T.
+    """
+    if transposed:
+        k, m = a.shape
+        _check_multiple(m, bs, "columns of transposed left operand")
+        return a.reshape(k, m // bs, bs).transpose(1, 2, 0)
+    m, k = a.shape
+    _check_multiple(m, bs, "rows of left operand")
+    return a.reshape(m // bs, bs, k)
+
+
+def _col_block_view(b: np.ndarray, bs: int, transposed: bool) -> np.ndarray:
+    """(num_col_blocks, K, bs) view of ``b`` (effective shape (K, N)).
+
+    ``transposed`` means ``b`` is stored as (N, K) and used as B^T.
+    """
+    if transposed:
+        n, k = b.shape
+        _check_multiple(n, bs, "rows of transposed right operand")
+        return b.reshape(n // bs, bs, k).transpose(0, 2, 1)
+    k, n = b.shape
+    _check_multiple(n, bs, "columns of right operand")
+    return b.reshape(k, n // bs, bs).transpose(1, 0, 2)
+
+
+def _stripe_view(b: np.ndarray, bs: int, transposed: bool) -> np.ndarray:
+    """(num_stripes, bs, N) view of ``b`` (effective shape (K, N)), where
+    stripe ``i`` is rows ``i*bs:(i+1)*bs`` of the effective matrix."""
+    if transposed:
+        n, k = b.shape
+        _check_multiple(k, bs, "columns of transposed operand")
+        return b.reshape(n, k // bs, bs).transpose(1, 2, 0)
+    k, n = b.shape
+    _check_multiple(k, bs, "rows of operand")
+    return b.reshape(k // bs, bs, n)
+
+
+# ----------------------------------------------------------------------
+# SDD: dense x dense -> sparse (sampled by the output topology)
+# ----------------------------------------------------------------------
+def sdd(
+    a: np.ndarray,
+    b: np.ndarray,
+    topology: Topology,
+    trans_a: bool = False,
+    trans_b: bool = False,
+) -> BlockSparseMatrix:
+    """Compute ``(A op) @ (B op)`` only at the nonzero blocks of ``topology``.
+
+    One batched-matmul slice per nonzero block; the block's output
+    coordinates come straight from the hybrid COO ``row_indices`` /
+    ``column_indices`` (no search through ``row_offsets``, no threadblock
+    over-launch — see §5.1.3 and the ablation in
+    :mod:`repro.sparse.ablation`).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    bs = topology.block_size
+    m_eff = a.shape[1] if trans_a else a.shape[0]
+    k_a = a.shape[0] if trans_a else a.shape[1]
+    k_b = b.shape[1] if trans_b else b.shape[0]
+    n_eff = b.shape[0] if trans_b else b.shape[1]
+    if (m_eff, n_eff) != topology.shape:
+        raise ValueError(
+            f"operand shapes {(m_eff, n_eff)} do not match topology "
+            f"{topology.shape}"
+        )
+    if k_a != k_b:
+        raise ValueError(f"inner dimensions disagree: {k_a} vs {k_b}")
+
+    a_blocks = _row_block_view(a, bs, trans_a)[topology.row_indices]
+    b_blocks = _col_block_view(b, bs, trans_b)[topology.column_indices]
+    values = np.matmul(a_blocks, b_blocks)
+    return BlockSparseMatrix(topology, values)
+
+
+# ----------------------------------------------------------------------
+# DSD: sparse x dense -> dense
+# ----------------------------------------------------------------------
+def dsd(
+    s: BlockSparseMatrix,
+    b: np.ndarray,
+    trans_s: bool = False,
+    trans_b: bool = False,
+) -> np.ndarray:
+    """Compute ``(S op) @ (B op)`` densely.
+
+    - ``trans_s=False``: BCSR row iteration (the easy direction).
+    - ``trans_s=True`` (DS^TD, the weight-gradient op): the value array is
+      walked through the transpose secondary index; per-block transposes
+      happen in registers (``swapaxes`` on gathered views).  This is the
+      access pattern the paper notes has reduced spatial locality.
+    """
+    b = np.asarray(b)
+    topo = s.topology
+    bs = topo.block_size
+    rows_s, cols_s = topo.shape
+    m_eff, k_eff = (cols_s, rows_s) if trans_s else (rows_s, cols_s)
+    k_b = b.shape[1] if trans_b else b.shape[0]
+    n_eff = b.shape[0] if trans_b else b.shape[1]
+    if k_b != k_eff:
+        raise ValueError(
+            f"inner dimensions disagree: sparse gives {k_eff}, dense gives {k_b}"
+        )
+
+    stripes = _stripe_view(b, bs, trans_b)
+    out = np.zeros((m_eff // bs, bs, n_eff), dtype=np.result_type(s.values, b))
+    if topo.nnz_blocks:
+        if trans_s:
+            order = topo.transpose_block_offsets
+            block_values = np.swapaxes(s.values[order], -1, -2)
+            out_rows = topo.column_indices[order]
+            stripe_ids = topo.row_indices[order]
+        else:
+            block_values = s.values
+            out_rows = topo.row_indices
+            stripe_ids = topo.column_indices
+        prod = np.matmul(block_values, stripes[stripe_ids])
+        np.add.at(out, out_rows, prod)
+    return out.reshape(m_eff, n_eff)
+
+
+# ----------------------------------------------------------------------
+# DDS: dense x sparse -> dense
+# ----------------------------------------------------------------------
+def dds(
+    a: np.ndarray,
+    s: BlockSparseMatrix,
+    trans_a: bool = False,
+    trans_s: bool = False,
+) -> np.ndarray:
+    """Compute ``(A op) @ (S op)`` densely.
+
+    - ``trans_s=True`` (DDS^T) iterates block rows of S directly (BCSR).
+    - ``trans_s=False`` needs S in column order, so it gathers through the
+      transpose secondary index, like DSD's ``trans_s`` path.
+    """
+    a = np.asarray(a)
+    topo = s.topology
+    bs = topo.block_size
+    rows_s, cols_s = topo.shape
+    k_eff, n_eff = (cols_s, rows_s) if trans_s else (rows_s, cols_s)
+    m_eff = a.shape[1] if trans_a else a.shape[0]
+    k_a = a.shape[0] if trans_a else a.shape[1]
+    if k_a != k_eff:
+        raise ValueError(
+            f"inner dimensions disagree: dense gives {k_a}, sparse gives {k_eff}"
+        )
+
+    # (num_stripes, M, bs) view: stripe i is columns i*bs:(i+1)*bs of A_eff.
+    if trans_a:
+        stripes = a.reshape(k_a // bs, bs, m_eff).transpose(0, 2, 1)
+    else:
+        stripes = a.reshape(m_eff, k_a // bs, bs).transpose(1, 0, 2)
+
+    out = np.zeros((n_eff // bs, m_eff, bs), dtype=np.result_type(a, s.values))
+    if topo.nnz_blocks:
+        if trans_s:
+            block_values = np.swapaxes(s.values, -1, -2)
+            out_cols = topo.row_indices
+            stripe_ids = topo.column_indices
+        else:
+            order = topo.transpose_block_offsets
+            block_values = s.values[order]
+            out_cols = topo.column_indices[order]
+            stripe_ids = topo.row_indices[order]
+        prod = np.matmul(stripes[stripe_ids], block_values)
+        np.add.at(out, out_cols, prod)
+    return np.ascontiguousarray(out.transpose(1, 0, 2)).reshape(m_eff, n_eff)
+
+
+# ----------------------------------------------------------------------
+# Elementwise helpers on sparse values (used between SDD and DSD).
+# ----------------------------------------------------------------------
+def map_values(s: BlockSparseMatrix, fn) -> BlockSparseMatrix:
+    """Apply an elementwise function to the nonzero values."""
+    return BlockSparseMatrix(s.topology, fn(s.values))
+
+
+def add_bias_columns(s: BlockSparseMatrix, bias: np.ndarray) -> BlockSparseMatrix:
+    """Add a per-output-column bias to the nonzero blocks.
+
+    ``bias`` has one entry per column of the sparse matrix; block ``k``
+    sees the slice for its block column.  Zero blocks stay zero — the MoE
+    padding rows receive bias too, but they are sliced away by
+    ``padded_scatter`` so this matches the dense computation on real rows.
+    """
+    topo = s.topology
+    bs = topo.block_size
+    bias = np.asarray(bias)
+    if bias.shape != (topo.shape[1],):
+        raise ValueError(
+            f"bias must have shape ({topo.shape[1]},), got {bias.shape}"
+        )
+    per_block = bias.reshape(topo.block_cols, bs)[topo.column_indices]
+    return BlockSparseMatrix(topo, s.values + per_block[:, None, :])

@@ -1,0 +1,63 @@
+"""Dense reference implementations of the sparse products.
+
+Slow but obviously correct: materialize everything, multiply with ``@``,
+and for SDD sample the output through the topology mask.  The kernel tests
+check :mod:`repro.sparse.ops` against these under random topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.matrix import BlockSparseMatrix
+from repro.sparse.topology import Topology
+
+
+def _eff(x: np.ndarray, trans: bool) -> np.ndarray:
+    return x.T if trans else x
+
+
+def element_mask(topology: Topology) -> np.ndarray:
+    """Elementwise boolean mask of the nonzero region."""
+    bs = topology.block_size
+    return np.kron(topology.to_block_mask(), np.ones((bs, bs), dtype=bool))
+
+
+def sdd_reference(
+    a: np.ndarray,
+    b: np.ndarray,
+    topology: Topology,
+    trans_a: bool = False,
+    trans_b: bool = False,
+) -> BlockSparseMatrix:
+    """Dense matmul then sample through the topology."""
+    full = _eff(np.asarray(a), trans_a) @ _eff(np.asarray(b), trans_b)
+    sampled = np.where(element_mask(topology), full, 0.0)
+    return BlockSparseMatrix.from_dense(sampled.astype(full.dtype), topology)
+
+
+def dsd_reference(
+    s: BlockSparseMatrix,
+    b: np.ndarray,
+    trans_s: bool = False,
+    trans_b: bool = False,
+) -> np.ndarray:
+    return _eff(s.to_dense(), trans_s) @ _eff(np.asarray(b), trans_b)
+
+
+def dds_reference(
+    a: np.ndarray,
+    s: BlockSparseMatrix,
+    trans_a: bool = False,
+    trans_s: bool = False,
+) -> np.ndarray:
+    return _eff(np.asarray(a), trans_a) @ _eff(s.to_dense(), trans_s)
+
+
+def random_block_sparse(
+    topology: Topology, rng: np.random.Generator, dtype=np.float64
+) -> BlockSparseMatrix:
+    """Random values on a given topology (test helper)."""
+    bs = topology.block_size
+    values = rng.standard_normal((topology.nnz_blocks, bs, bs)).astype(dtype)
+    return BlockSparseMatrix(topology, values)

@@ -1,0 +1,48 @@
+"""Training harness: optimizers, schedules, trainer, metrics."""
+
+from repro.training.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.training.lr_schedule import (
+    ConstantLR,
+    LRSchedule,
+    WarmupCosineLR,
+    WarmupLinearLR,
+)
+from repro.training.metrics import (
+    History,
+    TrainingRecord,
+    loss_equivalent_speedup,
+    pareto_frontier,
+    time_to_loss,
+)
+from repro.training.trainer import RoutingStats, Trainer, TrainerConfig
+from repro.training.amp import GradScaler, MasterWeights, half_tensor, to_half
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.eval import bits_per_token, evaluate_lm, perplexity
+
+__all__ = [
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "clip_grad_norm",
+    "LRSchedule",
+    "ConstantLR",
+    "WarmupCosineLR",
+    "WarmupLinearLR",
+    "History",
+    "TrainingRecord",
+    "time_to_loss",
+    "pareto_frontier",
+    "loss_equivalent_speedup",
+    "Trainer",
+    "TrainerConfig",
+    "RoutingStats",
+    "GradScaler",
+    "MasterWeights",
+    "to_half",
+    "half_tensor",
+    "save_checkpoint",
+    "load_checkpoint",
+    "evaluate_lm",
+    "perplexity",
+    "bits_per_token",
+]

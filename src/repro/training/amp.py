@@ -1,0 +1,123 @@
+"""Simulated mixed-precision training (Micikevicius et al., 2018).
+
+The paper trains everything in mixed precision "as implemented in
+Megatron-LM": fp16 compute with fp32 master weights and dynamic loss
+scaling.  On the NumPy substrate this module simulates the numerically
+relevant parts:
+
+- :func:`to_half` / half-precision casts of activations (exercising the
+  rounding the real system sees);
+- :class:`GradScaler` — dynamic loss scaling with overflow detection and
+  scale backoff/growth;
+- :class:`MasterWeights` — fp32 master copies updated by the optimizer
+  and cast back to fp16 working weights each step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Parameter
+
+
+def to_half(x: np.ndarray) -> np.ndarray:
+    """Round-trip through fp16 (the storage format of the paper's runs).
+
+    Values beyond fp16 range become inf, exactly as on real hardware —
+    that overflow is what the GradScaler exists to catch.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x).astype(np.float16).astype(np.float32)
+
+
+def half_tensor(t: Tensor) -> Tensor:
+    """A Tensor whose data has been rounded to fp16 precision."""
+    return Tensor(to_half(t.data), requires_grad=False)
+
+
+class GradScaler:
+    """Dynamic loss scaling: multiply the loss by ``scale`` before
+    backward; unscale and skip the step when gradients overflow.
+
+    Mirrors the Megatron/apex behaviour: halve on overflow, double after
+    ``growth_interval`` clean steps.
+    """
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**14,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 100,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ) -> None:
+        self.scale = float(init_scale)
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._clean_steps = 0
+        self.num_overflows = 0
+
+    def scale_loss(self, loss: Tensor) -> Tensor:
+        return loss * float(self.scale)
+
+    def unscale_and_check(self, params: Iterable[Parameter]) -> bool:
+        """Divide gradients by the scale; returns True when finite.
+
+        On overflow (inf/nan anywhere) gradients are zeroed, the scale
+        backs off, and the caller must skip the optimizer step.
+        """
+        params = [p for p in params if p.grad is not None]
+        finite = all(np.isfinite(p.grad).all() for p in params)
+        if not finite:
+            for p in params:
+                p.grad = None
+            self.scale = max(self.scale * self.backoff_factor, self.min_scale)
+            self._clean_steps = 0
+            self.num_overflows += 1
+            return False
+        inv = 1.0 / self.scale
+        for p in params:
+            p.grad *= inv
+        self._clean_steps += 1
+        if self._clean_steps >= self.growth_interval:
+            self.scale = min(self.scale * self.growth_factor, self.max_scale)
+            self._clean_steps = 0
+        return True
+
+
+class MasterWeights:
+    """fp32 master copies paired with fp16-precision working weights.
+
+    The optimizer updates the masters; :meth:`sync_working` rounds them
+    into the model's (fp32-stored, fp16-valued) parameters.
+    """
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params: List[Parameter] = list(params)
+        self.masters: List[np.ndarray] = [
+            p.data.astype(np.float32).copy() for p in self.params
+        ]
+
+    def apply_update(self, updates: Iterable[np.ndarray]) -> None:
+        """Subtract per-parameter updates from the fp32 masters."""
+        for m, u in zip(self.masters, updates):
+            m -= u
+
+    def sync_working(self) -> None:
+        """Cast masters to fp16 precision into the working parameters."""
+        for p, m in zip(self.params, self.masters):
+            p.data[...] = to_half(m)
+
+    def max_divergence(self) -> float:
+        """Largest |master - working| — bounded by fp16 rounding."""
+        return max(
+            float(np.abs(m - p.data).max()) if m.size else 0.0
+            for p, m in zip(self.params, self.masters)
+        )

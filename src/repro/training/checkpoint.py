@@ -1,0 +1,72 @@
+"""Checkpointing: save/restore model + optimizer + trainer progress."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.training.optim import Adam, Optimizer
+
+
+def save_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    step: int = 0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a single ``.npz`` checkpoint.
+
+    Model parameters are stored under ``model/<name>``; Adam moments (if
+    an Adam optimizer is given) under ``optim/<m|v>/<index>``; scalars in
+    a JSON blob.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for name, p in model.named_parameters():
+        arrays[f"model/{name}"] = p.data
+    meta: Dict[str, Any] = {"step": int(step), "extra": extra or {}}
+    if isinstance(optimizer, Adam):
+        meta["adam"] = {"t": optimizer.t, "lr": optimizer.lr}
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            arrays[f"optim/m/{i}"] = m
+            arrays[f"optim/v/{i}"] = v
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    tmp = path + ".tmp"
+    np.savez(tmp, **arrays)
+    # np.savez appends .npz to names without it; normalize.
+    written = tmp if os.path.exists(tmp) else tmp + ".npz"
+    os.replace(written, path)
+
+
+def load_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+) -> Dict[str, Any]:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Returns the metadata dict (``step``, ``extra``).  Raises ``KeyError``
+    on parameter-name mismatch and ``ValueError`` on shape mismatch.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+        state = {
+            name[len("model/"):]: data[name]
+            for name in data.files
+            if name.startswith("model/")
+        }
+        model.load_state_dict(state)
+        if optimizer is not None and isinstance(optimizer, Adam):
+            if "adam" not in meta:
+                raise KeyError("checkpoint holds no Adam state")
+            optimizer.t = int(meta["adam"]["t"])
+            for i in range(len(optimizer._m)):
+                optimizer._m[i][...] = data[f"optim/m/{i}"]
+                optimizer._v[i][...] = data[f"optim/v/{i}"]
+    return meta

@@ -1,0 +1,60 @@
+"""Evaluation metrics: perplexity, bits per token, token accuracy."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.data.dataset import LMDataset
+from repro.nn.transformer import TransformerLM
+
+
+def perplexity(mean_nll: float) -> float:
+    """exp of the mean negative log likelihood (nats)."""
+    return float(np.exp(mean_nll))
+
+
+def bits_per_token(mean_nll: float) -> float:
+    """Mean NLL converted from nats to bits."""
+    return float(mean_nll / np.log(2.0))
+
+
+def evaluate_lm(
+    model: TransformerLM,
+    dataset: LMDataset,
+    batch_size: int = 8,
+    max_batches: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Token-weighted mean LM loss and next-token accuracy.
+
+    Returns ``(mean_nll, accuracy)`` over up to ``max_batches`` batches
+    (entire dataset when None), in eval mode, restoring the previous
+    training state.
+    """
+    was_training = model.training
+    model.eval()
+    total_nll = 0.0
+    total_correct = 0
+    total_tokens = 0
+    try:
+        with no_grad():
+            for i, batch in enumerate(
+                dataset.iter_batches(batch_size, shuffle=False, drop_last=False)
+            ):
+                if max_batches is not None and i >= max_batches:
+                    break
+                out = model(batch.inputs)
+                logits = out.logits.data
+                _, lm, _ = model.loss(batch.inputs, batch.targets)
+                n = batch.num_tokens
+                total_nll += float(lm.data) * n
+                preds = logits.argmax(axis=-1)
+                total_correct += int((preds == batch.targets).sum())
+                total_tokens += n
+    finally:
+        model.train(was_training)
+    if total_tokens == 0:
+        raise ValueError("no tokens evaluated")
+    return total_nll / total_tokens, total_correct / total_tokens

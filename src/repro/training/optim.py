@@ -1,0 +1,115 @@
+"""Optimizers and gradient utilities (Adam as in Megatron-LM defaults)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm (Megatron uses ``clip-grad 1.0``).
+    """
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    sq = sum(float((p.grad.astype(np.float64) ** 2).sum()) for p in params)
+    norm = float(np.sqrt(sq))
+    if max_norm > 0 and norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self, lr: Optional[float] = None) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum (used in small tests)."""
+
+    def __init__(self, params, lr: float = 0.1, momentum: float = 0.0) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data, dtype=np.float32) for p in self.params]
+
+    def step(self, lr: Optional[float] = None) -> None:
+        lr = self.lr if lr is None else lr
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                update = v
+            else:
+                update = p.grad
+            p.data -= (lr * update).astype(p.data.dtype)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with fp32 moments, matching Megatron defaults.
+
+    Args:
+        lr: base learning rate (overridable per step for schedules).
+        betas: exponential decay rates for the moment estimates.
+        eps: numerical fuzz.
+        weight_decay: decoupled (AdamW-style) weight decay.
+    """
+
+    def __init__(
+        self,
+        params,
+        lr: float = 6e-4,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data, dtype=np.float32) for p in self.params]
+        self._v = [np.zeros_like(p.data, dtype=np.float32) for p in self.params]
+
+    def step(self, lr: Optional[float] = None) -> None:
+        lr = self.lr if lr is None else lr
+        self.t += 1
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad.astype(np.float32)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if self.weight_decay > 0:
+                update = update + self.weight_decay * p.data
+            p.data -= (lr * update).astype(p.data.dtype)
+
+    def state_size_bytes(self) -> int:
+        """Optimizer state footprint (two fp32 moments per parameter)."""
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))

@@ -1,0 +1,220 @@
+"""Training loop with gradient accumulation and routing statistics.
+
+Mirrors the Megatron-LM recipe the paper uses (§3): Adam, gradient
+clipping at 1.0, warmup + decay schedule, a global batch split into micro
+batches with gradient accumulation, and periodic validation.  MoE models
+additionally log routing balance statistics (dynamic capacity factor,
+drop fraction) that feed the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import LMDataset
+from repro.moe.capacity import min_capacity_factor
+from repro.nn.transformer import TransformerLM
+from repro.training.lr_schedule import ConstantLR, LRSchedule
+from repro.training.metrics import History, TrainingRecord
+from repro.training.optim import Adam, Optimizer, clip_grad_norm
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngLike, get_rng
+
+logger = get_logger("training")
+
+
+@dataclass
+class RoutingStats:
+    """Per-step routing balance summary across all MoE layers."""
+
+    step: int
+    max_dynamic_capacity_factor: float
+    mean_dynamic_capacity_factor: float
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs for :class:`Trainer`.
+
+    Attributes:
+        global_batch: sequences per optimizer step.
+        micro_batch: sequences per forward/backward (gradient
+            accumulation runs ``global_batch / micro_batch`` times).
+        max_steps: optimizer steps to run.
+        grad_clip: global-norm clip (1.0 per Shoeybi et al., 2019).
+        eval_every / eval_batches: validation cadence and size.
+        log_every: training-loss logging cadence.
+        use_grad_scaler: enable simulated mixed-precision loss scaling
+            (Micikevicius et al., 2018) — the loss is scaled before
+            backward, gradients unscaled before clipping, and steps with
+            non-finite gradients are skipped with scale backoff.
+    """
+
+    global_batch: int = 32
+    micro_batch: int = 8
+    max_steps: int = 100
+    grad_clip: float = 1.0
+    eval_every: int = 20
+    eval_batches: int = 4
+    log_every: int = 10
+    use_grad_scaler: bool = False
+
+    def __post_init__(self) -> None:
+        if self.global_batch % self.micro_batch:
+            raise ValueError(
+                f"global_batch={self.global_batch} must be divisible by "
+                f"micro_batch={self.micro_batch}"
+            )
+
+    @property
+    def accumulation_steps(self) -> int:
+        return self.global_batch // self.micro_batch
+
+
+class Trainer:
+    """Drives one model over one dataset; records a :class:`History`."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        train_data: LMDataset,
+        val_data: Optional[LMDataset] = None,
+        config: TrainerConfig = TrainerConfig(),
+        optimizer: Optional[Optimizer] = None,
+        schedule: Optional[LRSchedule] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.model = model
+        self.train_data = train_data
+        self.val_data = val_data
+        self.config = config
+        self.optimizer = optimizer or Adam(model.parameters(), lr=6e-4)
+        self.schedule = schedule or ConstantLR(self.optimizer.lr)
+        self.rng = get_rng(rng)
+        self.history = History()
+        self.routing_stats: List[RoutingStats] = []
+        self._epoch_iter = None
+        self.grad_scaler = None
+        if config.use_grad_scaler:
+            from repro.training.amp import GradScaler
+
+            self.grad_scaler = GradScaler()
+        self.skipped_steps = 0
+
+    # ------------------------------------------------------------------
+    def _next_batch(self, batch_size: int):
+        if self._epoch_iter is None:
+            self._epoch_iter = self.train_data.iter_batches(
+                batch_size, shuffle=True, rng=self.rng
+            )
+        try:
+            return next(self._epoch_iter)
+        except StopIteration:
+            self._epoch_iter = self.train_data.iter_batches(
+                batch_size, shuffle=True, rng=self.rng
+            )
+            return next(self._epoch_iter)
+
+    def _collect_routing_stats(self, step: int) -> None:
+        factors = []
+        for module in self.model.modules():
+            routing = getattr(module, "last_routing", None)
+            num_experts = getattr(module, "num_experts", None)
+            if routing is None or num_experts is None:
+                continue
+            factors.append(
+                min_capacity_factor(
+                    routing.expert_indices, num_experts, routing.expert_indices.shape[1]
+                )
+            )
+        if factors:
+            self.routing_stats.append(
+                RoutingStats(
+                    step=step,
+                    max_dynamic_capacity_factor=float(np.max(factors)),
+                    mean_dynamic_capacity_factor=float(np.mean(factors)),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> Optional[float]:
+        """Mean validation LM loss over ``eval_batches`` fixed batches."""
+        if self.val_data is None:
+            return None
+        self.model.eval()
+        losses = []
+        with no_grad():
+            for i, batch in enumerate(
+                self.val_data.iter_batches(
+                    self.config.micro_batch, shuffle=False, drop_last=False
+                )
+            ):
+                if i >= self.config.eval_batches:
+                    break
+                _, lm, _ = self.model.loss(batch.inputs, batch.targets)
+                losses.append(float(lm.data))
+        self.model.train()
+        return float(np.mean(losses)) if losses else None
+
+    def train_step(self, step: int) -> float:
+        """One optimizer step (with gradient accumulation)."""
+        cfg = self.config
+        self.optimizer.zero_grad()
+        total = 0.0
+        for _ in range(cfg.accumulation_steps):
+            batch = self._next_batch(cfg.micro_batch)
+            loss, lm, _ = self.model.loss(batch.inputs, batch.targets)
+            # Scale so accumulated gradients average over micro batches.
+            scaled = loss * (1.0 / cfg.accumulation_steps)
+            if self.grad_scaler is not None:
+                scaled = self.grad_scaler.scale_loss(scaled)
+            scaled.backward()
+            total += float(lm.data)
+        if self.grad_scaler is not None and not self.grad_scaler.unscale_and_check(
+            self.optimizer.params
+        ):
+            # Overflow: skip this step (the scaler already backed off).
+            self.skipped_steps += 1
+            self._collect_routing_stats(step)
+            return total / cfg.accumulation_steps
+        clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+        self.optimizer.step(lr=self.schedule(step))
+        self._collect_routing_stats(step)
+        return total / cfg.accumulation_steps
+
+    def train(self, callback: Optional[Callable[[TrainingRecord], None]] = None) -> History:
+        """Run ``max_steps`` optimizer steps; returns the history."""
+        cfg = self.config
+        tokens_per_step = cfg.global_batch * self.train_data.seq_len
+        for step in range(cfg.max_steps):
+            loss = self.train_step(step)
+            val = None
+            if cfg.eval_every and (step + 1) % cfg.eval_every == 0:
+                val = self.evaluate()
+            if val is not None or (cfg.log_every and step % cfg.log_every == 0):
+                record = TrainingRecord(
+                    step=step,
+                    tokens=(step + 1) * tokens_per_step,
+                    loss=loss,
+                    val_loss=val,
+                    lr=self.schedule(step),
+                )
+                self.history.log(record)
+                if callback is not None:
+                    callback(record)
+        # Always close with a final evaluation point.
+        final_val = self.evaluate()
+        self.history.log(
+            TrainingRecord(
+                step=cfg.max_steps,
+                tokens=cfg.max_steps * tokens_per_step,
+                loss=loss,
+                val_loss=final_val,
+            )
+        )
+        return self.history

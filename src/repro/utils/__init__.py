@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, shape arithmetic, logging, and timing."""
+
+from repro.utils.rng import get_rng, seed_all, spawn_rng
+from repro.utils.shapes import ceil_div, round_up, prod
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer, format_duration
+from repro.utils.ascii_plot import line_chart
+
+__all__ = [
+    "get_rng",
+    "seed_all",
+    "spawn_rng",
+    "ceil_div",
+    "round_up",
+    "prod",
+    "get_logger",
+    "Timer",
+    "format_duration",
+    "line_chart",
+]

@@ -1,0 +1,69 @@
+"""Minimal ASCII line charts for benchmark output.
+
+The paper's figures are loss-vs-time curves; benches print their series
+as tables, and this helper renders a quick terminal sketch so the shape
+is visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x: Sequence[float] = None,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render named y-series over a shared x-axis as ASCII art.
+
+    Series may have different lengths when ``x`` is None (indices used);
+    with an explicit ``x`` all series must match its length.
+    """
+    if not series:
+        return "(no data)"
+    ys = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    if x is not None:
+        x_arr = np.asarray(x, dtype=float)
+        for k, v in ys.items():
+            if len(v) != len(x_arr):
+                raise ValueError(f"series {k!r} length differs from x")
+    lo = min(float(v.min()) for v in ys.values() if v.size)
+    hi = max(float(v.max()) for v in ys.values() if v.size)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, v) in enumerate(ys.items()):
+        if not v.size:
+            continue
+        marker = _MARKERS[si % len(_MARKERS)]
+        xs = (
+            np.linspace(0, width - 1, len(v))
+            if x is None
+            else (np.asarray(x, float) - np.min(x))
+            / max(np.ptp(np.asarray(x, float)), 1e-12)
+            * (width - 1)
+        )
+        for xi, yi in zip(xs, v):
+            row = int(round((hi - yi) / (hi - lo) * (height - 1)))
+            grid[min(max(row, 0), height - 1)][int(round(xi))] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:10.4g} +" + "-" * width)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

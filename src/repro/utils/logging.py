@@ -1,0 +1,26 @@
+"""Thin wrapper over :mod:`logging` with a library-wide namespace."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_CONFIGURED = False
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace, configuring once."""
+    global _CONFIGURED
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root = logging.getLogger("repro")
+        if not root.handlers:
+            root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        _CONFIGURED = True
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -1,0 +1,38 @@
+"""Integer shape arithmetic used throughout the kernel and cost models."""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Sequence, Tuple
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"numerator must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(a: int, multiple: int) -> int:
+    """Round ``a`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(a, multiple) * multiple
+
+
+def prod(xs: Iterable[int]) -> int:
+    """Integer product of an iterable (1 for empty input)."""
+    return reduce(lambda a, b: a * b, xs, 1)
+
+
+def broadcast_shapes(a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    """NumPy-style broadcast of two shapes, raising on mismatch."""
+    out = []
+    for da, db in zip(reversed(list(a)), reversed(list(b))):
+        if da == db or da == 1 or db == 1:
+            out.append(max(da, db))
+        else:
+            raise ValueError(f"cannot broadcast shapes {tuple(a)} and {tuple(b)}")
+    longer = list(a) if len(a) > len(b) else list(b)
+    out.extend(reversed(longer[: abs(len(a) - len(b))]))
+    return tuple(reversed(out))

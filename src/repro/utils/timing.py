@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers for examples and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.count: int = 0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds per enter/exit cycle."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: ``1.5us``, ``3.2ms``, ``12.0s``, ``2.1h``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f}s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f}min"
+    return f"{seconds / 3600.0:.1f}h"

@@ -1,0 +1,184 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    clip,
+    concatenate,
+    matmul,
+    max_,
+    maximum,
+    mean,
+    stack,
+    sum_,
+    where,
+)
+
+ARRAYS = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-5, 5, allow_nan=False),
+)
+
+
+class TestElementwiseGradients:
+    def test_add_broadcast(self, rng):
+        check_gradients(
+            lambda a, b: a + b, [rng.standard_normal((3, 4)), rng.standard_normal(4)]
+        )
+
+    def test_sub_and_rsub(self, rng):
+        x = rng.standard_normal((2, 3))
+        check_gradients(lambda a: 1.0 - a, [x])
+        check_gradients(lambda a: a - 2.0, [x])
+
+    def test_mul_broadcast_scalar_tensor(self, rng):
+        check_gradients(
+            lambda a, b: a * b,
+            [rng.standard_normal((2, 3)), rng.standard_normal((1, 3))],
+        )
+
+    def test_div(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3)) + 3.0
+        check_gradients(lambda x, y: x / y, [a, b])
+
+    def test_pow(self, rng):
+        a = np.abs(rng.standard_normal((3,))) + 0.5
+        check_gradients(lambda x: x**3.0, [a])
+
+    def test_neg_exp_log_sqrt_tanh_abs(self, rng):
+        a = np.abs(rng.standard_normal((4,))) + 0.5
+        check_gradients(lambda x: -x, [a])
+        check_gradients(lambda x: x.exp(), [a])
+        check_gradients(lambda x: x.log(), [a])
+        check_gradients(lambda x: x.sqrt(), [a])
+        check_gradients(lambda x: x.tanh(), [a])
+        check_gradients(lambda x: x.abs(), [a])
+
+    def test_maximum(self, rng):
+        a = rng.standard_normal((5,))
+        b = rng.standard_normal((5,))
+        check_gradients(lambda x, y: maximum(x, y), [a, b])
+
+    def test_clip(self, rng):
+        a = rng.standard_normal((10,)) * 2
+        check_gradients(lambda x: clip(x, -1.0, 1.0), [a])
+
+    def test_where(self, rng):
+        cond = rng.random((3, 3)) > 0.5
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3))
+        check_gradients(lambda x, y: where(cond, x, y), [a, b])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_gradients(lambda x: sum_(x), [rng.standard_normal((3, 4))])
+
+    def test_sum_axis_keepdims(self, rng):
+        check_gradients(
+            lambda x: sum_(x, axis=1, keepdims=True), [rng.standard_normal((3, 4))]
+        )
+
+    def test_sum_negative_axis(self, rng):
+        check_gradients(lambda x: sum_(x, axis=-1), [rng.standard_normal((2, 3, 4))])
+
+    def test_mean(self, rng):
+        check_gradients(lambda x: mean(x, axis=0), [rng.standard_normal((3, 4))])
+
+    def test_max_unique(self, rng):
+        a = rng.standard_normal((3, 5)) + np.arange(5) * 10
+        check_gradients(lambda x: max_(x, axis=1), [a])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True, dtype=np.float64)
+        max_(x, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_forward_values(self, rng):
+        a = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(sum_(Tensor(a), axis=0).data, a.sum(axis=0))
+        np.testing.assert_allclose(mean(Tensor(a)).data, a.mean())
+        np.testing.assert_allclose(max_(Tensor(a), axis=1).data, a.max(axis=1))
+
+
+class TestShapes:
+    def test_reshape_roundtrip(self, rng):
+        check_gradients(
+            lambda x: x.reshape((4, 3)).reshape((2, 6)), [rng.standard_normal((3, 4))]
+        )
+
+    def test_transpose_default(self, rng):
+        check_gradients(lambda x: x.transpose(), [rng.standard_normal((3, 4))])
+
+    def test_transpose_axes(self, rng):
+        check_gradients(
+            lambda x: x.transpose((2, 0, 1)), [rng.standard_normal((2, 3, 4))]
+        )
+
+    def test_getitem_slice(self, rng):
+        check_gradients(lambda x: x[1:3], [rng.standard_normal((5, 2))])
+
+    def test_getitem_fancy_with_duplicates(self, rng):
+        idx = np.array([0, 2, 2, 1])
+        check_gradients(lambda x: x[idx], [rng.standard_normal((4, 3))])
+
+    def test_concatenate(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((4, 3))
+        check_gradients(lambda x, y: concatenate([x, y], axis=0), [a, b])
+
+    def test_stack(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((2, 3))
+        check_gradients(lambda x, y: stack([x, y], axis=1), [a, b])
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        check_gradients(
+            lambda a, b: matmul(a, b),
+            [rng.standard_normal((3, 4)), rng.standard_normal((4, 2))],
+        )
+
+    def test_batched(self, rng):
+        check_gradients(
+            lambda a, b: matmul(a, b),
+            [rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 4, 5))],
+        )
+
+    def test_broadcast_rhs(self, rng):
+        check_gradients(
+            lambda a, b: matmul(a, b),
+            [rng.standard_normal((2, 3, 4)), rng.standard_normal((4, 5))],
+        )
+
+    def test_forward_matches_numpy(self, rng):
+        a, b = rng.standard_normal((5, 7)), rng.standard_normal((7, 2))
+        np.testing.assert_allclose(matmul(Tensor(a), Tensor(b)).data, a @ b)
+
+
+class TestPropertyBased:
+    @given(ARRAYS)
+    def test_double_negation_identity(self, arr):
+        t = Tensor(arr)
+        np.testing.assert_allclose((-(-t)).data, arr)
+
+    @given(ARRAYS)
+    def test_sum_linear_in_scaling(self, arr):
+        t = Tensor(arr)
+        np.testing.assert_allclose(
+            sum_(t * 2.0).data, 2.0 * sum_(t).data, rtol=1e-6, atol=1e-6
+        )
+
+    @given(ARRAYS)
+    def test_mean_consistent_with_sum(self, arr):
+        t = Tensor(arr)
+        np.testing.assert_allclose(
+            mean(t).data, sum_(t).data / arr.size, rtol=1e-6, atol=1e-6
+        )

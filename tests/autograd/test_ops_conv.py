@@ -1,0 +1,122 @@
+"""Grouped conv1d: the §2.3 primitive for convolutional experts."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd.ops_conv import conv1d
+
+
+def _ref_conv1d(x, w, b=None, padding=0):
+    """Direct-loop reference convolution (cross-correlation)."""
+    bsz, c_in, l = x.shape
+    c_out, _, k = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+    l_out = x.shape[-1] - k + 1
+    out = np.zeros((bsz, c_out, l_out))
+    for n in range(bsz):
+        for o in range(c_out):
+            for t in range(l_out):
+                out[n, o, t] = (x[n, :, t : t + k] * w[o]).sum()
+    if b is not None:
+        out += b[None, :, None]
+    return out
+
+
+class TestConv1dForward:
+    def test_matches_reference(self, rng):
+        x = rng.standard_normal((2, 3, 10))
+        w = rng.standard_normal((4, 3, 3))
+        b = rng.standard_normal(4)
+        got = conv1d(Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64),
+                     Tensor(b, dtype=np.float64), padding=1).data
+        np.testing.assert_allclose(got, _ref_conv1d(x, w, b, padding=1), atol=1e-10)
+
+    def test_no_padding_shrinks_length(self, rng):
+        x = rng.standard_normal((1, 2, 8))
+        w = rng.standard_normal((2, 2, 3))
+        out = conv1d(Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64))
+        assert out.shape == (1, 2, 6)
+
+    def test_kernel_one_is_pointwise_linear(self, rng):
+        x = rng.standard_normal((2, 3, 5))
+        w = rng.standard_normal((4, 3, 1))
+        got = conv1d(Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64)).data
+        want = np.einsum("bcl,oc->bol", x, w[:, :, 0])
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv1d(
+                Tensor(rng.standard_normal((1, 3, 8))),
+                Tensor(rng.standard_normal((2, 2, 3))),
+            )
+
+
+class TestGroupedConv:
+    def test_groups_equal_independent_convs(self, rng):
+        """The §2.3 claim: a grouped conv computes every expert's conv in
+        one call, identical to looping over experts."""
+        experts, cpg_in, cpg_out = 4, 2, 3
+        x = rng.standard_normal((2, experts * cpg_in, 12))
+        w = rng.standard_normal((experts * cpg_out, cpg_in, 3))
+        grouped = conv1d(
+            Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64),
+            padding=1, groups=experts,
+        ).data
+        for e in range(experts):
+            xe = x[:, e * cpg_in : (e + 1) * cpg_in]
+            we = w[e * cpg_out : (e + 1) * cpg_out]
+            want = _ref_conv1d(xe, we, padding=1)
+            np.testing.assert_allclose(
+                grouped[:, e * cpg_out : (e + 1) * cpg_out], want, atol=1e-10
+            )
+
+    def test_indivisible_groups_raise(self, rng):
+        with pytest.raises(ValueError):
+            conv1d(
+                Tensor(rng.standard_normal((1, 3, 8))),
+                Tensor(rng.standard_normal((4, 1, 3))),
+                groups=2,
+            )
+
+    def test_wrong_per_group_channels_raise(self, rng):
+        with pytest.raises(ValueError):
+            conv1d(
+                Tensor(rng.standard_normal((1, 4, 8))),
+                Tensor(rng.standard_normal((4, 4, 3))),  # should be 2/group
+                groups=2,
+            )
+
+
+class TestConv1dGradients:
+    def test_gradcheck_basic(self, rng):
+        x = rng.standard_normal((2, 2, 6))
+        w = rng.standard_normal((3, 2, 3))
+        b = rng.standard_normal(3)
+        check_gradients(
+            lambda xx, ww, bb: conv1d(xx, ww, bb, padding=1), [x, w, b]
+        )
+
+    def test_gradcheck_grouped(self, rng):
+        x = rng.standard_normal((1, 4, 5))
+        w = rng.standard_normal((4, 2, 3))
+        b = rng.standard_normal(4)
+        check_gradients(
+            lambda xx, ww, bb: conv1d(xx, ww, bb, padding=1, groups=2),
+            [x, w, b],
+        )
+
+    def test_gradcheck_no_padding(self, rng):
+        x = rng.standard_normal((1, 2, 7))
+        w = rng.standard_normal((2, 2, 3))
+        b = rng.standard_normal(2)
+        check_gradients(lambda xx, ww, bb: conv1d(xx, ww, bb), [x, w, b])
+
+    def test_bias_optional(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 6)), requires_grad=True, dtype=np.float64)
+        w = Tensor(rng.standard_normal((2, 2, 3)), requires_grad=True, dtype=np.float64)
+        out = conv1d(x, w, padding=1)
+        out.sum().backward()
+        assert x.grad is not None and w.grad is not None

@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, cross_entropy, log_softmax, mse_loss
+
+
+class TestCrossEntropy:
+    def test_matches_manual_nll(self, rng):
+        logits = rng.standard_normal((6, 10))
+        targets = rng.integers(0, 10, 6)
+        got = float(cross_entropy(Tensor(logits, dtype=np.float64), targets).data)
+        lp = log_softmax(Tensor(logits, dtype=np.float64)).data
+        want = -lp[np.arange(6), targets].mean()
+        assert abs(got - want) < 1e-10
+
+    def test_uniform_logits_give_log_vocab(self):
+        logits = np.zeros((4, 50))
+        loss = float(cross_entropy(Tensor(logits), np.zeros(4, dtype=int)).data)
+        assert abs(loss - np.log(50)) < 1e-5
+
+    def test_ignore_index_masks(self, rng):
+        logits = rng.standard_normal((4, 5))
+        targets = np.array([1, 2, -100, 3])
+        full = float(cross_entropy(Tensor(logits, dtype=np.float64), targets).data)
+        kept = np.array([0, 1, 3])
+        lp = log_softmax(Tensor(logits, dtype=np.float64)).data
+        want = -lp[kept, targets[kept]].mean()
+        assert abs(full - want) < 1e-10
+
+    def test_ignored_rows_get_zero_grad(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)), requires_grad=True, dtype=np.float64)
+        targets = np.array([0, -100, 2])
+        cross_entropy(logits, targets).backward()
+        np.testing.assert_allclose(logits.grad[1], np.zeros(4))
+        assert np.abs(logits.grad[0]).max() > 0
+
+    def test_grad_check(self, rng):
+        logits = rng.standard_normal((5, 7))
+        targets = rng.integers(0, 7, 5).copy()
+        targets[1] = -100
+        check_gradients(lambda l: cross_entropy(l, targets), [logits])
+
+    def test_3d_logits(self, rng):
+        logits = rng.standard_normal((2, 3, 6))
+        targets = rng.integers(0, 6, (2, 3))
+        check_gradients(lambda l: cross_entropy(l, targets), [logits])
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = float(cross_entropy(Tensor(logits), np.array([1, 2])).data)
+        assert loss < 1e-4
+
+
+class TestMSE:
+    def test_zero_for_equal(self, rng):
+        x = rng.standard_normal((4,))
+        assert float(mse_loss(Tensor(x), Tensor(x.copy())).data) == 0.0
+
+    def test_value(self):
+        p = Tensor(np.array([1.0, 2.0]))
+        t = Tensor(np.array([0.0, 0.0]))
+        assert abs(float(mse_loss(p, t).data) - 2.5) < 1e-6
+
+    def test_grads(self, rng):
+        a = rng.standard_normal((3, 2))
+        b = rng.standard_normal((3, 2))
+        check_gradients(lambda x, y: mse_loss(x, y), [a, b])

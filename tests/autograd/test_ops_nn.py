@@ -1,0 +1,164 @@
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    dropout,
+    embedding,
+    gather_rows,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    scatter_rows,
+    sigmoid,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self, rng):
+        check_gradients(lambda x: relu(x), [rng.standard_normal((10,)) + 0.01])
+
+    def test_gelu_matches_tanh_approximation(self, rng):
+        x = rng.standard_normal((100,))
+        got = gelu(Tensor(x, dtype=np.float64)).data
+        inner = np.sqrt(2 / np.pi) * (x + 0.044715 * x**3)
+        want = 0.5 * x * (1 + np.tanh(inner))
+        np.testing.assert_allclose(got, want, rtol=1e-6)
+
+    def test_gelu_grad(self, rng):
+        check_gradients(lambda x: gelu(x), [rng.standard_normal((8,))])
+
+    def test_sigmoid_grad(self, rng):
+        check_gradients(lambda x: sigmoid(x), [rng.standard_normal((8,))])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        s = softmax(Tensor(rng.standard_normal((4, 7))), axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5))
+        a = softmax(Tensor(x, dtype=np.float64)).data
+        b = softmax(Tensor(x + 1000.0, dtype=np.float64)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_grad(self, rng):
+        check_gradients(lambda x: softmax(x, axis=-1), [rng.standard_normal((3, 5))])
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)), dtype=np.float64)
+        np.testing.assert_allclose(
+            log_softmax(x).data, np.log(softmax(x).data), atol=1e-12
+        )
+
+    def test_log_softmax_grad(self, rng):
+        check_gradients(lambda x: log_softmax(x), [rng.standard_normal((3, 5))])
+
+
+class TestLayerNorm:
+    def test_normalizes(self, rng):
+        x = rng.standard_normal((6, 8))
+        out = layer_norm(
+            Tensor(x, dtype=np.float64),
+            Tensor(np.ones(8), dtype=np.float64),
+            Tensor(np.zeros(8), dtype=np.float64),
+        ).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_grads_all_inputs(self, rng):
+        x = rng.standard_normal((4, 6))
+        w = rng.standard_normal(6)
+        b = rng.standard_normal(6)
+        check_gradients(lambda a, ww, bb: layer_norm(a, ww, bb), [x, w, b])
+
+    def test_3d_input(self, rng):
+        x = rng.standard_normal((2, 3, 4))
+        w = rng.standard_normal(4)
+        b = rng.standard_normal(4)
+        check_gradients(lambda a, ww, bb: layer_norm(a, ww, bb), [x, w, b])
+
+
+class TestDropout:
+    def test_identity_when_eval(self, rng):
+        x = Tensor(rng.standard_normal((100,)))
+        out = dropout(x, 0.5, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_identity_when_p_zero(self, rng):
+        x = Tensor(rng.standard_normal((100,)))
+        assert dropout(x, 0.0).data is x.data
+
+    def test_scaling_preserves_expectation(self, rng):
+        x = Tensor(np.ones(200_00, dtype=np.float64))
+        out = dropout(x, 0.3, rng=0)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_p_one_raises(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0)
+
+    def test_grad_matches_mask(self, rng):
+        x = Tensor(rng.standard_normal((50,)).astype(np.float64), requires_grad=True)
+        out = dropout(x, 0.5, rng=1)
+        out.sum().backward()
+        mask = out.data / np.where(x.data == 0, 1, x.data)
+        np.testing.assert_allclose(x.grad, mask, atol=1e-6)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        w = rng.standard_normal((10, 4))
+        ids = np.array([[1, 3], [0, 1]])
+        np.testing.assert_array_equal(
+            embedding(Tensor(w, dtype=np.float64), ids).data, w[ids]
+        )
+
+    def test_grad_accumulates_duplicates(self, rng):
+        w = rng.standard_normal((5, 3))
+        ids = np.array([1, 1, 2])
+        check_gradients(lambda x: embedding(x, ids), [w])
+
+
+class TestGatherScatterRows:
+    def test_gather_with_padding(self, rng):
+        x = rng.standard_normal((4, 3))
+        idx = np.array([2, -1, 0])
+        out = gather_rows(Tensor(x, dtype=np.float64), idx).data
+        np.testing.assert_array_equal(out[0], x[2])
+        np.testing.assert_array_equal(out[1], np.zeros(3))
+        np.testing.assert_array_equal(out[2], x[0])
+
+    def test_gather_grad(self, rng):
+        idx = np.array([0, 2, -1, 2])
+        check_gradients(lambda x: gather_rows(x, idx), [rng.standard_normal((3, 2))])
+
+    def test_scatter_sums_duplicates(self, rng):
+        x = np.ones((3, 2))
+        idx = np.array([1, 1, -1])
+        out = scatter_rows(Tensor(x, dtype=np.float64), idx, 3).data
+        np.testing.assert_array_equal(out[1], [2.0, 2.0])
+        np.testing.assert_array_equal(out[0], [0.0, 0.0])
+
+    def test_scatter_grad(self, rng):
+        idx = np.array([1, 0, -1, 1])
+        check_gradients(
+            lambda x: scatter_rows(x, idx, 3), [rng.standard_normal((4, 2))]
+        )
+
+    def test_scatter_is_gather_adjoint(self, rng):
+        """<scatter(x), y> == <x, gather(y)> — the defining adjoint pair."""
+        idx = np.array([0, 3, -1, 1, 3])
+        x = rng.standard_normal((5, 2))
+        y = rng.standard_normal((4, 2))
+        lhs = (scatter_rows(Tensor(x, dtype=np.float64), idx, 4).data * y).sum()
+        rhs = (x * gather_rows(Tensor(y, dtype=np.float64), idx).data).sum()
+        assert abs(lhs - rhs) < 1e-10

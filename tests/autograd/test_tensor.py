@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, ones, randn, zeros
+
+
+class TestConstruction:
+    def test_from_list_defaults_float32(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_ndarray_dtype_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_explicit_dtype(self):
+        t = Tensor([1, 2], dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = zeros((2, 3))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_factory_helpers(self):
+        assert np.all(ones((2,)).data == 1)
+        assert np.all(zeros((2,)).data == 0)
+        assert randn(2, 3, rng=0).shape == (2, 3)
+
+
+class TestBackward:
+    def test_scalar_backward_seeds_ones(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_nonscalar_requires_explicit_grad(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_explicit_seed_grad(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 20.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_diamond_graph_sums_paths(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * 2.0
+        z = y + y  # two paths through y
+        z.sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_reused_leaf_in_two_ops(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        out = x * x + x
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])  # 2x + 1
+
+    def test_no_grad_blocks_tape(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert y._node is None
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 1.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_grad_not_propagated_to_non_requiring(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        c = Tensor(np.array([5.0]))
+        (x * c).sum().backward()
+        assert c.grad is None
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_deep_chain(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.1**50], rtol=1e-5)

@@ -1,0 +1,44 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.sparse.topology import Topology
+from repro.utils.rng import seed_all
+
+# One moderate profile for everything: property tests are CPU-bound numpy,
+# so the default deadline trips on slow CI machines.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seed():
+    """Every test starts from the same global RNG state."""
+    seed_all(1234)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def random_topology(
+    rng: np.random.Generator,
+    block_rows: int = 5,
+    block_cols: int = 6,
+    block_size: int = 4,
+    density: float = 0.5,
+) -> Topology:
+    """A random block mask topology (may be empty)."""
+    mask = rng.random((block_rows, block_cols)) < density
+    return Topology.from_block_mask(mask, block_size)

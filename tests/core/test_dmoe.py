@@ -1,0 +1,163 @@
+"""dMoE correctness: dropless invariants and cross-formulation equivalence.
+
+The strongest checks in the suite: the block-sparse dMoE must agree with
+the dense dynamic-capacity (Tutel-style) layer to floating-point noise on
+identical weights — the paper's claim is that the formulations compute
+the *same function*, only with different efficiency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.core import dMoE
+from repro.moe import DynamicCapacityMoELayer, MoELayer
+
+
+def _pair(hidden=8, ffn=16, experts=4, top_k=1, bs=4, seed=0):
+    """A dMoE and a dense dropless layer sharing identical parameters."""
+    dm = dMoE(
+        hidden, ffn, experts, top_k=top_k, block_size=bs, rng=seed,
+        load_balance_coef=0.01,
+    )
+    dyn = DynamicCapacityMoELayer(
+        hidden_size=hidden, ffn_hidden_size=ffn, num_experts=experts,
+        top_k=top_k, rng=seed + 100, load_balance_coef=0.01,
+    )
+    dyn.load_state_dict(dm.state_dict())
+    return dm, dyn
+
+
+class TestShapeAndValidation:
+    def test_output_shapes(self, rng):
+        dm = dMoE(8, 16, 4, block_size=4, rng=0)
+        out, aux = dm(Tensor(rng.standard_normal((12, 8)).astype(np.float32)))
+        assert out.shape == (12, 8)
+        out, _ = dm(Tensor(rng.standard_normal((2, 6, 8)).astype(np.float32)))
+        assert out.shape == (2, 6, 8)
+
+    def test_rejects_ffn_not_block_multiple(self):
+        with pytest.raises(ValueError):
+            dMoE(8, 18, 4, block_size=4)
+
+    def test_exposes_plan_and_topology(self, rng):
+        dm = dMoE(8, 16, 4, block_size=4, rng=0)
+        dm(Tensor(rng.standard_normal((12, 8)).astype(np.float32)))
+        assert dm.last_plan is not None
+        dm.last_topology.validate()
+
+
+class TestDroplessInvariants:
+    def test_no_token_is_ever_dropped(self, rng):
+        """Every routed copy appears in the plan — the core guarantee."""
+        dm = dMoE(8, 16, 4, top_k=2, block_size=4, rng=0)
+        dm(Tensor(rng.standard_normal((25, 8)).astype(np.float32)))
+        plan = dm.last_plan
+        placed = plan.copy_indices[plan.copy_indices >= 0]
+        assert len(placed) == 25 * 2
+
+    def test_output_nonzero_for_every_token(self, rng):
+        """Unlike cf=1 MoE, no token silently becomes zero."""
+        dm = dMoE(8, 16, 4, block_size=4, rng=0, load_balance_coef=0.0)
+        out, _ = dm(Tensor(rng.standard_normal((40, 8)).astype(np.float32)))
+        norms = np.abs(out.data).max(axis=1)
+        assert (norms > 1e-8).all()
+
+    def test_extreme_imbalance_all_tokens_one_expert(self, rng):
+        """Pathological routing (everything to expert 0) still works."""
+        dm = dMoE(8, 16, 4, block_size=4, rng=0, load_balance_coef=0.0)
+        # Zero router weights: all scores tie, and ties break to expert 0.
+        dm.router.proj.weight.data[...] = 0.0
+        x = Tensor(rng.standard_normal((20, 8)).astype(np.float32))
+        out, _ = dm(x)
+        counts = dm.last_plan.tokens_per_expert
+        assert counts[0] == 20 and counts[1:].sum() == 0
+        assert np.isfinite(out.data).all()
+
+    def test_topology_rows_match_padded_tokens(self, rng):
+        dm = dMoE(8, 16, 4, block_size=4, rng=0)
+        dm(Tensor(rng.standard_normal((13, 8)).astype(np.float32)))
+        assert dm.last_topology.shape[0] == dm.last_plan.total_padded
+
+
+class TestEquivalenceWithDenseDropless:
+    @pytest.mark.parametrize("top_k", [1, 2])
+    def test_forward_matches_dynamic_capacity(self, rng, top_k):
+        dm, dyn = _pair(top_k=top_k)
+        x = rng.standard_normal((30, 8))
+        out1, aux1 = dm(Tensor(x.copy(), dtype=np.float64))
+        out2, aux2 = dyn(Tensor(x.copy(), dtype=np.float64))
+        np.testing.assert_allclose(out1.data, out2.data, atol=1e-10)
+        np.testing.assert_allclose(float(aux1.data), float(aux2.data), atol=1e-10)
+
+    def test_forward_matches_high_capacity_moe(self, rng):
+        dm, _ = _pair()
+        moe = MoELayer(
+            hidden_size=8, ffn_hidden_size=16, num_experts=4,
+            capacity_factor=64.0, rng=5, load_balance_coef=0.01,
+        )
+        moe.load_state_dict(dm.state_dict())
+        x = rng.standard_normal((30, 8))
+        out1, _ = dm(Tensor(x.copy(), dtype=np.float64))
+        out2, _ = moe(Tensor(x.copy(), dtype=np.float64))
+        np.testing.assert_allclose(out1.data, out2.data, atol=1e-10)
+
+    def test_gradients_match_dense_dropless(self, rng):
+        """Backward through block-sparse kernels == dense backward."""
+        dm, dyn = _pair()
+        x = rng.standard_normal((24, 8))
+        for layer in (dm, dyn):
+            out, aux = layer(Tensor(x.copy(), dtype=np.float64))
+            ((out * out).sum() + aux).backward()
+        for (n1, p1), (n2, p2) in zip(
+            sorted(dm.named_parameters()), sorted(dyn.named_parameters())
+        ):
+            assert n1 == n2
+            np.testing.assert_allclose(
+                p1.grad, p2.grad, atol=1e-8, err_msg=f"grad mismatch: {n1}"
+            )
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 48))
+    def test_property_equivalence_random_batches(self, seed, num_tokens):
+        """Forward equivalence holds for any batch size / routing draw."""
+        dm, dyn = _pair(seed=3)
+        x = np.random.default_rng(seed).standard_normal((num_tokens, 8))
+        out1, _ = dm(Tensor(x.copy(), dtype=np.float64))
+        out2, _ = dyn(Tensor(x.copy(), dtype=np.float64))
+        np.testing.assert_allclose(out1.data, out2.data, atol=1e-9)
+
+
+class TestBlockSizeInvariance:
+    def test_output_independent_of_block_size(self, rng):
+        """The block size is an implementation detail: results identical."""
+        x = rng.standard_normal((20, 8))
+        outs = []
+        for bs in (2, 4, 8):
+            dm = dMoE(8, 16, 4, block_size=bs, rng=42, load_balance_coef=0.0)
+            out, _ = dm(Tensor(x.copy(), dtype=np.float64))
+            outs.append(out.data)
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-10)
+        np.testing.assert_allclose(outs[0], outs[2], atol=1e-10)
+
+
+class TestTraining:
+    def test_loss_decreases_on_fixed_batch(self, rng):
+        """A few Adam steps on one batch must reduce a regression loss."""
+        from repro.training import Adam
+
+        dm = dMoE(8, 16, 4, block_size=4, rng=0, load_balance_coef=0.01)
+        opt = Adam(dm.parameters(), lr=1e-2)
+        x = Tensor(rng.standard_normal((32, 8)).astype(np.float32))
+        target = rng.standard_normal((32, 8)).astype(np.float32)
+        losses = []
+        for _ in range(40):
+            opt.zero_grad()
+            out, aux = dm(x)
+            diff = out - Tensor(target)
+            loss = (diff * diff).mean() + aux
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.85

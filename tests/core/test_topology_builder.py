@@ -1,0 +1,39 @@
+import numpy as np
+import pytest
+
+from repro.core import expert_of_padded_row, make_topology
+from repro.moe import make_padded_plan
+
+
+class TestMakeTopology:
+    def test_figure_3c_structure(self):
+        """Variable block rows per expert, fixed ffn columns (Fig 3C)."""
+        idx = np.array([[0]] * 5 + [[2]] * 1)  # expert1 empty
+        plan = make_padded_plan(idx, 3, block_size=4)
+        topo = make_topology(plan, ffn_hidden_size=8)
+        topo.validate()
+        # expert0: ceil(5/4)=2 block rows; expert2: 1; each 2 block cols.
+        assert topo.nnz_blocks == (2 + 0 + 1) * 2
+        assert topo.shape == (plan.total_padded, 3 * 8)
+
+    def test_block_diagonal_disjoint_columns(self):
+        idx = np.array([[0], [1]])
+        plan = make_padded_plan(idx, 2, block_size=2)
+        topo = make_topology(plan, ffn_hidden_size=4)
+        mask = topo.to_block_mask()
+        assert mask[:1, :2].all() and mask[1:, 2:].all()
+        assert not mask[:1, 2:].any() and not mask[1:, :2].any()
+
+    def test_rejects_ffn_not_multiple_of_block(self):
+        plan = make_padded_plan(np.array([[0]]), 1, block_size=4)
+        with pytest.raises(ValueError):
+            make_topology(plan, ffn_hidden_size=6)
+
+
+class TestExpertOfPaddedRow:
+    def test_repeats_by_padded_counts(self):
+        idx = np.array([[0]] * 3 + [[1]] * 1)
+        plan = make_padded_plan(idx, 2, block_size=4)
+        rows = expert_of_padded_row(plan)
+        assert len(rows) == plan.total_padded
+        np.testing.assert_array_equal(rows, [0, 0, 0, 0, 1, 1, 1, 1])

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.data import LMDataset
+
+
+class TestLMDataset:
+    def test_windows_and_shift(self):
+        tokens = np.arange(11)
+        ds = LMDataset(tokens, seq_len=5)
+        assert len(ds) == 2
+        np.testing.assert_array_equal(ds.inputs[0], [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(ds.targets[0], [1, 2, 3, 4, 5])
+        np.testing.assert_array_equal(ds.inputs[1], [5, 6, 7, 8, 9])
+        np.testing.assert_array_equal(ds.targets[1], [6, 7, 8, 9, 10])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            LMDataset(np.arange(4), seq_len=5)
+
+    def test_invalid_seq_len(self):
+        with pytest.raises(ValueError):
+            LMDataset(np.arange(10), seq_len=0)
+
+    def test_iter_batches_covers_epoch(self):
+        ds = LMDataset(np.arange(101), seq_len=10)
+        seen = 0
+        for batch in ds.iter_batches(2, shuffle=False):
+            assert batch.inputs.shape == (2, 10)
+            seen += 1
+        assert seen == len(ds) // 2
+
+    def test_shuffle_deterministic_with_seed(self):
+        ds = LMDataset(np.arange(201), seq_len=10)
+        a = [b.inputs.copy() for b in ds.iter_batches(4, rng=0)]
+        b = [b.inputs.copy() for b in ds.iter_batches(4, rng=0)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_drop_last_false_keeps_remainder(self):
+        ds = LMDataset(np.arange(51), seq_len=10)  # 5 windows
+        batches = list(ds.iter_batches(2, shuffle=False, drop_last=False))
+        assert sum(len(b.inputs) for b in batches) == 5
+
+    def test_batch_targets_shifted(self):
+        ds = LMDataset(np.arange(101), seq_len=10)
+        batch = ds.batch(np.array([0]))
+        np.testing.assert_array_equal(batch.inputs[0][1:], batch.targets[0][:-1])
+
+    def test_split_disjoint_and_complete(self):
+        ds = LMDataset(np.arange(501), seq_len=10)
+        train, val = ds.split(0.2)
+        assert len(train) + len(val) == len(ds)
+        assert len(val) == 10
+
+    def test_split_invalid_fraction(self):
+        ds = LMDataset(np.arange(101), seq_len=10)
+        with pytest.raises(ValueError):
+            ds.split(1.5)
+
+    def test_num_tokens(self):
+        ds = LMDataset(np.arange(101), seq_len=10)
+        assert ds.batch(np.array([0, 1])).num_tokens == 20

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.data import PileConfig, SyntheticPile
+
+
+class TestGeneration:
+    def test_shapes_and_range(self):
+        pile = SyntheticPile(PileConfig(vocab_size=64, num_domains=3), seed=0)
+        toks = pile.sample_sequences(5, 20)
+        assert toks.shape == (5, 20)
+        assert toks.min() >= 0 and toks.max() < 64
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticPile(seed=3).sample_sequences(4, 16, rng=7)
+        b = SyntheticPile(seed=3).sample_sequences(4, 16, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticPile(seed=3).sample_sequences(4, 64, rng=7)
+        b = SyntheticPile(seed=4).sample_sequences(4, 64, rng=7)
+        assert not np.array_equal(a, b)
+
+    def test_domains_returned(self):
+        pile = SyntheticPile(PileConfig(num_domains=5), seed=0)
+        toks, doms = pile.sample_sequences(10, 8, return_domains=True)
+        assert doms.shape == (10,)
+        assert doms.min() >= 0 and doms.max() < 5
+
+    def test_token_stream_length(self):
+        pile = SyntheticPile(seed=0)
+        stream = pile.token_stream(1000, seq_len=64)
+        assert stream.shape == (1000,)
+
+
+class TestStatistics:
+    def test_unigram_is_skewed(self):
+        """Zipfian marginal: top tokens dominate, like real text."""
+        pile = SyntheticPile(PileConfig(vocab_size=256), seed=0)
+        toks = pile.sample_sequences(200, 64).reshape(-1)
+        counts = np.bincount(toks, minlength=256)
+        top10 = np.sort(counts)[::-1][:10].sum()
+        assert top10 > 0.2 * counts.sum()
+
+    def test_entropy_floor_below_unigram_entropy(self):
+        """The Markov structure makes the data learnable: conditional
+        entropy is far below log(vocab)."""
+        cfg = PileConfig(vocab_size=128, branching=4)
+        pile = SyntheticPile(cfg, seed=0)
+        assert pile.entropy_rate_estimate() < 0.6 * np.log(cfg.vocab_size)
+
+    def test_domains_have_distinct_statistics(self):
+        """Expert-specialization needs domain heterogeneity."""
+        pile = SyntheticPile(PileConfig(vocab_size=128, num_domains=4), seed=0)
+        toks, doms = pile.sample_sequences(400, 32, return_domains=True)
+        uni = []
+        for d in range(4):
+            sel = toks[doms == d].reshape(-1)
+            if len(sel) == 0:
+                continue
+            counts = np.bincount(sel, minlength=128) / len(sel)
+            uni.append(counts)
+        # Total-variation distance between any two domains is substantial.
+        tv = 0.5 * np.abs(uni[0] - uni[1]).sum()
+        assert tv > 0.2

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.data import BPETokenizer
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "the lazy dog sleeps while the quick fox runs",
+    "pack my box with five dozen liquor jugs",
+    "the the the quick quick brown",
+] * 5
+
+
+class TestTraining:
+    def test_learns_merges(self):
+        tok = BPETokenizer.train(CORPUS, vocab_size=200)
+        assert len(tok.merges) > 0
+        assert tok.vocab_size <= 260
+
+    def test_deterministic(self):
+        a = BPETokenizer.train(CORPUS, vocab_size=100)
+        b = BPETokenizer.train(CORPUS, vocab_size=100)
+        assert a.merges == b.merges
+        assert a.vocab == b.vocab
+
+    def test_frequent_words_become_single_tokens(self):
+        tok = BPETokenizer.train(CORPUS, vocab_size=300)
+        ids = tok.encode("the")
+        assert len(ids) == 1  # "the" is the most frequent word
+
+
+class TestEncodeDecode:
+    def test_roundtrip_on_training_text(self):
+        tok = BPETokenizer.train(CORPUS, vocab_size=300)
+        text = "the quick brown fox"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_characters_map_to_unk(self):
+        tok = BPETokenizer.train(CORPUS, vocab_size=100)
+        ids = tok.encode("zzzzqqq éé")
+        assert all(isinstance(i, int) for i in ids)
+        assert tok.unk_id in ids or len(ids) > 0
+
+    def test_empty_string(self):
+        tok = BPETokenizer.train(CORPUS, vocab_size=100)
+        assert tok.encode("") == []
+        assert tok.decode([]) == ""
+
+    def test_case_insensitive(self):
+        tok = BPETokenizer.train(CORPUS, vocab_size=200)
+        assert tok.encode("THE Quick") == tok.encode("the quick")
+
+    def test_punctuation_separated(self):
+        tok = BPETokenizer.train(CORPUS + ["hello, world!"], vocab_size=200)
+        text = tok.decode(tok.encode("hello, world!"))
+        assert "hello" in text and "world" in text

@@ -1,0 +1,27 @@
+import pytest
+
+from repro.distributed import DeviceMesh
+
+
+class TestDeviceMesh:
+    def test_paper_configuration(self):
+        mesh = DeviceMesh(world=8, expert_parallel=8)
+        assert mesh.experts_per_rank(64) == 8
+
+    def test_owner_of_expert(self):
+        mesh = DeviceMesh(world=4, expert_parallel=4)
+        assert mesh.owner_of_expert(0, 8) == 0
+        assert mesh.owner_of_expert(7, 8) == 3
+
+    def test_rejects_indivisible_experts(self):
+        mesh = DeviceMesh(world=4, expert_parallel=4)
+        with pytest.raises(ValueError):
+            mesh.experts_per_rank(6)
+
+    def test_rejects_ep_not_dividing_world(self):
+        with pytest.raises(ValueError):
+            DeviceMesh(world=8, expert_parallel=3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeviceMesh(world=0)

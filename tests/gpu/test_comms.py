@@ -1,0 +1,41 @@
+import pytest
+
+from repro.gpu.comms import all_gather_time, all_reduce_time, all_to_all_time
+from repro.gpu.device import A100_SXM4_80GB as A100
+
+
+class TestAllReduce:
+    def test_zero_for_single_rank(self):
+        assert all_reduce_time(1e9, 1, A100) == 0.0
+
+    def test_ring_volume(self):
+        """2*(w-1)/w of the buffer crosses the link."""
+        t = all_reduce_time(1e9, 8, A100)
+        expected_volume = 2 * 7 / 8 * 1e9 / A100.nvlink_bytes_per_s
+        assert t >= expected_volume
+        assert t < expected_volume * 1.5  # latency small for 1GB
+
+    def test_monotone_in_world(self):
+        assert all_reduce_time(1e9, 8, A100) > all_reduce_time(1e9, 2, A100)
+
+
+class TestAllToAll:
+    def test_zero_for_single_rank(self):
+        assert all_to_all_time(1e9, 1, A100) == 0.0
+
+    def test_volume_fraction(self):
+        t = all_to_all_time(8e8, 8, A100)
+        expected = 7 / 8 * 8e8 / A100.nvlink_bytes_per_s
+        assert abs(t - expected) < 1e-4
+
+    def test_cheaper_than_all_reduce_same_bytes(self):
+        assert all_to_all_time(1e9, 8, A100) < all_reduce_time(1e9, 8, A100)
+
+
+class TestAllGather:
+    def test_volume(self):
+        t = all_gather_time(1e8, 4, A100)
+        assert t >= 3 * 1e8 / A100.nvlink_bytes_per_s
+
+    def test_zero_bytes(self):
+        assert all_gather_time(0, 8, A100) == 0.0

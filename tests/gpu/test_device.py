@@ -1,0 +1,41 @@
+import pytest
+
+from repro.gpu.device import A100_SXM4_80GB, V100_SXM2_32GB, DeviceSpec
+
+
+class TestDeviceSpec:
+    def test_a100_published_constants(self):
+        a = A100_SXM4_80GB
+        assert a.fp16_tflops == 312.0
+        assert a.sm_count == 108
+        assert a.memory_bytes == 80 * 1024**3
+        assert a.hbm_bandwidth_gbs == 2039.0
+
+    def test_unit_conversions(self):
+        a = A100_SXM4_80GB
+        assert a.fp16_flops == 312.0e12
+        assert a.hbm_bytes_per_s == 2039.0e9
+        assert a.nvlink_bytes_per_s == 600.0e9
+
+    def test_ridge_point_ordering(self):
+        """A100's compute/bandwidth ridge sits far above small-tile
+        arithmetic intensity — the reason tiny tiles go memory bound."""
+        a = A100_SXM4_80GB
+        ridge = a.fp16_flops / a.hbm_bytes_per_s  # FLOP per byte
+        assert 100 < ridge < 200
+
+    def test_v100_strictly_weaker(self):
+        assert V100_SXM2_32GB.fp16_tflops < A100_SXM4_80GB.fp16_tflops
+        assert V100_SXM2_32GB.hbm_bandwidth_gbs < A100_SXM4_80GB.hbm_bandwidth_gbs
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            A100_SXM4_80GB.sm_count = 1
+
+    def test_custom_device(self):
+        d = DeviceSpec(
+            name="toy", fp16_tflops=10, fp32_tflops=1,
+            hbm_bandwidth_gbs=100, l2_bytes=1 << 20, sm_count=4,
+            memory_bytes=1 << 30,
+        )
+        assert d.fp16_flops == 1e13

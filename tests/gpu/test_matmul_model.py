@@ -1,0 +1,101 @@
+"""Dense matmul model: Figure 4's qualitative claims must hold."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import A100_SXM4_80GB as A100
+from repro.gpu.device import V100_SXM2_32GB as V100
+from repro.gpu.matmul import (
+    batched_matmul_time,
+    best_tile,
+    elementwise_time,
+    matmul_throughput_tflops,
+    matmul_time,
+)
+from repro.gpu.tiling import CUTLASS_TILES, MEGABLOCKS_TILE, TileConfig
+
+
+class TestBasicSanity:
+    def test_throughput_below_peak(self):
+        for s in (512, 2048, 8192):
+            for t in CUTLASS_TILES:
+                assert matmul_throughput_tflops(s, s, s, t, A100) < A100.fp16_tflops
+
+    def test_time_positive_and_monotone_in_problem_size(self):
+        t1 = matmul_time(1024, 1024, 1024, MEGABLOCKS_TILE, A100).total_s
+        t2 = matmul_time(2048, 2048, 2048, MEGABLOCKS_TILE, A100).total_s
+        assert 0 < t1 < t2
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            matmul_time(0, 128, 128, MEGABLOCKS_TILE, A100)
+
+    def test_kernel_time_breakdown(self):
+        kt = matmul_time(4096, 4096, 4096, MEGABLOCKS_TILE, A100)
+        assert kt.total_s > max(kt.compute_s, kt.memory_s)
+        assert kt.bound in ("compute", "memory")
+        assert kt.grid == 32 * 32
+
+    def test_faster_device_is_faster(self):
+        a = matmul_time(4096, 4096, 4096, MEGABLOCKS_TILE, A100).total_s
+        v = matmul_time(4096, 4096, 4096, MEGABLOCKS_TILE, V100).total_s
+        assert a < v
+
+
+class TestFigure4Claims:
+    """§5.1.2: 128x128 consistently on-par or better than other tiles."""
+
+    @pytest.mark.parametrize("power", range(9, 15))
+    def test_128x128_on_par_or_better(self, power):
+        s = 2**power
+        tp = {
+            t.label: matmul_throughput_tflops(s, s, s, t, A100)
+            for t in CUTLASS_TILES
+        }
+        best = max(tp.values())
+        assert tp["128x128"] >= 0.99 * best
+
+    def test_best_tile_is_128x128_across_sweep(self):
+        for power in range(9, 15):
+            s = 2**power
+            assert best_tile(s, s, s, A100).label == "128x128"
+
+    def test_throughput_increases_with_size(self):
+        tps = [
+            matmul_throughput_tflops(2**p, 2**p, 2**p, MEGABLOCKS_TILE, A100)
+            for p in range(9, 15)
+        ]
+        assert all(a < b for a, b in zip(tps, tps[1:]))
+
+    def test_small_problems_hurt_large_tiles_most(self):
+        """At 512^3, 256x128 suffers wave quantization vs 64x64."""
+        small_tile = matmul_throughput_tflops(512, 512, 512, TileConfig(64, 64, threadblocks_per_sm=4), A100)
+        big_tile = matmul_throughput_tflops(512, 512, 512, TileConfig(256, 128), A100)
+        assert big_tile < small_tile
+
+    def test_large_problems_reach_high_fraction_of_peak(self):
+        tp = matmul_throughput_tflops(16384, 16384, 16384, MEGABLOCKS_TILE, A100)
+        assert tp > 0.75 * A100.fp16_tflops
+
+
+class TestBatchedMatmul:
+    def test_equivalent_to_larger_single_when_compute_bound(self):
+        """8 experts of (2048 x n x k) ~ one launch of 8x tiles."""
+        single = matmul_time(2048, 2048, 512, MEGABLOCKS_TILE, A100)
+        batched = batched_matmul_time(8, 2048, 2048, 512, MEGABLOCKS_TILE, A100)
+        assert batched.grid == 8 * single.grid
+        assert batched.total_s > single.total_s
+
+    def test_batched_invalid(self):
+        with pytest.raises(ValueError):
+            batched_matmul_time(0, 10, 10, 10, MEGABLOCKS_TILE, A100)
+
+
+class TestElementwise:
+    def test_bandwidth_bound_scaling(self):
+        t1 = elementwise_time(10**6, A100)
+        t2 = elementwise_time(10**8, A100)
+        assert t2 > t1
+        # Large op approaches bytes / bandwidth.
+        expect = 10**8 * 2 * 2 / A100.hbm_bytes_per_s
+        assert abs(t2 - expect) / expect < 0.1

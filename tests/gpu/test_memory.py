@@ -1,0 +1,84 @@
+"""Memory model: Table 3 reproduction and §6.1's memory claims."""
+
+import pytest
+
+from repro.configs import TABLE1, TABLE2, TABLE3_MICRO_BATCH_SIZES
+from repro.gpu.memory import (
+    TUTEL_PEAK_CAPACITY_FACTOR,
+    dense_memory,
+    max_micro_batch,
+    megablocks_expansion,
+    moe_memory,
+    tutel_expansion,
+)
+
+
+class TestTable3Dense:
+    @pytest.mark.parametrize("name", list(TABLE1))
+    def test_megatron_micro_batch_matches_paper(self, name):
+        cfg = TABLE1[name]
+        got = max_micro_batch(lambda b: dense_memory(cfg, b))
+        assert got == TABLE3_MICRO_BATCH_SIZES["Megatron-LM"][cfg.name]
+
+
+class TestTable3MegaBlocks:
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_megablocks_micro_batch_matches_paper(self, name):
+        cfg = TABLE2[name]
+        exp = megablocks_expansion(cfg.top_k)
+        got = max_micro_batch(lambda b: moe_memory(cfg, b, exp))
+        assert got == TABLE3_MICRO_BATCH_SIZES["MegaBlocks"][cfg.name]
+
+
+class TestTable3Tutel:
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_tutel_micro_batch_matches_paper(self, name):
+        cfg = TABLE2[name]
+        exp = tutel_expansion(cfg.top_k, TUTEL_PEAK_CAPACITY_FACTOR[name])
+        got = max_micro_batch(lambda b: moe_memory(cfg, b, exp))
+        assert got == TABLE3_MICRO_BATCH_SIZES["Tutel"][cfg.name]
+
+    @pytest.mark.parametrize(
+        "name,factor", [("XS", 2), ("Small", 4), ("Medium", 8)]
+    )
+    def test_tutel_micro_batch_reduction_factors(self, name, factor):
+        """§6.1: Tutel's micro batch reduced 2x/4x/8x vs MegaBlocks."""
+        mb = TABLE3_MICRO_BATCH_SIZES["MegaBlocks"][TABLE2[name].name]
+        tu = TABLE3_MICRO_BATCH_SIZES["Tutel"][TABLE2[name].name]
+        assert mb == factor * tu
+
+
+class TestMemoryShape:
+    def test_memory_monotone_in_micro_batch(self):
+        cfg = TABLE1["Small"]
+        totals = [dense_memory(cfg, b).total_bytes for b in (1, 2, 4, 8)]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_memory_monotone_in_expansion(self):
+        cfg = TABLE2["Small"]
+        a = moe_memory(cfg, 8, expansion=1.0).total_bytes
+        b = moe_memory(cfg, 8, expansion=4.0).total_bytes
+        assert b > a
+
+    def test_expert_sharding_reduces_weight_bytes(self):
+        cfg = TABLE2["Medium"]
+        sharded = moe_memory(cfg, 1, 1.0, expert_parallel=8).weights_bytes
+        replicated = moe_memory(cfg, 1, 1.0, expert_parallel=1).weights_bytes
+        assert sharded < replicated / 4
+
+    def test_moe_weights_dominate_dense(self):
+        """§6.1: MoEs need many times more weight storage."""
+        moe_w = moe_memory(TABLE2["Medium"], 1, 1.0).weights_bytes
+        dense_w = dense_memory(TABLE1["Medium"], 1).weights_bytes
+        assert moe_w > 3 * dense_w
+
+    def test_max_micro_batch_none_when_nothing_fits(self):
+        cfg = TABLE2["Medium"]
+        got = max_micro_batch(
+            lambda b: moe_memory(cfg, b, 1.0), capacity_bytes=1.0
+        )
+        assert got is None
+
+    def test_megablocks_expansion_near_one(self):
+        assert 1.0 <= megablocks_expansion(1) < 1.05
+        assert megablocks_expansion(2) == pytest.approx(2.02)

@@ -1,0 +1,103 @@
+"""Property-based invariants of the performance model.
+
+A cost model that violates basic physics (negative times, free work,
+super-peak throughput) would silently corrupt every figure; these
+hypothesis tests pin the invariants over broad input ranges.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.blocksparse import GroupedProblem, grouped_matmul_time
+from repro.gpu.comms import all_reduce_time, all_to_all_time
+from repro.gpu.device import A100_SXM4_80GB as A100
+from repro.gpu.matmul import batched_matmul_time, matmul_time
+from repro.gpu.tiling import CUTLASS_TILES, MEGABLOCKS_TILE
+
+DIMS = st.integers(64, 8192)
+
+
+class TestMatmulInvariants:
+    @given(DIMS, DIMS, DIMS)
+    def test_time_positive_and_finite(self, m, n, k):
+        t = matmul_time(m, n, k, MEGABLOCKS_TILE, A100).total_s
+        assert np.isfinite(t) and t > 0
+
+    @given(DIMS, DIMS, DIMS)
+    def test_throughput_below_peak(self, m, n, k):
+        t = matmul_time(m, n, k, MEGABLOCKS_TILE, A100).total_s
+        assert 2.0 * m * n * k / t <= A100.fp16_flops
+
+    @given(DIMS, DIMS, DIMS)
+    def test_monotone_in_k(self, m, n, k):
+        t1 = matmul_time(m, n, k, MEGABLOCKS_TILE, A100).total_s
+        t2 = matmul_time(m, n, 2 * k, MEGABLOCKS_TILE, A100).total_s
+        assert t2 >= t1
+
+    @given(DIMS, DIMS, DIMS, st.integers(2, 16))
+    def test_batched_at_least_single(self, m, n, k, b):
+        single = matmul_time(m, n, k, MEGABLOCKS_TILE, A100).total_s
+        batched = batched_matmul_time(b, m, n, k, MEGABLOCKS_TILE, A100).total_s
+        assert batched >= single
+
+    @given(DIMS, DIMS, DIMS)
+    def test_memory_at_least_compulsory(self, m, n, k):
+        kt = matmul_time(m, n, k, MEGABLOCKS_TILE, A100)
+        compulsory = (m * k + k * n + m * n) * 2 / A100.hbm_bytes_per_s
+        assert kt.memory_s >= compulsory * 0.999
+
+
+class TestGroupedInvariants:
+    @given(
+        st.lists(st.integers(1, 64), min_size=1, max_size=16),
+        st.integers(1, 32),
+    )
+    def test_grouped_time_positive(self, tokens_blocks, ffn_blocks):
+        problems = [
+            GroupedProblem(t * 128, ffn_blocks * 128, 512) for t in tokens_blocks
+        ]
+        t = grouped_matmul_time(problems, A100).total_s
+        assert np.isfinite(t) and t > 0
+
+    @given(st.lists(st.integers(1, 32), min_size=2, max_size=8))
+    def test_padding_to_max_never_cheaper(self, tokens_blocks):
+        """The dMoE claim in cost-model form: computing actual group
+        sizes costs at most what padding every group to the max costs."""
+        actual = [GroupedProblem(t * 128, 2048, 512) for t in tokens_blocks]
+        mx = max(tokens_blocks)
+        padded = [GroupedProblem(mx * 128, 2048, 512)] * len(tokens_blocks)
+        t_actual = grouped_matmul_time(actual, A100).total_s
+        t_padded = grouped_matmul_time(padded, A100).total_s
+        assert t_actual <= t_padded * 1.001
+
+    @given(st.lists(st.integers(1, 32), min_size=1, max_size=8))
+    def test_transpose_penalty_nonnegative(self, tokens_blocks):
+        problems = [GroupedProblem(t * 128, 2048, 512) for t in tokens_blocks]
+        plain = grouped_matmul_time(problems, A100).total_s
+        trans = grouped_matmul_time(problems, A100, transposed_sparse=True).total_s
+        assert trans >= plain * 0.999
+
+
+class TestCommsInvariants:
+    @given(st.floats(1.0, 1e10), st.integers(2, 64))
+    def test_all_reduce_positive_and_monotone_in_bytes(self, nbytes, world):
+        t1 = all_reduce_time(nbytes, world, A100)
+        t2 = all_reduce_time(2 * nbytes, world, A100)
+        assert 0 < t1 <= t2
+
+    @given(st.floats(1.0, 1e10), st.integers(2, 64))
+    def test_all_to_all_cheaper_than_all_reduce(self, nbytes, world):
+        assert all_to_all_time(nbytes, world, A100) <= all_reduce_time(
+            nbytes, world, A100
+        )
+
+
+class TestTileSetInvariants:
+    @given(st.integers(256, 8192))
+    def test_some_tile_always_beats_nothing(self, s):
+        times = [matmul_time(s, s, s, t, A100).total_s for t in CUTLASS_TILES]
+        assert min(times) > 0
+        # The spread between best and worst tile is bounded (sanity).
+        assert max(times) / min(times) < 10

@@ -1,0 +1,57 @@
+import pytest
+
+from repro.gpu.tiling import (
+    CUTLASS_TILES,
+    MEGABLOCKS_TILE,
+    TileConfig,
+    wave_utilization,
+    waves,
+)
+
+
+class TestTileConfig:
+    def test_grid(self):
+        t = TileConfig(128, 128)
+        assert t.grid(256, 256) == 4
+        assert t.grid(129, 128) == 2  # fringe row tile
+
+    def test_padded_output(self):
+        t = TileConfig(128, 128)
+        assert t.padded_output(129, 128) == 256 * 128
+
+    def test_arithmetic_intensity_monotone_in_size(self):
+        assert (
+            TileConfig(128, 128).arithmetic_intensity
+            > TileConfig(64, 64).arithmetic_intensity
+        )
+
+    def test_label(self):
+        assert MEGABLOCKS_TILE.label == "128x128"
+
+    def test_cutlass_set_orientation(self):
+        """Paper keeps first tile dim >= second (slightly faster)."""
+        assert all(t.m >= t.n for t in CUTLASS_TILES)
+
+    def test_megablocks_tile_in_cutlass_set(self):
+        assert any(t.label == "128x128" for t in CUTLASS_TILES)
+
+
+class TestWaves:
+    def test_exact_fill(self):
+        assert waves(216, 108, 1) == 2
+
+    def test_partial_last_wave(self):
+        assert waves(109, 108, 1) == 2
+
+    def test_utilization_full(self):
+        assert wave_utilization(108, 108, 1) == 1.0
+
+    def test_utilization_partial(self):
+        # 109 tiles over 2 waves of 108 slots.
+        assert abs(wave_utilization(109, 108, 1) - 109 / 216) < 1e-12
+
+    def test_utilization_empty(self):
+        assert wave_utilization(0, 108, 1) == 0.0
+
+    def test_occupancy_multiplies_slots(self):
+        assert waves(216, 108, 2) == 1

@@ -1,0 +1,45 @@
+"""The training CLI: argument handling, short runs, checkpoint/resume."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.model == "XS" and args.system == "dmoe"
+
+    def test_rejects_bad_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--system", "gshard"])
+
+
+class TestMain:
+    COMMON = [
+        "--scale", "0.05", "--steps", "3", "--vocab-size", "64",
+        "--tokens", "8000", "--global-batch", "8", "--micro-batch", "4",
+    ]
+
+    def test_dense_run(self):
+        assert main(["--system", "dense"] + self.COMMON) == 0
+
+    def test_dmoe_run(self):
+        assert main(["--system", "dmoe"] + self.COMMON) == 0
+
+    def test_moe_with_capacity(self):
+        assert main(
+            ["--system", "moe", "--capacity-factor", "1.5"] + self.COMMON
+        ) == 0
+
+    def test_amp_flag(self):
+        assert main(["--system", "dmoe", "--amp"] + self.COMMON) == 0
+
+    def test_checkpoint_and_resume(self, tmp_path):
+        ckpt = str(tmp_path / "run.npz")
+        assert main(["--system", "dmoe", "--checkpoint", ckpt] + self.COMMON) == 0
+        assert os.path.exists(ckpt)
+        assert main(["--system", "dmoe", "--resume", ckpt] + self.COMMON) == 0

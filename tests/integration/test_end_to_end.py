@@ -1,0 +1,166 @@
+"""End-to-end integration: full training runs with each MoE formulation
+on the synthetic Pile, and the cross-system equivalences the paper's
+claims rest on."""
+
+import numpy as np
+import pytest
+
+from repro.core import dMoE
+from repro.data import LMDataset, PileConfig, SyntheticPile
+from repro.moe import DynamicCapacityMoELayer, MoELayer
+from repro.nn import TransformerLM
+from repro.training import Adam, Trainer, TrainerConfig
+from repro.utils.rng import seed_all
+
+VOCAB = 64
+HID = 16
+SEQ = 16
+
+
+def _data():
+    pile = SyntheticPile(
+        PileConfig(vocab_size=VOCAB, num_domains=4, branching=4), seed=11
+    )
+    ds = LMDataset(pile.token_stream(16_000, 32), seq_len=SEQ)
+    return ds.split(0.1)
+
+
+def _model(ffn_factory=None, seed=0):
+    return TransformerLM(
+        VOCAB, HID, num_layers=2, num_heads=2, max_seq_len=SEQ,
+        ffn_factory=ffn_factory, rng=seed,
+    )
+
+
+def _run(model, steps=20, lr=3e-3):
+    train, val = _data()
+    cfg = TrainerConfig(
+        global_batch=8, micro_batch=4, max_steps=steps, eval_every=steps, log_every=5
+    )
+    tr = Trainer(model, train, val, cfg, optimizer=Adam(model.parameters(), lr=lr))
+    return tr.train(), tr
+
+
+class TestDenseTraining:
+    def test_loss_drops_toward_structure(self):
+        hist, _ = _run(_model(), steps=30)
+        start = hist.records[0].loss
+        final = hist.final_val_loss()
+        assert start > 0.9 * np.log(VOCAB)
+        assert final < start - 0.8  # substantial learning
+
+
+class TestMoETrainingAllFormulations:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda i: dMoE(HID, 32, 4, block_size=8, rng=i),
+            lambda i: MoELayer(HID, 32, 4, capacity_factor=1.0, rng=i),
+            lambda i: DynamicCapacityMoELayer(
+                hidden_size=HID, ffn_hidden_size=32, num_experts=4, rng=i
+            ),
+        ],
+        ids=["megablocks-dmoe", "dropping-cf1", "tutel-dynamic"],
+    )
+    def test_trains_and_improves(self, factory):
+        seed_all(0)
+        hist, _ = _run(_model(ffn_factory=factory), steps=20)
+        assert hist.records[-1].loss < hist.records[0].loss
+        assert np.isfinite(hist.losses).all()
+
+    def test_dmoe_routing_stats_reported(self):
+        seed_all(0)
+        model = _model(ffn_factory=lambda i: dMoE(HID, 32, 4, block_size=8, rng=i))
+        _, tr = _run(model, steps=6)
+        assert len(tr.routing_stats) == 6
+
+
+class TestFormulationEquivalence:
+    """The central correctness claim at training scale: dMoE and the
+    dynamic-capacity (dropless padding) formulation are the same function,
+    so identical initialization + data must give identical training."""
+
+    def test_identical_first_step_losses(self):
+        seed_all(0)
+        dmoe_model = _model(
+            ffn_factory=lambda i: dMoE(
+                HID, 32, 4, block_size=8, rng=100 + i, load_balance_coef=0.01
+            ),
+            seed=5,
+        )
+        seed_all(0)
+        dyn_model = _model(
+            ffn_factory=lambda i: DynamicCapacityMoELayer(
+                hidden_size=HID, ffn_hidden_size=32, num_experts=4,
+                rng=200 + i, load_balance_coef=0.01,
+            ),
+            seed=5,
+        )
+        dyn_model.load_state_dict(dmoe_model.state_dict())
+
+        train, _ = _data()
+        batch = next(train.iter_batches(4, shuffle=False))
+        l1, _, _ = dmoe_model.loss(batch.inputs, batch.targets)
+        l2, _, _ = dyn_model.loss(batch.inputs, batch.targets)
+        assert float(l1.data) == pytest.approx(float(l2.data), abs=1e-5)
+
+    def test_identical_gradients_through_full_model(self):
+        seed_all(0)
+        dmoe_model = _model(
+            ffn_factory=lambda i: dMoE(HID, 32, 4, block_size=8, rng=i), seed=5
+        )
+        seed_all(0)
+        dyn_model = _model(
+            ffn_factory=lambda i: DynamicCapacityMoELayer(
+                hidden_size=HID, ffn_hidden_size=32, num_experts=4, rng=50 + i
+            ),
+            seed=5,
+        )
+        dyn_model.load_state_dict(dmoe_model.state_dict())
+        train, _ = _data()
+        batch = next(train.iter_batches(4, shuffle=False))
+        for m in (dmoe_model, dyn_model):
+            loss, _, _ = m.loss(batch.inputs, batch.targets)
+            loss.backward()
+        g1 = dict(dmoe_model.named_parameters())
+        g2 = dict(dyn_model.named_parameters())
+        for name in g1:
+            np.testing.assert_allclose(
+                g1[name].grad, g2[name].grad, atol=1e-4, err_msg=name
+            )
+
+
+class TestCapacityFactorQualityOrdering:
+    """Figure 2's shape at micro scale: dropping tokens hurts.
+
+    A cf=1 (heavy dropping) model should reach a higher loss than the
+    dropless dMoE under identical budgets.  Short runs are noisy, so the
+    assertion is on the relaxed invariant that the dMoE is no worse.
+    """
+
+    def test_dropless_no_worse_than_heavy_dropping(self):
+        seed_all(0)
+        drop_model = _model(
+            ffn_factory=lambda i: MoELayer(
+                HID, 32, 4, capacity_factor=0.5, rng=i, load_balance_coef=0.01
+            ),
+            seed=9,
+        )
+        hist_drop, tr_drop = _run(drop_model, steps=30)
+        # Confirm the cf=0.5 model actually drops a lot.
+        drops = [
+            m.last_plan.drop_fraction
+            for m in drop_model.modules()
+            if hasattr(m, "last_plan") and m.last_plan is not None
+        ]
+        assert max(drops) > 0.2
+
+        seed_all(0)
+        dmoe_model = _model(
+            ffn_factory=lambda i: dMoE(
+                HID, 32, 4, block_size=8, rng=i, load_balance_coef=0.01
+            ),
+            seed=9,
+        )
+        hist_dmoe, _ = _run(dmoe_model, steps=30)
+        assert hist_dmoe.final_val_loss() <= hist_drop.final_val_loss() + 0.05

@@ -1,0 +1,32 @@
+"""The report generator runs end to end and embeds the key results."""
+
+import os
+
+from repro.report import generate_report, main
+
+
+class TestReport:
+    def test_contains_all_sections(self):
+        report = generate_report()
+        for section in (
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Figure 4",
+            "Figure 7",
+            "Figure 9",
+            "Ablations",
+        ):
+            assert section in report
+
+    def test_table_values_present(self):
+        report = generate_report()
+        assert "45.7" in report  # XS weights
+        assert "13048.7" in report  # dMoE-Medium weights
+
+    def test_writes_file(self, tmp_path):
+        path = str(tmp_path / "out.md")
+        assert main([path]) == 0
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert f.read().startswith("# MegaBlocks reproduction report")

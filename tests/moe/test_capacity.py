@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.moe import (
+    dropped_token_count,
+    expert_capacity,
+    min_capacity_factor,
+    padding_fraction,
+    tokens_per_expert,
+)
+
+
+class TestExpertCapacity:
+    def test_paper_formula(self):
+        # expert_capacity = num_tokens / num_experts * capacity_factor
+        assert expert_capacity(1024, 64, 1.0) == 16
+        assert expert_capacity(1024, 64, 1.5) == 24
+        assert expert_capacity(1024, 64, 2.0) == 32
+
+    def test_top_k_scales_slots(self):
+        assert expert_capacity(1024, 64, 1.0, top_k=2) == 32
+
+    def test_rounds_up(self):
+        assert expert_capacity(10, 3, 1.0) == 4
+
+    def test_floor_at_one(self):
+        assert expert_capacity(2, 64, 1.0) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            expert_capacity(10, 0, 1.0)
+        with pytest.raises(ValueError):
+            expert_capacity(10, 4, 0.0)
+
+
+class TestTokensPerExpert:
+    def test_histogram(self):
+        idx = np.array([[0], [1], [1], [3]])
+        np.testing.assert_array_equal(tokens_per_expert(idx, 4), [1, 2, 0, 1])
+
+    def test_top_k_counts_copies(self):
+        idx = np.array([[0, 1], [0, 2]])
+        np.testing.assert_array_equal(tokens_per_expert(idx, 3), [2, 1, 1])
+
+
+class TestMinCapacityFactor:
+    def test_uniform_is_one(self):
+        idx = np.tile(np.arange(4), 4)[:, None]
+        assert min_capacity_factor(idx, 4) == 1.0
+
+    def test_all_to_one_expert(self):
+        idx = np.zeros((16, 1), dtype=int)
+        assert min_capacity_factor(idx, 4) == 4.0
+
+    def test_empty(self):
+        assert min_capacity_factor(np.zeros((0, 1), dtype=int), 4) == 1.0
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 8))
+    def test_property_factor_avoids_drops(self, seed, experts):
+        """Capacity at the dynamic factor never drops a token (Tutel)."""
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, experts, (32, 1))
+        cf = min_capacity_factor(idx, experts)
+        capacity = int(np.ceil(32 / experts * cf))
+        assert dropped_token_count(idx, experts, capacity) == 0
+
+
+class TestDropsAndPadding:
+    def test_dropped_count(self):
+        idx = np.array([[0]] * 5 + [[1]] * 1)
+        assert dropped_token_count(idx, 2, 3) == 2
+
+    def test_no_drops_at_high_capacity(self):
+        idx = np.array([[0]] * 5)
+        assert dropped_token_count(idx, 2, 5) == 0
+
+    def test_padding_fraction(self):
+        idx = np.array([[0]] * 2 + [[1]] * 4)
+        # capacity 4: expert0 pads 2, expert1 pads 0 -> 2/8
+        assert padding_fraction(idx, 2, 4) == 0.25
+
+    def test_padding_zero_when_full(self):
+        idx = np.array([[0]] * 4 + [[1]] * 4)
+        assert padding_fraction(idx, 2, 4) == 0.0
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_property_drop_plus_kept_conserved(self, seed):
+        """Dropped + kept slots == routed slots for any assignment."""
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, 4, (20, 2))
+        cap = int(rng.integers(1, 15))
+        counts = tokens_per_expert(idx, 4)
+        kept = np.minimum(counts, cap).sum()
+        assert kept + dropped_token_count(idx, 4, cap) == idx.size

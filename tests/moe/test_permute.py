@@ -1,0 +1,191 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients
+from repro.moe import (
+    dropping_gather,
+    dropping_scatter,
+    make_dropping_plan,
+    make_padded_plan,
+    padded_gather,
+    padded_scatter,
+    round_up_counts,
+)
+
+
+class TestRoundUpCounts:
+    def test_rounds_each(self):
+        np.testing.assert_array_equal(
+            round_up_counts(np.array([0, 1, 8, 9]), 8), [0, 8, 8, 16]
+        )
+
+
+class TestPaddedPlan:
+    def test_groups_tokens_by_expert(self):
+        idx = np.array([[1], [0], [1], [2]])
+        plan = make_padded_plan(idx, 3, block_size=2)
+        np.testing.assert_array_equal(plan.tokens_per_expert, [1, 2, 1])
+        np.testing.assert_array_equal(plan.padded_tokens_per_expert, [2, 2, 2])
+        # Expert 0 segment: token 1 then padding.
+        np.testing.assert_array_equal(plan.gather_indices, [1, -1, 0, 2, 3, -1])
+
+    def test_stable_order_within_expert(self):
+        idx = np.array([[0], [0], [0]])
+        plan = make_padded_plan(idx, 2, block_size=4)
+        np.testing.assert_array_equal(plan.gather_indices[:3], [0, 1, 2])
+
+    def test_top_k_copies(self):
+        idx = np.array([[0, 1], [1, 0]])
+        plan = make_padded_plan(idx, 2, block_size=2)
+        np.testing.assert_array_equal(plan.tokens_per_expert, [2, 2])
+        # copies: token0 slot0 -> e0 (copy 0); token1 slot1 -> e0 (copy 3).
+        np.testing.assert_array_equal(plan.copy_indices[:2], [0, 3])
+
+    def test_zero_token_expert_gets_no_blocks(self):
+        idx = np.array([[0], [0]])
+        plan = make_padded_plan(idx, 3, block_size=2)
+        np.testing.assert_array_equal(plan.blocks_per_expert, [1, 0, 0])
+
+    def test_1d_indices_accepted(self):
+        plan = make_padded_plan(np.array([0, 1]), 2, block_size=2)
+        assert plan.top_k == 1
+
+    def test_out_of_range_expert_raises(self):
+        with pytest.raises(ValueError):
+            make_padded_plan(np.array([[5]]), 3, block_size=2)
+
+    def test_padding_fraction(self):
+        idx = np.array([[0]])
+        plan = make_padded_plan(idx, 1, block_size=4)
+        assert plan.padding_fraction == 0.75
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 3), st.sampled_from([1, 2, 4]))
+    def test_property_every_copy_placed_exactly_once(self, seed, top_k, bs):
+        """Dropless invariant: all T*top_k copies appear exactly once."""
+        rng = np.random.default_rng(seed)
+        T, E = 17, 5
+        idx = np.stack(
+            [rng.permutation(E)[:top_k] for _ in range(T)], axis=0
+        )
+        plan = make_padded_plan(idx, E, block_size=bs)
+        copies = plan.copy_indices[plan.copy_indices >= 0]
+        assert sorted(copies.tolist()) == list(range(T * top_k))
+        # Padded sizes are block multiples.
+        assert np.all(plan.padded_tokens_per_expert % bs == 0)
+        # Each copy sits in its expert's segment.
+        starts = np.concatenate([[0], np.cumsum(plan.padded_tokens_per_expert)])
+        flat = idx.reshape(-1)
+        for pos, c in enumerate(plan.copy_indices):
+            if c >= 0:
+                e = flat[c]
+                assert starts[e] <= pos < starts[e + 1]
+
+
+class TestPaddedGatherScatter:
+    def test_gather_zero_pads(self, rng):
+        idx = np.array([[0], [0], [1]])
+        plan = make_padded_plan(idx, 2, block_size=4)
+        x = rng.standard_normal((3, 5))
+        out = padded_gather(Tensor(x, dtype=np.float64), plan).data
+        assert out.shape == (8, 5)
+        np.testing.assert_array_equal(out[2], 0.0)  # padding row
+
+    def test_scatter_inverts_gather_with_unit_weights(self, rng):
+        idx = np.array([[1], [0], [1], [1]])
+        plan = make_padded_plan(idx, 2, block_size=2)
+        x = rng.standard_normal((4, 3))
+        xp = padded_gather(Tensor(x, dtype=np.float64), plan)
+        w = Tensor(np.ones((4, 1)), dtype=np.float64)
+        back = padded_scatter(xp, plan, w).data
+        np.testing.assert_allclose(back, x)
+
+    def test_scatter_weights_scale(self, rng):
+        idx = np.array([[0], [1]])
+        plan = make_padded_plan(idx, 2, block_size=2)
+        x = rng.standard_normal((2, 3))
+        xp = padded_gather(Tensor(x, dtype=np.float64), plan)
+        w = Tensor(np.array([[0.5], [2.0]]), dtype=np.float64)
+        back = padded_scatter(xp, plan, w).data
+        np.testing.assert_allclose(back[0], 0.5 * x[0])
+        np.testing.assert_allclose(back[1], 2.0 * x[1])
+
+    def test_top_k_scatter_sums_weighted_copies(self, rng):
+        idx = np.array([[0, 1]])
+        plan = make_padded_plan(idx, 2, block_size=2)
+        x = rng.standard_normal((1, 3))
+        xp = padded_gather(Tensor(x, dtype=np.float64), plan)
+        w = Tensor(np.array([[0.7, 0.3]]), dtype=np.float64)
+        back = padded_scatter(xp, plan, w).data
+        np.testing.assert_allclose(back[0], x[0])  # 0.7x + 0.3x
+
+    def test_gradients_through_gather_scatter(self, rng):
+        idx = np.array([[0, 1], [1, 0], [0, 1]])
+        plan = make_padded_plan(idx, 2, block_size=2)
+        x = rng.standard_normal((3, 4))
+        w = rng.random((3, 2))
+
+        def fn(x, w):
+            xp = padded_gather(x, plan)
+            return padded_scatter(xp * 2.0, plan, w)
+
+        check_gradients(fn, [x, w])
+
+
+class TestDroppingPlan:
+    def test_earliest_tokens_keep_slots(self):
+        idx = np.array([[0], [0], [0]])
+        plan = make_dropping_plan(idx, 2, capacity=2)
+        np.testing.assert_array_equal(plan.dispatch_tokens[0], [0, 1])
+        assert plan.num_dropped == 1
+        np.testing.assert_array_equal(plan.dropped_copies, [2])
+
+    def test_no_drops_under_capacity(self):
+        idx = np.array([[0], [1]])
+        plan = make_dropping_plan(idx, 2, capacity=4)
+        assert plan.num_dropped == 0
+        assert plan.drop_fraction == 0.0
+
+    def test_padding_slots_are_minus_one(self):
+        idx = np.array([[0]])
+        plan = make_dropping_plan(idx, 2, capacity=3)
+        np.testing.assert_array_equal(plan.dispatch_tokens[0], [0, -1, -1])
+        np.testing.assert_array_equal(plan.dispatch_tokens[1], [-1, -1, -1])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            make_dropping_plan(np.array([[0]]), 1, capacity=0)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+    def test_property_kept_conservation(self, seed, capacity):
+        """Every copy is either dispatched once or dropped once."""
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, 3, (12, 2))
+        plan = make_dropping_plan(idx, 3, capacity)
+        dispatched = plan.dispatch_copies[plan.dispatch_copies >= 0]
+        both = np.concatenate([dispatched, plan.dropped_copies])
+        assert sorted(both.tolist()) == list(range(12 * 2))
+
+
+class TestDroppingGatherScatter:
+    def test_dropped_tokens_produce_zero_output(self, rng):
+        idx = np.array([[0], [0], [0]])
+        plan = make_dropping_plan(idx, 1, capacity=2)
+        x = rng.standard_normal((3, 4))
+        buf = dropping_gather(Tensor(x, dtype=np.float64), plan)
+        w = Tensor(np.ones((3, 1)), dtype=np.float64)
+        out = dropping_scatter(buf, plan, w).data
+        np.testing.assert_allclose(out[:2], x[:2])
+        np.testing.assert_array_equal(out[2], 0.0)  # dropped
+
+    def test_gradients(self, rng):
+        idx = np.array([[0], [1], [0], [1], [0]])
+        plan = make_dropping_plan(idx, 2, capacity=2)
+        x = rng.standard_normal((5, 3))
+        w = rng.random((5, 1))
+
+        def fn(x, w):
+            return dropping_scatter(dropping_gather(x, plan) * 3.0, plan, w)
+
+        check_gradients(fn, [x, w])

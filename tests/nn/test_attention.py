@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import CausalSelfAttention
+
+
+class TestCausalSelfAttention:
+    def test_output_shape(self, rng):
+        attn = CausalSelfAttention(16, 4, rng=0)
+        x = Tensor(rng.standard_normal((2, 5, 16)).astype(np.float32))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(16, 3)
+
+    def test_causality(self, rng):
+        """Changing a future token must not change past outputs."""
+        attn = CausalSelfAttention(8, 2, rng=0)
+        attn.eval()
+        x = rng.standard_normal((1, 6, 8)).astype(np.float32)
+        base = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 4] += 10.0  # perturb position 4
+        pert = attn(Tensor(x2)).data
+        np.testing.assert_allclose(pert[0, :4], base[0, :4], atol=1e-5)
+        assert np.abs(pert[0, 4:] - base[0, 4:]).max() > 1e-3
+
+    def test_gradients_flow(self, rng):
+        attn = CausalSelfAttention(8, 2, rng=0)
+        x = Tensor(rng.standard_normal((1, 4, 8)).astype(np.float32), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert attn.qkv.weight.grad is not None
+        assert attn.proj.weight.grad is not None
+
+    def test_single_token_sequence(self, rng):
+        attn = CausalSelfAttention(8, 2, rng=0)
+        out = attn(Tensor(rng.standard_normal((2, 1, 8)).astype(np.float32)))
+        assert out.shape == (2, 1, 8)
+        assert np.isfinite(out.data).all()

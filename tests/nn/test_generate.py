@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.nn import TransformerLM
+
+
+def _model():
+    return TransformerLM(
+        vocab_size=32, hidden_size=16, num_layers=1, num_heads=2,
+        max_seq_len=8, rng=0,
+    )
+
+
+class TestGenerate:
+    def test_output_shape(self):
+        m = _model()
+        out = m.generate(np.array([[1, 2, 3]]), max_new_tokens=4, rng=0)
+        assert out.shape == (1, 7)
+        np.testing.assert_array_equal(out[:, :3], [[1, 2, 3]])
+
+    def test_1d_prompt_accepted(self):
+        m = _model()
+        out = m.generate(np.array([1, 2]), max_new_tokens=2, rng=0)
+        assert out.shape == (1, 4)
+
+    def test_greedy_deterministic(self):
+        m = _model()
+        a = m.generate(np.array([[5]]), 6, temperature=0.0)
+        b = m.generate(np.array([[5]]), 6, temperature=0.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampling_deterministic_given_rng(self):
+        m = _model()
+        a = m.generate(np.array([[5]]), 6, temperature=1.0, rng=3)
+        b = m.generate(np.array([[5]]), 6, temperature=1.0, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_tokens_in_vocab(self):
+        m = _model()
+        out = m.generate(np.array([[0]]), 10, temperature=1.5, rng=1)
+        assert out.min() >= 0 and out.max() < 32
+
+    def test_window_slides_past_max_seq_len(self):
+        m = _model()
+        out = m.generate(np.array([[1, 2, 3, 4, 5, 6, 7]]), 6, rng=0)
+        assert out.shape == (1, 13)  # exceeded max_seq_len=8 without error
+
+    def test_top_k_restricts_support(self):
+        m = _model()
+        # With top_k=1 sampling must equal greedy.
+        greedy = m.generate(np.array([[3]]), 5, temperature=0.0)
+        topk1 = m.generate(np.array([[3]]), 5, temperature=1.0, top_k=1, rng=0)
+        np.testing.assert_array_equal(greedy, topk1)
+
+    def test_training_mode_restored(self):
+        m = _model()
+        m.train()
+        m.generate(np.array([[1]]), 2, rng=0)
+        assert m.training
+
+    def test_batched_prompts(self):
+        m = _model()
+        out = m.generate(np.array([[1, 2], [3, 4]]), 3, rng=0)
+        assert out.shape == (2, 5)

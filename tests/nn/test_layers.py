@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import Dropout, Embedding, LayerNorm, Linear
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        lin = Linear(4, 6, rng=0)
+        assert lin(Tensor(rng.standard_normal((5, 4)))).shape == (5, 6)
+
+    def test_no_bias(self):
+        lin = Linear(4, 6, bias=False, rng=0)
+        assert lin.bias is None
+        assert len(list(lin.parameters())) == 1
+
+    def test_matches_manual(self, rng):
+        lin = Linear(3, 2, rng=0)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        want = x @ lin.weight.data + lin.bias.data
+        np.testing.assert_allclose(lin(Tensor(x)).data, want, rtol=1e-5)
+
+    def test_gradients_flow_to_params(self, rng):
+        lin = Linear(3, 2, rng=0)
+        out = lin(Tensor(rng.standard_normal((4, 3))))
+        out.sum().backward()
+        assert lin.weight.grad is not None and lin.bias.grad is not None
+
+    def test_3d_input(self, rng):
+        lin = Linear(3, 2, rng=0)
+        assert lin(Tensor(rng.standard_normal((2, 5, 3)))).shape == (2, 5, 2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=0)
+        out = emb(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 4)
+
+    def test_grad_to_table(self):
+        emb = Embedding(10, 4, rng=0)
+        emb(np.array([1, 1, 2])).sum().backward()
+        assert emb.weight.grad is not None
+        # Row 1 used twice: gradient doubled relative to row 2.
+        np.testing.assert_allclose(emb.weight.grad[1], 2 * emb.weight.grad[2])
+        np.testing.assert_allclose(emb.weight.grad[5], 0.0)
+
+
+class TestLayerNorm:
+    def test_identity_at_init_stats(self, rng):
+        ln = LayerNorm(8)
+        out = ln(Tensor(rng.standard_normal((4, 8)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0, atol=1e-5)
+
+    def test_param_count(self):
+        assert LayerNorm(8).num_parameters() == 16
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        d = Dropout(0.9)
+        d.eval()
+        x = Tensor(rng.standard_normal((10,)))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+    def test_train_mode_zeroes_some(self, rng):
+        d = Dropout(0.5, rng=0)
+        out = d(Tensor(np.ones(1000)))
+        assert (out.data == 0).sum() > 300

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=0)
+        self.fc2 = Linear(8, 2, rng=1)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        m = Toy()
+        names = [n for n, _ in m.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+
+    def test_num_parameters(self):
+        m = Toy()
+        assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_modules_iteration(self):
+        m = Toy()
+        kinds = [type(x).__name__ for x in m.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_direct_parameter_attr(self):
+        class P(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(3))
+
+        assert len(list(P().parameters())) == 1
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = Toy()
+        m.eval()
+        assert not m.fc1.training
+        m.train()
+        assert m.fc2.training
+
+    def test_zero_grad(self):
+        m = Toy()
+        for p in m.parameters():
+            p.grad = np.ones_like(p.data)
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.fc1.weight.data += 1.0  # make them differ
+        assert not np.array_equal(a.fc1.weight.data, b.fc1.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.fc1.weight.data, b.fc1.weight.data)
+
+    def test_state_dict_copies(self):
+        m = Toy()
+        sd = m.state_dict()
+        sd["fc1.weight"][...] = 0
+        assert np.abs(m.fc1.weight.data).max() > 0
+
+    def test_missing_key_raises(self):
+        m = Toy()
+        sd = m.state_dict()
+        del sd["fc1.weight"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_shape_mismatch_raises(self):
+        m = Toy()
+        sd = m.state_dict()
+        sd["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+
+class TestContainers:
+    def test_module_list_indexing(self):
+        ml = ModuleList([Linear(2, 2, rng=i) for i in range(3)])
+        assert len(ml) == 3
+        assert isinstance(ml[1], Linear)
+        assert len(list(ml)) == 3
+
+    def test_module_list_registers_params(self):
+        ml = ModuleList([Linear(2, 2, rng=0)])
+        assert len(list(ml.parameters())) == 2
+
+    def test_sequential(self, rng):
+        from repro.autograd import Tensor
+
+        seq = Sequential(Linear(4, 8, rng=0), Linear(8, 2, rng=1))
+        out = seq(Tensor(rng.standard_normal((3, 4))))
+        assert out.shape == (3, 2)

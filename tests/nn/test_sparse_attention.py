@@ -1,0 +1,92 @@
+"""Block-sparse attention layer: equivalence with dense attention and
+window semantics (the §4 general-purpose-primitive claim)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import CausalSelfAttention
+from repro.nn.sparse_attention import BlockSparseCausalSelfAttention
+
+BS = 4
+HID, HEADS, SEQ = 16, 2, 16
+
+
+def _pair(window_blocks=None):
+    sparse = BlockSparseCausalSelfAttention(
+        HID, HEADS, block_size=BS, window_blocks=window_blocks, rng=0
+    )
+    dense = CausalSelfAttention(HID, HEADS, rng=1)
+    dense.load_state_dict(sparse.state_dict())
+    return sparse, dense
+
+
+class TestEquivalenceWithDense:
+    def test_full_window_matches_dense_attention(self, rng):
+        sparse, dense = _pair(window_blocks=None)
+        x = rng.standard_normal((2, SEQ, HID))
+        out_s = sparse(Tensor(x.copy(), dtype=np.float64)).data
+        out_d = dense(Tensor(x.copy(), dtype=np.float64)).data
+        np.testing.assert_allclose(out_s, out_d, atol=1e-8)
+
+    def test_gradients_match_dense(self, rng):
+        sparse, dense = _pair(window_blocks=None)
+        x = rng.standard_normal((1, SEQ, HID))
+        for layer in (sparse, dense):
+            out = layer(Tensor(x.copy(), dtype=np.float64))
+            (out * out).sum().backward()
+        for (n1, p1), (n2, p2) in zip(
+            sorted(sparse.named_parameters()), sorted(dense.named_parameters())
+        ):
+            np.testing.assert_allclose(p1.grad, p2.grad, atol=1e-6, err_msg=n1)
+
+
+class TestWindowSemantics:
+    def test_narrow_window_limits_context(self, rng):
+        """With window_blocks=1 a query cannot see beyond its block, so
+        perturbing a distant past token leaves later blocks unchanged."""
+        layer = BlockSparseCausalSelfAttention(
+            HID, HEADS, block_size=BS, window_blocks=1, rng=0
+        )
+        layer.eval()
+        x = rng.standard_normal((1, SEQ, HID))
+        base = layer(Tensor(x.copy(), dtype=np.float64)).data.copy()
+        x2 = x.copy()
+        x2[0, 0] += 5.0  # block 0
+        pert = layer(Tensor(x2, dtype=np.float64)).data
+        # Blocks 1..3 attend only within themselves: unchanged.
+        np.testing.assert_allclose(pert[0, BS:], base[0, BS:], atol=1e-8)
+        assert np.abs(pert[0, :BS] - base[0, :BS]).max() > 1e-4
+
+    def test_causality_holds(self, rng):
+        layer = BlockSparseCausalSelfAttention(
+            HID, HEADS, block_size=BS, window_blocks=2, rng=0
+        )
+        layer.eval()
+        x = rng.standard_normal((1, SEQ, HID))
+        base = layer(Tensor(x.copy(), dtype=np.float64)).data.copy()
+        x2 = x.copy()
+        x2[0, 10] += 5.0
+        pert = layer(Tensor(x2, dtype=np.float64)).data
+        np.testing.assert_allclose(pert[0, :10], base[0, :10], atol=1e-8)
+
+    def test_flops_linear_in_window(self):
+        layer1 = BlockSparseCausalSelfAttention(HID, HEADS, block_size=BS, window_blocks=1)
+        layer2 = BlockSparseCausalSelfAttention(HID, HEADS, block_size=BS, window_blocks=2)
+        f1 = layer1.attention_flops(64)
+        f2 = layer2.attention_flops(64)
+        assert 1.5 < f2 / f1 <= 2.0
+
+    def test_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            BlockSparseCausalSelfAttention(16, 3, block_size=BS)
+
+    def test_topology_cached(self, rng):
+        layer = BlockSparseCausalSelfAttention(
+            HID, HEADS, block_size=BS, window_blocks=2, rng=0
+        )
+        x = Tensor(rng.standard_normal((1, SEQ, HID)).astype(np.float32))
+        layer(x)
+        t1 = layer._topology(SEQ)
+        layer(x)
+        assert layer._topology(SEQ) is t1

@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import dMoE
+from repro.nn import MLP, TransformerLM
+
+
+class TestMLP:
+    def test_shape(self, rng):
+        mlp = MLP(8, 32, rng=0)
+        assert mlp(Tensor(rng.standard_normal((3, 8)))).shape == (3, 8)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            MLP(8, 32, activation="swish")
+
+
+class TestTransformerLM:
+    def _model(self, **kw):
+        args = dict(
+            vocab_size=40, hidden_size=16, num_layers=2, num_heads=2,
+            max_seq_len=12, rng=0,
+        )
+        args.update(kw)
+        return TransformerLM(**args)
+
+    def test_logits_shape(self, rng):
+        m = self._model()
+        out = m(rng.integers(0, 40, (3, 10)))
+        assert out.logits.shape == (3, 10, 40)
+        assert out.aux_loss is None  # dense model
+
+    def test_too_long_sequence_raises(self, rng):
+        m = self._model()
+        with pytest.raises(ValueError):
+            m(rng.integers(0, 40, (1, 13)))
+
+    def test_initial_loss_near_log_vocab(self, rng):
+        m = self._model()
+        ids = rng.integers(0, 40, (4, 12))
+        tgt = rng.integers(0, 40, (4, 12))
+        loss, lm, aux = m.loss(ids, tgt)
+        assert abs(float(lm.data) - np.log(40)) < 0.5
+        assert aux is None
+
+    def test_all_parameters_receive_gradients(self, rng):
+        m = self._model()
+        loss, _, _ = m.loss(rng.integers(0, 40, (2, 12)), rng.integers(0, 40, (2, 12)))
+        loss.backward()
+        missing = [n for n, p in m.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_tied_embeddings_share_storage(self, rng):
+        m = self._model(tie_embeddings=True)
+        names = [n for n, _ in m.named_parameters()]
+        assert not any("lm_head" in n for n in names)
+
+    def test_untied_head(self, rng):
+        m = self._model(tie_embeddings=False)
+        assert any("lm_head" in n for n, _ in m.named_parameters())
+        assert m(rng.integers(0, 40, (1, 4))).logits.shape == (1, 4, 40)
+
+    def test_moe_ffn_factory_accumulates_aux_loss(self, rng):
+        m = self._model(
+            ffn_factory=lambda i: dMoE(
+                16, 32, num_experts=4, block_size=8, rng=i, load_balance_coef=0.01
+            )
+        )
+        out = m(rng.integers(0, 40, (2, 12)))
+        assert out.aux_loss is not None
+        # Two layers contribute; aux loss is positive for a softmax router.
+        assert float(out.aux_loss.data) > 0
+
+    def test_moe_loss_includes_aux(self, rng):
+        m = self._model(
+            ffn_factory=lambda i: dMoE(
+                16, 32, num_experts=4, block_size=8, rng=i, load_balance_coef=0.05
+            )
+        )
+        total, lm, aux = m.loss(
+            rng.integers(0, 40, (2, 12)), rng.integers(0, 40, (2, 12))
+        )
+        assert abs(float(total.data) - float(lm.data) - float(aux.data)) < 1e-5
+
+    def test_deterministic_given_seed(self, rng):
+        ids = rng.integers(0, 40, (2, 8))
+        a = self._model()(ids).logits.data
+        b = self._model()(ids).logits.data
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,55 @@
+"""The rejected alternatives compute identical results (§5.1.3-§5.1.4);
+only their cost differs (modeled in repro.gpu.blocksparse)."""
+
+import numpy as np
+
+from repro.sparse import dsd, random_block_sparse, sdd
+from repro.sparse.ablation import (
+    dsd_explicit_transpose,
+    sdd_csr_search,
+    sdd_overlaunch,
+)
+from tests.conftest import random_topology
+
+BS = 4
+
+
+class TestSddVariantsAgree:
+    def test_csr_search_equals_production(self, rng):
+        topo = random_topology(rng, 5, 6, BS, 0.4)
+        a = rng.standard_normal((topo.shape[0], 7))
+        b = rng.standard_normal((7, topo.shape[1]))
+        np.testing.assert_allclose(
+            sdd_csr_search(a, b, topo).values, sdd(a, b, topo).values, atol=1e-12
+        )
+
+    def test_overlaunch_equals_production(self, rng):
+        topo = random_topology(rng, 5, 6, BS, 0.4)
+        a = rng.standard_normal((topo.shape[0], 7))
+        b = rng.standard_normal((7, topo.shape[1]))
+        np.testing.assert_allclose(
+            sdd_overlaunch(a, b, topo).values, sdd(a, b, topo).values, atol=1e-12
+        )
+
+    def test_high_sparsity_like_64_experts(self, rng):
+        """At MoE sparsity (density 1/num_experts) everything still agrees."""
+        from repro.sparse import Topology
+
+        topo = Topology.block_diagonal(
+            np.array([1] * 8), np.array([1] * 8), BS
+        )  # density 1/8
+        a = rng.standard_normal((topo.shape[0], 5))
+        b = rng.standard_normal((5, topo.shape[1]))
+        np.testing.assert_allclose(
+            sdd_overlaunch(a, b, topo).values, sdd(a, b, topo).values, atol=1e-12
+        )
+
+
+class TestTransposeVariantsAgree:
+    def test_explicit_transpose_equals_secondary_index(self, rng):
+        topo = random_topology(rng, 5, 4, BS, 0.5)
+        s = random_block_sparse(topo, rng)
+        b = rng.standard_normal((topo.shape[0], 6))
+        np.testing.assert_allclose(
+            dsd_explicit_transpose(s, b), dsd(s, b, trans_s=True), atol=1e-12
+        )

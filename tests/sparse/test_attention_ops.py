@@ -1,0 +1,105 @@
+"""Block-sparse attention primitives: softmax and banded topologies."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.sparse import BlockSparseMatrix, Topology
+from repro.sparse.attention_ops import (
+    banded_causal_topology,
+    causal_block_mask,
+    sparse_causal_softmax,
+)
+
+BS = 4
+
+
+class TestBandedTopology:
+    def test_full_window_is_causal_lower_triangle(self):
+        topo = banded_causal_topology(16, BS, window_blocks=4)
+        mask = topo.to_block_mask()
+        np.testing.assert_array_equal(mask, np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_window_one_is_diagonal(self):
+        topo = banded_causal_topology(16, BS, window_blocks=1)
+        np.testing.assert_array_equal(topo.to_block_mask(), np.eye(4, dtype=bool))
+
+    def test_band_width(self):
+        topo = banded_causal_topology(24, BS, window_blocks=2)
+        mask = topo.to_block_mask()
+        assert mask[3, 2] and mask[3, 3]
+        assert not mask[3, 1] and not mask[2, 3]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            banded_causal_topology(15, BS, 1)
+        with pytest.raises(ValueError):
+            banded_causal_topology(16, BS, 0)
+
+    def test_nnz_linear_in_sequence(self):
+        """Sparse attention cost is O(S * window), not O(S^2)."""
+        t1 = banded_causal_topology(64, BS, window_blocks=2)
+        t2 = banded_causal_topology(128, BS, window_blocks=2)
+        assert t2.nnz_blocks < 2.2 * t1.nnz_blocks
+
+
+class TestCausalBlockMask:
+    def test_diagonal_block_is_lower_triangular(self):
+        topo = banded_causal_topology(8, BS, 2)
+        mask = causal_block_mask(topo, 0, np.array([0]))
+        np.testing.assert_array_equal(mask[0], np.tril(np.ones((BS, BS), dtype=bool)))
+
+    def test_past_block_fully_valid(self):
+        topo = banded_causal_topology(8, BS, 2)
+        mask = causal_block_mask(topo, 1, np.array([0]))
+        assert mask.all()
+
+
+class TestSparseCausalSoftmax:
+    def _scores(self, rng, seq=16, window=4):
+        topo = banded_causal_topology(seq, BS, window)
+        values = rng.standard_normal((topo.nnz_blocks, BS, BS))
+        return topo, values
+
+    def test_rows_sum_to_one_over_valid_entries(self, rng):
+        topo, values = self._scores(rng)
+        out = sparse_causal_softmax(Tensor(values, dtype=np.float64), topo).data
+        dense = BlockSparseMatrix(topo, out).to_dense()
+        sums = dense.sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0, atol=1e-10)
+
+    def test_causal_entries_zero(self, rng):
+        topo, values = self._scores(rng)
+        out = sparse_causal_softmax(Tensor(values, dtype=np.float64), topo).data
+        dense = BlockSparseMatrix(topo, out).to_dense()
+        upper = np.triu_indices(topo.shape[0], k=1)
+        np.testing.assert_array_equal(dense[upper], 0.0)
+
+    def test_matches_dense_softmax_with_full_window(self, rng):
+        seq = 16
+        topo, values = self._scores(rng, seq=seq, window=seq // BS)
+        scores_dense = BlockSparseMatrix(topo, values).to_dense()
+        masked = np.where(
+            np.tril(np.ones((seq, seq), dtype=bool)), scores_dense, -1e30
+        )
+        e = np.exp(masked - masked.max(axis=1, keepdims=True))
+        want = e / e.sum(axis=1, keepdims=True)
+        got = BlockSparseMatrix(
+            topo,
+            sparse_causal_softmax(Tensor(values, dtype=np.float64), topo).data,
+        ).to_dense()
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_scale_applied_before_softmax(self, rng):
+        topo, values = self._scores(rng)
+        a = sparse_causal_softmax(Tensor(values, dtype=np.float64), topo, scale=0.5).data
+        b = sparse_causal_softmax(
+            Tensor(values * 0.5, dtype=np.float64), topo, scale=1.0
+        ).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_gradients(self, rng):
+        topo, values = self._scores(rng, seq=8, window=2)
+        check_gradients(
+            lambda v: sparse_causal_softmax(v, topo, scale=0.7), [values]
+        )

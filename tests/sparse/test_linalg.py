@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.sparse import BlockSparseMatrix, Topology, random_block_sparse
+from repro.sparse.linalg import (
+    add,
+    density_profile,
+    frobenius_norm,
+    project,
+    row_block_norms,
+    scale,
+)
+from tests.conftest import random_topology
+
+
+class TestAddScale:
+    def test_add_matches_dense(self, rng):
+        topo = random_topology(rng, 4, 4, 4, 0.5)
+        a = random_block_sparse(topo, rng)
+        b = random_block_sparse(topo, rng)
+        np.testing.assert_allclose(
+            add(a, b).to_dense(), a.to_dense() + b.to_dense()
+        )
+
+    def test_add_structural_topology_match(self, rng):
+        mask = rng.random((3, 3)) < 0.5
+        t1 = Topology.from_block_mask(mask, 4)
+        t2 = Topology.from_block_mask(mask, 4)
+        a = random_block_sparse(t1, rng)
+        b = random_block_sparse(t2, rng)
+        add(a, b)  # equal patterns, different instances: fine
+
+    def test_add_mismatched_raises(self, rng):
+        a = random_block_sparse(random_topology(rng, 3, 3, 4, 0.9), rng)
+        b = random_block_sparse(random_topology(rng, 3, 3, 4, 0.1), rng)
+        if a.topology != b.topology:
+            with pytest.raises(ValueError):
+                add(a, b)
+
+    def test_scale(self, rng):
+        a = random_block_sparse(random_topology(rng, 3, 3, 4, 0.5), rng)
+        np.testing.assert_allclose(scale(a, -2.0).to_dense(), -2.0 * a.to_dense())
+
+
+class TestNorms:
+    def test_frobenius_matches_dense(self, rng):
+        a = random_block_sparse(random_topology(rng, 4, 5, 4, 0.5), rng)
+        assert frobenius_norm(a) == pytest.approx(np.linalg.norm(a.to_dense()))
+
+    def test_row_block_norms(self, rng):
+        topo = Topology.from_block_mask(np.array([[True, True], [False, False]]), 4)
+        a = random_block_sparse(topo, rng)
+        norms = row_block_norms(a)
+        assert norms[1] == 0.0
+        assert norms[0] == pytest.approx(np.linalg.norm(a.to_dense()[:4]))
+
+
+class TestProject:
+    def test_identity_projection(self, rng):
+        topo = random_topology(rng, 4, 4, 4, 0.5)
+        a = random_block_sparse(topo, rng)
+        np.testing.assert_allclose(project(a, topo).to_dense(), a.to_dense())
+
+    def test_projection_onto_superset_keeps_values(self, rng):
+        small = Topology.from_block_mask(np.array([[True, False]]), 4)
+        big = Topology.from_block_mask(np.array([[True, True]]), 4)
+        a = random_block_sparse(small, rng)
+        p = project(a, big)
+        np.testing.assert_allclose(p.to_dense()[:, :4], a.to_dense()[:, :4])
+        np.testing.assert_array_equal(p.to_dense()[:, 4:], 0.0)
+
+    def test_projection_onto_subset_drops_values(self, rng):
+        big = Topology.from_block_mask(np.array([[True, True]]), 4)
+        small = Topology.from_block_mask(np.array([[False, True]]), 4)
+        a = random_block_sparse(big, rng)
+        p = project(a, small)
+        np.testing.assert_allclose(p.to_dense()[:, 4:], a.to_dense()[:, 4:])
+
+    def test_shape_mismatch_raises(self, rng):
+        a = random_block_sparse(random_topology(rng, 2, 2, 4, 1.0), rng)
+        with pytest.raises(ValueError):
+            project(a, random_topology(rng, 3, 3, 4, 1.0))
+
+
+class TestDensityProfile:
+    def test_spy_string(self):
+        topo = Topology.from_block_mask(
+            np.array([[True, False], [False, True]]), 4
+        )
+        assert density_profile(topo) == "#.\n.#"

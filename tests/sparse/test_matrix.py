@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.sparse import BlockSparseMatrix, Topology
+from tests.conftest import random_topology
+
+
+class TestConstruction:
+    def test_shape_validation(self, rng):
+        topo = random_topology(rng, 3, 3, 4, 0.5)
+        with pytest.raises(ValueError):
+            BlockSparseMatrix(topo, np.zeros((topo.nnz_blocks + 1, 4, 4)))
+
+    def test_zeros(self, rng):
+        topo = random_topology(rng, 3, 3, 4, 0.5)
+        m = BlockSparseMatrix.zeros(topo)
+        assert m.values.shape == (topo.nnz_blocks, 4, 4)
+        assert np.all(m.to_dense() == 0)
+
+    def test_repr(self, rng):
+        topo = random_topology(rng, 3, 3, 4, 0.5)
+        assert "BlockSparseMatrix" in repr(BlockSparseMatrix.zeros(topo))
+
+
+class TestDenseRoundtrip:
+    def test_from_dense_to_dense(self, rng):
+        topo = random_topology(rng, 4, 5, 4, 0.6)
+        dense = rng.standard_normal(topo.shape)
+        from repro.sparse import element_mask
+
+        masked = np.where(element_mask(topo), dense, 0.0)
+        m = BlockSparseMatrix.from_dense(masked, topo)
+        np.testing.assert_array_equal(m.to_dense(), masked)
+
+    def test_from_dense_samples_outside_values(self, rng):
+        """Values outside the topology are dropped (SDD semantics)."""
+        topo = Topology.from_block_mask(np.array([[True, False]]), 2)
+        dense = np.arange(8, dtype=np.float64).reshape(2, 4)
+        m = BlockSparseMatrix.from_dense(dense, topo)
+        out = m.to_dense()
+        np.testing.assert_array_equal(out[:, :2], dense[:, :2])
+        np.testing.assert_array_equal(out[:, 2:], 0.0)
+
+    def test_from_dense_shape_mismatch(self, rng):
+        topo = random_topology(rng, 3, 3, 4, 0.5)
+        with pytest.raises(ValueError):
+            BlockSparseMatrix.from_dense(np.zeros((1, 1)), topo)
+
+
+class TestTransposeValues:
+    def test_matches_explicit_materialization(self, rng):
+        """§5.1.4: transpose-index traversal == explicit transpose."""
+        topo = random_topology(rng, 5, 6, 4, 0.5)
+        values = rng.standard_normal((topo.nnz_blocks, 4, 4))
+        m = BlockSparseMatrix(topo, values)
+        via_index = m.transpose_values()
+        via_dense = BlockSparseMatrix.from_dense(
+            m.to_dense().T, topo.transpose()
+        ).values
+        np.testing.assert_allclose(via_index, via_dense)
+
+    def test_explicit_transpose_dense_equivalence(self, rng):
+        topo = random_topology(rng, 4, 3, 4, 0.7)
+        m = BlockSparseMatrix(topo, rng.standard_normal((topo.nnz_blocks, 4, 4)))
+        np.testing.assert_allclose(m.explicit_transpose().to_dense(), m.to_dense().T)
+
+    def test_transpose_does_not_copy_original(self, rng):
+        topo = random_topology(rng, 4, 3, 4, 0.7)
+        m = BlockSparseMatrix(topo, rng.standard_normal((topo.nnz_blocks, 4, 4)))
+        before = m.values.copy()
+        m.transpose_values()
+        np.testing.assert_array_equal(m.values, before)
+
+    def test_copy_independent(self, rng):
+        topo = random_topology(rng, 3, 3, 4, 0.6)
+        m = BlockSparseMatrix(topo, rng.standard_normal((topo.nnz_blocks, 4, 4)))
+        c = m.copy()
+        c.values[...] = 0
+        assert np.abs(m.values).max() > 0 or topo.nnz_blocks == 0

@@ -1,0 +1,183 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sparse import Topology, metadata_bytes
+from tests.conftest import random_topology
+
+
+class TestFromBlockMask:
+    def test_roundtrip_mask(self, rng):
+        mask = rng.random((4, 5)) < 0.5
+        topo = Topology.from_block_mask(mask, 8)
+        np.testing.assert_array_equal(topo.to_block_mask(), mask)
+
+    def test_shape_in_elements(self):
+        topo = Topology.from_block_mask(np.ones((3, 2), dtype=bool), 16)
+        assert topo.shape == (48, 32)
+        assert topo.block_rows == 3 and topo.block_cols == 2
+
+    def test_empty_topology(self):
+        topo = Topology.from_block_mask(np.zeros((3, 3), dtype=bool), 4)
+        topo.validate()
+        assert topo.nnz_blocks == 0
+        assert topo.density == 0.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Topology.from_block_mask(np.ones((2, 2, 2), dtype=bool), 4)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            Topology.from_block_mask(np.ones((2, 2), dtype=bool), 0)
+
+    def test_nnz_and_density(self):
+        mask = np.array([[1, 0], [1, 1]], dtype=bool)
+        topo = Topology.from_block_mask(mask, 4)
+        assert topo.nnz_blocks == 3
+        assert topo.nnz == 3 * 16
+        assert topo.density == 0.75
+
+
+class TestBlockDiagonal:
+    def test_variable_group_sizes(self):
+        topo = Topology.block_diagonal(
+            np.array([2, 0, 3]), np.array([2, 2, 2]), 4
+        )
+        topo.validate()
+        mask = topo.to_block_mask()
+        # Group 0: rows 0-1, cols 0-1; group 2: rows 2-4, cols 4-5.
+        assert mask[:2, :2].all()
+        assert mask[2:, 4:].all()
+        assert not mask[:2, 2:].any()
+        assert not mask[2:, :4].any()
+
+    def test_matches_figure_3c_structure(self):
+        """Variable row counts per expert, fixed ffn column count."""
+        rows = np.array([1, 3, 2])
+        topo = Topology.block_diagonal(rows, np.array([2, 2, 2]), 8)
+        assert topo.nnz_blocks == (rows * 2).sum()
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Topology.block_diagonal(np.array([1, 2]), np.array([1]), 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.block_diagonal(np.array([-1]), np.array([1]), 4)
+
+    def test_all_empty_groups(self):
+        topo = Topology.block_diagonal(np.array([0, 0]), np.array([2, 2]), 4)
+        topo.validate()
+        assert topo.nnz_blocks == 0
+        assert topo.shape == (0, 16)
+
+
+class TestDense:
+    def test_fully_occupied(self):
+        topo = Topology.dense(16, 8, 4)
+        assert topo.density == 1.0
+        topo.validate()
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            Topology.dense(17, 8, 4)
+
+
+class TestTransposeMetadata:
+    def test_transpose_indices_are_permutation(self, rng):
+        topo = random_topology(rng, 6, 7, 4, 0.4)
+        perm = topo.transpose_block_offsets
+        assert sorted(perm) == list(range(topo.nnz_blocks))
+
+    def test_transpose_ordering_col_major(self, rng):
+        topo = random_topology(rng, 6, 7, 4, 0.4)
+        perm = topo.transpose_block_offsets
+        cols = topo.column_indices[perm]
+        rows = topo.row_indices[perm]
+        keys = list(zip(cols.tolist(), rows.tolist()))
+        assert keys == sorted(keys)
+
+    def test_transpose_topology_is_mask_transpose(self, rng):
+        topo = random_topology(rng, 5, 4, 8, 0.5)
+        np.testing.assert_array_equal(
+            topo.transpose().to_block_mask(), topo.to_block_mask().T
+        )
+
+    def test_transpose_row_offsets_count_columns(self, rng):
+        topo = random_topology(rng, 5, 4, 4, 0.6)
+        counts = np.diff(topo.transpose_row_offsets)
+        np.testing.assert_array_equal(
+            counts, np.bincount(topo.column_indices, minlength=topo.block_cols)
+        )
+
+    def test_double_transpose_identity(self, rng):
+        topo = random_topology(rng, 5, 4, 4, 0.6)
+        assert topo.transpose().transpose() == topo
+
+
+class TestValidateCatchesCorruption:
+    def _valid(self, rng):
+        return random_topology(rng, 4, 4, 4, 0.7)
+
+    def test_valid_passes(self, rng):
+        self._valid(rng).validate()
+
+    def test_corrupt_row_offsets(self, rng):
+        topo = self._valid(rng)
+        topo.row_offsets[0] = 1
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_corrupt_row_indices(self, rng):
+        topo = self._valid(rng)
+        if topo.nnz_blocks:
+            topo.row_indices[0] = (topo.row_indices[0] + 1) % topo.block_rows
+            with pytest.raises(ValueError):
+                topo.validate()
+
+    def test_corrupt_transpose_index(self, rng):
+        topo = self._valid(rng)
+        if topo.nnz_blocks >= 2:
+            topo.transpose_block_offsets[[0, 1]] = topo.transpose_block_offsets[[1, 0]]
+            with pytest.raises(ValueError):
+                topo.validate()
+
+
+class TestMetadataBytes:
+    def test_metadata_much_smaller_than_values(self, rng):
+        """§5.1.3: one index per 16384 values at 128x128 blocks."""
+        topo = random_topology(rng, 4, 4, 128, 0.5)
+        if topo.nnz_blocks:
+            value_bytes = topo.nnz * 2  # fp16
+            assert metadata_bytes(topo) < value_bytes / 100
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(1, 6),
+    st.sampled_from([1, 2, 4, 8]),
+    st.integers(0, 2**32 - 1),
+)
+def test_property_random_topology_invariants(br, bc, bs, seed):
+    """All structural invariants hold for arbitrary random masks."""
+    mask = np.random.default_rng(seed).random((br, bc)) < 0.5
+    topo = Topology.from_block_mask(mask, bs)
+    topo.validate()
+    np.testing.assert_array_equal(topo.to_block_mask(), mask)
+    assert topo.nnz_blocks == int(mask.sum())
+
+
+@given(
+    st.lists(st.integers(0, 4), min_size=1, max_size=6),
+    st.integers(1, 3),
+    st.sampled_from([2, 4]),
+)
+def test_property_block_diagonal_invariants(rows, cols_per, bs):
+    """Block-diagonal construction is always structurally valid."""
+    rows = np.asarray(rows)
+    cols = np.full(len(rows), cols_per)
+    topo = Topology.block_diagonal(rows, cols, bs)
+    topo.validate()
+    assert topo.nnz_blocks == int((rows * cols).sum())

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter
+from repro.training import GradScaler, MasterWeights, to_half
+
+
+class TestToHalf:
+    def test_rounds_to_fp16_grid(self):
+        x = np.array([1.0 + 2**-13], dtype=np.float32)
+        assert to_half(x)[0] == np.float32(np.float16(x[0]))
+
+    def test_preserves_representable(self):
+        x = np.array([0.5, 1.0, 2.0, -4.0], dtype=np.float32)
+        np.testing.assert_array_equal(to_half(x), x)
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(to_half(np.array([1e6], dtype=np.float32)))[0]
+
+
+class TestGradScaler:
+    def _param(self, grad):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.asarray(grad, dtype=np.float32)
+        return p
+
+    def test_scale_loss(self):
+        s = GradScaler(init_scale=8.0)
+        loss = Tensor(np.float32(2.0))
+        assert float(s.scale_loss(loss).data) == 16.0
+
+    def test_unscale_divides(self):
+        s = GradScaler(init_scale=8.0)
+        p = self._param([8.0, 16.0])
+        assert s.unscale_and_check([p])
+        np.testing.assert_allclose(p.grad, [1.0, 2.0])
+
+    def test_overflow_backs_off_and_zeroes(self):
+        s = GradScaler(init_scale=8.0)
+        p = self._param([np.inf, 1.0])
+        assert not s.unscale_and_check([p])
+        assert p.grad is None
+        assert s.scale == 4.0
+        assert s.num_overflows == 1
+
+    def test_nan_detected(self):
+        s = GradScaler(init_scale=8.0)
+        assert not s.unscale_and_check([self._param([np.nan, 0.0])])
+
+    def test_growth_after_interval(self):
+        s = GradScaler(init_scale=2.0, growth_interval=3)
+        for _ in range(3):
+            assert s.unscale_and_check([self._param([1.0, 1.0])])
+        assert s.scale == 4.0
+
+    def test_scale_clamped(self):
+        s = GradScaler(init_scale=1.0, min_scale=1.0)
+        s.unscale_and_check([self._param([np.inf, 0.0])])
+        assert s.scale == 1.0
+
+    def test_overflow_resets_growth_counter(self):
+        s = GradScaler(init_scale=4.0, growth_interval=2)
+        s.unscale_and_check([self._param([1.0, 1.0])])
+        s.unscale_and_check([self._param([np.inf, 1.0])])  # backoff to 2
+        s.unscale_and_check([self._param([1.0, 1.0])])
+        assert s.scale == 2.0  # one clean step, no growth yet
+
+
+class TestMasterWeights:
+    def test_masters_keep_precision_working_rounds(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        mw = MasterWeights([p])
+        tiny = np.array([2**-14], dtype=np.float32)  # below fp16 ulp at 1.0
+        for _ in range(8):
+            mw.apply_update([-tiny])  # master += tiny each step
+        mw.sync_working()
+        assert mw.masters[0][0] > 1.0  # master accumulated
+        # Working weight moved only by what fp16 can represent.
+        assert mw.max_divergence() < 2**-10
+
+    def test_sync_working_casts(self):
+        p = Parameter(np.array([0.1], dtype=np.float32))
+        mw = MasterWeights([p])
+        mw.masters[0][0] = 0.30000001
+        mw.sync_working()
+        assert p.data[0] == np.float32(np.float16(0.30000001))
+
+    def test_full_amp_step_trains(self):
+        """Loss scaling + master weights descend a simple objective."""
+        from repro.nn import Linear
+
+        rng = np.random.default_rng(0)
+        lin = Linear(4, 1, rng=0)
+        params = list(lin.parameters())
+        mw = MasterWeights(params)
+        scaler = GradScaler(init_scale=2.0**10)
+        x = rng.standard_normal((64, 4)).astype(np.float32)
+        y = (x @ np.array([[1.0], [-2.0], [0.5], [0.0]], dtype=np.float32))
+        first = last = None
+        for _ in range(60):
+            for p in params:
+                p.grad = None
+            pred = lin(Tensor(x))
+            diff = pred - Tensor(y)
+            loss = (diff * diff).mean()
+            scaler.scale_loss(loss).backward()
+            if scaler.unscale_and_check(params):
+                mw.apply_update([0.05 * p.grad for p in params])
+                mw.sync_working()
+            last = float(loss.data)
+            first = first if first is not None else last
+        assert last < first * 0.2

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Sequential
+from repro.training import Adam, load_checkpoint, save_checkpoint
+
+
+def _model():
+    return Sequential(Linear(4, 8, rng=0), Linear(8, 2, rng=1))
+
+
+class TestSaveLoad:
+    def test_roundtrip_parameters(self, tmp_path):
+        m = _model()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, m, step=7)
+        m2 = _model()
+        for p in m2.parameters():
+            p.data += 1.0
+        meta = load_checkpoint(path, m2)
+        assert meta["step"] == 7
+        for (n1, p1), (n2, p2) in zip(
+            m.named_parameters(), m2.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_roundtrip_adam_state(self, tmp_path):
+        m = _model()
+        opt = Adam(m.parameters(), lr=1e-2)
+        # Take a few steps to populate moments.
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            for p in opt.params:
+                p.grad = rng.standard_normal(p.data.shape).astype(np.float32)
+            opt.step()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, m, opt, step=3)
+
+        m2 = _model()
+        opt2 = Adam(m2.parameters(), lr=1e-2)
+        load_checkpoint(path, m2, opt2)
+        assert opt2.t == opt.t
+        for a, b in zip(opt._m, opt2._m):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(opt._v, opt2._v):
+            np.testing.assert_array_equal(a, b)
+
+    def test_resume_training_is_equivalent(self, tmp_path):
+        """Train 6 steps straight == train 3, checkpoint, restore, 3 more."""
+        rng = np.random.default_rng(1)
+        grads = [
+            [rng.standard_normal(p.shape).astype(np.float32) for p in
+             [q.data for q in _model().parameters()]]
+            for _ in range(6)
+        ]
+
+        def train(model, opt, gs):
+            for g in gs:
+                for p, gg in zip(opt.params, g):
+                    p.grad = gg.copy()
+                opt.step()
+
+        m1 = _model()
+        o1 = Adam(m1.parameters(), lr=1e-2)
+        train(m1, o1, grads)
+
+        m2 = _model()
+        o2 = Adam(m2.parameters(), lr=1e-2)
+        train(m2, o2, grads[:3])
+        path = str(tmp_path / "mid.npz")
+        save_checkpoint(path, m2, o2, step=3)
+        m3 = _model()
+        o3 = Adam(m3.parameters(), lr=1e-2)
+        load_checkpoint(path, m3, o3)
+        train(m3, o3, grads[3:])
+
+        for p1, p3 in zip(m1.parameters(), m3.parameters()):
+            np.testing.assert_allclose(p1.data, p3.data, atol=1e-7)
+
+    def test_missing_adam_state_raises(self, tmp_path):
+        m = _model()
+        path = str(tmp_path / "noadam.npz")
+        save_checkpoint(path, m)
+        with pytest.raises(KeyError):
+            load_checkpoint(path, _model(), Adam(_model().parameters()))
+
+    def test_extra_metadata(self, tmp_path):
+        m = _model()
+        path = str(tmp_path / "meta.npz")
+        save_checkpoint(path, m, step=1, extra={"val_loss": 2.5})
+        meta = load_checkpoint(path, _model())
+        assert meta["extra"]["val_loss"] == 2.5

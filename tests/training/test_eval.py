@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.data import LMDataset
+from repro.nn import TransformerLM
+from repro.training.eval import bits_per_token, evaluate_lm, perplexity
+
+
+class TestMetricConversions:
+    def test_perplexity(self):
+        assert perplexity(0.0) == 1.0
+        assert perplexity(np.log(10.0)) == pytest.approx(10.0)
+
+    def test_bits_per_token(self):
+        assert bits_per_token(np.log(2.0)) == pytest.approx(1.0)
+
+
+class TestEvaluateLM:
+    def _setup(self):
+        rng = np.random.default_rng(0)
+        ds = LMDataset(rng.integers(0, 32, 2001), seq_len=20)
+        model = TransformerLM(32, 16, 1, 2, 20, rng=0)
+        return model, ds
+
+    def test_random_model_near_log_vocab(self):
+        model, ds = self._setup()
+        nll, acc = evaluate_lm(model, ds, max_batches=4)
+        assert abs(nll - np.log(32)) < 0.5
+        assert 0.0 <= acc <= 0.2  # chance level ~1/32
+
+    def test_restores_training_mode(self):
+        model, ds = self._setup()
+        model.train()
+        evaluate_lm(model, ds, max_batches=1)
+        assert model.training
+
+    def test_max_batches_respected(self):
+        model, ds = self._setup()
+        a = evaluate_lm(model, ds, batch_size=2, max_batches=1)
+        b = evaluate_lm(model, ds, batch_size=2, max_batches=None)
+        assert a != b  # different coverage gives different numbers
+
+    def test_memorized_sequence_high_accuracy(self):
+        """A model trained to memorize one batch scores near 100%."""
+        from repro.autograd import Tensor
+        from repro.training import Adam
+
+        rng = np.random.default_rng(1)
+        tokens = np.tile(np.arange(16), 200)  # deterministic cycle
+        ds = LMDataset(tokens, seq_len=16)
+        model = TransformerLM(16, 32, 2, 2, 16, rng=0)
+        opt = Adam(model.parameters(), lr=5e-3)
+        batch = ds.batch(np.arange(8))
+        for _ in range(60):
+            opt.zero_grad()
+            loss, _, _ = model.loss(batch.inputs, batch.targets)
+            loss.backward()
+            opt.step()
+        nll, acc = evaluate_lm(model, ds, max_batches=2)
+        assert acc > 0.9
+        assert perplexity(nll) < 2.0

@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.training import ConstantLR, WarmupCosineLR, WarmupLinearLR
+
+
+class TestConstant:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s(0) == s(100) == 0.1
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_linearly(self):
+        s = WarmupCosineLR(1.0, total_steps=100, warmup_steps=10)
+        assert s(0) == pytest.approx(0.1)
+        assert s(4) == pytest.approx(0.5)
+        assert s(9) == pytest.approx(1.0)
+
+    def test_peak_at_end_of_warmup(self):
+        s = WarmupCosineLR(1.0, total_steps=100, warmup_steps=10)
+        assert s(10) == pytest.approx(1.0)
+
+    def test_decays_to_min(self):
+        s = WarmupCosineLR(1.0, total_steps=100, warmup_steps=0, min_lr=0.1)
+        assert s(100) == pytest.approx(0.1)
+        assert s(1000) == pytest.approx(0.1)  # clamped past the end
+
+    def test_midpoint_is_average(self):
+        s = WarmupCosineLR(1.0, total_steps=100, warmup_steps=0, min_lr=0.0)
+        assert s(50) == pytest.approx(0.5, abs=0.02)
+
+    def test_monotone_decay_after_warmup(self):
+        s = WarmupCosineLR(1.0, total_steps=50, warmup_steps=5)
+        vals = [s(i) for i in range(5, 51)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            WarmupCosineLR(1.0, total_steps=0)
+        with pytest.raises(ValueError):
+            WarmupCosineLR(1.0, total_steps=10, warmup_steps=20)
+
+
+class TestWarmupLinear:
+    def test_linear_decay(self):
+        s = WarmupLinearLR(1.0, total_steps=100, warmup_steps=0)
+        assert s(50) == pytest.approx(0.5)
+        assert s(100) == pytest.approx(0.0)
+
+    def test_warmup(self):
+        s = WarmupLinearLR(1.0, total_steps=100, warmup_steps=10)
+        assert s(0) == pytest.approx(0.1)

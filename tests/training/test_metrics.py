@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.training import (
+    History,
+    TrainingRecord,
+    loss_equivalent_speedup,
+    pareto_frontier,
+    time_to_loss,
+)
+
+
+class TestHistory:
+    def test_accessors(self):
+        h = History()
+        h.log(TrainingRecord(step=0, tokens=100, loss=2.0))
+        h.log(TrainingRecord(step=1, tokens=200, loss=1.5, val_loss=1.8))
+        np.testing.assert_array_equal(h.steps, [0, 1])
+        np.testing.assert_array_equal(h.losses, [2.0, 1.5])
+        s, v = h.val_points
+        np.testing.assert_array_equal(s, [1])
+        assert h.final_val_loss() == 1.8
+
+    def test_final_val_none_when_absent(self):
+        h = History()
+        h.log(TrainingRecord(0, 1, 2.0))
+        assert h.final_val_loss() is None
+
+    def test_smoothing_reduces_variance(self, rng):
+        h = History()
+        noise = 2.0 + rng.standard_normal(200) * 0.5
+        for i, l in enumerate(noise):
+            h.log(TrainingRecord(i, i, float(l)))
+        assert h.smoothed_losses(0.05).std() < h.losses.std() / 2
+
+
+class TestTimeToLoss:
+    def test_interpolates(self):
+        t = time_to_loss([0, 10, 20], [3.0, 2.0, 1.0], 1.5)
+        assert t == pytest.approx(15.0)
+
+    def test_exact_hit(self):
+        assert time_to_loss([0, 10], [3.0, 2.0], 3.0) == 0.0
+
+    def test_never_reached(self):
+        assert time_to_loss([0, 10], [3.0, 2.0], 1.0) is None
+
+    def test_non_monotone_uses_running_min(self):
+        t = time_to_loss([0, 10, 20, 30], [3.0, 1.9, 2.5, 1.0], 2.0)
+        assert t is not None and t < 10.1
+
+    def test_empty(self):
+        assert time_to_loss([], [], 1.0) is None
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        pts = [(1.0, 3.0), (2.0, 2.0), (3.0, 2.5), (4.0, 1.0)]
+        f = pareto_frontier(pts)
+        assert (3.0, 2.5) not in f
+        assert f == [(1.0, 3.0), (2.0, 2.0), (4.0, 1.0)]
+
+    def test_single_point(self):
+        assert pareto_frontier([(1.0, 1.0)]) == [(1.0, 1.0)]
+
+
+class TestLossEquivalentSpeedup:
+    def test_2x_faster_curve(self):
+        ref = ([0, 10, 20, 40], [3.0, 2.5, 2.0, 1.5])
+        target = ([0, 5, 10, 20], [3.0, 2.5, 2.0, 1.5])
+        s = loss_equivalent_speedup(ref, target)
+        assert s == pytest.approx(2.0)
+
+    def test_none_when_reference_never_reaches(self):
+        ref = ([0, 10], [3.0, 2.5])
+        target = ([0, 10], [3.0, 1.0])
+        assert loss_equivalent_speedup(ref, target) is None
+
+    def test_identity_curve_speedup_one(self):
+        c = ([0, 10, 20], [3.0, 2.0, 1.0])
+        assert loss_equivalent_speedup(c, c) == pytest.approx(1.0)

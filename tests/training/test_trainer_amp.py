@@ -1,0 +1,90 @@
+"""Trainer-integrated mixed precision and router weight normalization."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import LMDataset, PileConfig, SyntheticPile
+from repro.moe import Router
+from repro.nn import TransformerLM
+from repro.training import Adam, Trainer, TrainerConfig
+
+
+def _setup(steps=6, **cfg_kw):
+    pile = SyntheticPile(PileConfig(vocab_size=64, num_domains=2), seed=1)
+    ds = LMDataset(pile.token_stream(8_000, 32), seq_len=16)
+    train, val = ds.split(0.1)
+    model = TransformerLM(64, 16, 1, 2, 16, rng=0)
+    cfg = TrainerConfig(
+        global_batch=8, micro_batch=4, max_steps=steps, eval_every=0,
+        log_every=2, **cfg_kw,
+    )
+    return Trainer(
+        model, train, val, cfg,
+        optimizer=Adam(model.parameters(), lr=1e-3),
+        rng=99,  # pinned so parallel trainer instances draw the same batches
+    )
+
+
+class TestTrainerGradScaler:
+    def test_scaler_created_only_when_enabled(self):
+        assert _setup().grad_scaler is None
+        tr = _setup(use_grad_scaler=True)
+        assert tr.grad_scaler is not None
+
+    def test_training_with_scaler_converges(self):
+        tr = _setup(steps=15, use_grad_scaler=True)
+        hist = tr.train()
+        assert hist.records[-1].loss < hist.records[0].loss
+        assert tr.skipped_steps == 0  # no overflows at these magnitudes
+
+    def test_gradients_unscaled_before_step(self):
+        """With and without the scaler, one step lands on (nearly) the
+        same parameters — scaling must be fully transparent."""
+        tr_plain = _setup(steps=1)
+        tr_amp = _setup(steps=1, use_grad_scaler=True)
+        tr_amp.model.load_state_dict(tr_plain.model.state_dict())
+        tr_plain.train_step(0)
+        tr_amp.train_step(0)
+        for (n1, p1), (n2, p2) in zip(
+            tr_plain.model.named_parameters(), tr_amp.model.named_parameters()
+        ):
+            np.testing.assert_allclose(p1.data, p2.data, atol=1e-5, err_msg=n1)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_overflow_skips_step_and_backs_off(self):
+        tr = _setup(steps=1, use_grad_scaler=True)
+        # Poison one parameter so the loss (and gradients) go non-finite.
+        before_scale = tr.grad_scaler.scale
+        for p in tr.optimizer.params:
+            pass
+        p.data[...] = np.inf
+        params_before = tr.model.tok_emb.weight.data.copy()
+        tr.train_step(0)
+        assert tr.skipped_steps == 1
+        assert tr.grad_scaler.scale < before_scale
+        np.testing.assert_array_equal(tr.model.tok_emb.weight.data, params_before)
+
+
+class TestRouterWeightNormalization:
+    def test_top2_weights_sum_to_one_when_normalized(self, rng):
+        r = Router(8, 4, top_k=2, normalize_weights=True, rng=0)
+        res = r(Tensor(rng.standard_normal((12, 8)).astype(np.float32)))
+        np.testing.assert_allclose(res.expert_weights.data.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_unnormalized_weights_are_raw_probabilities(self, rng):
+        r = Router(8, 4, top_k=2, normalize_weights=False, rng=0)
+        res = r(Tensor(rng.standard_normal((12, 8)).astype(np.float32)))
+        assert (res.expert_weights.data.sum(axis=1) < 1.0 + 1e-6).all()
+
+    def test_top1_normalization_is_noop(self, rng):
+        x = rng.standard_normal((12, 8)).astype(np.float32)
+        a = Router(8, 4, top_k=1, normalize_weights=True, rng=0)(Tensor(x.copy()))
+        b = Router(8, 4, top_k=1, normalize_weights=False, rng=0)(Tensor(x.copy()))
+        np.testing.assert_allclose(a.expert_weights.data, b.expert_weights.data)
+
+    def test_normalized_weights_still_differentiable(self, rng):
+        r = Router(8, 4, top_k=2, normalize_weights=True, rng=0, load_balance_coef=0.0)
+        res = r(Tensor(rng.standard_normal((6, 8)).astype(np.float32)))
+        res.expert_weights.sum().backward()
+        assert r.proj.weight.grad is not None

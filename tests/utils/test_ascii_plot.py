@@ -1,0 +1,38 @@
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import line_chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        out = line_chart({"loss": [3, 2, 1], "val": [3.1, 2.5, 2.0]})
+        assert "o loss" in out and "x val" in out
+        body = "\n".join(out.splitlines()[1:-2])  # between the borders
+        assert "o" in body and "x" in body
+
+    def test_title_included(self):
+        out = line_chart({"a": [1, 2]}, title="Figure 7")
+        assert out.splitlines()[0] == "Figure 7"
+
+    def test_empty_series_dict(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_constant_series_no_crash(self):
+        out = line_chart({"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in out
+
+    def test_explicit_x_length_check(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2, 3]}, x=[0, 1])
+
+    def test_bounds_in_labels(self):
+        out = line_chart({"a": [0.0, 10.0]})
+        assert "10" in out and "0" in out
+
+    def test_dimensions(self):
+        out = line_chart({"a": np.linspace(0, 1, 30)}, width=40, height=8)
+        rows = out.splitlines()
+        # header + top + 8 + bottom + legend
+        assert len(rows) == 11
+        assert all(len(r) <= 60 for r in rows)

@@ -1,0 +1,24 @@
+import logging
+
+from repro.utils.logging import get_logger
+
+
+class TestGetLogger:
+    def test_namespace_prefixed(self):
+        lg = get_logger("training")
+        assert lg.name == "repro.training"
+
+    def test_already_namespaced_kept(self):
+        assert get_logger("repro.gpu").name == "repro.gpu"
+
+    def test_root_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_same_logger_instance(self):
+        assert get_logger("x") is get_logger("x")
+
+    def test_handler_attached_once(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1

@@ -1,0 +1,74 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.shapes import broadcast_shapes, ceil_div, prod, round_up
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_remainder(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 128) == 1
+
+    def test_negative_numerator_raises(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestRoundUp:
+    def test_already_multiple(self):
+        assert round_up(256, 128) == 256
+
+    def test_rounds(self):
+        assert round_up(129, 128) == 256
+
+    def test_zero(self):
+        assert round_up(0, 128) == 0
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_properties(self, a, m):
+        r = round_up(a, m)
+        assert r >= a
+        assert r % m == 0
+        assert r - a < m
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1
+
+    def test_values(self):
+        assert prod([2, 3, 4]) == 24
+
+
+class TestBroadcastShapes:
+    def test_same(self):
+        assert broadcast_shapes((2, 3), (2, 3)) == (2, 3)
+
+    def test_ones_expand(self):
+        assert broadcast_shapes((2, 1), (1, 3)) == (2, 3)
+
+    def test_rank_extension(self):
+        assert broadcast_shapes((5, 2, 3), (3,)) == (5, 2, 3)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            broadcast_shapes((2, 3), (2, 4))

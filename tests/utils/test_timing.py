@@ -1,0 +1,44 @@
+from repro.utils.timing import Timer, format_duration
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.elapsed >= 0.0
+        assert t.mean >= 0.0
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.count == 0
+        assert t.elapsed == 0.0
+
+    def test_mean_empty(self):
+        assert Timer().mean == 0.0
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(2.5e-6) == "2.5us"
+
+    def test_milliseconds(self):
+        assert format_duration(3.2e-3) == "3.2ms"
+
+    def test_seconds(self):
+        assert format_duration(12.0) == "12.0s"
+
+    def test_minutes(self):
+        assert format_duration(600.0) == "10.0min"
+
+    def test_hours(self):
+        assert format_duration(7200.0) == "2.0h"
+
+    def test_negative(self):
+        assert format_duration(-0.5).startswith("-")
