@@ -1,7 +1,25 @@
-"""Benchmark-suite configuration: make `harness` importable and default
-pytest-benchmark options sensible for model-level (not nanosecond) runs."""
+"""Benchmark-suite configuration: make `harness` importable, default
+pytest-benchmark options sensible for model-level (not nanosecond) runs,
+and provide the ``--smoke`` flag (equivalent to ``REPRO_BENCH_SMOKE=1``)
+that shrinks every sweep to CI-canary sizes."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at tiny smoke-test sizes",
+    )
+
+
+def pytest_configure(config):
+    # Must happen before any test module imports `harness`, which reads
+    # the environment at import time.
+    if config.getoption("--smoke", default=False):
+        os.environ["REPRO_BENCH_SMOKE"] = "1"

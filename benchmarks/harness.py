@@ -16,6 +16,7 @@ the paper's value next to the measured one and asserts only the *shape*
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -36,14 +37,21 @@ SCALED_SIZES: Dict[str, Tuple[int, int]] = {
     "Medium": (64, 4),
 }
 
+#: Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``pytest --smoke``) shrinks the
+#: training sweeps to seconds so the benchmarks run inside tier-1 CI as
+#: regression canaries; figure-level quality assertions are relaxed, but
+#: every kernel and model path still executes end to end.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+
 VOCAB = 128
 SEQ = 32
 NUM_EXPERTS = 8
 BLOCK_SIZE = 8
 GLOBAL_BATCH = 16
 MICRO_BATCH = 8
-TRAIN_STEPS = 120
-EVAL_EVERY = 15
+TRAIN_STEPS = 10 if SMOKE else 120
+EVAL_EVERY = 5 if SMOKE else 15
+STREAM_TOKENS = 12_000 if SMOKE else 160_000
 
 _pile_cache: Optional[Tuple[LMDataset, LMDataset]] = None
 _run_cache: Dict[tuple, History] = {}
@@ -57,7 +65,7 @@ def pile_data() -> Tuple[LMDataset, LMDataset]:
             PileConfig(vocab_size=VOCAB, num_domains=NUM_EXPERTS, branching=4),
             seed=7,
         )
-        ds = LMDataset(pile.token_stream(160_000, 64), seq_len=SEQ)
+        ds = LMDataset(pile.token_stream(STREAM_TOKENS, 64), seq_len=SEQ)
         _pile_cache = ds.split(0.05)
     return _pile_cache
 

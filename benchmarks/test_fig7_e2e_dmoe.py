@@ -27,10 +27,10 @@ from repro.training import time_to_loss
 from repro.utils.ascii_plot import line_chart
 from repro.utils.timing import format_duration
 
-from harness import SCALED_SIZES, print_header, run_training, val_curve
+from harness import SMOKE, TRAIN_STEPS, print_header, run_training, val_curve
 
 PAPER_TUTEL_SPEEDUPS = {"XS": 1.38, "Small": 2.0, "Medium": 4.35}
-STEPS = 120
+STEPS = TRAIN_STEPS
 
 
 def _step_times():
@@ -88,6 +88,12 @@ def test_fig7_dmoe_vs_dense_quality_speedup(benchmark):
 
     dense_steps, dense_losses = val_curve(dense_hist)
     dmoe_steps, dmoe_losses = val_curve(dmoe_hist)
+    if SMOKE:
+        # Smoke canary: the dMoE training loop (routing, topology cache,
+        # grouped kernels, backward) ran end to end and produced finite
+        # losses; too few steps to assert quality crossover.
+        assert np.isfinite(dmoe_losses).all() and np.isfinite(dense_losses).all()
+        return
     target = float(np.min(dense_losses))  # dense model's best loss
     s_dense = time_to_loss(dense_steps, dense_losses, target)
     s_dmoe = time_to_loss(dmoe_steps, dmoe_losses, target)

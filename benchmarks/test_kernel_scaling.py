@@ -93,15 +93,39 @@ class TestDsdScaling:
 
 
 class TestTopologyConstruction:
-    def test_make_topology_cost(self, benchmark):
-        """§5.2: metadata construction must be cheap (it amortizes over
-        six matrix products)."""
+    def test_make_topology_warm_cache(self, benchmark):
+        """Steady-state cost: repeated routing layouts hit the LRU cache,
+        so the per-step metadata cost is one key build + dict lookup."""
         from repro.core import make_topology
+        from repro.core.topology_builder import clear_topology_cache
         from repro.moe import make_padded_plan
+        from repro.sparse import stats
+
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 64, (8192, 1))
+        plan = make_padded_plan(indices, 64, 128)
+        clear_topology_cache()
+        stats.reset()
+
+        topo = benchmark(lambda: make_topology(plan, 2048))
+        topo.validate()
+        snap = stats.snapshot()["cache"]
+        assert snap["misses"] == 1 and snap["hits"] >= 1
+        print(f"\ntopology cache: {snap['hits']} hits / {snap['misses']} miss")
+
+    def test_make_topology_cold(self, benchmark):
+        """§5.2: even uncached, metadata construction must be cheap (it
+        amortizes over six matrix products)."""
+        from repro.moe import make_padded_plan
+        from repro.sparse import Topology
 
         rng = np.random.default_rng(0)
         indices = rng.integers(0, 64, (8192, 1))
         plan = make_padded_plan(indices, 64, 128)
 
-        topo = benchmark(lambda: make_topology(plan, 2048))
+        topo = benchmark(
+            lambda: Topology.block_diagonal(
+                plan.blocks_per_expert, np.full(64, 2048 // 128), 128
+            )
+        )
         topo.validate()

@@ -113,7 +113,9 @@ class dMoE(Module):
         # (1) Assign tokens to experts.
         routing = self.router(x)
 
-        # (2) Create the sparse matrix topology (Figure 3C).
+        # (2) Create the sparse matrix topology (Figure 3C).  The builder
+        # memoizes by tokens-per-expert layout, so repeated routing
+        # distributions reuse metadata and the grouped-GEMM dispatch plan.
         plan = make_padded_plan(
             routing.expert_indices, self.num_experts, self.block_size
         )

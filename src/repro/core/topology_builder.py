@@ -6,14 +6,80 @@ block-diagonal topology: expert ``e`` owns a group of
 block columns.  The transposed metadata is built at the same time (§5.2)
 and amortized across all six matrix products of the layer's forward and
 backward passes.
+
+Topologies are memoized in a small LRU cache keyed by the block-group
+layout (``blocks_per_expert`` x column widths x block size).  Routing
+distributions repeat constantly during training — identical
+``tokens_per_expert`` vectors yield byte-identical metadata — so steady
+state skips metadata construction (and the dispatch-plan analysis, which
+is warmed here) entirely.  Hit rates are reported through
+:mod:`repro.sparse.stats`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import Sequence, Union
+
 import numpy as np
 
 from repro.moe.permute import PaddedPlan
+from repro.sparse import dispatch, stats
 from repro.sparse.topology import Topology
+
+#: Maximum distinct block-group layouts kept alive.  A Topology's
+#: metadata is a few int32 arrays of length nnz_blocks, so even hundreds
+#: of entries are cheap next to one activation tensor.
+TOPOLOGY_CACHE_SIZE = 256
+
+_cache: "OrderedDict[tuple, Topology]" = OrderedDict()
+
+
+def clear_topology_cache() -> None:
+    _cache.clear()
+
+
+def topology_cache_len() -> int:
+    return len(_cache)
+
+
+def cached_block_diagonal_topology(
+    rows_per_block_group: np.ndarray,
+    cols_per_block_group: Union[int, Sequence[int], np.ndarray],
+    block_size: int,
+) -> Topology:
+    """LRU-cached :meth:`Topology.block_diagonal`.
+
+    ``cols_per_block_group`` may be a scalar (uniform experts — the dMoE
+    case) or a per-group array (variable-sized experts).  The returned
+    Topology is shared between callers and must be treated as immutable
+    (it already is: a frozen dataclass over index arrays nobody mutates).
+    """
+    rows_per = np.asarray(rows_per_block_group, dtype=np.int64)
+    if np.ndim(cols_per_block_group) == 0:
+        cols_per = np.full(len(rows_per), int(cols_per_block_group), np.int64)
+        cols_key: tuple = (int(cols_per_block_group),)
+    else:
+        cols_per = np.asarray(cols_per_block_group, dtype=np.int64)
+        cols_key = tuple(int(c) for c in cols_per)
+    key = (int(block_size), cols_key, tuple(int(r) for r in rows_per))
+
+    topo = _cache.get(key)
+    if topo is not None:
+        _cache.move_to_end(key)
+        stats.record_cache("hits")
+        return topo
+
+    stats.record_cache("misses")
+    topo = Topology.block_diagonal(rows_per, cols_per, block_size)
+    # Warm the grouped-GEMM dispatch plan while we are paying the
+    # construction cost anyway; every later kernel call reads it cached.
+    dispatch.analyze(topo)
+    _cache[key] = topo
+    if len(_cache) > TOPOLOGY_CACHE_SIZE:
+        _cache.popitem(last=False)
+        stats.record_cache("evictions")
+    return topo
 
 
 def make_topology(plan: PaddedPlan, ffn_hidden_size: int) -> Topology:
@@ -29,12 +95,8 @@ def make_topology(plan: PaddedPlan, ffn_hidden_size: int) -> Topology:
             f"ffn_hidden_size={ffn_hidden_size} must be a multiple of the "
             f"block size {bs} (paper §5.2 pads tokens, not features)"
         )
-    num_experts = len(plan.padded_tokens_per_expert)
-    ffn_blocks = ffn_hidden_size // bs
-    return Topology.block_diagonal(
-        rows_per_block_group=plan.blocks_per_expert,
-        cols_per_block_group=np.full(num_experts, ffn_blocks, dtype=np.int64),
-        block_size=bs,
+    return cached_block_diagonal_topology(
+        plan.blocks_per_expert, ffn_hidden_size // bs, bs
     )
 
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.autograd import ACTIVATIONS, getitem
 from repro.autograd.tensor import Tensor
+from repro.core.topology_builder import cached_block_diagonal_topology
 from repro.moe.permute import (
     PaddedPlan,
     make_padded_plan,
@@ -128,10 +129,8 @@ class VariableSizedDMoE(Module):
 
     def _make_topology(self, plan: PaddedPlan) -> Topology:
         cols_per_group = self.experts.ffn_hidden_sizes // self.block_size
-        return Topology.block_diagonal(
-            rows_per_block_group=plan.blocks_per_expert,
-            cols_per_block_group=cols_per_group,
-            block_size=self.block_size,
+        return cached_block_diagonal_topology(
+            plan.blocks_per_expert, cols_per_group, self.block_size
         )
 
     def forward(self, x: Tensor) -> Tuple[Tensor, Optional[Tensor]]:

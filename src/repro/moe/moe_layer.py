@@ -150,7 +150,9 @@ class DynamicCapacityMoELayer(MoELayer):
         )
         capacity = max(int(counts.max()), 1)
         self.last_dynamic_capacity = capacity
-        plan = make_dropping_plan(routing.expert_indices, self.num_experts, capacity)
+        plan = make_dropping_plan(
+            routing.expert_indices, self.num_experts, capacity, counts=counts
+        )
         if plan.num_dropped:
             raise AssertionError("dynamic capacity must never drop tokens")
         self.last_plan = plan

@@ -167,8 +167,13 @@ def make_dropping_plan(
     expert_indices: np.ndarray,
     num_experts: int,
     capacity: int,
+    counts: np.ndarray = None,
 ) -> DroppingPlan:
-    """Build the fixed-capacity dispatch plan (earliest tokens keep slots)."""
+    """Build the fixed-capacity dispatch plan (earliest tokens keep slots).
+
+    ``counts`` may pass in a precomputed per-expert assignment histogram
+    (callers that size the capacity from it already have one).
+    """
     idx = np.asarray(expert_indices)
     if idx.ndim == 1:
         idx = idx[:, None]
@@ -178,7 +183,9 @@ def make_dropping_plan(
     flat = idx.reshape(-1)
 
     order = np.argsort(flat, kind="stable")
-    counts = np.bincount(flat, minlength=num_experts).astype(np.int64)
+    if counts is None:
+        counts = np.bincount(flat, minlength=num_experts)
+    counts = np.asarray(counts, dtype=np.int64)
     sorted_starts = np.concatenate([[0], np.cumsum(counts)])[:-1]
 
     dispatch_tokens = np.full((num_experts, capacity), -1, dtype=np.int64)

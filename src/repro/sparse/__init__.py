@@ -6,11 +6,18 @@ Public surface:
   indices (paper §5.1.3-§5.1.4, Figure 5).
 - :class:`BlockSparseMatrix` — topology + per-block values.
 - :func:`sdd` / :func:`dsd` / :func:`dds` — the kernel family with all
-  transpose variants (paper §5.1, Triton-style naming).
+  transpose variants (paper §5.1, Triton-style naming).  Each call is
+  routed by :mod:`repro.sparse.dispatch`: block-diagonal (row-sorted
+  rectangular) topologies take a grouped-GEMM fast path, everything else
+  the general per-block path with segment-reduction accumulation.
 - :func:`sdd_mm` / :func:`dsd_mm` — autograd-wrapped kernels used by the
   dMoE layer.
+- :mod:`repro.sparse.stats` — per-op invocation/FLOP counters and
+  topology-cache hit rates for benchmark reporting.
 """
 
+from repro.sparse import dispatch, stats
+from repro.sparse.dispatch import DispatchPlan, dispatch_mode
 from repro.sparse.topology import Topology, metadata_bytes
 from repro.sparse.matrix import BlockSparseMatrix
 from repro.sparse.ops import add_bias_columns, dds, dsd, map_values, sdd
@@ -50,6 +57,10 @@ __all__ = [
     "random_block_sparse",
     "ablation",
     "linalg",
+    "dispatch",
+    "stats",
+    "DispatchPlan",
+    "dispatch_mode",
     "banded_causal_topology",
     "causal_block_mask",
     "sparse_causal_softmax",

@@ -83,7 +83,15 @@ class _SparseBiasAdd(Function):
         bs = topology.block_size
         gbias_blocks = grad.sum(axis=1)  # (nnz, bs): sum over block rows
         gbias = np.zeros((topology.block_cols, bs), dtype=grad.dtype)
-        np.add.at(gbias, topology.column_indices, gbias_blocks)
+        # Walk the per-block sums in transpose (column-sorted) order so the
+        # per-column accumulation is a segment reduction, not a scatter-add.
+        offsets = topology.transpose_row_offsets
+        nonempty = np.flatnonzero(np.diff(offsets) > 0)
+        if len(nonempty):
+            sorted_blocks = gbias_blocks[topology.transpose_block_offsets]
+            gbias[nonempty] = np.add.reduceat(
+                sorted_blocks, offsets[nonempty].astype(np.intp), axis=0
+            )
         return grad, gbias.reshape(-1)
 
 

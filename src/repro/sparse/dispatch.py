@@ -1,0 +1,304 @@
+"""Kernel dispatch: grouped-GEMM fast path for row-sorted rectangular
+topologies.
+
+The per-block kernels in :mod:`repro.sparse.ops` treat every nonzero
+block independently: gather one ``(bs, bs)`` operand copy per block,
+batched-matmul, scatter-accumulate.  That is fully general, but the
+topology a dMoE layer actually produces (Figure 3C) is *block-diagonal*:
+each expert owns a fully dense rectangle of blocks over a contiguous row
+range and a contiguous column range, and the BCSR value order lays those
+rectangles out back to back.  For such topologies every sparse product
+collapses to one plain ``np.matmul`` per expert group over zero-copy row
+and column *slices* of the dense operands — a grouped GEMM — with no
+per-block gather and no scatter-add at all.  This is the structure
+exploitation ScatterMoE and Megatron-Core's grouped GEMM use to reach
+dense throughput, applied to the NumPy substrate.
+
+``analyze`` recognizes the structure (cached per ``Topology``), and the
+``grouped_*`` kernels execute all eight SDD/DSD/DDS transpose variants
+on it.  Validity per variant:
+
+=========  =========================  ==================================
+Variant    Output indexed by          Extra requirement beyond groups
+=========  =========================  ==================================
+SDD        value array (per group)    none
+DSD        group row ranges           none (row ranges always disjoint)
+DS^TD      group column ranges        column ranges pairwise disjoint
+DDS        group column ranges        column ranges pairwise disjoint
+DDS^T      group row ranges           none
+=========  =========================  ==================================
+
+Column-range disjointness holds for every block-diagonal topology
+(including ragged and empty experts) but not, e.g., for banded attention
+patterns — those variants fall back to the per-block path there.
+
+The dispatch decision is ``auto`` by default (grouped when valid and the
+groups are coarse enough to beat the batched per-block path); tests and
+benchmarks can force either path via :func:`set_mode` /
+:func:`dispatch_mode`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.topology import Topology
+
+#: ``auto`` picks per topology; ``grouped`` / ``blocked`` force a path
+#: (grouped still requires a valid plan — invalid structure falls back).
+_MODE = "auto"
+
+#: In ``auto`` mode the grouped path fires only when groups average at
+#: least this many blocks; finer groupings (e.g. shifting attention
+#: bands) degrade into a Python loop of tiny matmuls and the batched
+#: per-block path wins.
+MIN_BLOCKS_PER_GROUP = 4
+
+_PLAN_ATTR = "_dispatch_plan"
+
+
+def set_mode(mode: str) -> None:
+    """Set the global dispatch mode: ``auto`` | ``grouped`` | ``blocked``."""
+    global _MODE
+    if mode not in ("auto", "grouped", "blocked"):
+        raise ValueError(f"unknown dispatch mode {mode!r}")
+    _MODE = mode
+
+
+def get_mode() -> str:
+    return _MODE
+
+
+@contextmanager
+def dispatch_mode(mode: str):
+    """Temporarily force a dispatch mode (used by equivalence tests)."""
+    prev = get_mode()
+    set_mode(mode)
+    try:
+        yield
+    finally:
+        set_mode(prev)
+
+
+# ----------------------------------------------------------------------
+# Structure detection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DispatchPlan:
+    """Group decomposition of a row-sorted rectangular topology.
+
+    Group ``g`` is the fully dense rectangle of blocks covering block
+    rows ``[row_start[g], row_start[g] + row_count[g])`` and block
+    columns ``[col_start[g], col_start[g] + col_count[g])``; its values
+    occupy the contiguous slice ``[val_start[g], val_start[g] +
+    row_count[g] * col_count[g])`` of the BCSR value array, row-major.
+    """
+
+    row_start: np.ndarray
+    row_count: np.ndarray
+    col_start: np.ndarray
+    col_count: np.ndarray
+    val_start: np.ndarray
+    cols_disjoint: bool
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.row_start)
+
+    @property
+    def nnz_blocks(self) -> int:
+        return int((self.row_count * self.col_count).sum())
+
+    @property
+    def mean_blocks_per_group(self) -> float:
+        g = self.num_groups
+        return self.nnz_blocks / g if g else 0.0
+
+
+def _build_plan(topo: Topology) -> DispatchPlan | None:
+    """Decompose ``topo`` into dense rectangular groups, or ``None``.
+
+    Requirements: within each block row the nonzero columns form one
+    contiguous range, and consecutive rows with *identical* ranges merge
+    into a group (an empty row or a range change starts a new group).
+    Block-diagonal MoE topologies — uniform, ragged, or with empty
+    experts — always qualify.
+    """
+    if topo.nnz_blocks == 0:
+        return None
+    offsets = topo.row_offsets.astype(np.int64)
+    counts = np.diff(offsets)
+    nonempty = counts > 0
+    ne_rows = np.flatnonzero(nonempty)
+
+    cols = topo.column_indices
+    first = cols[offsets[ne_rows]].astype(np.int64)
+    last = cols[offsets[ne_rows + 1] - 1].astype(np.int64)
+    ne_counts = counts[ne_rows]
+    # Canonical BCSR has strictly increasing columns per row, so span
+    # equal to count means the range is contiguous (and fully dense).
+    if not np.array_equal(last - first + 1, ne_counts):
+        return None
+
+    # A group break between consecutive nonempty rows happens when they
+    # are not adjacent (an empty row intervenes) or their ranges differ.
+    if len(ne_rows) > 1:
+        breaks = (
+            (np.diff(ne_rows) != 1)
+            | (np.diff(first) != 0)
+            | (np.diff(ne_counts) != 0)
+        )
+        starts = np.concatenate([[0], np.flatnonzero(breaks) + 1])
+        ends = np.concatenate([starts[1:], [len(ne_rows)]])
+    else:
+        starts = np.array([0])
+        ends = np.array([1])
+
+    row_start = ne_rows[starts]
+    row_count = ne_rows[ends - 1] - row_start + 1
+    col_start = first[starts]
+    col_count = ne_counts[starts]
+    val_start = offsets[row_start]
+
+    order = np.argsort(col_start, kind="stable")
+    s, c = col_start[order], col_count[order]
+    cols_disjoint = bool(np.all(s[1:] >= (s + c)[:-1])) if len(s) > 1 else True
+    return DispatchPlan(
+        row_start=row_start,
+        row_count=row_count,
+        col_start=col_start,
+        col_count=col_count,
+        val_start=val_start,
+        cols_disjoint=cols_disjoint,
+    )
+
+
+def analyze(topo: Topology) -> DispatchPlan | None:
+    """The (cached) dispatch plan of ``topo``, or ``None`` if it has no
+    rectangular group structure."""
+    cached = topo.__dict__.get(_PLAN_ATTR, _UNSET)
+    if cached is _UNSET:
+        cached = _build_plan(topo)
+        # Topology is a frozen dataclass; the plan is derived metadata,
+        # so stashing it on the instance keeps the cache lifetime tied
+        # to the topology itself.
+        object.__setattr__(topo, _PLAN_ATTR, cached)
+    return cached
+
+
+_UNSET = object()
+
+
+def use_grouped(plan: DispatchPlan | None, needs_disjoint_cols: bool) -> bool:
+    """Dispatch decision for one kernel call."""
+    if plan is None:
+        return False
+    if needs_disjoint_cols and not plan.cols_disjoint:
+        return False
+    if _MODE == "blocked":
+        return False
+    if _MODE == "grouped":
+        return True
+    return plan.mean_blocks_per_group >= MIN_BLOCKS_PER_GROUP
+
+
+# ----------------------------------------------------------------------
+# Grouped executors.  All take effective (logical) operands as views —
+# callers resolve trans_a/trans_b by passing ``a.T`` / ``b.T`` — so the
+# only copies are the per-group block-layout shuffles.
+# ----------------------------------------------------------------------
+def _group_values(values: np.ndarray, v0: int, r: int, c: int) -> np.ndarray:
+    """Dense ``(r*bs, c*bs)`` matrix of one group (one contiguous copy)."""
+    bs = values.shape[-1]
+    return (
+        values[v0 : v0 + r * c]
+        .reshape(r, c, bs, bs)
+        .swapaxes(1, 2)
+        .reshape(r * bs, c * bs)
+    )
+
+
+def grouped_sdd(
+    a_eff: np.ndarray,
+    b_eff: np.ndarray,
+    topo: Topology,
+    plan: DispatchPlan,
+    out_dtype: np.dtype,
+) -> np.ndarray:
+    """Values of ``A_eff @ B_eff`` sampled at ``topo``: one GEMM per group
+    over contiguous row/column slices, written straight into the BCSR
+    value layout."""
+    bs = topo.block_size
+    # Every nonzero block belongs to exactly one group, so each value
+    # slice is written exactly once — no zero-init needed.
+    values = np.empty((topo.nnz_blocks, bs, bs), dtype=out_dtype)
+    for g in range(plan.num_groups):
+        r0, r = plan.row_start[g], plan.row_count[g]
+        c0, c = plan.col_start[g], plan.col_count[g]
+        v0 = plan.val_start[g]
+        prod = np.matmul(
+            a_eff[r0 * bs : (r0 + r) * bs], b_eff[:, c0 * bs : (c0 + c) * bs]
+        )
+        values[v0 : v0 + r * c].reshape(r, c, bs, bs)[...] = prod.reshape(
+            r, bs, c, bs
+        ).swapaxes(1, 2)
+    return values
+
+
+def grouped_dsd(
+    values: np.ndarray,
+    b_eff: np.ndarray,
+    topo: Topology,
+    plan: DispatchPlan,
+    trans_s: bool,
+    out_dtype: np.dtype,
+) -> np.ndarray:
+    """``(S op) @ B_eff`` with one GEMM per group, scatter-free."""
+    bs = topo.block_size
+    rows_s, cols_s = topo.shape
+    m_eff = cols_s if trans_s else rows_s
+    out = np.zeros((m_eff, b_eff.shape[1]), dtype=out_dtype)
+    for g in range(plan.num_groups):
+        r0, r = plan.row_start[g], plan.row_count[g]
+        c0, c = plan.col_start[g], plan.col_count[g]
+        s_g = _group_values(values, plan.val_start[g], r, c)
+        if trans_s:
+            out[c0 * bs : (c0 + c) * bs] = np.matmul(
+                s_g.T, b_eff[r0 * bs : (r0 + r) * bs]
+            )
+        else:
+            out[r0 * bs : (r0 + r) * bs] = np.matmul(
+                s_g, b_eff[c0 * bs : (c0 + c) * bs]
+            )
+    return out
+
+
+def grouped_dds(
+    a_eff: np.ndarray,
+    values: np.ndarray,
+    topo: Topology,
+    plan: DispatchPlan,
+    trans_s: bool,
+    out_dtype: np.dtype,
+) -> np.ndarray:
+    """``A_eff @ (S op)`` with one GEMM per group, scatter-free."""
+    bs = topo.block_size
+    rows_s, cols_s = topo.shape
+    n_eff = rows_s if trans_s else cols_s
+    out = np.zeros((a_eff.shape[0], n_eff), dtype=out_dtype)
+    for g in range(plan.num_groups):
+        r0, r = plan.row_start[g], plan.row_count[g]
+        c0, c = plan.col_start[g], plan.col_count[g]
+        s_g = _group_values(values, plan.val_start[g], r, c)
+        if trans_s:
+            out[:, r0 * bs : (r0 + r) * bs] = np.matmul(
+                a_eff[:, c0 * bs : (c0 + c) * bs], s_g.T
+            )
+        else:
+            out[:, c0 * bs : (c0 + c) * bs] = np.matmul(
+                a_eff[:, r0 * bs : (r0 + r) * bs], s_g
+            )
+    return out

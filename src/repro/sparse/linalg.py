@@ -71,7 +71,12 @@ def row_block_norms(a: BlockSparseMatrix) -> np.ndarray:
     topo = a.topology
     sq = (a.values.astype(np.float64) ** 2).sum(axis=(1, 2))
     out = np.zeros(topo.block_rows)
-    np.add.at(out, topo.row_indices, sq)
+    # Values are BCSR (row-sorted), so per-row sums are segment reductions.
+    nonempty = np.flatnonzero(np.diff(topo.row_offsets) > 0)
+    if len(nonempty):
+        out[nonempty] = np.add.reduceat(
+            sq, topo.row_offsets[nonempty].astype(np.intp)
+        )
     return np.sqrt(out)
 
 

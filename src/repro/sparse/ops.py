@@ -16,20 +16,33 @@ DD^TS       ``dds(x, dh, trans_a=True)``             layer-1 weight grad
 DDS / DDS^T ``dds(a, s[, trans_s=True])``            completeness
 ==========  =======================================  ======================
 
-Each "threadblock" (one output block) is one slice of a batched einsum; the
-gather patterns mirror the hardware kernels:
+Every op is served by one of two paths, chosen by
+:mod:`repro.sparse.dispatch`:
 
-- SDD looks up output coordinates through the COO ``row_indices`` —
-  the hybrid blocked-CSR-COO mechanism of §5.1.3.
-- ``trans_s`` paths walk the value array through
-  ``transpose_block_offsets`` — the transpose indices of §5.1.4 — never
-  materializing a transposed copy of the values.
+- **Grouped-GEMM fast path**: when the topology decomposes into dense
+  rectangular groups (the block-diagonal dMoE structure of Figure 3C),
+  each group is one plain ``np.matmul`` over contiguous slices — no
+  per-block gather, no scatter, no transpose-index walk.
+- **Per-block path**: fully general.  Each "threadblock" (one output
+  block) is one slice of a batched matmul; the gather patterns mirror
+  the hardware kernels (COO ``row_indices`` for SDD per §5.1.3, the
+  §5.1.4 transpose secondary index for ``trans_s``), and accumulation
+  uses *segment reductions* (``np.add.reduceat`` over the BCSR /
+  transpose row pointers, valid because both orders keep output rows
+  sorted) instead of scatter-add.
+
+All ops accept an explicit ``dtype``; by default the output dtype is
+``np.result_type(a.dtype, b.dtype)`` and is enforced on every path, so a
+float32 network stays float32 end to end.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.sparse import dispatch, stats
 from repro.sparse.matrix import BlockSparseMatrix
 from repro.sparse.topology import Topology
 
@@ -84,6 +97,35 @@ def _stripe_view(b: np.ndarray, bs: int, transposed: bool) -> np.ndarray:
     return b.reshape(k // bs, bs, n)
 
 
+def _out_dtype(a: np.ndarray, b: np.ndarray, dtype) -> np.dtype:
+    """Requested output dtype, defaulting to the operands' common type.
+
+    ``np.result_type`` on the *dtypes* (never the values) keeps float32
+    inputs producing float32 outputs on every path.
+    """
+    if dtype is not None:
+        return np.dtype(dtype)
+    return np.result_type(a.dtype, b.dtype)
+
+
+def _segment_reduce(
+    prod: np.ndarray, offsets: np.ndarray, out: np.ndarray
+) -> None:
+    """Sum ``prod`` slices into ``out`` rows by the segment pointer
+    ``offsets`` (``out`` row ``r`` owns ``prod[offsets[r]:offsets[r+1]]``).
+
+    ``prod`` must already be sorted by output row — true of BCSR order
+    (``row_offsets``) and of transpose order (``transpose_row_offsets``)
+    — which is what makes the scatter-free ``reduceat`` valid.  Empty
+    segments are excluded up front because ``reduceat`` would return the
+    *next* element for them rather than zero.
+    """
+    nonempty = np.flatnonzero(np.diff(offsets) > 0)
+    if len(nonempty):
+        starts = offsets[nonempty].astype(np.intp)
+        out[nonempty] = np.add.reduceat(prod, starts, axis=0)
+
+
 # ----------------------------------------------------------------------
 # SDD: dense x dense -> sparse (sampled by the output topology)
 # ----------------------------------------------------------------------
@@ -93,14 +135,16 @@ def sdd(
     topology: Topology,
     trans_a: bool = False,
     trans_b: bool = False,
+    dtype=None,
 ) -> BlockSparseMatrix:
     """Compute ``(A op) @ (B op)`` only at the nonzero blocks of ``topology``.
 
-    One batched-matmul slice per nonzero block; the block's output
-    coordinates come straight from the hybrid COO ``row_indices`` /
-    ``column_indices`` (no search through ``row_offsets``, no threadblock
-    over-launch — see §5.1.3 and the ablation in
-    :mod:`repro.sparse.ablation`).
+    Grouped path: one GEMM per dense rectangular group, writing straight
+    into the BCSR value layout.  Per-block path: one batched-matmul slice
+    per nonzero block; the block's output coordinates come straight from
+    the hybrid COO ``row_indices`` / ``column_indices`` (no search
+    through ``row_offsets``, no threadblock over-launch — see §5.1.3 and
+    the ablation in :mod:`repro.sparse.ablation`).
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -116,10 +160,21 @@ def sdd(
         )
     if k_a != k_b:
         raise ValueError(f"inner dimensions disagree: {k_a} vs {k_b}")
+    out_dtype = _out_dtype(a, b, dtype)
+    flops = 2 * topology.nnz * k_a
+
+    plan = dispatch.analyze(topology)
+    if dispatch.use_grouped(plan, needs_disjoint_cols=False):
+        a_eff = a.T if trans_a else a
+        b_eff = b.T if trans_b else b
+        values = dispatch.grouped_sdd(a_eff, b_eff, topology, plan, out_dtype)
+        stats.record_op("sdd", stats.PATH_GROUPED, flops)
+        return BlockSparseMatrix(topology, values)
 
     a_blocks = _row_block_view(a, bs, trans_a)[topology.row_indices]
     b_blocks = _col_block_view(b, bs, trans_b)[topology.column_indices]
-    values = np.matmul(a_blocks, b_blocks)
+    values = np.matmul(a_blocks, b_blocks).astype(out_dtype, copy=False)
+    stats.record_op("sdd", stats.PATH_BLOCKED, flops)
     return BlockSparseMatrix(topology, values)
 
 
@@ -131,14 +186,22 @@ def dsd(
     b: np.ndarray,
     trans_s: bool = False,
     trans_b: bool = False,
+    dtype=None,
 ) -> np.ndarray:
     """Compute ``(S op) @ (B op)`` densely.
 
-    - ``trans_s=False``: BCSR row iteration (the easy direction).
-    - ``trans_s=True`` (DS^TD, the weight-gradient op): the value array is
-      walked through the transpose secondary index; per-block transposes
-      happen in registers (``swapaxes`` on gathered views).  This is the
+    Per-block path:
+
+    - ``trans_s=False``: BCSR row iteration, segment-summed through
+      ``row_offsets``.
+    - ``trans_s=True`` (DS^TD, the weight-gradient op): the value array
+      is walked through the transpose secondary index; per-block
+      transposes happen in registers (``swapaxes`` on gathered views)
+      and the segment sum rides ``transpose_row_offsets``.  This is the
       access pattern the paper notes has reduced spatial locality.
+
+    Grouped path: one GEMM per group; ``trans_s`` transposes the group's
+    dense block directly, skipping the transpose index entirely.
     """
     b = np.asarray(b)
     topo = s.topology
@@ -151,21 +214,32 @@ def dsd(
         raise ValueError(
             f"inner dimensions disagree: sparse gives {k_eff}, dense gives {k_b}"
         )
+    out_dtype = _out_dtype(s.values, b, dtype)
+    op_name = "ds^td" if trans_s else "dsd"
+    flops = 2 * topo.nnz * n_eff
+
+    plan = dispatch.analyze(topo)
+    if dispatch.use_grouped(plan, needs_disjoint_cols=trans_s):
+        b_eff = b.T if trans_b else b
+        out = dispatch.grouped_dsd(s.values, b_eff, topo, plan, trans_s, out_dtype)
+        stats.record_op(op_name, stats.PATH_GROUPED, flops)
+        return out
 
     stripes = _stripe_view(b, bs, trans_b)
-    out = np.zeros((m_eff // bs, bs, n_eff), dtype=np.result_type(s.values, b))
+    out = np.zeros((m_eff // bs, bs, n_eff), dtype=out_dtype)
     if topo.nnz_blocks:
         if trans_s:
             order = topo.transpose_block_offsets
             block_values = np.swapaxes(s.values[order], -1, -2)
-            out_rows = topo.column_indices[order]
             stripe_ids = topo.row_indices[order]
+            offsets = topo.transpose_row_offsets
         else:
             block_values = s.values
-            out_rows = topo.row_indices
             stripe_ids = topo.column_indices
+            offsets = topo.row_offsets
         prod = np.matmul(block_values, stripes[stripe_ids])
-        np.add.at(out, out_rows, prod)
+        _segment_reduce(prod, offsets, out)
+    stats.record_op(op_name, stats.PATH_BLOCKED, flops)
     return out.reshape(m_eff, n_eff)
 
 
@@ -177,12 +251,19 @@ def dds(
     s: BlockSparseMatrix,
     trans_a: bool = False,
     trans_s: bool = False,
+    dtype=None,
 ) -> np.ndarray:
     """Compute ``(A op) @ (S op)`` densely.
 
+    Per-block path:
+
     - ``trans_s=True`` (DDS^T) iterates block rows of S directly (BCSR).
-    - ``trans_s=False`` needs S in column order, so it gathers through the
-      transpose secondary index, like DSD's ``trans_s`` path.
+    - ``trans_s=False`` needs S in column order, so it gathers through
+      the transpose secondary index, like DSD's ``trans_s`` path.
+
+    Both directions produce products sorted by output block *column*, so
+    the accumulation is a segment reduction and the result is written
+    directly into the output layout (no transposed staging copy).
     """
     a = np.asarray(a)
     topo = s.topology
@@ -195,6 +276,16 @@ def dds(
         raise ValueError(
             f"inner dimensions disagree: dense gives {k_a}, sparse gives {k_eff}"
         )
+    out_dtype = _out_dtype(a, s.values, dtype)
+    op_name = "dds^t" if trans_s else "dds"
+    flops = 2 * topo.nnz * m_eff
+
+    plan = dispatch.analyze(topo)
+    if dispatch.use_grouped(plan, needs_disjoint_cols=not trans_s):
+        a_eff = a.T if trans_a else a
+        out = dispatch.grouped_dds(a_eff, s.values, topo, plan, trans_s, out_dtype)
+        stats.record_op(op_name, stats.PATH_GROUPED, flops)
+        return out
 
     # (num_stripes, M, bs) view: stripe i is columns i*bs:(i+1)*bs of A_eff.
     if trans_a:
@@ -202,20 +293,28 @@ def dds(
     else:
         stripes = a.reshape(m_eff, k_a // bs, bs).transpose(1, 0, 2)
 
-    out = np.zeros((n_eff // bs, m_eff, bs), dtype=np.result_type(a, s.values))
+    out = np.zeros((m_eff, n_eff // bs, bs), dtype=out_dtype)
     if topo.nnz_blocks:
         if trans_s:
             block_values = np.swapaxes(s.values, -1, -2)
-            out_cols = topo.row_indices
             stripe_ids = topo.column_indices
+            offsets = topo.row_offsets
         else:
             order = topo.transpose_block_offsets
             block_values = s.values[order]
-            out_cols = topo.column_indices[order]
             stripe_ids = topo.row_indices[order]
+            offsets = topo.transpose_row_offsets
         prod = np.matmul(stripes[stripe_ids], block_values)
-        np.add.at(out, out_cols, prod)
-    return np.ascontiguousarray(out.transpose(1, 0, 2)).reshape(m_eff, n_eff)
+        nonempty = np.flatnonzero(np.diff(offsets) > 0)
+        if len(nonempty):
+            starts = offsets[nonempty].astype(np.intp)
+            # (segments, M, bs) summed in sorted column order, assigned
+            # straight into the (M, col_block, bs) output view.
+            out[:, nonempty, :] = np.add.reduceat(prod, starts, axis=0).transpose(
+                1, 0, 2
+            )
+    stats.record_op(op_name, stats.PATH_BLOCKED, flops)
+    return out.reshape(m_eff, n_eff)
 
 
 # ----------------------------------------------------------------------

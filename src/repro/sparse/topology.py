@@ -109,22 +109,20 @@ class Topology:
 
         block_rows = int(rows_per.sum())
         block_cols = int(cols_per.sum())
-        row_starts = np.concatenate([[0], np.cumsum(rows_per)])
         col_starts = np.concatenate([[0], np.cumsum(cols_per)])
 
-        rows_list = []
-        cols_list = []
-        for e in range(len(rows_per)):
-            r = np.arange(row_starts[e], row_starts[e + 1])
-            c = np.arange(col_starts[e], col_starts[e + 1])
-            rr, cc = np.meshgrid(r, c, indexing="ij")
-            rows_list.append(rr.reshape(-1))
-            cols_list.append(cc.reshape(-1))
-        rows = (
-            np.concatenate(rows_list) if rows_list else np.zeros(0, dtype=np.int64)
-        )
+        # Vectorized nonzero enumeration (no per-group Python loop): each
+        # block row of group ``e`` holds ``cols_per[e]`` nonzeros starting
+        # at ``col_starts[e]``, laid out row-major.
+        cols_per_row = np.repeat(cols_per, rows_per)  # (block_rows,)
+        col_start_per_row = np.repeat(col_starts[:-1], rows_per)
+        rows = np.repeat(np.arange(block_rows, dtype=np.int64), cols_per_row)
+        nnz = int(cols_per_row.sum())
+        row_first = np.concatenate([[0], np.cumsum(cols_per_row)])[:-1]
         cols = (
-            np.concatenate(cols_list) if cols_list else np.zeros(0, dtype=np.int64)
+            np.arange(nnz, dtype=np.int64)
+            - np.repeat(row_first, cols_per_row)
+            + np.repeat(col_start_per_row, cols_per_row)
         )
 
         row_offsets = np.zeros(block_rows + 1, dtype=INDEX_DTYPE)

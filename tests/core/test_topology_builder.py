@@ -2,7 +2,14 @@ import numpy as np
 import pytest
 
 from repro.core import expert_of_padded_row, make_topology
+from repro.core.topology_builder import (
+    TOPOLOGY_CACHE_SIZE,
+    cached_block_diagonal_topology,
+    clear_topology_cache,
+    topology_cache_len,
+)
 from repro.moe import make_padded_plan
+from repro.sparse import stats
 
 
 class TestMakeTopology:
@@ -28,6 +35,50 @@ class TestMakeTopology:
         plan = make_padded_plan(np.array([[0]]), 1, block_size=4)
         with pytest.raises(ValueError):
             make_topology(plan, ffn_hidden_size=6)
+
+
+class TestTopologyCache:
+    def setup_method(self):
+        clear_topology_cache()
+        stats.reset()
+
+    def test_repeated_layout_returns_same_object(self):
+        idx = np.array([[0]] * 5 + [[2]] * 1)
+        plan_a = make_padded_plan(idx, 3, block_size=4)
+        plan_b = make_padded_plan(idx, 3, block_size=4)
+        topo_a = make_topology(plan_a, ffn_hidden_size=8)
+        topo_b = make_topology(plan_b, ffn_hidden_size=8)
+        assert topo_a is topo_b
+        snap = stats.snapshot()["cache"]
+        assert snap == {"hits": 1, "misses": 1, "evictions": 0}
+        assert stats.cache_hit_rate() == 0.5
+
+    def test_different_layouts_are_distinct(self):
+        a = cached_block_diagonal_topology(np.array([1, 2]), 2, 4)
+        b = cached_block_diagonal_topology(np.array([2, 1]), 2, 4)
+        assert a is not b
+        assert topology_cache_len() == 2
+
+    def test_scalar_and_array_columns_share_entries(self):
+        a = cached_block_diagonal_topology(np.array([1, 2]), 3, 4)
+        b = cached_block_diagonal_topology(np.array([1, 2]), np.array([3, 3]), 4)
+        # Uniform widths hash differently as scalar vs per-group key, but
+        # both produce valid equal topologies.
+        assert a == b
+
+    def test_lru_eviction(self):
+        for i in range(TOPOLOGY_CACHE_SIZE + 3):
+            cached_block_diagonal_topology(np.array([1 + i]), 1, 2)
+        assert topology_cache_len() == TOPOLOGY_CACHE_SIZE
+        assert stats.snapshot()["cache"]["evictions"] == 3
+
+    def test_cached_topology_is_valid_and_plan_warmed(self):
+        topo = cached_block_diagonal_topology(np.array([2, 0, 3]), 2, 4)
+        topo.validate()
+        from repro.sparse import dispatch
+
+        assert "_dispatch_plan" in topo.__dict__
+        assert dispatch.analyze(topo).num_groups == 2
 
 
 class TestExpertOfPaddedRow:
