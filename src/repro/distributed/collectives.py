@@ -14,6 +14,35 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+# ----------------------------------------------------------------------
+# Fault-injection hook (see repro.resilience.faults).
+#
+# When installed, every collective routes its computation through
+# ``hook.run_collective(op, world, payloads, compute)``: the hook may
+# raise ``CollectiveFault`` (simulating a dead rank / network failure),
+# substitute corrupted payloads, or account simulated latency, and its
+# retry policy may re-invoke ``compute``.  With no hook installed the
+# collectives behave exactly as before — the hook costs one ``is None``
+# check per call.
+# ----------------------------------------------------------------------
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook) -> None:
+    """Install (or clear, with ``None``) the process-wide fault hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
+
+def get_fault_hook():
+    return _FAULT_HOOK
+
+
+def _execute(op: str, world: int, payloads, compute):
+    if _FAULT_HOOK is None:
+        return compute(payloads)
+    return _FAULT_HOOK.run_collective(op, world, payloads, compute)
+
 
 @dataclass
 class CommRecord:
@@ -55,11 +84,16 @@ def all_reduce(
     Ring algorithm traffic: each rank sends ``2*(w-1)/w`` of its buffer.
     """
     world = len(shards)
-    total = np.sum(np.stack(shards, axis=0), axis=0)
+
+    def compute(payloads):
+        total = np.sum(np.stack(payloads, axis=0), axis=0)
+        return [total.copy() for _ in range(world)]
+
+    out = _execute("all_reduce", world, list(shards), compute)
     if log is not None and world > 1:
         per_rank = 2.0 * (world - 1) / world * shards[0].nbytes
         log.log("all_reduce", world, per_rank)
-    return [total.copy() for _ in range(world)]
+    return out
 
 
 def all_to_all(
@@ -72,10 +106,14 @@ def all_to_all(
     for row in buffers:
         if len(row) != world:
             raise ValueError("all_to_all requires a square buffer grid")
-    received = [
-        [np.array(buffers[src][dst], copy=True) for src in range(world)]
-        for dst in range(world)
-    ]
+
+    def compute(payloads):
+        return [
+            [np.array(payloads[src][dst], copy=True) for src in range(world)]
+            for dst in range(world)
+        ]
+
+    received = _execute("all_to_all", world, buffers, compute)
     if log is not None and world > 1:
         sent = max(
             sum(buffers[src][dst].nbytes for dst in range(world) if dst != src)
@@ -90,7 +128,12 @@ def all_gather(
 ) -> List[np.ndarray]:
     """Every rank receives the concatenation of all shards (axis 0)."""
     world = len(shards)
-    full = np.concatenate([np.asarray(s) for s in shards], axis=0)
+
+    def compute(payloads):
+        full = np.concatenate([np.asarray(s) for s in payloads], axis=0)
+        return [full.copy() for _ in range(world)]
+
+    out = _execute("all_gather", world, list(shards), compute)
     if log is not None and world > 1:
         log.log("all_gather", world, float((world - 1) * shards[0].nbytes))
-    return [full.copy() for _ in range(world)]
+    return out

@@ -40,6 +40,8 @@ from repro.core.dmoe import dMoE
 from repro.core.topology_builder import make_topology
 from repro.distributed.collectives import CommLog, all_to_all
 from repro.distributed.mesh import DeviceMesh
+from repro.resilience import counters as res_counters
+from repro.resilience.faults import CollectiveFault, RetryPolicy
 from repro.moe.permute import make_padded_plan
 from repro.moe.router import top_k_indices
 from repro.sparse.matrix import BlockSparseMatrix
@@ -61,10 +63,39 @@ class ExpertParallelResult:
     comm_log: CommLog
 
 
-class ExpertParallelDMoE:
-    """Runs a :class:`dMoE`'s forward with experts sharded over a mesh."""
+def _payloads_finite(received) -> bool:
+    """True when every float array in a nested payload structure is finite."""
+    for obj in received:
+        if isinstance(obj, np.ndarray):
+            if np.issubdtype(obj.dtype, np.floating) and not np.isfinite(obj).all():
+                return False
+        elif isinstance(obj, (list, tuple)):
+            if not _payloads_finite(obj):
+                return False
+    return True
 
-    def __init__(self, layer: dMoE, mesh: DeviceMesh) -> None:
+
+class ExpertParallelDMoE:
+    """Runs a :class:`dMoE`'s forward with experts sharded over a mesh.
+
+    Args:
+        layer: the single-process dMoE whose experts are sharded.
+        mesh: device mesh supplying the expert-parallel world size.
+        retry_policy: when given, every token-bearing all-to-all is
+            validated on receipt — a payload containing NaN/Inf (a
+            corrupted exchange, e.g. injected by
+            :class:`repro.resilience.FaultInjector`) is treated as a
+            transient fault and the exchange is re-issued under the
+            policy's bounded retry/backoff.  ``None`` (default) keeps
+            the legacy unvalidated fast path.
+    """
+
+    def __init__(
+        self,
+        layer: dMoE,
+        mesh: DeviceMesh,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         if layer.num_experts % mesh.expert_parallel:
             raise ValueError(
                 f"{layer.num_experts} experts not divisible over "
@@ -73,6 +104,21 @@ class ExpertParallelDMoE:
         self.layer = layer
         self.mesh = mesh
         self.local_experts = layer.num_experts // mesh.expert_parallel
+        self.retry_policy = retry_policy
+
+    def _exchange(self, buffers, log: Optional[CommLog]):
+        """All-to-all with receipt validation + retry (when configured)."""
+        if self.retry_policy is None:
+            return all_to_all(buffers, log)
+
+        def attempt(k: int):
+            received = all_to_all(buffers, log)
+            if not _payloads_finite(received):
+                res_counters.increment("ep_corrupt_payload_detected")
+                raise CollectiveFault("all_to_all", None, k)
+            return received
+
+        return self.retry_policy.run(attempt, "all_to_all")
 
     # ------------------------------------------------------------------
     def _route(self, x: np.ndarray):
@@ -158,7 +204,7 @@ class ExpertParallelDMoE:
                 send_meta[src][dst] = np.stack([r, s], axis=1)
 
         # (2) All-to-all: tokens and their local-expert assignments.
-        recv_tokens = all_to_all(send_tokens, log)
+        recv_tokens = self._exchange(send_tokens, log)
         recv_experts = all_to_all(send_experts, None)
 
         # (3) Local block-sparse expert computation per rank.
@@ -183,7 +229,7 @@ class ExpertParallelDMoE:
                 send_back[dst][src] = out[offsets[src] : offsets[src + 1]]
 
         # (4) Return all-to-all, then weighted combine at the source.
-        recv_back = all_to_all(send_back, log)
+        recv_back = self._exchange(send_back, log)
         outputs = []
         for src, x in enumerate(x_per_rank):
             x = np.asarray(x)
@@ -258,7 +304,7 @@ class ExpertParallelDMoE:
                 ).astype(np.int64)
                 send_meta[src][dst] = np.stack([r, s], axis=1)
 
-        recv_tokens = all_to_all(send_tokens, log)
+        recv_tokens = self._exchange(send_tokens, log)
         recv_experts = all_to_all(send_experts, None)
 
         # ---- Forward stage B: local expert compute (taped per dst).
@@ -327,7 +373,7 @@ class ExpertParallelDMoE:
                 send_back[dst][src] = y_tensors[dst].data[
                     offsets[src] : offsets[src + 1]
                 ]
-        recv_back = all_to_all(send_back, log)
+        recv_back = self._exchange(send_back, log)
 
         outputs = []
         back_leaves = [[None] * world for _ in range(world)]
@@ -363,7 +409,7 @@ class ExpertParallelDMoE:
                     grad_back[src][dst] = np.zeros((0, h))
                 else:
                     grad_back[src][dst] = leaf.grad
-        dy_at_dst = all_to_all(grad_back, log)  # y-gradients home to dst
+        dy_at_dst = self._exchange(grad_back, log)  # y-gradients home to dst
         for dst in range(world):
             dy = (
                 np.concatenate(dy_at_dst[dst], axis=0)
@@ -379,7 +425,7 @@ class ExpertParallelDMoE:
                 g = np.zeros((sum(counts_per_dst[dst]), h))
             for src in range(world):
                 grad_tokens[dst][src] = g[offsets[src] : offsets[src + 1]]
-        dx_home = all_to_all(grad_tokens, log)  # token grads back to src
+        dx_home = self._exchange(grad_tokens, log)  # token grads back to src
         input_grads = []
         for src, x_leaf in enumerate(x_leaves):
             for dst in range(world):

@@ -22,6 +22,7 @@ from repro.autograd import getitem, mean, softmax, sum_
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Linear
 from repro.nn.module import Module
+from repro.resilience import counters
 from repro.utils.rng import RngLike, get_rng
 
 
@@ -148,7 +149,12 @@ class Router(Module):
                 1.0 - self.jitter_eps, 1.0 + self.jitter_eps, size=x.shape
             ).astype(x.dtype)
             x = x * Tensor(noise)
-        logits = self.proj(x)
+        # Non-finite weights/inputs are handled by the fallback below, so
+        # the projection is allowed to produce NaN/Inf without warning.
+        with np.errstate(invalid="ignore", over="ignore"):
+            logits = self.proj(x)
+        if not np.isfinite(logits.data).all():
+            return self._uniform_fallback(x.shape[0], x.data.dtype)
         scores = softmax(logits, axis=-1)
 
         indices = top_k_indices(scores.data, self.top_k)
@@ -171,4 +177,38 @@ class Router(Module):
             scores=scores,
             load_balancing_loss=lb,
             z_loss=zl,
+        )
+
+    def _uniform_fallback(self, num_tokens: int, dtype) -> RoutingResult:
+        """Graceful degradation when router logits go non-finite.
+
+        A poisoned projection (NaN/Inf logits) would otherwise propagate
+        NaN through softmax into the topology build and the whole batch.
+        Instead, tokens are spread round-robin across experts with
+        constant ``1/num_experts`` weights — balanced, deterministic,
+        and detached from the tape so no gradient trains the router from
+        garbage.  The ``router_fallback`` counter records the event.
+        """
+        counters.increment("router_fallback")
+        base = np.arange(num_tokens, dtype=np.int64)[:, None]
+        offsets = np.arange(self.top_k, dtype=np.int64)[None, :]
+        indices = (base + offsets) % self.num_experts
+        uniform = 1.0 / self.num_experts
+        weight_value = (
+            1.0 / self.top_k
+            if self.normalize_weights and self.top_k > 1
+            else uniform
+        )
+        weights = Tensor(
+            np.full((num_tokens, self.top_k), weight_value, dtype=dtype)
+        )
+        scores = Tensor(
+            np.full((num_tokens, self.num_experts), uniform, dtype=dtype)
+        )
+        return RoutingResult(
+            expert_indices=indices,
+            expert_weights=weights,
+            scores=scores,
+            load_balancing_loss=None,
+            z_loss=None,
         )

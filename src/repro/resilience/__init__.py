@@ -1,0 +1,50 @@
+"""Fault tolerance: fault injection, numeric guardrails, recovery.
+
+See ``docs/robustness.md`` for the fault model and recovery semantics.
+"""
+
+from repro.resilience import counters
+from repro.resilience.faults import (
+    ALL_KINDS,
+    COLLECTIVE_KINDS,
+    CORRUPT_PAYLOAD,
+    DELAY,
+    GRADIENT_KINDS,
+    INF_GRAD,
+    NAN_GRAD,
+    RANK_FAILURE,
+    CollectiveFault,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    RetryPolicy,
+    inject_faults,
+)
+from repro.resilience.guardrails import (
+    BAD_VERDICTS,
+    GuardrailConfig,
+    LossSpikeDetector,
+    NumericGuard,
+)
+
+__all__ = [
+    "counters",
+    "ALL_KINDS",
+    "COLLECTIVE_KINDS",
+    "GRADIENT_KINDS",
+    "NAN_GRAD",
+    "INF_GRAD",
+    "RANK_FAILURE",
+    "CORRUPT_PAYLOAD",
+    "DELAY",
+    "CollectiveFault",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "RetryPolicy",
+    "inject_faults",
+    "BAD_VERDICTS",
+    "GuardrailConfig",
+    "LossSpikeDetector",
+    "NumericGuard",
+]

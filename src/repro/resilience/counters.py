@@ -1,0 +1,52 @@
+"""Named robustness counters (`repro.sparse.stats` style).
+
+Every recovery path in the fault-tolerance layer increments a counter
+when it fires — router fallbacks, skipped steps, rewinds, collective
+retries — so tests and operators can assert that a recovery mechanism
+actually ran instead of inferring it from silence.  Counters are plain
+dict increments and always on.
+
+Typical use::
+
+    from repro.resilience import counters
+
+    counters.reset()
+    run_training()
+    assert counters.get("router_fallback") == 0
+    print(counters.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_counts: Dict[str, int] = {}
+
+
+def increment(name: str, by: int = 1) -> int:
+    """Add ``by`` to counter ``name`` (created at zero); returns the new value."""
+    _counts[name] = _counts.get(name, 0) + int(by)
+    return _counts[name]
+
+
+def get(name: str) -> int:
+    """Current value of ``name`` (0 if never incremented)."""
+    return _counts.get(name, 0)
+
+
+def reset() -> None:
+    """Zero every counter (start of a run or test)."""
+    _counts.clear()
+
+
+def snapshot() -> Dict[str, int]:
+    """A copy of all counters."""
+    return dict(_counts)
+
+
+def summary() -> str:
+    """Human-readable counter table."""
+    if not _counts:
+        return "no resilience events recorded"
+    width = max(len(k) for k in _counts)
+    return "\n".join(f"{k:<{width}}  {_counts[k]}" for k in sorted(_counts))

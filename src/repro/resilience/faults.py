@@ -1,0 +1,305 @@
+"""Deterministic fault injection for the training and distributed layers.
+
+Production MoE systems treat failures — dead ranks, corrupted or delayed
+payloads, overflowed gradients — as routine events, and a recovery path
+that is never exercised is dead code.  This module makes every failure
+reproducible:
+
+- :class:`FaultEvent` / :class:`FaultSchedule` describe *when* faults
+  fire (by trainer step and collective op) on a seeded, deterministic
+  schedule;
+- :class:`RetryPolicy` governs recovery: bounded retries with
+  exponential backoff and a simulated-time budget;
+- :class:`FaultInjector` delivers the scheduled faults into
+  :mod:`repro.distributed.collectives` (via :func:`inject_faults`) and
+  into gradients inside :class:`repro.training.trainer.Trainer`.
+
+Collectives raise :class:`CollectiveFault` when a simulated rank fails;
+the injector's retry policy re-runs the collective, and the schedule
+decides whether the failure is transient (recovers within the retry
+budget) or permanent (propagates to the trainer, which skips the step).
+
+Example::
+
+    schedule = FaultSchedule([
+        FaultEvent(step=3, kind=NAN_GRAD),
+        FaultEvent(step=5, kind=RANK_FAILURE, op="all_reduce"),
+    ])
+    injector = FaultInjector(schedule, policy=RetryPolicy(max_retries=3))
+    with inject_faults(injector):
+        trainer = Trainer(..., fault_injector=injector)
+        trainer.train()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.resilience import counters
+
+# Fault kinds -----------------------------------------------------------
+NAN_GRAD = "nan_grad"  # overwrite one gradient entry with NaN
+INF_GRAD = "inf_grad"  # overwrite one gradient entry with +inf
+RANK_FAILURE = "rank_failure"  # collective raises CollectiveFault
+CORRUPT_PAYLOAD = "corrupt_payload"  # collective payload gets a NaN
+DELAY = "delay"  # collective completes after simulated latency
+
+GRADIENT_KINDS = frozenset({NAN_GRAD, INF_GRAD})
+COLLECTIVE_KINDS = frozenset({RANK_FAILURE, CORRUPT_PAYLOAD, DELAY})
+ALL_KINDS = GRADIENT_KINDS | COLLECTIVE_KINDS
+
+
+class CollectiveFault(RuntimeError):
+    """A simulated collective failure (rank death / network fault)."""
+
+    def __init__(self, op: str, step: Optional[int], attempt: int) -> None:
+        super().__init__(
+            f"simulated fault in collective {op!r} "
+            f"(step={step}, attempt={attempt})"
+        )
+        self.op = op
+        self.step = step
+        self.attempt = attempt
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        kind: one of the module-level fault kinds.
+        step: trainer step the event is armed for (``None`` = any step).
+        op: collective op name filter (``"*"`` = any) — ignored for
+            gradient faults.
+        count: how many times the event fires before it is exhausted.
+            A ``RANK_FAILURE`` with ``count=2`` under a retry policy
+            fails the first two attempts and succeeds on the third —
+            i.e. ``count`` controls whether a failure is transient
+            (``count <= max_retries``) or permanent.
+        delay_s: simulated latency for ``DELAY`` events.
+    """
+
+    kind: str
+    step: Optional[int] = None
+    op: str = "*"
+    count: int = 1
+    delay_s: float = 0.0
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.fired >= self.count
+
+    def matches(self, kinds: Iterable[str], step: Optional[int], op: str) -> bool:
+        if self.exhausted or self.kind not in kinds:
+            return False
+        if self.step is not None and step is not None and self.step != step:
+            return False
+        if self.op != "*" and op != "*" and self.op != op:
+            return False
+        return True
+
+
+class FaultSchedule:
+    """An ordered, consumable set of :class:`FaultEvent`.
+
+    Deterministic: matching scans events in insertion order and each
+    event fires exactly ``count`` times, so two runs with the same
+    schedule see identical faults.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self.events: List[FaultEvent] = list(events)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        max_steps: int,
+        nan_grad_rate: float = 0.0,
+        rank_failure_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        ops: Sequence[str] = ("all_reduce", "all_to_all"),
+        failure_count: int = 1,
+    ) -> "FaultSchedule":
+        """Sample a schedule from per-step fault rates (seeded)."""
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        for step in range(max_steps):
+            if nan_grad_rate and rng.random() < nan_grad_rate:
+                events.append(FaultEvent(NAN_GRAD, step=step))
+            if rank_failure_rate and rng.random() < rank_failure_rate:
+                op = ops[int(rng.integers(len(ops)))]
+                events.append(
+                    FaultEvent(RANK_FAILURE, step=step, op=op, count=failure_count)
+                )
+            if corrupt_rate and rng.random() < corrupt_rate:
+                op = ops[int(rng.integers(len(ops)))]
+                events.append(FaultEvent(CORRUPT_PAYLOAD, step=step, op=op))
+        return cls(events)
+
+    def match(
+        self, kinds: Iterable[str], step: Optional[int] = None, op: str = "*"
+    ) -> Optional[FaultEvent]:
+        """First unexhausted event matching ``kinds``/``step``/``op``."""
+        for event in self.events:
+            if event.matches(kinds, step, op):
+                return event
+        return None
+
+    def consume(self, event: FaultEvent) -> None:
+        event.fired += 1
+
+    @property
+    def pending(self) -> int:
+        """Total fires remaining across all events."""
+        return sum(e.count - e.fired for e in self.events)
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff (simulated time).
+
+    ``run`` retries a callable on :class:`CollectiveFault` up to
+    ``max_retries`` times, waiting ``base_delay_s * backoff**attempt``
+    (accumulated into ``simulated_wait_s`` — nothing actually sleeps)
+    and giving up early once the accumulated wait would exceed
+    ``timeout_s``.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    timeout_s: float = 30.0
+
+    attempts: int = field(default=0, compare=False)
+    retries: int = field(default=0, compare=False)
+    gave_up: int = field(default=0, compare=False)
+    simulated_wait_s: float = field(default=0.0, compare=False)
+
+    def run(self, fn: Callable[[int], object], op: str = "*"):
+        attempt = 0
+        waited = 0.0
+        while True:
+            self.attempts += 1
+            try:
+                return fn(attempt)
+            except CollectiveFault:
+                attempt += 1
+                wait = self.base_delay_s * self.backoff ** (attempt - 1)
+                if attempt > self.max_retries or waited + wait > self.timeout_s:
+                    self.gave_up += 1
+                    counters.increment("collective_gave_up")
+                    raise
+                waited += wait
+                self.simulated_wait_s += wait
+                self.retries += 1
+                counters.increment("collective_retries")
+
+
+def _corrupt_payloads(payloads):
+    """Copy ``payloads`` (possibly nested lists of arrays) with one NaN
+    planted in the first non-empty float array found."""
+    planted = [False]
+
+    def walk(obj):
+        if isinstance(obj, np.ndarray):
+            if (
+                not planted[0]
+                and obj.size
+                and np.issubdtype(obj.dtype, np.floating)
+            ):
+                out = obj.astype(obj.dtype, copy=True)
+                out.reshape(-1)[0] = np.nan
+                planted[0] = True
+                return out
+            return obj
+        if isinstance(obj, (list, tuple)):
+            return [walk(o) for o in obj]
+        return obj
+
+    return walk(payloads)
+
+
+class FaultInjector:
+    """Delivers scheduled faults into collectives and gradients.
+
+    Install into the collectives layer with :func:`inject_faults`; pass
+    to :class:`repro.training.trainer.Trainer` (``fault_injector=``) so
+    gradient faults fire and ``current_step`` tracks the training step.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.schedule = schedule
+        self.policy = policy
+        self.current_step: Optional[int] = None
+        self.collective_calls = 0
+        self.simulated_delay_s = 0.0
+
+    # -- collectives hook (called by repro.distributed.collectives) ----
+    def run_collective(self, op: str, world: int, payloads, compute):
+        """Run one collective under the fault schedule + retry policy."""
+        self.collective_calls += 1
+
+        def attempt(k: int):
+            event = self.schedule.match(
+                COLLECTIVE_KINDS, step=self.current_step, op=op
+            )
+            data = payloads
+            if event is not None:
+                self.schedule.consume(event)
+                counters.increment(f"injected_{event.kind}")
+                if event.kind == RANK_FAILURE:
+                    raise CollectiveFault(op, self.current_step, k)
+                if event.kind == DELAY:
+                    self.simulated_delay_s += event.delay_s
+                elif event.kind == CORRUPT_PAYLOAD:
+                    data = _corrupt_payloads(payloads)
+            return compute(data)
+
+        if self.policy is not None:
+            return self.policy.run(attempt, op)
+        return attempt(0)
+
+    # -- gradient hook (called by the Trainer after backward) ----------
+    def corrupt_gradients(self, step: int, params) -> bool:
+        """Fire any gradient fault armed for ``step``; returns True if fired."""
+        self.current_step = step
+        event = self.schedule.match(GRADIENT_KINDS, step=step)
+        if event is None:
+            return False
+        self.schedule.consume(event)
+        value = np.nan if event.kind == NAN_GRAD else np.inf
+        for p in params:
+            if p.grad is not None and p.grad.size:
+                p.grad.reshape(-1)[0] = value
+                counters.increment(f"injected_{event.kind}")
+                return True
+        return False
+
+
+@contextlib.contextmanager
+def inject_faults(injector: FaultInjector):
+    """Install ``injector`` as the collectives fault hook for a scope."""
+    from repro.distributed import collectives
+
+    previous = collectives.get_fault_hook()
+    collectives.set_fault_hook(injector)
+    try:
+        yield injector
+    finally:
+        collectives.set_fault_hook(previous)

@@ -16,7 +16,13 @@ from repro.training.metrics import (
 )
 from repro.training.trainer import RoutingStats, Trainer, TrainerConfig
 from repro.training.amp import GradScaler, MasterWeights, half_tensor, to_half
-from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.training.eval import bits_per_token, evaluate_lm, perplexity
 
 __all__ = [
@@ -42,6 +48,9 @@ __all__ = [
     "half_tensor",
     "save_checkpoint",
     "load_checkpoint",
+    "CheckpointManager",
+    "CheckpointError",
+    "CheckpointCorruptError",
     "evaluate_lm",
     "perplexity",
     "bits_per_token",

@@ -91,6 +91,20 @@ class GradScaler:
             self._clean_steps = 0
         return True
 
+    # -- checkpoint round-trip -----------------------------------------
+    def state_dict(self) -> dict:
+        """Dynamic state needed for a bit-exact training resume."""
+        return {
+            "scale": self.scale,
+            "clean_steps": self._clean_steps,
+            "num_overflows": self.num_overflows,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.scale = float(state["scale"])
+        self._clean_steps = int(state["clean_steps"])
+        self.num_overflows = int(state["num_overflows"])
+
 
 class MasterWeights:
     """fp32 master copies paired with fp16-precision working weights.

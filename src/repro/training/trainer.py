@@ -1,16 +1,29 @@
-"""Training loop with gradient accumulation and routing statistics.
+"""Training loop with gradient accumulation, guardrails, and resume.
 
 Mirrors the Megatron-LM recipe the paper uses (§3): Adam, gradient
 clipping at 1.0, warmup + decay schedule, a global batch split into micro
 batches with gradient accumulation, and periodic validation.  MoE models
 additionally log routing balance statistics (dynamic capacity factor,
 drop fraction) that feed the performance model.
+
+On top of the recipe sits the fault-tolerance layer (``docs/robustness.md``):
+
+- **numeric guardrails** (:class:`repro.resilience.NumericGuard`) — every
+  step's loss and gradients pass NaN/Inf sentinels and a rolling-median
+  loss-spike detector; bad steps skip the update, and after K consecutive
+  bad steps the trainer rewinds to its last known-good in-memory snapshot;
+- **fault injection** (:class:`repro.resilience.FaultInjector`) — seeded
+  schedules corrupt gradients and fail collectives so every recovery path
+  above is exercised by tests, not trusted on faith;
+- **validated resume** — :meth:`Trainer.save` / :meth:`Trainer.fit`
+  round-trip model, optimizer, grad-scaler, data-order, and RNG state
+  bit-exactly through the checksummed checkpoint format.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -19,11 +32,25 @@ from repro.autograd.tensor import Tensor
 from repro.data.dataset import LMDataset
 from repro.moe.capacity import min_capacity_factor
 from repro.nn.transformer import TransformerLM
+from repro.resilience import guardrails as gr
+from repro.resilience.faults import CollectiveFault, FaultInjector
+from repro.resilience.guardrails import GuardrailConfig, NumericGuard
+from repro.training.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.training.lr_schedule import ConstantLR, LRSchedule
 from repro.training.metrics import History, TrainingRecord
 from repro.training.optim import Adam, Optimizer, clip_grad_norm
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngLike, get_rng
+from repro.utils.rng import (
+    RngLike,
+    get_global_state,
+    get_rng,
+    set_global_state,
+)
 
 logger = get_logger("training")
 
@@ -53,6 +80,12 @@ class TrainerConfig:
             (Micikevicius et al., 2018) — the loss is scaled before
             backward, gradients unscaled before clipping, and steps with
             non-finite gradients are skipped with scale backoff.
+        guardrails: numeric-guardrail thresholds; ``None`` disables the
+            sentinels / spike detector / rewind path entirely.
+        dp_world: when > 1, averaged gradients round-trip through the
+            simulated data-parallel ``all_reduce`` each step (use a
+            power of two so the reduction is bit-exact), exposing the
+            step to injected collective faults and comm accounting.
     """
 
     global_batch: int = 32
@@ -63,6 +96,8 @@ class TrainerConfig:
     eval_batches: int = 4
     log_every: int = 10
     use_grad_scaler: bool = False
+    guardrails: Optional[GuardrailConfig] = None
+    dp_world: int = 0
 
     def __post_init__(self) -> None:
         if self.global_batch % self.micro_batch:
@@ -70,6 +105,8 @@ class TrainerConfig:
                 f"global_batch={self.global_batch} must be divisible by "
                 f"micro_batch={self.micro_batch}"
             )
+        if self.dp_world < 0:
+            raise ValueError(f"dp_world must be >= 0, got {self.dp_world}")
 
     @property
     def accumulation_steps(self) -> int:
@@ -88,6 +125,7 @@ class Trainer:
         optimizer: Optional[Optimizer] = None,
         schedule: Optional[LRSchedule] = None,
         rng: RngLike = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.model = model
         self.train_data = train_data
@@ -98,27 +136,43 @@ class Trainer:
         self.rng = get_rng(rng)
         self.history = History()
         self.routing_stats: List[RoutingStats] = []
-        self._epoch_iter = None
+        self._epoch_order: Optional[np.ndarray] = None
+        self._epoch_pos = 0
         self.grad_scaler = None
         if config.use_grad_scaler:
             from repro.training.amp import GradScaler
 
             self.grad_scaler = GradScaler()
         self.skipped_steps = 0
+        self.guard = (
+            NumericGuard(config.guardrails) if config.guardrails else None
+        )
+        self.fault_injector = fault_injector
+        self._snapshot = None
+        self._good_since_snapshot = 0
+        from repro.distributed.collectives import CommLog
+
+        self.comm_log = CommLog() if config.dp_world > 1 else None
 
     # ------------------------------------------------------------------
     def _next_batch(self, batch_size: int):
-        if self._epoch_iter is None:
-            self._epoch_iter = self.train_data.iter_batches(
-                batch_size, shuffle=True, rng=self.rng
-            )
-        try:
-            return next(self._epoch_iter)
-        except StopIteration:
-            self._epoch_iter = self.train_data.iter_batches(
-                batch_size, shuffle=True, rng=self.rng
-            )
-            return next(self._epoch_iter)
+        """Epoch-shuffled batches with explicit, checkpointable state.
+
+        Equivalent to ``train_data.iter_batches(shuffle=True,
+        drop_last=True)`` driven by ``self.rng`` — but the epoch order
+        and position are plain attributes, so :meth:`save` can persist
+        them and a resumed run consumes the identical batch sequence.
+        """
+        n = len(self.train_data)
+        stop = n - (n % batch_size)
+        if self._epoch_order is None or self._epoch_pos >= stop:
+            order = np.arange(n)
+            self.rng.shuffle(order)
+            self._epoch_order = order
+            self._epoch_pos = 0
+        indices = self._epoch_order[self._epoch_pos : self._epoch_pos + batch_size]
+        self._epoch_pos += batch_size
+        return self.train_data.batch(indices)
 
     def _collect_routing_stats(self, step: int) -> None:
         factors = []
@@ -142,6 +196,55 @@ class Trainer:
             )
 
     # ------------------------------------------------------------------
+    # Known-good snapshots (skip-and-rewind substrate).
+    # ------------------------------------------------------------------
+    def _capture_snapshot(self) -> None:
+        snap = {"params": [p.data.copy() for p in self.optimizer.params]}
+        if isinstance(self.optimizer, Adam):
+            snap["adam"] = (
+                self.optimizer.t,
+                [m.copy() for m in self.optimizer._m],
+                [v.copy() for v in self.optimizer._v],
+            )
+        if self.grad_scaler is not None:
+            snap["scaler"] = self.grad_scaler.state_dict()
+        self._snapshot = snap
+        self._good_since_snapshot = 0
+
+    def _restore_snapshot(self) -> None:
+        snap = self._snapshot
+        for p, saved in zip(self.optimizer.params, snap["params"]):
+            p.data[...] = saved
+            p.grad = None
+        if "adam" in snap:
+            t, ms, vs = snap["adam"]
+            self.optimizer.t = t
+            for m, saved in zip(self.optimizer._m, ms):
+                m[...] = saved
+            for v, saved in zip(self.optimizer._v, vs):
+                v[...] = saved
+        if "scaler" in snap and self.grad_scaler is not None:
+            self.grad_scaler.load_state_dict(snap["scaler"])
+
+    # ------------------------------------------------------------------
+    def _sync_gradients(self) -> None:
+        """Simulated data-parallel gradient all-reduce (identity for a
+        power-of-two world, but exercises the real collective)."""
+        from repro.distributed.collectives import all_reduce
+
+        world = self.config.dp_world
+        inv = 1.0 / world
+        for p in self.optimizer.params:
+            if p.grad is None:
+                continue
+            shards = [p.grad * inv for _ in range(world)]
+            p.grad = all_reduce(shards, self.comm_log)[0]
+
+    def _drop_gradients(self) -> None:
+        for p in self.optimizer.params:
+            p.grad = None
+
+    # ------------------------------------------------------------------
     def evaluate(self) -> Optional[float]:
         """Mean validation LM loss over ``eval_batches`` fixed batches."""
         if self.val_data is None:
@@ -162,8 +265,10 @@ class Trainer:
         return float(np.mean(losses)) if losses else None
 
     def train_step(self, step: int) -> float:
-        """One optimizer step (with gradient accumulation)."""
+        """One optimizer step (with gradient accumulation and guardrails)."""
         cfg = self.config
+        if self.fault_injector is not None:
+            self.fault_injector.current_step = step
         self.optimizer.zero_grad()
         total = 0.0
         for _ in range(cfg.accumulation_steps):
@@ -175,23 +280,172 @@ class Trainer:
                 scaled = self.grad_scaler.scale_loss(scaled)
             scaled.backward()
             total += float(lm.data)
-        if self.grad_scaler is not None and not self.grad_scaler.unscale_and_check(
-            self.optimizer.params
-        ):
-            # Overflow: skip this step (the scaler already backed off).
-            self.skipped_steps += 1
-            self._collect_routing_stats(step)
-            return total / cfg.accumulation_steps
-        clip_grad_norm(self.optimizer.params, cfg.grad_clip)
-        self.optimizer.step(lr=self.schedule(step))
-        self._collect_routing_stats(step)
-        return total / cfg.accumulation_steps
+        mean_loss = total / cfg.accumulation_steps
 
-    def train(self, callback: Optional[Callable[[TrainingRecord], None]] = None) -> History:
-        """Run ``max_steps`` optimizer steps; returns the history."""
+        if self.fault_injector is not None:
+            self.fault_injector.corrupt_gradients(step, self.optimizer.params)
+
+        verdict = gr.OK
+        if self.guard is not None and not np.isfinite(mean_loss):
+            verdict = gr.NONFINITE_LOSS
+        if verdict == gr.OK and self.grad_scaler is not None:
+            if not self.grad_scaler.unscale_and_check(self.optimizer.params):
+                # Overflow: the scaler already zeroed grads and backed off.
+                verdict = gr.GRAD_OVERFLOW
+        elif verdict == gr.OK and self.guard is not None:
+            if not self.guard.gradients_finite(self.optimizer.params):
+                verdict = gr.NONFINITE_GRAD
+                self._drop_gradients()
+        if verdict == gr.OK and cfg.dp_world > 1:
+            try:
+                self._sync_gradients()
+            except CollectiveFault as exc:
+                logger.warning("step %d: unrecovered %s", step, exc)
+                verdict = gr.COLLECTIVE_FAULT
+                self._drop_gradients()
+        if (
+            verdict == gr.OK
+            and self.guard is not None
+            and self.guard.spike_detector.is_spike(mean_loss)
+        ):
+            verdict = gr.LOSS_SPIKE
+            self._drop_gradients()
+
+        if verdict == gr.OK:
+            clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+            self.optimizer.step(lr=self.schedule(step))
+            if self.guard is not None:
+                self.guard.record_good(mean_loss)
+                self._good_since_snapshot += 1
+                if self._good_since_snapshot >= self.guard.config.snapshot_every:
+                    self._capture_snapshot()
+        else:
+            self.skipped_steps += 1
+            if self.guard is not None:
+                rewind_due = self.guard.record_bad(verdict)
+                logger.warning(
+                    "step %d skipped (%s), bad streak %d",
+                    step,
+                    verdict,
+                    self.guard.bad_streak,
+                )
+                if rewind_due and self._snapshot is not None:
+                    logger.warning(
+                        "step %d: rewinding to last known-good state", step
+                    )
+                    self._restore_snapshot()
+                    self.guard.record_rewind()
+        self._collect_routing_stats(step)
+        return mean_loss
+
+    # ------------------------------------------------------------------
+    # Checkpoint round-trip (see docs/robustness.md).
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        path: str,
+        step: int = 0,
+        val_loss: Optional[float] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        """Checkpoint model + optimizer + full trainer state.
+
+        ``step`` is the number of completed optimizer steps (the resumed
+        run starts there).  Captures the trainer's and the process-global
+        RNG streams, the epoch shuffle order/position, and grad-scaler
+        state, so :meth:`fit(resume=...)` is bit-exact.
+        """
+        trainer_state = {
+            "rng": {
+                "bit_generator": type(self.rng.bit_generator).__name__,
+                "state": self.rng.bit_generator.state,
+            },
+            "global_rng": get_global_state(),
+            "epoch_pos": int(self._epoch_pos),
+            "skipped_steps": int(self.skipped_steps),
+            "use_grad_scaler": self.grad_scaler is not None,
+            "scaler": (
+                self.grad_scaler.state_dict()
+                if self.grad_scaler is not None
+                else None
+            ),
+            "schedule": type(self.schedule).__name__,
+        }
+        merged = dict(extra or {})
+        if val_loss is not None:
+            merged.setdefault("val_loss", float(val_loss))
+        merged["trainer_state"] = trainer_state
+        extra_arrays = {}
+        if self._epoch_order is not None:
+            extra_arrays["epoch_order"] = self._epoch_order
+        save_checkpoint(
+            path,
+            self.model,
+            self.optimizer,
+            step=step,
+            extra=merged,
+            extra_arrays=extra_arrays,
+        )
+
+    def restore(self, path: str) -> int:
+        """Restore a :meth:`save` checkpoint; returns the next step index."""
+        meta = load_checkpoint(path, self.model, self.optimizer)
+        state = meta["extra"].get("trainer_state")
+        if state is None:
+            raise CheckpointError(
+                f"checkpoint {path!r} holds no trainer state (written by "
+                f"save_checkpoint directly?); cannot resume bit-exactly"
+            )
+        expected = type(self.rng.bit_generator).__name__
+        if state["rng"]["bit_generator"] != expected:
+            raise CheckpointError(
+                f"checkpoint RNG is {state['rng']['bit_generator']!r}, "
+                f"trainer uses {expected!r}"
+            )
+        if state["use_grad_scaler"] != (self.grad_scaler is not None):
+            raise CheckpointError(
+                "grad-scaler configuration mismatch: checkpoint "
+                f"{'has' if state['use_grad_scaler'] else 'lacks'} scaler "
+                "state but the trainer is configured "
+                f"{'with' if self.grad_scaler is not None else 'without'} "
+                "use_grad_scaler — resume would not be bit-exact"
+            )
+        # Global stream first: if self.rng *is* the global generator the
+        # second assignment overwrites it with the identical state.
+        set_global_state(state["global_rng"])
+        self.rng.bit_generator.state = state["rng"]["state"]
+        order = meta["extra_arrays"].get("epoch_order")
+        self._epoch_order = (
+            np.asarray(order, dtype=np.int64) if order is not None else None
+        )
+        self._epoch_pos = int(state["epoch_pos"])
+        self.skipped_steps = int(state["skipped_steps"])
+        if self.grad_scaler is not None:
+            self.grad_scaler.load_state_dict(state["scaler"])
+        self._snapshot = None
+        self._good_since_snapshot = 0
+        return int(meta["step"])
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        start_step: int,
+        callback: Optional[Callable[[TrainingRecord], None]] = None,
+        checkpoint_manager: Optional[CheckpointManager] = None,
+        checkpoint_every: int = 0,
+    ) -> History:
         cfg = self.config
         tokens_per_step = cfg.global_batch * self.train_data.seq_len
-        for step in range(cfg.max_steps):
+        if (
+            self.guard is not None
+            and self.guard.config.rewind
+            and self._snapshot is None
+        ):
+            # Arm the rewind path before the first step so even an
+            # immediately bad run can restore its initial state.
+            self._capture_snapshot()
+        loss = float("nan")
+        for step in range(start_step, cfg.max_steps):
             loss = self.train_step(step)
             val = None
             if cfg.eval_every and (step + 1) % cfg.eval_every == 0:
@@ -207,6 +461,19 @@ class Trainer:
                 self.history.log(record)
                 if callback is not None:
                     callback(record)
+            if (
+                checkpoint_manager is not None
+                and checkpoint_every
+                and (step + 1) % checkpoint_every == 0
+            ):
+                done = step + 1
+                checkpoint_manager.save(
+                    self.model,
+                    self.optimizer,
+                    step=done,
+                    metric=val,
+                    writer=lambda p: self.save(p, step=done, val_loss=val),
+                )
         # Always close with a final evaluation point.
         final_val = self.evaluate()
         self.history.log(
@@ -218,3 +485,37 @@ class Trainer:
             )
         )
         return self.history
+
+    def train(self, callback: Optional[Callable[[TrainingRecord], None]] = None) -> History:
+        """Run ``max_steps`` optimizer steps; returns the history."""
+        return self._run(0, callback)
+
+    def fit(
+        self,
+        resume: Union[None, str, CheckpointManager] = None,
+        callback: Optional[Callable[[TrainingRecord], None]] = None,
+        checkpoint_manager: Optional[CheckpointManager] = None,
+        checkpoint_every: int = 0,
+    ) -> History:
+        """Train, optionally resuming from a checkpoint.
+
+        ``resume`` may be a checkpoint path or a
+        :class:`CheckpointManager` (its newest valid checkpoint is
+        used).  ``checkpoint_manager`` + ``checkpoint_every`` write a
+        rotating checkpoint every N completed steps.
+        """
+        start = 0
+        if resume is not None:
+            if isinstance(resume, CheckpointManager):
+                path = resume.latest_path()
+                if path is None:
+                    raise CheckpointError(
+                        f"no checkpoints to resume in {resume.directory!r}"
+                    )
+                if checkpoint_manager is None:
+                    checkpoint_manager = resume
+            else:
+                path = resume
+            start = self.restore(path)
+            logger.info("resumed from %s at step %d", path, start)
+        return self._run(start, callback, checkpoint_manager, checkpoint_every)

@@ -31,6 +31,28 @@ def global_seed() -> int:
     return _GLOBAL_SEED
 
 
+def get_global_state() -> dict:
+    """Serializable state of the process-global generator (for resume)."""
+    return _GLOBAL_RNG.bit_generator.state
+
+
+def set_global_state(state: dict) -> None:
+    """Restore the process-global generator from :func:`get_global_state`.
+
+    The state must come from the same bit-generator type (PCG64 by
+    default); mismatches raise a clear error instead of corrupting the
+    stream.
+    """
+    expected = type(_GLOBAL_RNG.bit_generator).__name__
+    got = state.get("bit_generator") if isinstance(state, dict) else None
+    if got != expected:
+        raise ValueError(
+            f"RNG state is for bit generator {got!r}, process-global "
+            f"generator is {expected!r}"
+        )
+    _GLOBAL_RNG.bit_generator.state = state
+
+
 def get_rng(rng: RngLike = None) -> np.random.Generator:
     """Coerce ``rng`` into a ``numpy.random.Generator``.
 

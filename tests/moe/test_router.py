@@ -137,3 +137,61 @@ class TestRouter:
         res = r(x)
         res.expert_weights.sum().backward()
         assert r.proj.weight.grad is not None
+
+
+class TestRouterFallback:
+    """Non-finite logits degrade to uniform routing, never NaN topology."""
+
+    def _poisoned(self, **kw):
+        args = dict(hidden_size=8, num_experts=4, top_k=1, rng=0)
+        args.update(kw)
+        r = Router(**args)
+        r.proj.weight.data[0, 0] = np.nan
+        return r
+
+    def test_fallback_routes_uniformly(self, rng):
+        from repro.resilience import counters
+
+        counters.reset()
+        r = self._poisoned()
+        x = Tensor(rng.standard_normal((8, 8)).astype(np.float32))
+        res = r(x)
+        assert counters.get("router_fallback") == 1
+        # Round-robin: every expert receives tokens, indices are valid.
+        assert res.expert_indices.shape == (8, 1)
+        assert set(res.expert_indices.reshape(-1)) == {0, 1, 2, 3}
+        # Constant uniform weights, finite scores, no aux loss from garbage.
+        np.testing.assert_allclose(res.expert_weights.data, 0.25)
+        assert np.isfinite(res.scores.data).all()
+        assert res.aux_loss is None
+
+    def test_fallback_weights_normalized_for_top2(self, rng):
+        r = self._poisoned(top_k=2, normalize_weights=True)
+        res = r(Tensor(rng.standard_normal((6, 8)).astype(np.float32)))
+        np.testing.assert_allclose(res.expert_weights.data.sum(axis=-1), 1.0)
+
+    def test_fallback_does_not_train_router(self, rng):
+        r = self._poisoned(load_balance_coef=0.0)
+        res = r(Tensor(rng.standard_normal((6, 8)).astype(np.float32)))
+        assert not res.expert_weights.requires_grad
+
+    def test_healthy_router_does_not_fall_back(self, rng):
+        from repro.resilience import counters
+
+        counters.reset()
+        r = Router(hidden_size=8, num_experts=4, rng=0)
+        r(Tensor(rng.standard_normal((6, 8)).astype(np.float32)))
+        assert counters.get("router_fallback") == 0
+
+    def test_dmoe_forward_stays_finite_with_poisoned_router(self, rng):
+        from repro.core import dMoE
+        from repro.resilience import counters
+
+        counters.reset()
+        layer = dMoE(16, 32, num_experts=4, block_size=8, rng=0)
+        layer.router.proj.weight.data[:] = np.inf
+        x = Tensor(rng.standard_normal((12, 16)).astype(np.float32))
+        out, aux = layer(x)
+        assert np.isfinite(out.data).all()
+        assert aux is None
+        assert counters.get("router_fallback") == 1

@@ -1,0 +1,206 @@
+"""Resume equivalence: N + checkpoint + resume + N == 2N straight.
+
+The fault-tolerance story rests on checkpoints being *perfect* restore
+points: model, Adam moments, grad-scaler state, data order, and RNG
+streams must all round-trip bit-exactly, or a recovered run silently
+trains a different model.  These tests assert bit-identity, not
+tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import LMDataset, PileConfig, SyntheticPile
+from repro.nn import TransformerLM
+from repro.training import (
+    Adam,
+    CheckpointManager,
+    CheckpointError,
+    Trainer,
+    TrainerConfig,
+    WarmupCosineLR,
+)
+
+
+def _setup(max_steps, use_scaler=False, moe=False, trainer_seed=11):
+    pile = SyntheticPile(PileConfig(vocab_size=64, num_domains=3, branching=4), seed=1)
+    ds = LMDataset(pile.token_stream(10_000, 32), seq_len=16)
+    train, val = ds.split(0.1)
+    if moe:
+        from repro.core import dMoE
+
+        ffn = lambda i: dMoE(16, 32, num_experts=4, block_size=8, rng=i)
+        model = TransformerLM(64, 16, 2, 2, 16, ffn_factory=ffn, rng=0)
+    else:
+        model = TransformerLM(64, 16, 2, 2, 16, rng=0)
+    cfg = TrainerConfig(
+        global_batch=8,
+        micro_batch=4,
+        max_steps=max_steps,
+        eval_every=0,
+        log_every=1,
+        use_grad_scaler=use_scaler,
+    )
+    # Identical model init + a private trainer RNG: the straight and the
+    # resumed runs see identical parameter and data-order streams.
+    return Trainer(
+        model,
+        train,
+        val,
+        cfg,
+        optimizer=Adam(model.parameters(), lr=2e-3),
+        schedule=WarmupCosineLR(2e-3, total_steps=max_steps, warmup_steps=2),
+        rng=trainer_seed,
+    )
+
+
+def _losses(history):
+    return {r.step: r.loss for r in history.records}
+
+
+@pytest.mark.parametrize("use_scaler", [False, True], ids=["fp32", "scaler"])
+class TestResumeEquivalence:
+    def test_bit_exact_resume(self, tmp_path, use_scaler):
+        n, total = 3, 6
+        straight = _setup(total, use_scaler)
+        straight.train()
+
+        first = _setup(total, use_scaler)
+        first.config.max_steps = n
+        first.train()
+        path = str(tmp_path / "mid.npz")
+        first.save(path, step=n)
+
+        resumed = _setup(total, use_scaler)
+        resumed.fit(resume=path)
+
+        # Per-step losses of the second half are bit-identical.
+        want = _losses(straight.history)
+        got = _losses(resumed.history)
+        for step in range(n, total):
+            assert got[step] == want[step], f"loss diverged at step {step}"
+        # Parameters and optimizer state are bit-identical.
+        for a, b in zip(
+            straight.model.parameters(), resumed.model.parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data)
+        assert resumed.optimizer.t == straight.optimizer.t
+        for a, b in zip(straight.optimizer._m, resumed.optimizer._m):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(straight.optimizer._v, resumed.optimizer._v):
+            np.testing.assert_array_equal(a, b)
+        if use_scaler:
+            assert (
+                resumed.grad_scaler.state_dict()
+                == straight.grad_scaler.state_dict()
+            )
+        # RNG streams ended in the same place: next draws match.
+        assert straight.rng.random() == resumed.rng.random()
+
+    def test_resume_across_epoch_boundary(self, tmp_path, use_scaler):
+        """The epoch shuffle order/position round-trips mid-epoch.
+
+        The dataset is small enough (14 batches per epoch, 20 drawn)
+        that the straight run re-shuffles mid-way, so the resumed run
+        must restore both the in-flight epoch order and the RNG stream
+        that generates the next shuffle.
+        """
+        pile = SyntheticPile(
+            PileConfig(vocab_size=64, num_domains=3, branching=4), seed=1
+        )
+        ds = LMDataset(pile.token_stream(1_000, 32), seq_len=16)
+        train, _ = ds.split(0.1)
+        assert len(train) // 4 < 20  # epoch really is crossed
+
+        def make(steps):
+            model = TransformerLM(64, 16, 2, 2, 16, rng=0)
+            cfg = TrainerConfig(
+                global_batch=8,
+                micro_batch=4,
+                max_steps=steps,
+                eval_every=0,
+                log_every=1,
+                use_grad_scaler=use_scaler,
+            )
+            return Trainer(
+                model,
+                train,
+                None,
+                cfg,
+                optimizer=Adam(model.parameters(), lr=2e-3),
+                rng=11,
+            )
+
+        n, total = 5, 10
+        straight = make(total)
+        straight.train()
+
+        first = make(n)
+        first.train()
+        path = str(tmp_path / "mid.npz")
+        first.save(path, step=n)
+
+        resumed = make(total)
+        resumed.fit(resume=path)
+        for a, b in zip(
+            straight.model.parameters(), resumed.model.parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestResumeMoE:
+    def test_dmoe_model_resumes_bit_exactly(self, tmp_path):
+        n, total = 2, 4
+        straight = _setup(total, moe=True)
+        straight.train()
+
+        first = _setup(total, moe=True)
+        first.config.max_steps = n
+        first.train()
+        path = str(tmp_path / "mid.npz")
+        first.save(path, step=n)
+
+        resumed = _setup(total, moe=True)
+        resumed.fit(resume=path)
+        for (name, a), (_, b) in zip(
+            straight.model.named_parameters(),
+            resumed.model.named_parameters(),
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+
+class TestFitCheckpointing:
+    def test_fit_writes_rotating_checkpoints_and_resumes(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "ckpts"), keep_last=2)
+        tr = _setup(6)
+        tr.fit(checkpoint_manager=mgr, checkpoint_every=2)
+        assert mgr.steps == [4, 6]
+
+        resumed = _setup(6)
+        resumed.fit(resume=mgr)  # picks the newest (step 6, final state)
+        for a, b in zip(tr.model.parameters(), resumed.model.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_resume_from_empty_manager_raises(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path / "none"))
+        tr = _setup(2)
+        with pytest.raises(CheckpointError):
+            tr.fit(resume=mgr)
+
+    def test_scaler_config_mismatch_rejected(self, tmp_path):
+        tr = _setup(2, use_scaler=False)
+        tr.train()
+        path = str(tmp_path / "fp32.npz")
+        tr.save(path, step=2)
+        other = _setup(2, use_scaler=True)
+        with pytest.raises(CheckpointError, match="grad-scaler"):
+            other.fit(resume=path)
+
+    def test_plain_checkpoint_cannot_resume_bit_exactly(self, tmp_path):
+        from repro.training import save_checkpoint
+
+        tr = _setup(2)
+        path = str(tmp_path / "plain.npz")
+        save_checkpoint(path, tr.model, tr.optimizer, step=1)
+        with pytest.raises(CheckpointError, match="trainer state"):
+            tr.fit(resume=path)
