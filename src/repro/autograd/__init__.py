@@ -6,6 +6,15 @@ Transformer models are built on, so the paper's forward/backward dataflow
 (Figure 6 and §5.1) is exercised with real gradients.
 """
 
+from contextlib import contextmanager
+
+from repro.autograd import arena, stats
+from repro.autograd.arena import (
+    get_arena,
+    is_arena_enabled,
+    set_arena_enabled,
+    use_arena,
+)
 from repro.autograd.tensor import (
     Tensor,
     as_tensor,
@@ -57,7 +66,35 @@ from repro.autograd.ops_nn import (
 )
 from repro.autograd.ops_conv import conv1d
 from repro.autograd.ops_loss import cross_entropy, mse_loss
+from repro.autograd.ops_fused import (
+    attention_core,
+    bias_dropout_residual,
+    bias_gelu,
+    fused_ops,
+    fusion_enabled,
+    linear_bias,
+    masked_softmax,
+    set_fusion_enabled,
+    softmax_cross_entropy,
+)
 from repro.autograd.grad_check import check_gradients, numerical_grad
+
+
+@contextmanager
+def steady_state(arena: bool = True, fused: bool = True):
+    """Enable the buffer arena and fused elementwise ops for a scope.
+
+    This is the switch the trainer flips for its zero-allocation
+    steady-state step; both features default off at import time so the
+    unfused, allocating reference path stays the baseline.
+    """
+    prev_arena = set_arena_enabled(arena)
+    prev_fused = set_fusion_enabled(fused)
+    try:
+        yield
+    finally:
+        set_fusion_enabled(prev_fused)
+        set_arena_enabled(prev_arena)
 
 __all__ = [
     "Tensor",
@@ -108,4 +145,20 @@ __all__ = [
     "mse_loss",
     "check_gradients",
     "numerical_grad",
+    "arena",
+    "stats",
+    "get_arena",
+    "is_arena_enabled",
+    "set_arena_enabled",
+    "use_arena",
+    "attention_core",
+    "bias_gelu",
+    "bias_dropout_residual",
+    "linear_bias",
+    "masked_softmax",
+    "softmax_cross_entropy",
+    "fusion_enabled",
+    "set_fusion_enabled",
+    "fused_ops",
+    "steady_state",
 ]

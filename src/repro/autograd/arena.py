@@ -1,0 +1,353 @@
+"""Generation-tagged buffer arena for the steady-state training step.
+
+After PR 1 made the sparse GEMMs fast, profiles of the Fig 7 end-to-end
+dMoE benchmark show the training step spending a large fraction of its
+time in the allocator: every step re-creates every activation, gradient
+accumulator, optimizer temporary, and padded gather/scatter buffer from
+scratch.  For a fixed-shape workload those allocations are identical
+step after step, so a pool that hands the same memory back each
+iteration removes the churn entirely.
+
+Design:
+
+- Buffers are pooled by ``(bucket, dtype)`` where ``bucket`` is the
+  element count rounded up to a power of two.  Bucketing lets
+  routing-dependent padded shapes (which wobble between steps) share
+  buffers instead of fragmenting the pool.  Requests below
+  :data:`MIN_BUCKET` elements bypass the pool entirely — for small
+  arrays malloc is faster than any bookkeeping, and they contribute
+  almost nothing to the per-step allocation peak.
+- Each key owns a LIFO free stack.  :meth:`BufferArena.acquire` pops the
+  most recently freed base (the cache-hot one — mirroring what malloc
+  does for the reference path's transient allocations, which matters as
+  much as avoiding the allocation itself) and returns the view
+  ``base[:n].reshape(shape)``.
+- :meth:`BufferArena.release` recycles a buffer the moment it is
+  provably dead — staging copies inside the grouped sparse kernels, and
+  interior gradients during the backward walk (see
+  ``Tensor.backward``).  It accepts views: ownership is tracked by the
+  *base* array, so releasing e.g. a ``reshape`` of an acquired buffer
+  frees the buffer itself.
+- :meth:`BufferArena.next_generation` (called once per training step by
+  the :class:`~repro.training.trainer.Trainer`) retires whatever is
+  still live — step-scoped activations and anything the release
+  analysis could not prove dead.
+- A global byte cap bounds pool growth; past the cap, retiring buffers
+  are dropped to the GC instead of pooled.
+
+Arena buffers contain stale data from the previous step, so every
+call site MUST fully overwrite the buffer (``out=`` ufuncs, ``fill``,
+``np.copyto``, padded ``np.take``).  The tier-1 equivalence smoke
+(``tests/integration/test_steady_state.py``) trains a dMoE with the
+arena on vs. off and asserts bit-identical trajectories to guard this
+invariant.
+
+The arena is **off by default**; enable with ``REPRO_ARENA=1``, with
+:func:`set_arena_enabled`, or per-block with :func:`use_arena` /
+:func:`repro.autograd.steady_state`.  When disabled, the helper
+functions (:func:`empty`, :func:`zeros`, :func:`binary_buf`, ...)
+degrade to plain NumPy allocations or ``None`` so hot-path call sites
+need no branching of their own.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Smallest pooled buffer, in elements.  Below this, malloc beats the
+#: pool: a small allocation costs well under a microsecond while an
+#: acquire/release round trip costs several, and small buffers barely
+#: register in the per-step allocation peak the pool exists to remove.
+MIN_BUCKET = 2048
+
+#: Default cap on total pooled bytes (free + live).
+DEFAULT_CAPACITY_BYTES = 512 * 1024 * 1024
+
+
+class BufferArena:
+    """A pool of flat NumPy arrays with per-step generation reclaim.
+
+    ``acquire`` runs ~1000 times per training step, so the hot path is
+    kept to a dict probe, a list pop, and two view creations.  Ownership
+    is tracked by the id of the flat *base* array (one per buffer), so
+    any view of an acquired buffer can be released.  The pool key uses
+    ``dtype.num``: native-endian scalar types only, which is all this
+    codebase allocates.
+    """
+
+    __slots__ = (
+        "capacity_bytes",
+        "_free",
+        "_live",
+        "_free_bytes",
+        "_live_bytes",
+        "generation",
+        "hits",
+        "misses",
+        "evictions",
+        "released",
+        "skipped",
+    )
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES) -> None:
+        self.capacity_bytes = capacity_bytes
+        # (bucket_elements, dtype.num) -> LIFO stack of (base, viewcache)
+        # pairs.  viewcache maps a shape tuple to the ready-made view of
+        # that base — for a fixed-shape workload nearly every acquire
+        # re-requests a shape the base has served before, so the view
+        # creation (slice + reshape, the priciest part of the hot path)
+        # happens once per (buffer, shape) instead of once per acquire.
+        self._free: Dict[Tuple[int, int], list] = {}
+        # id(base) -> (key, base, viewcache).  Holding the base keeps its
+        # id stable while the buffer is live.
+        self._live: Dict[int, tuple] = {}
+        self._free_bytes = 0
+        self._live_bytes = 0
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.released = 0
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    # Core pool operations
+    # ------------------------------------------------------------------
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A writable array of ``shape``/``dtype`` backed by pooled memory.
+
+        Contents are uninitialized (stale from a previous step); the
+        caller must fully overwrite them.
+        """
+        dt = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
+        if type(shape) is not tuple:
+            shape = (shape,) if type(shape) is int else tuple(shape)
+        n = 1
+        for s in shape:
+            n *= s
+        n = int(n)
+        if n < MIN_BUCKET:
+            self.skipped += 1
+            return np.empty(shape, dtype=dt)
+        b = 1 << (n - 1).bit_length()
+        key = (b, dt.num)
+        stack = self._free.get(key)
+        if stack:
+            base, vc = stack.pop()
+            self._free_bytes -= base.nbytes
+            self.hits += 1
+            view = vc.get(shape)
+            if view is None:
+                view = vc[shape] = base[:n].reshape(shape)
+        else:
+            base = np.empty(b, dtype=dt)
+            self.misses += 1
+            view = base[:n].reshape(shape)
+            vc = {shape: view}
+        self._live[id(base)] = (key, base, vc)
+        self._live_bytes += base.nbytes
+        return view
+
+    def release(self, view: np.ndarray) -> bool:
+        """Recycle ``view``'s buffer the moment it is dead, ahead of the
+        next generation.  Accepts any view of an acquired buffer (NumPy
+        collapses view chains, so ``view.base`` is the flat base array).
+        No-op (returns False) for arrays the arena does not own — callers
+        may pass anything without checking provenance."""
+        base = view
+        while base.base is not None:  # broadcast_to views nest one deeper
+            base = base.base
+        entry = self._live.pop(id(base), None)
+        if entry is None:
+            return False
+        self._live_bytes -= entry[1].nbytes
+        self._stash(entry)
+        self.released += 1
+        return True
+
+    def owns(self, view: np.ndarray) -> bool:
+        """True if ``view`` is backed by a currently-live arena buffer."""
+        base = view
+        while base.base is not None:
+            base = base.base
+        return id(base) in self._live
+
+    def next_generation(self) -> None:
+        """Retire every still-live buffer; called once per training step."""
+        for entry in self._live.values():
+            self._live_bytes -= entry[1].nbytes
+            self._stash(entry)
+        self._live.clear()
+        self.generation += 1
+
+    def clear(self) -> None:
+        """Drop all pooled memory (free and live) and reset counters."""
+        self._free.clear()
+        self._live.clear()
+        self._free_bytes = 0
+        self._live_bytes = 0
+        self.hits = self.misses = self.evictions = self.released = 0
+        self.skipped = 0
+
+    def _stash(self, entry: tuple) -> None:
+        key, base, vc = entry
+        if self._free_bytes + base.nbytes > self.capacity_bytes:
+            self.evictions += 1
+            return  # let the GC take it
+        stack = self._free.get(key)
+        if stack is None:
+            stack = self._free[key] = []
+        stack.append((base, vc))
+        self._free_bytes += base.nbytes
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pooled_bytes(self) -> int:
+        return self._free_bytes + self._live_bytes
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "enabled": is_arena_enabled(),
+            "generation": self.generation,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+            "evictions": self.evictions,
+            "released": self.released,
+            "skipped": self.skipped,
+            "pooled_bytes": self.pooled_bytes,
+            "live_buffers": len(self._live),
+        }
+
+
+# ----------------------------------------------------------------------
+# Module-level singleton + enable switch
+# ----------------------------------------------------------------------
+_ARENA = BufferArena()
+_ENABLED = os.environ.get("REPRO_ARENA", "0") not in ("", "0")
+
+
+def get_arena() -> BufferArena:
+    return _ARENA
+
+
+def is_arena_enabled() -> bool:
+    return _ENABLED
+
+
+def set_arena_enabled(enabled: bool) -> bool:
+    """Flip the global switch; returns the previous value."""
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = bool(enabled)
+    return prev
+
+
+@contextlib.contextmanager
+def use_arena(enabled: bool = True):
+    """Enable (or disable) the arena inside the block."""
+    prev = set_arena_enabled(enabled)
+    try:
+        yield _ARENA
+    finally:
+        set_arena_enabled(prev)
+
+
+# ----------------------------------------------------------------------
+# Hot-path helpers.  All degrade gracefully when the arena is disabled
+# so call sites stay branch-free.
+# ----------------------------------------------------------------------
+def empty(shape, dtype) -> np.ndarray:
+    """Uninitialized array: pooled when the arena is on, fresh otherwise."""
+    if _ENABLED:
+        return _ARENA.acquire(shape, dtype)
+    return np.empty(shape, dtype=dtype)
+
+
+def zeros(shape, dtype) -> np.ndarray:
+    """Zeroed array: pooled when the arena is on, fresh otherwise."""
+    if _ENABLED:
+        buf = _ARENA.acquire(shape, dtype)
+        buf.fill(0)
+        return buf
+    return np.zeros(shape, dtype=dtype)
+
+
+def release(view: Optional[np.ndarray]) -> None:
+    """Early-return a buffer (no-op for non-arena arrays / when off)."""
+    if _ENABLED and view is not None:
+        _ARENA.release(view)
+
+
+def out_buf(shape, dtype) -> Optional[np.ndarray]:
+    """An ``out=`` target, or ``None`` (→ let NumPy allocate) when off."""
+    if _ENABLED:
+        return _ARENA.acquire(shape, dtype)
+    return None
+
+
+def binary_buf(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+    """``out=`` target for a broadcasting binary ufunc on ``a``/``b``.
+
+    Matches NumPy's own result shape/dtype so writing through ``out=``
+    is bit-identical to the allocation the ufunc would have made.  The
+    common same-shape/same-dtype case skips ``broadcast_shapes`` /
+    ``result_type`` (both pure-Python and measurable at ~500 calls per
+    step).
+    """
+    if not _ENABLED:
+        return None
+    shape = a.shape if a.shape == b.shape else np.broadcast_shapes(a.shape, b.shape)
+    dt = a.dtype if a.dtype == b.dtype else np.result_type(a, b)
+    return _ARENA.acquire(shape, dt)
+
+
+def matmul_buf(a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+    """``out=`` target for ``a @ b`` (2-D or stacked 3-D operands)."""
+    if not _ENABLED or a.ndim < 2 or b.ndim < 2:
+        return None
+    if a.ndim == 2 and b.ndim == 2:
+        shape: Tuple[int, ...] = (a.shape[0], b.shape[1])
+    else:
+        lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        shape = lead + (a.shape[-2], b.shape[-1])
+    dt = a.dtype if a.dtype == b.dtype else np.result_type(a, b)
+    return _ARENA.acquire(shape, dt)
+
+
+def reshaped(a: np.ndarray, shape) -> np.ndarray:
+    """``a.reshape(shape)`` with any copy staged through the pool.
+
+    Returns a view whenever NumPy would (same object semantics); when the
+    reshape needs a copy — e.g. merging heads after a transpose — the
+    C-order copy lands in a pooled buffer instead of a fresh allocation.
+    Bit-identical either way.
+    """
+    if not _ENABLED:
+        return a.reshape(shape)
+    v = a.view()
+    try:
+        v.shape = shape
+        return v
+    except AttributeError:
+        pass
+    shape = tuple(shape)
+    if -1 in shape:
+        rest = 1
+        for s in shape:
+            if s != -1:
+                rest *= s
+        shape = tuple(a.size // rest if s == -1 else s for s in shape)
+    buf = _ARENA.acquire(shape, a.dtype)
+    np.copyto(buf.reshape(a.shape), a)
+    return buf

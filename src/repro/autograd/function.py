@@ -9,6 +9,11 @@ replays the tape in reverse topological order.
 The design mirrors ``torch.autograd.Function`` deliberately: the paper's
 kernels plug in as Functions whose backward issues the transposed sparse
 products (SDD^T, DS^TD, ...) described in §5.1 of MegaBlocks.
+
+``apply`` is the single hottest non-numeric call in a training step
+(every tape node goes through it), so it avoids per-call imports and
+constructs the output tensor with ``Tensor.__new__`` instead of the
+coercing ``__init__`` — forward already guarantees an ``ndarray``.
 """
 
 from __future__ import annotations
@@ -16,6 +21,12 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.autograd import arena, stats
+
+# Bound lazily on first apply() to avoid an import cycle with tensor.py.
+_Tensor = None
+_is_grad_enabled = None
 
 
 class Context:
@@ -38,16 +49,26 @@ class Context:
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, inverting NumPy broadcasting."""
-    if grad.shape == tuple(shape):
+    shape = tuple(shape)
+    if grad.shape == shape:
         return grad
     # Sum over leading axes added by broadcasting.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        axes = tuple(range(extra))
+        out = arena.out_buf(grad.shape[extra:], grad.dtype)
+        grad = grad.sum(axis=axes, out=out) if out is not None else grad.sum(axis=axes)
     # Sum over axes that were broadcast from size 1.
     axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        kept = tuple(1 if i in axes else s for i, s in enumerate(grad.shape))
+        out = arena.out_buf(kept, grad.dtype)
+        if out is not None:
+            grad = grad.sum(axis=axes, keepdims=True, out=out)
+        else:
+            grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape == shape:
+        return grad
     return grad.reshape(shape)
 
 
@@ -69,19 +90,41 @@ class Function:
 
     @classmethod
     def apply(cls, *args: Any, **kwargs: Any):
-        from repro.autograd.tensor import Tensor, is_grad_enabled
+        global _Tensor, _is_grad_enabled
+        if _Tensor is None:
+            from repro.autograd.tensor import Tensor, is_grad_enabled
 
-        tensor_args = [a for a in args if isinstance(a, Tensor)]
-        raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
-        requires_grad = is_grad_enabled() and any(
-            t.requires_grad for t in tensor_args
-        )
+            _Tensor = Tensor
+            _is_grad_enabled = is_grad_enabled
+        Tensor = _Tensor
+
+        raw_args = []
+        requires_grad = False
+        for a in args:
+            if isinstance(a, Tensor):
+                raw_args.append(a.data)
+                if a.requires_grad:
+                    requires_grad = True
+            else:
+                raw_args.append(a)
+        requires_grad = requires_grad and _is_grad_enabled()
 
         ctx = Context()
         out_data = cls.forward(ctx, *raw_args, **kwargs)
-        out = Tensor(out_data, requires_grad=requires_grad)
+        if type(out_data) is np.ndarray:
+            out = Tensor.__new__(Tensor)
+            out.data = out_data
+            out.grad = None
+            out.requires_grad = requires_grad
+            out.name = None
+            out._node = None
+        else:
+            # NumPy scalars (full reductions) take the coercing
+            # constructor so dtype promotion matches Tensor(...) exactly.
+            out = Tensor(out_data, requires_grad=requires_grad)
         if requires_grad:
             out._node = Node(cls, ctx, args)
+            stats.record_node()
         return out
 
 
@@ -96,9 +139,12 @@ class Node:
         self.inputs = inputs
 
     def tensor_inputs(self):
-        from repro.autograd.tensor import Tensor
+        global _Tensor
+        if _Tensor is None:  # pragma: no cover - apply() always runs first
+            from repro.autograd.tensor import Tensor
 
-        return [a for a in self.inputs if isinstance(a, Tensor)]
+            _Tensor = Tensor
+        return [a for a in self.inputs if isinstance(a, _Tensor)]
 
     def backward(self, grad: np.ndarray):
         grads = self.fn.backward(self.ctx, grad)

@@ -11,8 +11,18 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autograd import arena
 from repro.autograd.function import Context, Function, unbroadcast
 from repro.autograd.tensor import Tensor, as_tensor, register_tensor_op
+
+
+def _unbroadcast_release(grad: np.ndarray, shape) -> np.ndarray:
+    """``unbroadcast`` that returns the full-size temporary to the arena
+    when summing produced a smaller replacement buffer."""
+    out = unbroadcast(grad, shape)
+    if out is not grad:
+        arena.release(grad)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -22,7 +32,8 @@ class _Add(Function):
     @staticmethod
     def forward(ctx, a, b):
         ctx.save_for_backward(a.shape, b.shape)
-        return a + b
+        out = arena.binary_buf(a, b)
+        return a + b if out is None else np.add(a, b, out=out)
 
     @staticmethod
     def backward(ctx, grad):
@@ -34,30 +45,45 @@ class _Sub(Function):
     @staticmethod
     def forward(ctx, a, b):
         ctx.save_for_backward(a.shape, b.shape)
-        return a - b
+        out = arena.binary_buf(a, b)
+        return a - b if out is None else np.subtract(a, b, out=out)
 
     @staticmethod
     def backward(ctx, grad):
         sa, sb = ctx.saved
-        return unbroadcast(grad, sa), unbroadcast(-grad, sb)
+        buf = arena.out_buf(grad.shape, grad.dtype)
+        ng = -grad if buf is None else np.negative(grad, out=buf)
+        return unbroadcast(grad, sa), _unbroadcast_release(ng, sb)
 
 
 class _Mul(Function):
     @staticmethod
     def forward(ctx, a, b):
         ctx.save_for_backward(a, b)
-        return a * b
+        out = arena.binary_buf(a, b)
+        return a * b if out is None else np.multiply(a, b, out=out)
 
     @staticmethod
     def backward(ctx, grad):
         a, b = ctx.saved
-        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+        oa = arena.binary_buf(grad, b)
+        ga_full = grad * b if oa is None else np.multiply(grad, b, out=oa)
+        ob = arena.binary_buf(grad, a)
+        gb_full = grad * a if ob is None else np.multiply(grad, a, out=ob)
+        return (
+            _unbroadcast_release(ga_full, a.shape),
+            _unbroadcast_release(gb_full, b.shape),
+        )
 
 
 class _Div(Function):
     @staticmethod
     def forward(ctx, a, b):
         ctx.save_for_backward(a, b)
+        out = arena.binary_buf(a, b)
+        if out is not None and np.issubdtype(out.dtype, np.floating):
+            return np.divide(a, b, out=out)
+        arena.release(out)
         return a / b
 
     @staticmethod
@@ -240,6 +266,10 @@ class _Sum(Function):
         shape, axis, keepdims = ctx.saved
         if axis is not None and not keepdims:
             grad = np.expand_dims(grad, axis)
+        buf = arena.out_buf(shape, grad.dtype)
+        if buf is not None:
+            np.copyto(buf, grad)
+            return (buf,)
         return (np.broadcast_to(grad, shape).copy(),)
 
 
@@ -256,7 +286,12 @@ class _Mean(Function):
         shape, axis, keepdims, count = ctx.saved
         if axis is not None and not keepdims:
             grad = np.expand_dims(grad, axis)
-        return (np.broadcast_to(grad, shape) / count,)
+        expanded = np.broadcast_to(grad, shape)
+        buf = arena.out_buf(shape, grad.dtype)
+        if buf is not None and np.issubdtype(grad.dtype, np.floating):
+            return (np.divide(expanded, count, out=buf),)
+        arena.release(buf)
+        return (expanded / count,)
 
 
 class _Max(Function):
@@ -300,12 +335,12 @@ class _Reshape(Function):
     @staticmethod
     def forward(ctx, a, shape):
         ctx.save_for_backward(a.shape)
-        return a.reshape(shape)
+        return arena.reshaped(a, shape)
 
     @staticmethod
     def backward(ctx, grad):
         (shape,) = ctx.saved
-        return (grad.reshape(shape),)
+        return (arena.reshaped(grad, shape),)
 
 
 class _Transpose(Function):
@@ -322,6 +357,31 @@ class _Transpose(Function):
         return (np.transpose(grad, inverse),)
 
 
+def _scatter_add_rows(out: np.ndarray, idx: np.ndarray, rows: np.ndarray) -> None:
+    """``np.add.at(out, idx, rows)`` via stable sort + segment reduce.
+
+    ``ufunc.at`` runs an interpreted per-element inner loop and is the
+    single most expensive call in a training step; sorting the indices
+    and reducing each segment with ``np.add.reduceat`` does the same
+    accumulation with a handful of vectorized calls.  Duplicate indices
+    sum in a (deterministic) pairwise order rather than ``add.at``'s
+    strictly sequential one, so this is the accumulation everywhere —
+    both the reference and steady-state paths — keeping the two modes
+    bit-identical to each other.
+    """
+    if idx.size < 16:
+        np.add.at(out, idx, rows)
+        return
+    order = np.argsort(idx, kind="stable")
+    sidx = idx[order]
+    srows = np.take(rows, order, axis=0)
+    seg_starts = np.empty(sidx.shape, dtype=bool)
+    seg_starts[0] = True
+    np.not_equal(sidx[1:], sidx[:-1], out=seg_starts[1:])
+    starts = np.flatnonzero(seg_starts)
+    out[sidx[starts]] += np.add.reduceat(srows, starts, axis=0)
+
+
 class _GetItem(Function):
     @staticmethod
     def forward(ctx, a, index):
@@ -331,8 +391,27 @@ class _GetItem(Function):
     @staticmethod
     def backward(ctx, grad):
         shape, index = ctx.saved
-        out = np.zeros(shape, dtype=grad.dtype)
-        np.add.at(out, index, grad)
+        out = arena.zeros(shape, grad.dtype)
+        if (
+            type(index) is tuple
+            and len(index) == 2
+            and len(shape) == 2
+            and isinstance(index[0], np.ndarray)
+            and isinstance(index[1], np.ndarray)
+            and index[0].ndim == 1
+            and index[1].ndim == 1
+            and index[0].dtype.kind in "iu"
+            and index[1].dtype.kind in "iu"
+            and grad.ndim == 1
+            and index[0].min(initial=0) >= 0
+            and index[1].min(initial=0) >= 0
+        ):
+            # The router's ``x[arange(n), expert]`` pattern: scatter into
+            # flat linear indices instead of ufunc.at's per-element loop.
+            flat = index[0].astype(np.int64) * shape[1] + index[1]
+            _scatter_add_rows(out.reshape(-1), flat, grad)
+        else:
+            np.add.at(out, index, grad)
         return (out,)
 
 
@@ -391,18 +470,23 @@ class _MatMul(Function):
     @staticmethod
     def forward(ctx, a, b):
         ctx.save_for_backward(a, b)
-        return a @ b
+        out = arena.matmul_buf(a, b)
+        return a @ b if out is None else np.matmul(a, b, out=out)
 
     @staticmethod
     def backward(ctx, grad):
         a, b = ctx.saved
-        ga = grad @ np.swapaxes(b, -1, -2)
-        gb = np.swapaxes(a, -1, -2) @ grad
+        bt = np.swapaxes(b, -1, -2)
+        out = arena.matmul_buf(grad, bt)
+        ga = grad @ bt if out is None else np.matmul(grad, bt, out=out)
+        at = np.swapaxes(a, -1, -2)
+        out = arena.matmul_buf(at, grad)
+        gb = at @ grad if out is None else np.matmul(at, grad, out=out)
         # Handle broadcasting over batch dims.
         if ga.shape != a.shape:
-            ga = unbroadcast(ga, a.shape)
+            ga = _unbroadcast_release(ga, a.shape)
         if gb.shape != b.shape:
-            gb = unbroadcast(gb, b.shape)
+            gb = _unbroadcast_release(gb, b.shape)
         return ga, gb
 
 

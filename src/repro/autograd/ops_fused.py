@@ -1,0 +1,540 @@
+"""Fused elementwise Functions: one tape node where the reference path
+records three to five.
+
+Each fused op mirrors the *exact* IEEE operation sequence of the unfused
+composition it replaces, so enabling fusion is bit-identical — the
+tier-1 equivalence smoke trains a dMoE with fusion on vs. off and
+asserts equal losses and parameters to the last ulp.  The wins are
+fewer Python-level tape nodes, no wasted gradient work (e.g. the full
+``grad * scores`` product the unfused ``mul``-by-scalar backward computes
+for a constant scale), and arena-pooled temporaries.
+
+Selected via ``REPRO_FUSED=1`` / :func:`set_fusion_enabled` /
+:func:`fused_ops`; the unfused composition stays as the always-available
+reference path in ``repro.nn`` / ``repro.moe`` / ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import arena, stats
+from repro.autograd.function import Function, unbroadcast
+from repro.autograd.ops_nn import _GELU_C
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.utils.rng import get_rng
+
+_FUSED = os.environ.get("REPRO_FUSED", "0") not in ("", "0")
+
+
+def fusion_enabled() -> bool:
+    return _FUSED
+
+
+def set_fusion_enabled(enabled: bool) -> bool:
+    """Flip the global fusion switch; returns the previous value."""
+    global _FUSED
+    prev = _FUSED
+    _FUSED = bool(enabled)
+    return prev
+
+
+@contextlib.contextmanager
+def fused_ops(enabled: bool = True):
+    """Enable (or disable) fused dispatch inside the block."""
+    prev = set_fusion_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_fusion_enabled(prev)
+
+
+def _chainable(*arrays) -> bool:
+    """The in-place ``out=`` chains below require one shared float32/64
+    dtype; anything else falls back to the plain expressions (which are
+    the bitwise reference anyway)."""
+    dt = arrays[0].dtype
+    if dt != np.float32 and dt != np.float64:
+        return False
+    return all(a.dtype == dt for a in arrays)
+
+
+# ----------------------------------------------------------------------
+# Shared GELU kernels (tanh approximation), matching ``ops_nn._GELU``
+# operation for operation.
+# ----------------------------------------------------------------------
+def _gelu_fwd(a: np.ndarray):
+    """Returns ``(tanh_term, out)`` for GELU(a)."""
+    if _chainable(a):
+        tmp = arena.empty(a.shape, a.dtype)
+        np.multiply(a, a, out=tmp)
+        np.multiply(tmp, a, out=tmp)
+        np.multiply(0.044715, tmp, out=tmp)
+        np.add(a, tmp, out=tmp)
+        np.multiply(_GELU_C, tmp, out=tmp)
+        t = np.tanh(tmp, out=tmp)
+        one_t = arena.empty(a.shape, a.dtype)
+        np.add(1.0, t, out=one_t)
+        out = arena.empty(a.shape, a.dtype)
+        np.multiply(0.5, a, out=out)
+        np.multiply(out, one_t, out=out)
+        arena.release(one_t)
+        return t, out
+    inner = _GELU_C * (a + 0.044715 * (a * a * a))
+    t = np.tanh(inner)
+    return t, 0.5 * a * (1.0 + t)
+
+
+def _gelu_bwd(grad: np.ndarray, a: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """``grad * dGELU/da`` given the saved input ``a`` and tanh term ``t``."""
+    if _chainable(grad, a, t):
+        d = arena.empty(a.shape, a.dtype)
+        np.multiply(a, a, out=d)
+        np.multiply(3 * 0.044715, d, out=d)
+        np.add(1.0, d, out=d)
+        np.multiply(_GELU_C, d, out=d)  # dinner
+        u = arena.empty(a.shape, a.dtype)
+        np.multiply(t, t, out=u)
+        np.subtract(1.0, u, out=u)  # 1 - t^2
+        v = arena.empty(a.shape, a.dtype)
+        np.multiply(0.5, a, out=v)
+        np.multiply(v, u, out=v)
+        np.multiply(v, d, out=v)  # 0.5*a*(1-t^2)*dinner
+        np.add(1.0, t, out=u)
+        np.multiply(0.5, u, out=u)  # 0.5*(1+t)
+        np.add(u, v, out=u)  # da
+        np.multiply(grad, u, out=u)
+        arena.release(d)
+        arena.release(v)
+        return u
+    dinner = _GELU_C * (1.0 + 3 * 0.044715 * (a * a))
+    da = 0.5 * (1.0 + t) + 0.5 * a * (1.0 - t * t) * dinner
+    return grad * da
+
+
+class _BiasGelu(Function):
+    """``gelu(x + bias)`` — replaces an add node and a GELU node."""
+
+    @staticmethod
+    def forward(ctx, x, bias):
+        if _chainable(x, bias):
+            a = arena.empty(np.broadcast_shapes(x.shape, bias.shape), x.dtype)
+            np.add(x, bias, out=a)
+        else:
+            a = x + bias
+        t, out = _gelu_fwd(a)
+        ctx.save_for_backward(a, t, x.shape, bias.shape)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, t, sx, sb = ctx.saved
+        g = _gelu_bwd(grad, a, t)
+        return unbroadcast(g, sx), unbroadcast(g, sb)
+
+
+def bias_gelu(x, bias) -> Tensor:
+    """Fused ``gelu(x + bias)`` (bit-identical to the composition)."""
+    stats.record_fused("bias_gelu")
+    return _BiasGelu.apply(as_tensor(x), as_tensor(bias))
+
+
+# ----------------------------------------------------------------------
+# Linear (matmul + bias add in one node)
+# ----------------------------------------------------------------------
+class _LinearBias(Function):
+    """``x @ w + b`` — replaces a matmul node and a broadcast-add node.
+
+    Forward adds the bias into the matmul output buffer (``m + b`` with
+    ``out=m`` is the same ufunc call the reference composition makes,
+    just without a second allocation).  Backward mirrors
+    ``_MatMul.backward`` + ``_Add.backward`` exactly: same matmuls, same
+    ``unbroadcast`` reductions, one tape node instead of two.
+    """
+
+    @staticmethod
+    def forward(ctx, x, w, b):
+        ctx.save_for_backward(x, w, b.shape)
+        out = arena.matmul_buf(x, w)
+        if out is None:
+            return x @ w + b
+        np.matmul(x, w, out=out)
+        return np.add(out, b, out=out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        from repro.autograd.ops_basic import _unbroadcast_release
+
+        x, w, sb = ctx.saved
+        gb = unbroadcast(grad, sb)
+        wt = np.swapaxes(w, -1, -2)
+        out = arena.matmul_buf(grad, wt)
+        gx = grad @ wt if out is None else np.matmul(grad, wt, out=out)
+        xt = np.swapaxes(x, -1, -2)
+        out = arena.matmul_buf(xt, grad)
+        gw = xt @ grad if out is None else np.matmul(xt, grad, out=out)
+        if gx.shape != x.shape:
+            gx = _unbroadcast_release(gx, x.shape)
+        if gw.shape != w.shape:
+            gw = _unbroadcast_release(gw, w.shape)
+        return gx, gw, gb
+
+
+def linear_bias(x, w, b) -> Tensor:
+    """Fused affine map (bit-identical to ``x @ w + b``)."""
+    stats.record_fused("linear_bias")
+    return _LinearBias.apply(as_tensor(x), as_tensor(w), as_tensor(b))
+
+
+# ----------------------------------------------------------------------
+# Dropout + residual (with optional preceding bias add)
+# ----------------------------------------------------------------------
+def _dropout_mask(shape, dtype, p, rng):
+    keep = 1.0 - p
+    return (get_rng(rng).random(shape) < keep).astype(dtype) / keep
+
+
+class _DropoutResidual(Function):
+    """``residual + dropout(y)`` — the transformer-block skip connection."""
+
+    @staticmethod
+    def forward(ctx, y, residual, p, training, rng):
+        mask = None
+        d = y
+        if training and p > 0.0:
+            mask = _dropout_mask(y.shape, y.dtype, p, rng)
+            if _chainable(y, mask):
+                d = arena.empty(y.shape, y.dtype)
+                np.multiply(y, mask, out=d)
+            else:
+                d = y * mask
+        ctx.save_for_backward(mask, y.shape, residual.shape)
+        if _chainable(residual, d):
+            out = arena.empty(np.broadcast_shapes(residual.shape, d.shape), d.dtype)
+            return np.add(residual, d, out=out)
+        return residual + d
+
+    @staticmethod
+    def backward(ctx, grad):
+        mask, sy, sr = ctx.saved
+        if mask is None:
+            gy = grad
+        elif _chainable(grad, mask):
+            gy = arena.empty(grad.shape, grad.dtype)
+            np.multiply(grad, mask, out=gy)
+        else:
+            gy = grad * mask
+        return unbroadcast(gy, sy), unbroadcast(grad, sr)
+
+
+class _BiasDropoutResidual(Function):
+    """``residual + dropout(y + bias)`` in a single node."""
+
+    @staticmethod
+    def forward(ctx, y, bias, residual, p, training, rng):
+        if _chainable(y, bias):
+            s = arena.empty(np.broadcast_shapes(y.shape, bias.shape), y.dtype)
+            np.add(y, bias, out=s)
+        else:
+            s = y + bias
+        mask = None
+        d = s
+        if training and p > 0.0:
+            mask = _dropout_mask(s.shape, s.dtype, p, rng)
+            if _chainable(s, mask):
+                d = np.multiply(s, mask, out=s)  # s is dead past here
+            else:
+                d = s * mask
+        ctx.save_for_backward(mask, y.shape, bias.shape, residual.shape)
+        if _chainable(residual, d):
+            out = arena.empty(np.broadcast_shapes(residual.shape, d.shape), d.dtype)
+            return np.add(residual, d, out=out)
+        return residual + d
+
+    @staticmethod
+    def backward(ctx, grad):
+        mask, sy, sb, sr = ctx.saved
+        if mask is None:
+            g = grad
+        elif _chainable(grad, mask):
+            g = arena.empty(grad.shape, grad.dtype)
+            np.multiply(grad, mask, out=g)
+        else:
+            g = grad * mask
+        return unbroadcast(g, sy), unbroadcast(g, sb), unbroadcast(grad, sr)
+
+
+def bias_dropout_residual(
+    y, bias, residual, p: float, training: bool = True, rng=None
+) -> Tensor:
+    """Fused ``residual + dropout(y + bias)``; ``bias=None`` skips the add.
+
+    Bit-identical to ``residual + dropout(y + bias)`` built from the
+    reference ops, including the dropout RNG draw.
+    """
+    stats.record_fused("bias_dropout_residual")
+    if bias is None:
+        return _DropoutResidual.apply(
+            as_tensor(y), as_tensor(residual), float(p), bool(training), rng
+        )
+    return _BiasDropoutResidual.apply(
+        as_tensor(y), as_tensor(bias), as_tensor(residual), float(p), bool(training), rng
+    )
+
+
+# ----------------------------------------------------------------------
+# Scale + causal mask + softmax (attention scores)
+# ----------------------------------------------------------------------
+class _MaskedSoftmax(Function):
+    """``softmax(where(mask, scores * scale, -1e9))`` in one node.
+
+    Beyond the node-count savings, this skips the two wasted full-size
+    products the reference path computes for gradients of the constant
+    scale and mask-fill tensors.
+    """
+
+    @staticmethod
+    def forward(ctx, s, mask, scale):
+        if _chainable(s):
+            buf = arena.empty(s.shape, s.dtype)
+            np.multiply(s, scale, out=buf)
+            np.copyto(buf, np.float32(-1e9), where=~mask)
+            np.subtract(buf, buf.max(axis=-1, keepdims=True), out=buf)
+            np.exp(buf, out=buf)
+            out = np.divide(buf, buf.sum(axis=-1, keepdims=True), out=buf)
+        else:
+            scores = s * scale
+            masked = np.where(mask, scores, np.float32(-1e9))
+            shifted = masked - masked.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            out = e / e.sum(axis=-1, keepdims=True)
+        ctx.save_for_backward(out, mask, scale)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        out, mask, scale = ctx.saved
+        if _chainable(grad, out):
+            buf = arena.empty(grad.shape, grad.dtype)
+            np.multiply(grad, out, out=buf)
+            dot = buf.sum(axis=-1, keepdims=True)
+            np.subtract(grad, dot, out=buf)
+            np.multiply(out, buf, out=buf)
+            np.copyto(buf, 0.0, where=~mask)
+            np.multiply(buf, scale, out=buf)
+            return (buf,)
+        dot = (grad * out).sum(axis=-1, keepdims=True)
+        gs = out * (grad - dot)
+        gs = np.where(mask, gs, 0.0)
+        return (gs * scale,)
+
+
+def masked_softmax(scores, mask, scale: float) -> Tensor:
+    """Fused ``softmax(where(mask, scores * scale, -1e9), axis=-1)``.
+
+    ``mask`` is a boolean array broadcastable against ``scores`` (True =
+    keep).  ``scale`` is coerced to float32 exactly as ``Tensor(float)``
+    would, so the fused product matches the reference ``mul`` node.
+    """
+    stats.record_fused("masked_softmax")
+    mask_data = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+    return _MaskedSoftmax.apply(as_tensor(scores), mask_data, np.float32(scale))
+
+
+# ----------------------------------------------------------------------
+# Attention core: qkv split -> scores -> masked softmax -> context merge
+# ----------------------------------------------------------------------
+def _release_unless_aliased(buf, result):
+    """Release ``buf`` back to the arena unless ``result`` is a view of
+    it — ``arena.reshaped`` of a transpose returns a view instead of a
+    copy for degenerate shapes (single head, seq length 1)."""
+    r = result
+    while r.base is not None:
+        r = r.base
+    b = buf
+    while b.base is not None:
+        b = b.base
+    if r is not b:
+        arena.release(buf)
+
+
+class _AttentionCore(Function):
+    """The whole scaled-dot-product block between the QKV projection and
+    the output projection, as a single tape node.
+
+    Replaces ten reference nodes per attention call — reshape, transpose,
+    three slice views, key transpose, two matmuls, masked softmax, and
+    the head-merge reshape — with one.  Forward and backward replay the
+    exact ufunc sequence those nodes would run (same matmuls, the same
+    ``_MaskedSoftmax`` chain, the same zero-initialised slot accumulation
+    for the q/k/v gradients), so the result is bit-identical to the
+    composition.  Only valid when attention dropout is inactive; callers
+    gate on that.
+    """
+
+    @staticmethod
+    def forward(ctx, qkv, mask, scale, num_heads, head_dim):
+        batch, seq, _ = qkv.shape
+        qkv5 = qkv.reshape(batch, seq, 3, num_heads, head_dim).transpose(
+            2, 0, 3, 1, 4
+        )
+        q, k, v = qkv5[0], qkv5[1], qkv5[2]
+        kt = np.transpose(k, (0, 1, 3, 2))
+        out = arena.matmul_buf(q, kt)
+        scores = q @ kt if out is None else np.matmul(q, kt, out=out)
+        if _chainable(scores):
+            buf = arena.empty(scores.shape, scores.dtype)
+            np.multiply(scores, scale, out=buf)
+            np.copyto(buf, np.float32(-1e9), where=~mask)
+            np.subtract(buf, buf.max(axis=-1, keepdims=True), out=buf)
+            np.exp(buf, out=buf)
+            probs = np.divide(buf, buf.sum(axis=-1, keepdims=True), out=buf)
+        else:
+            scaled = scores * scale
+            masked = np.where(mask, scaled, np.float32(-1e9))
+            shifted = masked - masked.max(axis=-1, keepdims=True)
+            e = np.exp(shifted)
+            probs = e / e.sum(axis=-1, keepdims=True)
+        arena.release(scores)
+        out = arena.matmul_buf(probs, v)
+        ctx4 = probs @ v if out is None else np.matmul(probs, v, out=out)
+        merged = arena.reshaped(
+            np.transpose(ctx4, (0, 2, 1, 3)), (batch, seq, num_heads * head_dim)
+        )
+        _release_unless_aliased(ctx4, merged)
+        ctx.save_for_backward(qkv, probs, mask, scale, (batch, seq, num_heads, head_dim))
+        return merged
+
+    @staticmethod
+    def backward(ctx, grad):
+        qkv, probs, mask, scale, dims = ctx.saved
+        batch, seq, num_heads, head_dim = dims
+        qkv5 = qkv.reshape(batch, seq, 3, num_heads, head_dim).transpose(
+            2, 0, 3, 1, 4
+        )
+        q, k, v = qkv5[0], qkv5[1], qkv5[2]
+        # Head-merge reshape + transpose backward (views; grad is C-order).
+        g_ctx = np.transpose(
+            arena.reshaped(grad, (batch, seq, num_heads, head_dim)), (0, 2, 1, 3)
+        )
+        # probs @ v backward — operand shapes match, so no unbroadcast.
+        bt = np.swapaxes(v, -1, -2)
+        out = arena.matmul_buf(g_ctx, bt)
+        g_probs = g_ctx @ bt if out is None else np.matmul(g_ctx, bt, out=out)
+        at = np.swapaxes(probs, -1, -2)
+        out = arena.matmul_buf(at, g_ctx)
+        g_v = at @ g_ctx if out is None else np.matmul(at, g_ctx, out=out)
+        # Masked softmax backward (the ``_MaskedSoftmax`` chain verbatim).
+        if _chainable(g_probs, probs):
+            buf = arena.empty(g_probs.shape, g_probs.dtype)
+            np.multiply(g_probs, probs, out=buf)
+            dot = buf.sum(axis=-1, keepdims=True)
+            np.subtract(g_probs, dot, out=buf)
+            np.multiply(probs, buf, out=buf)
+            np.copyto(buf, 0.0, where=~mask)
+            g_scores = np.multiply(buf, scale, out=buf)
+        else:
+            dot = (g_probs * probs).sum(axis=-1, keepdims=True)
+            gs = probs * (g_probs - dot)
+            gs = np.where(mask, gs, 0.0)
+            g_scores = gs * scale
+        arena.release(g_probs)
+        # q @ k^T backward; the key-transpose perm is self-inverse.
+        out = arena.matmul_buf(g_scores, k)
+        g_q = g_scores @ k if out is None else np.matmul(g_scores, k, out=out)
+        at = np.swapaxes(q, -1, -2)
+        out = arena.matmul_buf(at, g_scores)
+        g_kt = at @ g_scores if out is None else np.matmul(at, g_scores, out=out)
+        arena.release(g_scores)
+        g_k = np.transpose(g_kt, (0, 1, 3, 2))
+        # Slice gradients occupy disjoint slots of the stacked buffer, so
+        # direct writes plus one ``+ 0.0`` pass reproduce the reference
+        # zeros-init + add accumulation bit for bit (including -0.0).
+        g5 = arena.empty((3, batch, num_heads, seq, head_dim), grad.dtype)
+        np.copyto(g5[0], g_q)
+        np.copyto(g5[1], g_k)
+        np.copyto(g5[2], g_v)
+        np.add(g5, 0.0, out=g5)
+        arena.release(g_q)
+        arena.release(g_kt)
+        arena.release(g_v)
+        g_qkv = arena.reshaped(
+            np.transpose(g5, (1, 3, 0, 2, 4)),
+            (batch, seq, 3 * num_heads * head_dim),
+        )
+        _release_unless_aliased(g5, g_qkv)
+        return (g_qkv,)
+
+
+def attention_core(qkv, mask, scale: float, num_heads: int, head_dim: int) -> Tensor:
+    """Fused causal-attention core: ``qkv`` of shape (B, S, 3·H) in,
+    merged context of shape (B, S, H) out.  Bit-identical to the
+    unfused reshape/split/matmul/softmax/merge composition; only valid
+    when attention dropout is inactive.
+    """
+    stats.record_fused("attention_core")
+    mask_data = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+    return _AttentionCore.apply(
+        as_tensor(qkv), mask_data, np.float32(scale), int(num_heads), int(head_dim)
+    )
+
+
+# ----------------------------------------------------------------------
+# Softmax cross-entropy with an in-place backward
+# ----------------------------------------------------------------------
+class _FusedSoftmaxCrossEntropy(Function):
+    """``ops_loss._CrossEntropy`` with pooled temporaries and a backward
+    that exponentiates/normalizes the saved log-probs in place instead of
+    allocating two fresh ``(tokens, vocab)`` arrays per step."""
+
+    @staticmethod
+    def forward(ctx, logits, targets, ignore_index=-100):
+        flat = logits.reshape(-1, logits.shape[-1])
+        tgt = targets.reshape(-1)
+        valid = tgt != ignore_index
+        n_valid = max(int(valid.sum()), 1)
+
+        if _chainable(flat):
+            shifted = arena.empty(flat.shape, flat.dtype)
+            np.subtract(flat, flat.max(axis=-1, keepdims=True), out=shifted)
+            e = arena.empty(flat.shape, flat.dtype)
+            np.exp(shifted, out=e)
+            log_z = np.log(e.sum(axis=-1, keepdims=True))
+            arena.release(e)
+            log_probs = np.subtract(shifted, log_z, out=shifted)
+        else:
+            shifted = flat - flat.max(axis=-1, keepdims=True)
+            log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+            log_probs = shifted - log_z
+
+        safe_tgt = np.where(valid, tgt, 0)
+        picked = log_probs[np.arange(flat.shape[0]), safe_tgt]
+        loss = -(picked * valid).sum() / n_valid
+
+        ctx.save_for_backward(log_probs, safe_tgt, valid, n_valid, logits.shape)
+        return np.asarray(loss, dtype=flat.dtype)
+
+    @staticmethod
+    def backward(ctx, grad):
+        log_probs, tgt, valid, n_valid, shape = ctx.saved
+        # The tape replays once, so log_probs can be destroyed in place.
+        probs = np.exp(log_probs, out=log_probs)
+        probs[np.arange(probs.shape[0]), tgt] -= 1.0
+        probs *= (valid / n_valid)[:, None]
+        if _chainable(probs) and grad.dtype == probs.dtype:
+            np.multiply(grad, probs, out=probs)
+            return (probs.reshape(shape),)
+        return (grad * probs.reshape(shape),)
+
+
+def softmax_cross_entropy(logits, targets, ignore_index: int = -100) -> Tensor:
+    """Fused mean cross-entropy (bit-identical to ``cross_entropy``)."""
+    stats.record_fused("softmax_cross_entropy")
+    tgt = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    return _FusedSoftmaxCrossEntropy.apply(
+        as_tensor(logits), tgt.astype(np.int64), ignore_index=ignore_index
+    )

@@ -7,9 +7,21 @@ from typing import Optional
 
 import numpy as np
 
+from repro.autograd import arena
 from repro.autograd.function import Function
+from repro.autograd.ops_basic import _scatter_add_rows
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.utils.rng import get_rng
+
+
+def _plain_float(*arrays) -> bool:
+    """True when every array shares one floating dtype — the precondition
+    for the in-place ``out=`` chains below to match NumPy's fresh-
+    allocation arithmetic bit for bit."""
+    dt = arrays[0].dtype
+    if not np.issubdtype(dt, np.floating):
+        return False
+    return all(a.dtype == dt for a in arrays)
 
 
 # ----------------------------------------------------------------------
@@ -36,7 +48,9 @@ class _GELU(Function):
 
     @staticmethod
     def forward(ctx, a):
-        inner = _GELU_C * (a + 0.044715 * a**3)
+        # a*a*a, not a**3: np.power's scalar-exponent loop is ~100x
+        # slower than two multiplies and this is the hottest activation.
+        inner = _GELU_C * (a + 0.044715 * (a * a * a))
         t = np.tanh(inner)
         ctx.save_for_backward(a, t)
         return 0.5 * a * (1.0 + t)
@@ -44,7 +58,7 @@ class _GELU(Function):
     @staticmethod
     def backward(ctx, grad):
         a, t = ctx.saved
-        dinner = _GELU_C * (1.0 + 3 * 0.044715 * a**2)
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * (a * a))
         da = 0.5 * (1.0 + t) + 0.5 * a * (1.0 - t * t) * dinner
         return (grad * da,)
 
@@ -83,15 +97,29 @@ ACTIVATIONS = {"relu": relu, "gelu": gelu, "sigmoid": sigmoid}
 class _Softmax(Function):
     @staticmethod
     def forward(ctx, a, axis=-1):
-        shifted = a - a.max(axis=axis, keepdims=True)
-        e = np.exp(shifted)
-        out = e / e.sum(axis=axis, keepdims=True)
+        if _plain_float(a):
+            # One buffer end to end: subtract, exponentiate, normalize.
+            buf = arena.empty(a.shape, a.dtype)
+            np.subtract(a, a.max(axis=axis, keepdims=True), out=buf)
+            np.exp(buf, out=buf)
+            out = np.divide(buf, buf.sum(axis=axis, keepdims=True), out=buf)
+        else:
+            shifted = a - a.max(axis=axis, keepdims=True)
+            e = np.exp(shifted)
+            out = e / e.sum(axis=axis, keepdims=True)
         ctx.save_for_backward(out, axis)
         return out
 
     @staticmethod
     def backward(ctx, grad):
         out, axis = ctx.saved
+        if _plain_float(grad, out):
+            buf = arena.empty(grad.shape, grad.dtype)
+            np.multiply(grad, out, out=buf)
+            dot = buf.sum(axis=axis, keepdims=True)
+            np.subtract(grad, dot, out=buf)
+            np.multiply(out, buf, out=buf)
+            return (buf,)
         dot = (grad * out).sum(axis=axis, keepdims=True)
         return (out * (grad - dot),)
 
@@ -128,29 +156,63 @@ class _LayerNorm(Function):
 
     @staticmethod
     def forward(ctx, x, weight, bias, eps=1e-5):
+        if not _plain_float(x, weight, bias):
+            mu = x.mean(axis=-1, keepdims=True)
+            var = x.var(axis=-1, keepdims=True)
+            inv = 1.0 / np.sqrt(var + eps)
+            xhat = (x - mu) * inv
+            ctx.save_for_backward(xhat, inv, weight)
+            return xhat * weight + bias
         mu = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
+        # Manual variance — the same mean/subtract/multiply/mean sequence
+        # ``np.var`` performs internally, but through reusable buffers.
+        d = arena.empty(x.shape, x.dtype)
+        np.subtract(x, mu, out=d)
+        sq = arena.empty(x.shape, x.dtype)
+        np.multiply(d, d, out=sq)
+        var = sq.mean(axis=-1, keepdims=True)
+        arena.release(sq)
         inv = 1.0 / np.sqrt(var + eps)
-        xhat = (x - mu) * inv
+        xhat = np.multiply(d, inv, out=d)
         ctx.save_for_backward(xhat, inv, weight)
-        return xhat * weight + bias
+        out = arena.empty(x.shape, x.dtype)
+        np.multiply(xhat, weight, out=out)
+        return np.add(out, bias, out=out)
 
     @staticmethod
     def backward(ctx, grad):
         xhat, inv, weight = ctx.saved
         n = xhat.shape[-1]
-        gw = (grad * xhat).sum(axis=tuple(range(grad.ndim - 1)))
-        gb = grad.sum(axis=tuple(range(grad.ndim - 1)))
-        gx_hat = grad * weight
-        gx = (
-            inv
-            / n
-            * (
-                n * gx_hat
-                - gx_hat.sum(axis=-1, keepdims=True)
-                - xhat * (gx_hat * xhat).sum(axis=-1, keepdims=True)
+        lead = tuple(range(grad.ndim - 1))
+        if not _plain_float(grad, xhat, weight):
+            gw = (grad * xhat).sum(axis=lead)
+            gb = grad.sum(axis=lead)
+            gx_hat = grad * weight
+            gx = (
+                inv
+                / n
+                * (
+                    n * gx_hat
+                    - gx_hat.sum(axis=-1, keepdims=True)
+                    - xhat * (gx_hat * xhat).sum(axis=-1, keepdims=True)
+                )
             )
-        )
+            return gx, gw, gb
+        tmp = arena.empty(grad.shape, grad.dtype)
+        np.multiply(grad, xhat, out=tmp)
+        gw = tmp.sum(axis=lead)
+        gb = grad.sum(axis=lead)
+        gx_hat = np.multiply(grad, weight, out=tmp)  # tmp repurposed
+        s1 = gx_hat.sum(axis=-1, keepdims=True)
+        p = arena.empty(grad.shape, grad.dtype)
+        np.multiply(gx_hat, xhat, out=p)
+        s2 = p.sum(axis=-1, keepdims=True)
+        np.multiply(xhat, s2, out=p)  # p := xhat * (gx_hat·xhat)
+        np.multiply(n, gx_hat, out=gx_hat)
+        np.subtract(gx_hat, s1, out=gx_hat)
+        np.subtract(gx_hat, p, out=gx_hat)
+        arena.release(p)
+        gx = np.multiply(inv / n, gx_hat, out=gx_hat)
         return gx, gw, gb
 
 
@@ -191,13 +253,17 @@ class _Embedding(Function):
     @staticmethod
     def forward(ctx, weight, ids):
         ctx.save_for_backward(weight.shape, ids)
-        return weight[ids]
+        out = arena.out_buf(ids.shape + (weight.shape[1],), weight.dtype)
+        if out is None:
+            return weight[ids]
+        np.take(weight, ids, axis=0, out=out)
+        return out
 
     @staticmethod
     def backward(ctx, grad):
         shape, ids = ctx.saved
-        gw = np.zeros(shape, dtype=grad.dtype)
-        np.add.at(gw, ids.reshape(-1), grad.reshape(-1, shape[-1]))
+        gw = arena.zeros(shape, grad.dtype)
+        _scatter_add_rows(gw, ids.reshape(-1), grad.reshape(-1, shape[-1]))
         return (gw,)
 
 
@@ -220,16 +286,20 @@ class _GatherRows(Function):
     @staticmethod
     def forward(ctx, x, indices):
         ctx.save_for_backward(x.shape, indices)
-        out = x[np.clip(indices, 0, None)]
+        out = arena.out_buf((len(indices),) + x.shape[1:], x.dtype)
+        if out is not None:
+            np.take(x, np.clip(indices, 0, None), axis=0, out=out)
+        else:
+            out = x[np.clip(indices, 0, None)]
         out[indices < 0] = 0.0
         return out
 
     @staticmethod
     def backward(ctx, grad):
         shape, indices = ctx.saved
-        gx = np.zeros(shape, dtype=grad.dtype)
+        gx = arena.zeros(shape, grad.dtype)
         valid = indices >= 0
-        np.add.at(gx, indices[valid], grad[valid])
+        _scatter_add_rows(gx, indices[valid], grad[valid])
         return (gx,)
 
 
@@ -244,15 +314,15 @@ class _ScatterRows(Function):
     @staticmethod
     def forward(ctx, x, indices, num_rows):
         ctx.save_for_backward(indices, x.shape)
-        out = np.zeros((num_rows,) + x.shape[1:], dtype=x.dtype)
+        out = arena.zeros((num_rows,) + x.shape[1:], x.dtype)
         valid = indices >= 0
-        np.add.at(out, indices[valid], x[valid])
+        _scatter_add_rows(out, indices[valid], x[valid])
         return out
 
     @staticmethod
     def backward(ctx, grad):
         indices, shape = ctx.saved
-        gx = np.zeros(shape, dtype=grad.dtype)
+        gx = arena.zeros(shape, grad.dtype)
         valid = indices >= 0
         gx[valid] = grad[indices[valid]]
         return (gx,)

@@ -12,9 +12,30 @@ from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.autograd import arena
 from repro.autograd.function import Node
 
 _GRAD_ENABLED = True
+
+
+def _accumulate_leaf(t: "Tensor", g: np.ndarray) -> None:
+    """Accumulate ``g`` into ``t.grad`` without allocating when possible.
+
+    Mirrors the legacy semantics exactly: the first contribution copies
+    (casting to the leaf dtype, as ``astype(copy=True)`` did), later
+    contributions behave like ``t.grad + g`` — including the dtype
+    promotion that falls back to a fresh allocation when a higher-
+    precision gradient arrives.
+    """
+    cur = t.grad
+    if cur is None:
+        buf = arena.empty(g.shape, t.data.dtype)
+        np.copyto(buf, g, casting="unsafe")
+        t.grad = buf
+    elif cur.shape == g.shape and cur.dtype == np.result_type(cur.dtype, g.dtype):
+        np.add(cur, g, out=cur)
+    else:
+        t.grad = cur + g
 
 
 def is_grad_enabled() -> bool:
@@ -104,9 +125,12 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(
-            self.data
-        )
+        if self.data.size != 1:
+            raise ValueError(
+                "item() requires a tensor with exactly one element, got "
+                f"shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """A view of the data cut off from the tape."""
@@ -136,25 +160,62 @@ class Tensor:
                     "backward() on a non-scalar tensor requires an explicit "
                     f"gradient (shape {self.shape})"
                 )
+            # Fast path for the usual scalar-loss seed: ones_like already
+            # has the right dtype and shape, skip asarray/reshape.
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
-        if grad.shape != self.data.shape:
-            grad = grad.reshape(self.data.shape)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                grad = grad.reshape(self.data.shape)
 
         order = self._topological_order()
         grads: dict = {id(self): grad}
         tensors: dict = {id(self): self}
+        # Keys whose buffer in `grads` is exclusively ours — safe to add
+        # into in place.  First contributions are *not* owned: backward
+        # functions may return views (``_Reshape``) or the very same
+        # array for several inputs (``_Add`` with equal shapes), so
+        # adding into them would corrupt sibling gradients.
+        owned: set = set()
+
+        # With the arena on, interior gradients are released back to the
+        # pool the moment they become dead so the backward walk recycles
+        # cache-hot memory (like malloc does for the reference path).
+        # Because one buffer can back several pending entries (views /
+        # repeated arrays, per the `owned` comment above), each stored
+        # gradient bumps a refcount on its *base* array; a buffer is
+        # released only when the last entry referencing it is consumed.
+        pool = arena.get_arena() if arena.is_arena_enabled() else None
+        base_refs: dict = {}
+
+        def _retire(a: np.ndarray) -> None:
+            b = a
+            while b.base is not None:
+                b = b.base
+            bid = id(b)
+            n = base_refs.get(bid, 0) - 1
+            if n > 0:
+                base_refs[bid] = n
+            else:
+                base_refs.pop(bid, None)
+                pool.release(a)
+
+        def _track(a: np.ndarray) -> None:
+            b = a
+            while b.base is not None:
+                b = b.base
+            bid = id(b)
+            base_refs[bid] = base_refs.get(bid, 0) + 1
+
+        if pool is not None:
+            _track(grad)
 
         for t in order:
             g = grads.pop(id(t), None)
             if g is None:
                 continue
             if t.requires_grad and t._node is None:
-                # Leaf: accumulate.
-                if t.grad is None:
-                    t.grad = g.astype(t.data.dtype, copy=True)
-                else:
-                    t.grad = t.grad + g
+                _accumulate_leaf(t, g)
             if t._node is not None:
                 for inp, ig in t._node.backward(g):
                     if ig is None or not inp.requires_grad:
@@ -162,23 +223,40 @@ class Tensor:
                     ig = np.asarray(ig)
                     key = id(inp)
                     tensors[key] = inp
-                    if key in grads:
-                        grads[key] = grads[key] + ig
-                    else:
+                    cur = grads.get(key)
+                    if cur is None:
                         grads[key] = ig
-                    if inp._node is None:
-                        # Leaf encountered mid-walk: accumulate immediately
-                        # (it will not reappear in `order` processing).
-                        pass
+                        if pool is not None:
+                            _track(ig)
+                    elif cur.shape == ig.shape and cur.dtype == ig.dtype:
+                        if key in owned:
+                            np.add(cur, ig, out=cur)
+                        else:
+                            buf = arena.empty(cur.shape, cur.dtype)
+                            np.add(cur, ig, out=buf)
+                            grads[key] = buf
+                            owned.add(key)
+                            if pool is not None:
+                                _track(buf)
+                                _retire(cur)
+                    else:
+                        # Mismatched shapes/dtypes: let NumPy promote.
+                        new = cur + ig
+                        grads[key] = new
+                        owned.add(key)
+                        if pool is not None:
+                            _track(new)
+                            _retire(cur)
+            if pool is not None:
+                _retire(g)
         # Any remaining grads belong to leaves that were inputs of the last
         # processed nodes; flush them.
         for key, g in grads.items():
             t = tensors[key]
             if t.requires_grad and t._node is None:
-                if t.grad is None:
-                    t.grad = g.astype(t.data.dtype, copy=True)
-                else:
-                    t.grad = t.grad + g
+                _accumulate_leaf(t, g)
+            if pool is not None:
+                _retire(g)
 
     def _topological_order(self) -> List["Tensor"]:
         """Reverse topological order of the tape reachable from ``self``."""

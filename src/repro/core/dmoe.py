@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autograd import ACTIVATIONS, getitem
+from repro.autograd.ops_fused import fusion_enabled
 from repro.autograd.tensor import Tensor
 from repro.core.topology_builder import expert_of_padded_row, make_topology
 from repro.moe.experts import ExpertWeights
@@ -33,7 +34,12 @@ from repro.moe.permute import (
 )
 from repro.moe.router import Router, RoutingResult
 from repro.nn.module import Module
-from repro.sparse.autograd_ops import dsd_mm, sdd_mm, sparse_bias_add
+from repro.sparse.autograd_ops import (
+    dsd_mm,
+    sdd_mm,
+    sparse_bias_add,
+    sparse_bias_gelu,
+)
 from repro.sparse.topology import Topology
 from repro.utils.rng import RngLike
 
@@ -128,11 +134,15 @@ class dMoE(Module):
         xp = padded_gather(x, plan)
 
         # (4) Compute the expert layers: SDD -> activation -> DSD.
-        act = ACTIVATIONS[self.activation]
         e = self.experts
         h = sdd_mm(xp, e.w1_flat(), topology)
-        h = sparse_bias_add(h, e.b1_flat(), topology)
-        h = act(h)
+        if fusion_enabled() and self.activation == "gelu":
+            # Fused column-bias + GELU over the sparse values: one tape
+            # node for steps bias-add and activation.
+            h = sparse_bias_gelu(h, e.b1_flat(), topology)
+        else:
+            h = sparse_bias_add(h, e.b1_flat(), topology)
+            h = ACTIVATIONS[self.activation](h)
         y = dsd_mm(h, e.w2_flat(), topology)
         row_expert = expert_of_padded_row(plan)
         y = y + getitem(e.b2, row_expert)

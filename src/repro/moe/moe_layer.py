@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autograd import ACTIVATIONS
+from repro.autograd.ops_fused import bias_gelu, fusion_enabled
 from repro.autograd.tensor import Tensor
 from repro.moe.capacity import expert_capacity
 from repro.moe.experts import ExpertWeights
@@ -91,8 +92,14 @@ class MoELayer(Module):
 
     def _compute_experts(self, dispatched: Tensor) -> Tensor:
         """Batched-matmul expert MLP over (num_experts, capacity, hidden)."""
-        act = ACTIVATIONS[self.activation]
         e = self.experts
+        if fusion_enabled() and self.activation == "gelu":
+            h = bias_gelu(
+                dispatched @ e.w1,
+                e.b1.reshape((self.num_experts, 1, e.ffn_hidden_size)),
+            )
+            return h @ e.w2 + e.b2.reshape((self.num_experts, 1, e.hidden_size))
+        act = ACTIVATIONS[self.activation]
         h = dispatched @ e.w1 + e.b1.reshape((self.num_experts, 1, e.ffn_hidden_size))
         h = act(h)
         return h @ e.w2 + e.b2.reshape((self.num_experts, 1, e.hidden_size))

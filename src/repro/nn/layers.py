@@ -9,6 +9,7 @@ import numpy as np
 from repro.autograd import dropout as dropout_op
 from repro.autograd import embedding as embedding_op
 from repro.autograd import layer_norm as layer_norm_op
+from repro.autograd.ops_fused import fusion_enabled, linear_bias
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
@@ -33,6 +34,8 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.bias is not None and fusion_enabled():
+            return linear_bias(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

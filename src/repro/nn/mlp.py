@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import ACTIVATIONS
+from repro.autograd.ops_fused import bias_gelu, fusion_enabled
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Linear
 from repro.nn.module import Module
@@ -40,5 +41,14 @@ class MLP(Module):
         self.fc2 = Linear(ffn_hidden_size, hidden_size, init_std=out_std, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if (
+            fusion_enabled()
+            and self.activation == "gelu"
+            and self.fc1.bias is not None
+        ):
+            # Fused bias + GELU: one tape node instead of the matmul-bias
+            # add plus the activation's intermediate chain.
+            h = bias_gelu(x @ self.fc1.weight, self.fc1.bias)
+            return self.fc2(h)
         act = ACTIVATIONS[self.activation]
         return self.fc2(act(self.fc1(x)))

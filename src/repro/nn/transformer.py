@@ -20,6 +20,11 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.autograd import cross_entropy
+from repro.autograd.ops_fused import (
+    bias_dropout_residual,
+    fusion_enabled,
+    softmax_cross_entropy,
+)
 from repro.autograd.tensor import Tensor
 from repro.nn.attention import CausalSelfAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm
@@ -67,12 +72,29 @@ class TransformerBlock(Module):
         self.dropout = Dropout(dropout_p, rng=rng)
 
     def forward(self, x: Tensor):
-        x = x + self.dropout(self.attn(self.ln1(x)))
+        fused = fusion_enabled()
+        attn_out = self.attn(self.ln1(x))
+        if fused:
+            # Fused dropout + residual add: one tape node per branch (the
+            # block-level residual has no bias — bias fusion lives inside
+            # the Linear/MLP layers).
+            x = bias_dropout_residual(
+                attn_out, None, x, self.dropout.p, self.dropout.training,
+                self.dropout.rng,
+            )
+        else:
+            x = x + self.dropout(attn_out)
         ffn_out = self.ffn(self.ln2(x))
         aux = None
         if isinstance(ffn_out, tuple):
             ffn_out, aux = ffn_out
-        x = x + self.dropout(ffn_out)
+        if fused:
+            x = bias_dropout_residual(
+                ffn_out, None, x, self.dropout.p, self.dropout.training,
+                self.dropout.rng,
+            )
+        else:
+            x = x + self.dropout(ffn_out)
         return x, aux
 
 
@@ -227,7 +249,12 @@ class TransformerLM(Module):
         be None for dense models.
         """
         out = self.forward(ids)
-        lm = cross_entropy(out.logits, targets, ignore_index=ignore_index)
+        if fusion_enabled():
+            lm = softmax_cross_entropy(
+                out.logits, targets, ignore_index=ignore_index
+            )
+        else:
+            lm = cross_entropy(out.logits, targets, ignore_index=ignore_index)
         if out.aux_loss is not None:
             return lm + out.aux_loss, lm, out.aux_loss
         return lm, lm, None

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autograd import arena, stats
 from repro.autograd.function import Function
+from repro.autograd.ops_fused import _chainable, _gelu_bwd, _gelu_fwd
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.sparse.matrix import BlockSparseMatrix
 from repro.sparse.ops import dds, dsd, sdd
@@ -80,24 +82,63 @@ class _SparseBiasAdd(Function):
     @staticmethod
     def backward(ctx, grad):
         (topology,) = ctx.saved
-        bs = topology.block_size
-        gbias_blocks = grad.sum(axis=1)  # (nnz, bs): sum over block rows
-        gbias = np.zeros((topology.block_cols, bs), dtype=grad.dtype)
-        # Walk the per-block sums in transpose (column-sorted) order so the
-        # per-column accumulation is a segment reduction, not a scatter-add.
-        offsets = topology.transpose_row_offsets
-        nonempty = np.flatnonzero(np.diff(offsets) > 0)
-        if len(nonempty):
-            sorted_blocks = gbias_blocks[topology.transpose_block_offsets]
-            gbias[nonempty] = np.add.reduceat(
-                sorted_blocks, offsets[nonempty].astype(np.intp), axis=0
-            )
-        return grad, gbias.reshape(-1)
+        return grad, _segment_reduce_bias_grad(grad, topology)
+
+
+def _segment_reduce_bias_grad(grad: np.ndarray, topology: Topology) -> np.ndarray:
+    """Per-column bias gradient from sparse value grads.
+
+    Walks the per-block sums in transpose (column-sorted) order so the
+    per-column accumulation is a segment reduction, not a scatter-add.
+    """
+    bs = topology.block_size
+    gbias_blocks = grad.sum(axis=1)  # (nnz, bs): sum over block rows
+    gbias = arena.zeros((topology.block_cols, bs), grad.dtype)
+    offsets = topology.transpose_row_offsets
+    nonempty = np.flatnonzero(np.diff(offsets) > 0)
+    if len(nonempty):
+        sorted_blocks = gbias_blocks[topology.transpose_block_offsets]
+        gbias[nonempty] = np.add.reduceat(
+            sorted_blocks, offsets[nonempty].astype(np.intp), axis=0
+        )
+    return gbias.reshape(-1)
 
 
 def sparse_bias_add(values: Tensor, bias: Tensor, topology: Topology) -> Tensor:
     """Differentiable column-bias add on sparse values."""
     return _SparseBiasAdd.apply(as_tensor(values), as_tensor(bias), topology)
+
+
+class _SparseBiasGelu(Function):
+    """Fused ``gelu(sparse_bias_add(values, bias))`` — one tape node for
+    the expert first-layer bias + activation, bit-identical to the
+    composition of ``_SparseBiasAdd`` and ``ops_nn._GELU``."""
+
+    @staticmethod
+    def forward(ctx, values, bias, topology):
+        bs = topology.block_size
+        per_block = bias.reshape(topology.block_cols, bs)[topology.column_indices]
+        pb = per_block[:, None, :]
+        if _chainable(values, per_block):
+            a = arena.empty(values.shape, values.dtype)
+            np.add(values, pb, out=a)
+        else:
+            a = values + pb
+        t, out = _gelu_fwd(a)
+        ctx.save_for_backward(a, t, topology)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        a, t, topology = ctx.saved
+        g = _gelu_bwd(grad, a, t)
+        return g, _segment_reduce_bias_grad(g, topology)
+
+
+def sparse_bias_gelu(values: Tensor, bias: Tensor, topology: Topology) -> Tensor:
+    """Fused differentiable column-bias add + GELU on sparse values."""
+    stats.record_fused("sparse_bias_gelu")
+    return _SparseBiasGelu.apply(as_tensor(values), as_tensor(bias), topology)
 
 
 class _DdsMM(Function):

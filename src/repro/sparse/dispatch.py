@@ -42,9 +42,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional
 
 import numpy as np
 
+from repro.autograd import arena
 from repro.sparse.topology import Topology
 
 #: ``auto`` picks per topology; ``grouped`` / ``blocked`` force a path
@@ -116,6 +119,26 @@ class DispatchPlan:
     def mean_blocks_per_group(self) -> float:
         g = self.num_groups
         return self.nnz_blocks / g if g else 0.0
+
+    @cached_property
+    def max_group_blocks(self) -> int:
+        """Blocks in the largest group — sizes the one staging buffer the
+        grouped executors reuse across all groups of a call."""
+        return int((self.row_count * self.col_count).max())
+
+    @cached_property
+    def rows_covered_blocks(self) -> int:
+        """Total block rows written by the groups (row ranges are a
+        disjoint partition by construction).  When this covers every
+        block row of the output, the executors skip the zero-fill: each
+        element is assigned exactly once."""
+        return int(self.row_count.sum())
+
+    @cached_property
+    def cols_covered_blocks(self) -> int:
+        """Total block columns written by the groups.  Only meaningful
+        as a coverage test when ``cols_disjoint`` is also true."""
+        return int(self.col_count.sum())
 
 
 def _build_plan(topo: Topology) -> DispatchPlan | None:
@@ -210,15 +233,27 @@ def use_grouped(plan: DispatchPlan | None, needs_disjoint_cols: bool) -> bool:
 # callers resolve trans_a/trans_b by passing ``a.T`` / ``b.T`` — so the
 # only copies are the per-group block-layout shuffles.
 # ----------------------------------------------------------------------
-def _group_values(values: np.ndarray, v0: int, r: int, c: int) -> np.ndarray:
-    """Dense ``(r*bs, c*bs)`` matrix of one group (one contiguous copy)."""
+def _stage_buf(plan: DispatchPlan, bs: int, dtype) -> Optional[np.ndarray]:
+    """One flat arena buffer sized for the largest group of ``plan``.
+
+    The grouped executors slice per-group views out of it instead of
+    acquiring a buffer per group (~8 groups × 3 kernels × every sparse
+    matmul adds up); ``None`` when the arena is off."""
+    return arena.out_buf((plan.max_group_blocks * bs * bs,), dtype)
+
+
+def _group_values(
+    values: np.ndarray, v0: int, r: int, c: int, stage: Optional[np.ndarray]
+) -> np.ndarray:
+    """Dense ``(r*bs, c*bs)`` matrix of one group (one contiguous copy),
+    staged into ``stage`` when the arena provided one."""
     bs = values.shape[-1]
-    return (
-        values[v0 : v0 + r * c]
-        .reshape(r, c, bs, bs)
-        .swapaxes(1, 2)
-        .reshape(r * bs, c * bs)
-    )
+    blocks = values[v0 : v0 + r * c].reshape(r, c, bs, bs).swapaxes(1, 2)
+    if stage is None:
+        return blocks.reshape(r * bs, c * bs)
+    buf = stage[: r * bs * c * bs].reshape(r * bs, c * bs)
+    np.copyto(buf.reshape(r, bs, c, bs), blocks)
+    return buf
 
 
 def grouped_sdd(
@@ -234,17 +269,22 @@ def grouped_sdd(
     bs = topo.block_size
     # Every nonzero block belongs to exactly one group, so each value
     # slice is written exactly once — no zero-init needed.
-    values = np.empty((topo.nnz_blocks, bs, bs), dtype=out_dtype)
+    values = arena.empty((topo.nnz_blocks, bs, bs), out_dtype)
+    stage = _stage_buf(plan, bs, np.result_type(a_eff, b_eff))
     for g in range(plan.num_groups):
         r0, r = plan.row_start[g], plan.row_count[g]
         c0, c = plan.col_start[g], plan.col_count[g]
         v0 = plan.val_start[g]
-        prod = np.matmul(
-            a_eff[r0 * bs : (r0 + r) * bs], b_eff[:, c0 * bs : (c0 + c) * bs]
-        )
+        a_g = a_eff[r0 * bs : (r0 + r) * bs]
+        b_g = b_eff[:, c0 * bs : (c0 + c) * bs]
+        if stage is None:
+            prod = np.matmul(a_g, b_g)
+        else:
+            prod = np.matmul(a_g, b_g, out=stage[: r * bs * c * bs].reshape(r * bs, c * bs))
         values[v0 : v0 + r * c].reshape(r, c, bs, bs)[...] = prod.reshape(
             r, bs, c, bs
         ).swapaxes(1, 2)
+    arena.release(stage)
     return values
 
 
@@ -260,11 +300,22 @@ def grouped_dsd(
     bs = topo.block_size
     rows_s, cols_s = topo.shape
     m_eff = cols_s if trans_s else rows_s
-    out = np.zeros((m_eff, b_eff.shape[1]), dtype=out_dtype)
+    if trans_s:
+        full = plan.cols_disjoint and plan.cols_covered_blocks * bs == m_eff
+    else:
+        full = plan.rows_covered_blocks * bs == m_eff
+    # Full coverage means every output row is assigned exactly once
+    # below, so the zero-fill would be pure memset overhead.
+    out = (
+        arena.empty((m_eff, b_eff.shape[1]), out_dtype)
+        if full
+        else arena.zeros((m_eff, b_eff.shape[1]), out_dtype)
+    )
+    stage = _stage_buf(plan, bs, values.dtype)
     for g in range(plan.num_groups):
         r0, r = plan.row_start[g], plan.row_count[g]
         c0, c = plan.col_start[g], plan.col_count[g]
-        s_g = _group_values(values, plan.val_start[g], r, c)
+        s_g = _group_values(values, plan.val_start[g], r, c, stage)
         if trans_s:
             out[c0 * bs : (c0 + c) * bs] = np.matmul(
                 s_g.T, b_eff[r0 * bs : (r0 + r) * bs]
@@ -273,6 +324,7 @@ def grouped_dsd(
             out[r0 * bs : (r0 + r) * bs] = np.matmul(
                 s_g, b_eff[c0 * bs : (c0 + c) * bs]
             )
+    arena.release(stage)
     return out
 
 
@@ -288,11 +340,22 @@ def grouped_dds(
     bs = topo.block_size
     rows_s, cols_s = topo.shape
     n_eff = rows_s if trans_s else cols_s
-    out = np.zeros((a_eff.shape[0], n_eff), dtype=out_dtype)
+    if trans_s:
+        full = plan.rows_covered_blocks * bs == n_eff
+    else:
+        full = plan.cols_disjoint and plan.cols_covered_blocks * bs == n_eff
+    # Same full-coverage shortcut as ``grouped_dsd``: the column slices
+    # written per group tile the whole output exactly once.
+    out = (
+        arena.empty((a_eff.shape[0], n_eff), out_dtype)
+        if full
+        else arena.zeros((a_eff.shape[0], n_eff), out_dtype)
+    )
+    stage = _stage_buf(plan, bs, values.dtype)
     for g in range(plan.num_groups):
         r0, r = plan.row_start[g], plan.row_count[g]
         c0, c = plan.col_start[g], plan.col_count[g]
-        s_g = _group_values(values, plan.val_start[g], r, c)
+        s_g = _group_values(values, plan.val_start[g], r, c, stage)
         if trans_s:
             out[:, r0 * bs : (r0 + r) * bs] = np.matmul(
                 a_eff[:, c0 * bs : (c0 + c) * bs], s_g.T
@@ -301,4 +364,5 @@ def grouped_dds(
             out[:, c0 * bs : (c0 + c) * bs] = np.matmul(
                 a_eff[:, r0 * bs : (r0 + r) * bs], s_g
             )
+    arena.release(stage)
     return out

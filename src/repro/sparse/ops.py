@@ -42,6 +42,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.autograd import arena
 from repro.sparse import dispatch, stats
 from repro.sparse.matrix import BlockSparseMatrix
 from repro.sparse.topology import Topology
@@ -226,7 +227,7 @@ def dsd(
         return out
 
     stripes = _stripe_view(b, bs, trans_b)
-    out = np.zeros((m_eff // bs, bs, n_eff), dtype=out_dtype)
+    out = arena.zeros((m_eff // bs, bs, n_eff), out_dtype)
     if topo.nnz_blocks:
         if trans_s:
             order = topo.transpose_block_offsets
@@ -293,7 +294,7 @@ def dds(
     else:
         stripes = a.reshape(m_eff, k_a // bs, bs).transpose(1, 0, 2)
 
-    out = np.zeros((m_eff, n_eff // bs, bs), dtype=out_dtype)
+    out = arena.zeros((m_eff, n_eff // bs, bs), out_dtype)
     if topo.nnz_blocks:
         if trans_s:
             block_values = np.swapaxes(s.values, -1, -2)

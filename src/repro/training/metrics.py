@@ -18,6 +18,11 @@ class TrainingRecord:
     val_loss: Optional[float] = None
     aux_loss: Optional[float] = None
     lr: Optional[float] = None
+    #: Autograd telemetry for the step that produced this record (see
+    #: ``repro.autograd.stats``); None when the trainer doesn't track it.
+    tape_nodes: Optional[int] = None
+    nodes_fused: Optional[int] = None
+    arena_hit_rate: Optional[float] = None
 
 
 @dataclass

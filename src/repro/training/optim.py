@@ -1,12 +1,30 @@
-"""Optimizers and gradient utilities (Adam as in Megatron-LM defaults)."""
+"""Optimizers and gradient utilities (Adam as in Megatron-LM defaults).
+
+When the buffer arena is enabled (the trainer's steady-state mode), the
+``step`` implementations run fully in place: every ufunc in the update
+is threaded through ``out=`` into either the moment buffers or two
+lazily-sized fp32 scratch arrays, so a steady-state optimizer step
+performs **zero** new array allocations.  Each in-place chain mirrors
+the allocating reference expression operation for operation (same
+ufuncs, same order, same dtypes), so parameter trajectories are
+bit-identical to the reference formulation — which remains the default
+path when the arena is off.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.autograd import arena
 from repro.nn.module import Parameter
+
+
+#: Persistent fp64 scratch for ``clip_grad_norm`` (steady-state path):
+#: parameter sizes are fixed, so one flat buffer sized to the largest
+#: gradient serves every parameter every step.
+_CLIP_SCRATCH: Optional[np.ndarray] = None
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
@@ -14,10 +32,26 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
 
     Returns the pre-clipping norm (Megatron uses ``clip-grad 1.0``).
     """
+    global _CLIP_SCRATCH
     params = [p for p in params if p.grad is not None]
     if not params:
         return 0.0
-    sq = sum(float((p.grad.astype(np.float64) ** 2).sum()) for p in params)
+    steady = arena.is_arena_enabled()
+    sq = 0.0
+    for p in params:
+        # Same arithmetic as ``(grad.astype(f64) ** 2).sum()``: the
+        # ``dtype=float64`` selects the double-precision loop, so inputs
+        # are widened *before* squaring, matching the astype-then-square
+        # reference bit for bit while staging through a reused buffer.
+        if steady:
+            n = p.grad.size
+            if _CLIP_SCRATCH is None or _CLIP_SCRATCH.size < n:
+                _CLIP_SCRATCH = np.empty(n, dtype=np.float64)
+            buf = _CLIP_SCRATCH[:n].reshape(p.grad.shape)
+        else:
+            buf = np.empty(p.grad.shape, dtype=np.float64)
+        np.multiply(p.grad, p.grad, out=buf, dtype=np.float64)
+        sq += float(buf.sum())
     norm = float(np.sqrt(sq))
     if max_norm > 0 and norm > max_norm:
         scale = max_norm / (norm + 1e-12)
@@ -41,6 +75,25 @@ class Optimizer:
     def step(self, lr: Optional[float] = None) -> None:
         raise NotImplementedError
 
+    # -- fp32 scratch shared across parameters -------------------------
+    _s1: Optional[np.ndarray] = None
+    _s2: Optional[np.ndarray] = None
+
+    def _scratch(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """Two fp32 work arrays viewed at ``shape``.
+
+        Sized once to the largest parameter and reused for every update,
+        so ``step`` allocates nothing after the first call.  Deliberately
+        not serialized: checkpoints carry only the moment buffers.
+        """
+        n = 1
+        for dim in shape:
+            n *= dim
+        if self._s1 is None or self._s1.size < n:
+            self._s1 = np.empty(n, dtype=np.float32)
+            self._s2 = np.empty(n, dtype=np.float32)
+        return self._s1[:n].reshape(shape), self._s2[:n].reshape(shape)
+
 
 class SGD(Optimizer):
     """Plain SGD with optional momentum (used in small tests)."""
@@ -62,7 +115,19 @@ class SGD(Optimizer):
                 update = v
             else:
                 update = p.grad
-            p.data -= (lr * update).astype(p.data.dtype)
+            if (
+                update.dtype == np.float32
+                and p.data.dtype == np.float32
+                and arena.is_arena_enabled()
+            ):
+                # ``(lr * update).astype(f32)`` without the temporary:
+                # lr is a weak Python scalar, so the product is already
+                # fp32 and the astype was a plain copy.
+                s1, _ = self._scratch(p.data.shape)
+                np.multiply(lr, update, out=s1)
+                p.data -= s1
+            else:
+                p.data -= (lr * update).astype(p.data.dtype)
 
 
 class Adam(Optimizer):
@@ -100,15 +165,47 @@ class Adam(Optimizer):
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
-            g = p.grad.astype(np.float32)
-            m *= self.beta1
-            m += (1.0 - self.beta1) * g
-            v *= self.beta2
-            v += (1.0 - self.beta2) * g * g
-            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if (
+                p.grad.dtype != np.float32
+                or p.data.dtype != np.float32
+                or not arena.is_arena_enabled()
+            ):
+                # Reference (allocating) path: non-fp32 parameters, and
+                # every parameter when the steady-state step is off.  The
+                # in-place mirror below is bit-identical, so the arena
+                # switch only changes where the arithmetic is staged.
+                g = p.grad.astype(np.float32)
+                m *= self.beta1
+                m += (1.0 - self.beta1) * g
+                v *= self.beta2
+                v += (1.0 - self.beta2) * g * g
+                update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+                if self.weight_decay > 0:
+                    update = update + self.weight_decay * p.data
+                p.data -= (lr * update).astype(p.data.dtype)
+                continue
+            # In-place mirror of the expression above: same ufuncs in the
+            # same left-to-right order, staged through two fp32 scratch
+            # arrays (g is read-only, so the astype copy is dropped).
+            g = p.grad
+            s1, s2 = self._scratch(p.data.shape)
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(1.0 - self.beta1, g, out=s1)
+            np.add(m, s1, out=m)
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(1.0 - self.beta2, g, out=s1)
+            np.multiply(s1, g, out=s1)
+            np.add(v, s1, out=v)
+            np.divide(m, bc1, out=s1)
+            np.divide(v, bc2, out=s2)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.divide(s1, s2, out=s1)
             if self.weight_decay > 0:
-                update = update + self.weight_decay * p.data
-            p.data -= (lr * update).astype(p.data.dtype)
+                np.multiply(self.weight_decay, p.data, out=s2)
+                np.add(s1, s2, out=s1)
+            np.multiply(lr, s1, out=s1)
+            p.data -= s1
 
     def state_size_bytes(self) -> int:
         """Optimizer state footprint (two fp32 moments per parameter)."""

@@ -27,7 +27,8 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
-from repro.autograd import no_grad
+from repro.autograd import get_arena, no_grad, steady_state
+from repro.autograd import stats as ag_stats
 from repro.autograd.tensor import Tensor
 from repro.data.dataset import LMDataset
 from repro.moe.capacity import min_capacity_factor
@@ -86,6 +87,12 @@ class TrainerConfig:
             simulated data-parallel ``all_reduce`` each step (use a
             power of two so the reduction is bit-exact), exposing the
             step to injected collective faults and comm accounting.
+        steady_state: enable the zero-allocation steady-state step — the
+            buffer arena recycles every fixed-shape activation/gradient
+            array across steps and the fused elementwise ops collapse
+            bias/activation/dropout/residual chains into single tape
+            nodes (see ``docs/performance.md``).  Training trajectories
+            are bit-identical with the flag on or off.
     """
 
     global_batch: int = 32
@@ -98,6 +105,7 @@ class TrainerConfig:
     use_grad_scaler: bool = False
     guardrails: Optional[GuardrailConfig] = None
     dp_world: int = 0
+    steady_state: bool = False
 
     def __post_init__(self) -> None:
         if self.global_batch % self.micro_batch:
@@ -247,6 +255,14 @@ class Trainer:
     # ------------------------------------------------------------------
     def evaluate(self) -> Optional[float]:
         """Mean validation LM loss over ``eval_batches`` fixed batches."""
+        if self.config.steady_state:
+            # Eval reuses pooled buffers too; they stay live until the
+            # next train step retires the generation.
+            with steady_state():
+                return self._evaluate_impl()
+        return self._evaluate_impl()
+
+    def _evaluate_impl(self) -> Optional[float]:
         if self.val_data is None:
             return None
         self.model.eval()
@@ -266,6 +282,18 @@ class Trainer:
 
     def train_step(self, step: int) -> float:
         """One optimizer step (with gradient accumulation and guardrails)."""
+        ag_stats.reset()
+        if self.config.steady_state:
+            with steady_state():
+                # Everything the previous step allocated from the arena
+                # (activations, tape intermediates, leaf gradients) is
+                # dead once zero_grad runs below, so retire the whole
+                # generation back to the free pool first.
+                get_arena().next_generation()
+                return self._train_step_impl(step)
+        return self._train_step_impl(step)
+
+    def _train_step_impl(self, step: int) -> float:
         cfg = self.config
         if self.fault_injector is not None:
             self.fault_injector.current_step = step
@@ -457,6 +485,11 @@ class Trainer:
                     loss=loss,
                     val_loss=val,
                     lr=self.schedule(step),
+                    tape_nodes=ag_stats.tape_nodes,
+                    nodes_fused=ag_stats.nodes_fused(),
+                    arena_hit_rate=(
+                        get_arena().hit_rate() if cfg.steady_state else None
+                    ),
                 )
                 self.history.log(record)
                 if callback is not None:

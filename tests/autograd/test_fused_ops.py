@@ -1,0 +1,472 @@
+"""Fused elementwise ops: gradient correctness and bitwise equivalence
+against the unfused reference compositions, plus buffer-arena semantics
+(reuse across generations, isolation within one)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    attention_core,
+    bias_dropout_residual,
+    bias_gelu,
+    check_gradients,
+    cross_entropy,
+    dropout,
+    gelu,
+    linear_bias,
+    masked_softmax,
+    softmax,
+    softmax_cross_entropy,
+    where,
+)
+from repro.autograd import arena
+from repro.autograd.arena import get_arena, use_arena
+from repro.autograd.function import unbroadcast
+from repro.sparse import Topology, sparse_bias_add
+from repro.sparse.autograd_ops import sparse_bias_gelu
+from tests.conftest import random_topology
+
+BS = 4
+
+
+def _grads(out, *inputs):
+    out.backward(np.ones_like(out.data))
+    return [t.grad for t in inputs]
+
+
+# ----------------------------------------------------------------------
+# Gradient checks (float64 — exercises the in-place chains in f64)
+# ----------------------------------------------------------------------
+class TestFusedGradients:
+    def test_bias_gelu(self, rng):
+        x = rng.standard_normal((3, 5))
+        b = rng.standard_normal(5)
+        check_gradients(bias_gelu, [x, b])
+
+    def test_bias_gelu_broadcast_rows(self, rng):
+        x = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((1, 3, 4))
+        check_gradients(bias_gelu, [x, b])
+
+    def test_masked_softmax(self, rng):
+        s = rng.standard_normal((2, 4, 4))
+        mask = np.tril(np.ones((4, 4), dtype=bool))
+        check_gradients(lambda a: masked_softmax(a, mask, 0.5), [s])
+
+    def test_dropout_residual_identity(self, rng):
+        y = rng.standard_normal((3, 4))
+        r = rng.standard_normal((3, 4))
+        check_gradients(
+            lambda a, b: bias_dropout_residual(a, None, b, 0.0), [y, r]
+        )
+
+    def test_bias_dropout_residual_identity(self, rng):
+        y = rng.standard_normal((3, 4))
+        b = rng.standard_normal(4)
+        r = rng.standard_normal((3, 4))
+        check_gradients(
+            lambda a, bb, c: bias_dropout_residual(a, bb, c, 0.0), [y, b, r]
+        )
+
+    def test_softmax_cross_entropy(self, rng):
+        logits = rng.standard_normal((6, 5))
+        targets = rng.integers(0, 5, size=6)
+        targets[2] = -100
+        check_gradients(
+            lambda l: softmax_cross_entropy(l, targets), [logits]
+        )
+
+    def test_sparse_bias_gelu(self, rng):
+        topo = random_topology(rng, 3, 4, BS, 0.6)
+        values = rng.standard_normal((topo.nnz_blocks, BS, BS))
+        bias = rng.standard_normal(topo.shape[1])
+        check_gradients(lambda v, b: sparse_bias_gelu(v, b, topo), [values, bias])
+
+    def test_linear_bias(self, rng):
+        x = rng.standard_normal((2, 3, 4))
+        w = rng.standard_normal((4, 5))
+        b = rng.standard_normal(5)
+        check_gradients(linear_bias, [x, w, b])
+
+    def test_attention_core(self, rng):
+        heads, hd, seq = 2, 3, 4
+        qkv = rng.standard_normal((2, seq, 3 * heads * hd))
+        mask = np.tril(np.ones((seq, seq), dtype=bool))
+        check_gradients(
+            lambda a: attention_core(a, mask, 1.0 / np.sqrt(hd), heads, hd),
+            [qkv],
+        )
+
+
+# ----------------------------------------------------------------------
+# Bitwise equivalence (float32, the training dtype) — fused forward AND
+# backward must match the unfused composition to the last ulp.
+# ----------------------------------------------------------------------
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("bshape", [(8,), (1, 8), (4, 8)])
+    def test_bias_gelu(self, rng, bshape):
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal(bshape).astype(np.float32)
+
+        xf, bf = Tensor(x, requires_grad=True), Tensor(b, requires_grad=True)
+        gx_f, gb_f = _grads(bias_gelu(xf, bf), xf, bf)
+        xr, br = Tensor(x, requires_grad=True), Tensor(b, requires_grad=True)
+        ref = gelu(xr + br)
+        gx_r, gb_r = _grads(ref, xr, br)
+
+        assert np.array_equal(bias_gelu(Tensor(x), Tensor(b)).data, ref.data)
+        assert np.array_equal(gx_f, gx_r)
+        assert np.array_equal(gb_f, gb_r)
+
+    def test_masked_softmax(self, rng):
+        s = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        mask = np.tril(np.ones((6, 6), dtype=bool))
+        scale = 1.0 / np.sqrt(16)
+
+        sf = Tensor(s, requires_grad=True)
+        fused = masked_softmax(sf, mask, scale)
+        (gs_f,) = _grads(fused, sf)
+
+        sr = Tensor(s, requires_grad=True)
+        scores = sr * scale
+        masked = where(mask, scores, Tensor(np.float32(-1e9)))
+        ref = softmax(masked, axis=-1)
+        (gs_r,) = _grads(ref, sr)
+
+        assert np.array_equal(fused.data, ref.data)
+        assert np.array_equal(gs_f, gs_r)
+
+    def test_linear_bias(self, rng):
+        x = rng.standard_normal((3, 4, 6)).astype(np.float32)
+        w = rng.standard_normal((6, 5)).astype(np.float32)
+        b = rng.standard_normal(5).astype(np.float32)
+
+        xf = Tensor(x, requires_grad=True)
+        wf = Tensor(w, requires_grad=True)
+        bf = Tensor(b, requires_grad=True)
+        gx_f, gw_f, gb_f = _grads(linear_bias(xf, wf, bf), xf, wf, bf)
+
+        xr = Tensor(x, requires_grad=True)
+        wr = Tensor(w, requires_grad=True)
+        br = Tensor(b, requires_grad=True)
+        ref = xr @ wr + br
+        gx_r, gw_r, gb_r = _grads(ref, xr, wr, br)
+
+        fused = linear_bias(Tensor(x), Tensor(w), Tensor(b))
+        assert np.array_equal(fused.data, ref.data)
+        assert np.array_equal(gx_f, gx_r)
+        assert np.array_equal(gw_f, gw_r)
+        assert np.array_equal(gb_f, gb_r)
+
+    def _attention_reference(self, qkv, mask, scale, heads, hd):
+        batch, seq = qkv.shape[0], qkv.shape[1]
+        q5 = qkv.reshape((batch, seq, 3, heads, hd)).transpose((2, 0, 3, 1, 4))
+        q, k, v = q5[0], q5[1], q5[2]
+        scores = (q @ k.transpose((0, 1, 3, 2))) * scale
+        masked = where(mask, scores, Tensor(np.float32(-1e9)))
+        probs = softmax(masked, axis=-1)
+        ctx = probs @ v
+        return ctx.transpose((0, 2, 1, 3)).reshape((batch, seq, heads * hd))
+
+    def test_attention_core(self, rng):
+        heads, hd, seq, batch = 3, 8, 6, 2
+        qkv = rng.standard_normal((batch, seq, 3 * heads * hd)).astype(np.float32)
+        mask = np.tril(np.ones((seq, seq), dtype=bool))
+        scale = 1.0 / np.sqrt(hd)
+
+        qf = Tensor(qkv, requires_grad=True)
+        fused = attention_core(qf, mask, scale, heads, hd)
+        (g_f,) = _grads(fused, qf)
+
+        qr = Tensor(qkv, requires_grad=True)
+        ref = self._attention_reference(qr, mask, scale, heads, hd)
+        (g_r,) = _grads(ref, qr)
+
+        assert np.array_equal(fused.data, ref.data)
+        assert np.array_equal(g_f, g_r)
+
+    def test_attention_core_under_arena(self, rng):
+        heads, hd, seq, batch = 3, 8, 6, 2
+        qkv = rng.standard_normal((batch, seq, 3 * heads * hd)).astype(np.float32)
+        mask = np.tril(np.ones((seq, seq), dtype=bool))
+        scale = 1.0 / np.sqrt(hd)
+
+        qr = Tensor(qkv, requires_grad=True)
+        ref = self._attention_reference(qr, mask, scale, heads, hd)
+        (g_r,) = _grads(ref, qr)
+
+        with use_arena():
+            qf = Tensor(qkv, requires_grad=True)
+            fused = attention_core(qf, mask, scale, heads, hd)
+            out = fused.data.copy()
+            (g_f,) = _grads(fused, qf)
+            g_f = g_f.copy()
+
+        assert np.array_equal(out, ref.data)
+        assert np.array_equal(g_f, g_r)
+
+    def test_attention_core_single_head_under_arena(self, rng):
+        # One head makes the merge/unmerge transposes contiguous, so the
+        # internal reshapes become views — exercises the aliasing guard
+        # that keeps the arena from recycling a buffer the result uses.
+        heads, hd, seq, batch = 1, 16, 5, 2
+        qkv = rng.standard_normal((batch, seq, 3 * heads * hd)).astype(np.float32)
+        mask = np.tril(np.ones((seq, seq), dtype=bool))
+        scale = 1.0 / np.sqrt(hd)
+
+        qr = Tensor(qkv, requires_grad=True)
+        ref = self._attention_reference(qr, mask, scale, heads, hd)
+        (g_r,) = _grads(ref, qr)
+
+        with use_arena():
+            qf = Tensor(qkv, requires_grad=True)
+            fused = attention_core(qf, mask, scale, heads, hd)
+            out = fused.data.copy()
+            (g_f,) = _grads(fused, qf)
+            g_f = g_f.copy()
+
+        assert np.array_equal(out, ref.data)
+        assert np.array_equal(g_f, g_r)
+
+    @pytest.mark.parametrize("p,training", [(0.0, True), (0.3, True), (0.3, False)])
+    def test_dropout_residual(self, rng, p, training):
+        y = rng.standard_normal((4, 8)).astype(np.float32)
+        r = rng.standard_normal((4, 8)).astype(np.float32)
+
+        yf, rf = Tensor(y, requires_grad=True), Tensor(r, requires_grad=True)
+        fused = bias_dropout_residual(
+            yf, None, rf, p, training=training, rng=np.random.default_rng(5)
+        )
+        gy_f, gr_f = _grads(fused, yf, rf)
+
+        yr, rr = Tensor(y, requires_grad=True), Tensor(r, requires_grad=True)
+        ref = rr + dropout(yr, p, training=training, rng=np.random.default_rng(5))
+        gy_r, gr_r = _grads(ref, yr, rr)
+
+        assert np.array_equal(fused.data, ref.data)
+        assert np.array_equal(gy_f, gy_r)
+        assert np.array_equal(gr_f, gr_r)
+
+    def test_bias_dropout_residual(self, rng):
+        y = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+        r = rng.standard_normal((4, 8)).astype(np.float32)
+
+        args_f = [Tensor(a, requires_grad=True) for a in (y, b, r)]
+        fused = bias_dropout_residual(
+            *args_f, 0.25, training=True, rng=np.random.default_rng(9)
+        )
+        grads_f = _grads(fused, *args_f)
+
+        args_r = [Tensor(a, requires_grad=True) for a in (y, b, r)]
+        yr, br, rr = args_r
+        ref = rr + dropout(yr + br, 0.25, training=True, rng=np.random.default_rng(9))
+        grads_r = _grads(ref, *args_r)
+
+        assert np.array_equal(fused.data, ref.data)
+        for gf, gr_ in zip(grads_f, grads_r):
+            assert np.array_equal(gf, gr_)
+
+    def test_softmax_cross_entropy(self, rng):
+        logits = rng.standard_normal((3, 7, 11)).astype(np.float32)
+        targets = rng.integers(0, 11, size=(3, 7))
+        targets[0, 2] = -100
+
+        lf = Tensor(logits, requires_grad=True)
+        fused = softmax_cross_entropy(lf, targets)
+        (gl_f,) = _grads(fused, lf)
+
+        lr = Tensor(logits, requires_grad=True)
+        ref = cross_entropy(lr, targets)
+        (gl_r,) = _grads(ref, lr)
+
+        assert np.array_equal(fused.data, ref.data)
+        assert np.array_equal(gl_f, gl_r)
+
+    def test_sparse_bias_gelu(self, rng):
+        topo = random_topology(rng, 3, 4, BS, 0.6)
+        values = rng.standard_normal((topo.nnz_blocks, BS, BS)).astype(np.float32)
+        bias = rng.standard_normal(topo.shape[1]).astype(np.float32)
+
+        vf, bf = Tensor(values, requires_grad=True), Tensor(bias, requires_grad=True)
+        fused = sparse_bias_gelu(vf, bf, topo)
+        gv_f, gb_f = _grads(fused, vf, bf)
+
+        vr, br = Tensor(values, requires_grad=True), Tensor(bias, requires_grad=True)
+        ref = gelu(sparse_bias_add(vr, br, topo))
+        gv_r, gb_r = _grads(ref, vr, br)
+
+        assert np.array_equal(fused.data, ref.data)
+        assert np.array_equal(gv_f, gv_r)
+        assert np.array_equal(gb_f, gb_r)
+
+    def test_fused_identical_under_arena(self, rng):
+        """The same fused computation with the arena on reuses pooled
+        buffers but must produce the same bits."""
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal(8).astype(np.float32)
+
+        def run():
+            xt, bt = Tensor(x, requires_grad=True), Tensor(b, requires_grad=True)
+            out = bias_gelu(xt, bt)
+            return out.data.copy(), [g.copy() for g in _grads(out, xt, bt)]
+
+        ref_out, ref_grads = run()
+        with use_arena():
+            for _ in range(3):  # repeat so pooled buffers actually recycle
+                get_arena().next_generation()
+                out, grads = run()
+                assert np.array_equal(out, ref_out)
+                for g, gr_ in zip(grads, ref_grads):
+                    assert np.array_equal(g, gr_)
+
+
+# ----------------------------------------------------------------------
+# fp16-sim: mixed dtypes must take the reference fallback, not the
+# in-place chain (which would silently promote under NEP 50).
+# ----------------------------------------------------------------------
+class TestHalfPrecisionFallback:
+    def test_bias_gelu_fp16(self, rng):
+        x = rng.standard_normal((4, 8)).astype(np.float16)
+        b = rng.standard_normal(8).astype(np.float16)
+        fused = bias_gelu(Tensor(x), Tensor(b))
+        ref = gelu(Tensor(x) + Tensor(b))
+        assert fused.data.dtype == ref.data.dtype
+        assert np.array_equal(fused.data, ref.data)
+
+    def test_dropout_residual_mixed(self, rng):
+        y = rng.standard_normal((4, 8)).astype(np.float16)
+        r = rng.standard_normal((4, 8)).astype(np.float32)
+        fused = bias_dropout_residual(
+            Tensor(y), None, Tensor(r), 0.5, rng=np.random.default_rng(3)
+        )
+        ref = Tensor(r) + dropout(Tensor(y), 0.5, rng=np.random.default_rng(3))
+        assert fused.data.dtype == ref.data.dtype
+        assert np.array_equal(fused.data, ref.data)
+
+
+# ----------------------------------------------------------------------
+# Buffer arena semantics
+# ----------------------------------------------------------------------
+#: Any shape at or above ``arena.MIN_BUCKET`` elements is pooled; the
+#: tests use comfortably-large shapes so they exercise the pooled path.
+_POOLED = (64, 64)  # 4096 elements
+
+
+class TestArena:
+    def test_disabled_by_default(self):
+        buf = arena.empty(_POOLED, np.float32)
+        assert not get_arena().owns(buf)
+
+    def test_small_requests_bypass_pool(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            small = arena.empty((16,), np.float32)
+            assert not ar.owns(small)
+            assert ar.pooled_bytes == 0
+            assert ar.skipped == 1
+            ar.clear()
+
+    def test_reuse_across_generations(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            a = arena.empty(_POOLED, np.float32)
+            base_a = a.base
+            assert base_a is not None and ar.owns(a)
+            ar.next_generation()
+            b = arena.empty(_POOLED, np.float32)
+            assert b.base is base_a  # same pooled storage, zero new bytes
+            ar.clear()
+
+    def test_isolation_within_generation(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            a = arena.empty(_POOLED, np.float32)
+            b = arena.empty(_POOLED, np.float32)
+            assert a.base is not b.base  # both live: distinct storage
+            ar.clear()
+
+    def test_release_recycles_immediately(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            a = arena.empty(_POOLED, np.float32)
+            base_a = a.base
+            arena.release(a)
+            b = arena.empty(_POOLED, np.float32)
+            assert b.base is base_a
+            ar.clear()
+
+    def test_release_accepts_views(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            a = arena.empty(_POOLED, np.float32)
+            base_a = a.base
+            arena.release(a.reshape(-1)[: a.size])  # view, not the handle
+            b = arena.empty(_POOLED, np.float32)
+            assert b.base is base_a
+            ar.clear()
+
+    def test_dtype_keys_do_not_alias(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            a = arena.empty(_POOLED, np.float32)
+            ar.next_generation()
+            b = arena.empty(_POOLED, np.float64)
+            assert b.base is not a.base
+            ar.clear()
+
+    def test_zeros_is_zero_filled(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            a = arena.empty(_POOLED, np.float32)
+            a[:] = 7.0
+            ar.next_generation()
+            z = arena.zeros(_POOLED, np.float32)
+            assert np.array_equal(z, np.zeros(_POOLED, np.float32))
+            ar.clear()
+
+    def test_hit_rate_reaches_one_post_warmup(self):
+        with use_arena():
+            ar = get_arena()
+            ar.clear()
+            shapes = [(65, 37), (4096,), (16, 16, 16)]
+            for s in shapes:
+                arena.empty(s, np.float32)
+            ar.next_generation()
+            h0, m0 = ar.hits, ar.misses
+            for s in shapes:
+                arena.empty(s, np.float32)
+            assert ar.hits - h0 == len(shapes)
+            assert ar.misses == m0
+            ar.clear()
+
+
+# ----------------------------------------------------------------------
+# Satellites: item() error message, unbroadcast fast path
+# ----------------------------------------------------------------------
+class TestSatellites:
+    def test_item_scalar_ok(self):
+        assert Tensor(np.float32(3.5)).item() == pytest.approx(3.5)
+        assert Tensor(np.ones((1, 1), np.float32)).item() == 1.0
+
+    def test_item_nonscalar_raises(self):
+        with pytest.raises(ValueError, match="exactly one element"):
+            Tensor(np.ones((2, 3), np.float32)).item()
+
+    def test_unbroadcast_same_shape_is_identity(self):
+        g = np.ones((3, 4), np.float32)
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_unbroadcast_reduces(self):
+        g = np.ones((2, 3, 4), np.float32)
+        assert unbroadcast(g, (3, 4)).shape == (3, 4)
+        assert unbroadcast(g, (1, 4)).shape == (1, 4)
+        assert np.array_equal(unbroadcast(g, (1, 4)), np.full((1, 4), 6.0))

@@ -37,7 +37,11 @@ def bench(request):
     sys.path.insert(0, BENCH_DIR)
     # Benchmark modules must see the smoke flag at import time; drop any
     # previously imported copies (and the harness run caches with them).
-    stale = [m for m in sys.modules if m.startswith(("harness", "test_fig"))]
+    stale = [
+        m
+        for m in sys.modules
+        if m.startswith(("harness", "test_fig", "test_step"))
+    ]
     for m in stale:
         del sys.modules[m]
 
@@ -47,7 +51,11 @@ def bench(request):
     yield load
     sys.path.remove(BENCH_DIR)
     os.environ.pop("REPRO_BENCH_SMOKE", None)
-    for m in [m for m in sys.modules if m.startswith(("harness", "test_fig"))]:
+    for m in [
+        m
+        for m in sys.modules
+        if m.startswith(("harness", "test_fig", "test_step"))
+    ]:
         del sys.modules[m]
 
 
@@ -76,3 +84,11 @@ def test_fig7_quality_training_smoke(bench):
     mod = bench("test_fig7_e2e_dmoe")
     assert mod.STEPS <= 10, "smoke mode must shrink the training sweep"
     mod.test_fig7_dmoe_vs_dense_quality_speedup(_PassthroughBenchmark())
+
+
+def test_step_memory_smoke(bench):
+    """Steady-state step benchmark: bit-identical losses and the
+    allocation-reduction floor must hold at smoke sizes."""
+    mod = bench("test_step_memory")
+    assert mod.SMOKE
+    mod.test_step_latency_and_allocations(_PassthroughBenchmark())
