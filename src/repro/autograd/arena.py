@@ -58,6 +58,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.observability.tracing import get_tracer
+
 #: Smallest pooled buffer, in elements.  Below this, malloc beats the
 #: pool: a small allocation costs well under a microsecond while an
 #: acquire/release round trip costs several, and small buffers barely
@@ -150,6 +152,11 @@ class BufferArena:
             vc = {shape: view}
         self._live[id(base)] = (key, base, vc)
         self._live_bytes += base.nbytes
+        # Tracing hook: a counter bump when a tracer is installed, one
+        # is-None check otherwise (acquire runs ~1000x per step).
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.count("arena/acquire")
         return view
 
     def release(self, view: np.ndarray) -> bool:
@@ -167,6 +174,9 @@ class BufferArena:
         self._live_bytes -= entry[1].nbytes
         self._stash(entry)
         self.released += 1
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.count("arena/release")
         return True
 
     def owns(self, view: np.ndarray) -> bool:

@@ -62,14 +62,17 @@ def reset() -> None:
 
 
 def snapshot() -> dict:
-    """A copy of all counters, including the arena's."""
+    """A deep copy of all counters, including the arena's — mutating the
+    snapshot never touches the live counters."""
+    import copy
+
     from repro.autograd.arena import get_arena
 
     return {
         "tape_nodes": tape_nodes,
         "fused_calls": dict(fused_calls),
         "nodes_fused": nodes_fused(),
-        "arena": get_arena().stats(),
+        "arena": copy.deepcopy(get_arena().stats()),
     }
 
 

@@ -1,18 +1,29 @@
-"""Command-line training entry point.
+"""Command-line training entry point and trace reports.
 
 Train any of the paper's configurations (scaled down by default) on the
-synthetic Pile, with checkpointing and resume:
+synthetic Pile, with checkpointing, resume, and optional tracing:
 
     python -m repro.cli --model XS --system dmoe --scale 0.0625 --steps 200
     python -m repro.cli --resume runs/dmoe-xs.npz --steps 100
+    python -m repro.cli --steps 20 --trace runs/trace.json
 
 Systems follow §6: ``dense``, ``dmoe`` (MegaBlocks), ``tutel-dmoe``
 (dynamic capacity padding), ``moe`` (fixed capacity factor).
+
+The ``trace`` subcommand reports on a Chrome-trace JSON written by
+``--trace`` (or any ``repro.observability`` exporter):
+
+    python -m repro.cli trace runs/trace.json
+
+prints the per-phase step breakdown; the file itself loads in
+``chrome://tracing`` or https://ui.perfetto.dev (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -20,6 +31,16 @@ import numpy as np
 
 from repro.data import LMDataset, PileConfig, SyntheticPile
 from repro.models import SYSTEMS, build_model, scaled_config
+from repro.observability import (
+    JsonlRunLog,
+    format_step_table,
+    registry,
+    save_chrome_trace,
+    step_rows_from_trace,
+    step_table,
+    tracing,
+    validate_chrome_trace,
+)
 from repro.training import (
     Adam,
     Trainer,
@@ -57,10 +78,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, help="path to save when done")
     p.add_argument("--resume", default=None, help="checkpoint to restore first")
     p.add_argument("--eval-every", type=int, default=None)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="trace the run; write a Chrome-trace JSON here "
+                        "(open in chrome://tracing or Perfetto)")
+    p.add_argument("--run-log", default=None, metavar="PATH",
+                   help="write a structured JSONL run log (one record per "
+                        "logged step plus a closing metrics snapshot)")
     return p
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Report on a Chrome-trace JSON written by --trace.",
+    )
+    p.add_argument("trace_file", help="Chrome-trace JSON path")
+    p.add_argument("--root", default="step",
+                   help="root span to break down (default: step)")
+    return p
+
+
+def trace_main(argv=None) -> int:
+    """``python -m repro.cli trace TRACE.json``: per-phase step report."""
+    args = build_trace_parser().parse_args(argv)
+    with open(args.trace_file) as fh:
+        trace = json.load(fh)
+    try:
+        events = validate_chrome_trace(trace)
+    except ValueError as exc:
+        print(f"invalid trace {args.trace_file!r}: {exc}", file=sys.stderr)
+        return 1
+    rows = step_rows_from_trace(trace, args.root)
+    print(
+        f"{args.trace_file}: {len(events)} events, "
+        f"{len(rows)} {args.root!r} spans"
+    )
+    print(format_step_table(rows, args.root))
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     seed_all(args.seed)
 
@@ -109,12 +170,32 @@ def main(argv=None) -> int:
         schedule=WarmupCosineLR(args.lr, args.steps, warmup_steps=args.steps // 20),
         rng=args.seed + 2,
     )
-    history = trainer.train(
-        callback=lambda r: logger.info(
+    run_log = JsonlRunLog(args.run_log) if args.run_log else None
+
+    def callback(r):
+        logger.info(
             "step %d loss %.4f%s", r.step, r.loss,
             f" val {r.val_loss:.4f}" if r.val_loss is not None else "",
         )
-    )
+        if run_log is not None:
+            run_log.write(r)
+
+    if args.trace:
+        with tracing() as tracer:
+            history = trainer.train(callback=callback)
+        os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
+        trace = save_chrome_trace(args.trace, tracer)
+        logger.info(
+            "trace written to %s (%d events); open in chrome://tracing or "
+            "report with: python -m repro.cli trace %s",
+            args.trace, len(trace["traceEvents"]), args.trace,
+        )
+        print(step_table(tracer))
+    else:
+        history = trainer.train(callback=callback)
+    if run_log is not None:
+        run_log.close(final={"metrics": registry().snapshot()})
+        logger.info("run log written to %s", args.run_log)
     final = history.final_val_loss()
     logger.info("done: final val loss %.4f", final if final is not None else float("nan"))
 

@@ -34,6 +34,7 @@ from repro.moe.permute import (
 )
 from repro.moe.router import Router, RoutingResult
 from repro.nn.module import Module
+from repro.observability.tracing import span
 from repro.sparse.autograd_ops import (
     dsd_mm,
     sdd_mm,
@@ -116,39 +117,46 @@ class dMoE(Module):
         if x.ndim == 3:
             x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
 
-        # (1) Assign tokens to experts.
-        routing = self.router(x)
+        with span("moe"):
+            # (1) Assign tokens to experts.
+            with span("route"):
+                routing = self.router(x)
 
-        # (2) Create the sparse matrix topology (Figure 3C).  The builder
-        # memoizes by tokens-per-expert layout, so repeated routing
-        # distributions reuse metadata and the grouped-GEMM dispatch plan.
-        plan = make_padded_plan(
-            routing.expert_indices, self.num_experts, self.block_size
-        )
-        topology = make_topology(plan, self.ffn_hidden_size)
-        self.last_plan = plan
-        self.last_topology = topology
-        self.last_routing = routing
+            # (2) Create the sparse matrix topology (Figure 3C).  The
+            # builder memoizes by tokens-per-expert layout, so repeated
+            # routing distributions reuse metadata and the grouped-GEMM
+            # dispatch plan.
+            with span("topology"):
+                plan = make_padded_plan(
+                    routing.expert_indices, self.num_experts, self.block_size
+                )
+                topology = make_topology(plan, self.ffn_hidden_size)
+            self.last_plan = plan
+            self.last_topology = topology
+            self.last_routing = routing
 
-        # (3) Permute the tokens to group by expert (padded to blocks).
-        xp = padded_gather(x, plan)
+            # (3) Permute the tokens to group by expert (padded to blocks).
+            with span("permute"):
+                xp = padded_gather(x, plan)
 
-        # (4) Compute the expert layers: SDD -> activation -> DSD.
-        e = self.experts
-        h = sdd_mm(xp, e.w1_flat(), topology)
-        if fusion_enabled() and self.activation == "gelu":
-            # Fused column-bias + GELU over the sparse values: one tape
-            # node for steps bias-add and activation.
-            h = sparse_bias_gelu(h, e.b1_flat(), topology)
-        else:
-            h = sparse_bias_add(h, e.b1_flat(), topology)
-            h = ACTIVATIONS[self.activation](h)
-        y = dsd_mm(h, e.w2_flat(), topology)
-        row_expert = expert_of_padded_row(plan)
-        y = y + getitem(e.b2, row_expert)
+            # (4) Compute the expert layers: SDD -> activation -> DSD.
+            with span("experts"):
+                e = self.experts
+                h = sdd_mm(xp, e.w1_flat(), topology)
+                if fusion_enabled() and self.activation == "gelu":
+                    # Fused column-bias + GELU over the sparse values: one
+                    # tape node for steps bias-add and activation.
+                    h = sparse_bias_gelu(h, e.b1_flat(), topology)
+                else:
+                    h = sparse_bias_add(h, e.b1_flat(), topology)
+                    h = ACTIVATIONS[self.activation](h)
+                y = dsd_mm(h, e.w2_flat(), topology)
+                row_expert = expert_of_padded_row(plan)
+                y = y + getitem(e.b2, row_expert)
 
-        # (5) Un-permute the tokens and scale by router confidence.
-        out = padded_scatter(y, plan, routing.expert_weights)
+            # (5) Un-permute the tokens and scale by router confidence.
+            with span("unpermute"):
+                out = padded_scatter(y, plan, routing.expert_weights)
 
         if len(orig_shape) == 3:
             out = out.reshape(orig_shape)

@@ -24,6 +24,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.moe.permute import PaddedPlan
+from repro.observability.tracing import span
 from repro.sparse import dispatch, stats
 from repro.sparse.topology import Topology
 
@@ -71,10 +72,11 @@ def cached_block_diagonal_topology(
         return topo
 
     stats.record_cache("misses")
-    topo = Topology.block_diagonal(rows_per, cols_per, block_size)
-    # Warm the grouped-GEMM dispatch plan while we are paying the
-    # construction cost anyway; every later kernel call reads it cached.
-    dispatch.analyze(topo)
+    with span("topology_build"):
+        topo = Topology.block_diagonal(rows_per, cols_per, block_size)
+        # Warm the grouped-GEMM dispatch plan while we are paying the
+        # construction cost anyway; every later kernel call reads it cached.
+        dispatch.analyze(topo)
     _cache[key] = topo
     if len(_cache) > TOPOLOGY_CACHE_SIZE:
         _cache.popitem(last=False)

@@ -14,6 +14,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.observability.tracing import get_tracer
+
 # ----------------------------------------------------------------------
 # Fault-injection hook (see repro.resilience.faults).
 #
@@ -39,9 +41,19 @@ def get_fault_hook():
 
 
 def _execute(op: str, world: int, payloads, compute):
-    if _FAULT_HOOK is None:
-        return compute(payloads)
-    return _FAULT_HOOK.run_collective(op, world, payloads, compute)
+    # Tracing spans wrap the whole collective, fault-injected retries
+    # included, so the trace charges stragglers where they happen.  The
+    # tracer check precedes any args construction: the disabled path
+    # allocates nothing.
+    tracer = get_tracer()
+    if tracer is None:
+        if _FAULT_HOOK is None:
+            return compute(payloads)
+        return _FAULT_HOOK.run_collective(op, world, payloads, compute)
+    with tracer.span(op, {"world": world}):
+        if _FAULT_HOOK is None:
+            return compute(payloads)
+        return _FAULT_HOOK.run_collective(op, world, payloads, compute)
 
 
 @dataclass

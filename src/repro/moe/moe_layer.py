@@ -27,6 +27,7 @@ from repro.moe.permute import (
 )
 from repro.moe.router import Router, RoutingResult
 from repro.nn.module import Module
+from repro.observability.tracing import span
 from repro.utils.rng import RngLike
 
 
@@ -115,17 +116,23 @@ class MoELayer(Module):
             x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
         num_tokens = x.shape[0]
 
-        routing = self.router(x)
-        capacity = self._capacity(num_tokens)
-        plan = make_dropping_plan(
-            routing.expert_indices, self.num_experts, capacity
-        )
-        self.last_plan = plan
-        self.last_routing = routing
-
-        dispatched = dropping_gather(x, plan)
-        expert_out = self._compute_experts(dispatched)
-        out = dropping_scatter(expert_out, plan, routing.expert_weights)
+        with span("moe"):
+            with span("route"):
+                routing = self.router(x)
+            capacity = self._capacity(num_tokens)
+            with span("permute"):
+                plan = make_dropping_plan(
+                    routing.expert_indices, self.num_experts, capacity
+                )
+                self.last_plan = plan
+                self.last_routing = routing
+                dispatched = dropping_gather(x, plan)
+            with span("experts"):
+                expert_out = self._compute_experts(dispatched)
+            with span("unpermute"):
+                out = dropping_scatter(
+                    expert_out, plan, routing.expert_weights
+                )
 
         if len(orig_shape) == 3:
             out = out.reshape(orig_shape)
@@ -151,23 +158,32 @@ class DynamicCapacityMoELayer(MoELayer):
         if x.ndim == 3:
             x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
 
-        routing = self.router(x)
-        counts = np.bincount(
-            routing.expert_indices.reshape(-1), minlength=self.num_experts
-        )
-        capacity = max(int(counts.max()), 1)
-        self.last_dynamic_capacity = capacity
-        plan = make_dropping_plan(
-            routing.expert_indices, self.num_experts, capacity, counts=counts
-        )
-        if plan.num_dropped:
-            raise AssertionError("dynamic capacity must never drop tokens")
-        self.last_plan = plan
-        self.last_routing = routing
-
-        dispatched = dropping_gather(x, plan)
-        expert_out = self._compute_experts(dispatched)
-        out = dropping_scatter(expert_out, plan, routing.expert_weights)
+        with span("moe"):
+            with span("route"):
+                routing = self.router(x)
+            counts = np.bincount(
+                routing.expert_indices.reshape(-1), minlength=self.num_experts
+            )
+            capacity = max(int(counts.max()), 1)
+            self.last_dynamic_capacity = capacity
+            with span("permute"):
+                plan = make_dropping_plan(
+                    routing.expert_indices, self.num_experts, capacity,
+                    counts=counts,
+                )
+                if plan.num_dropped:
+                    raise AssertionError(
+                        "dynamic capacity must never drop tokens"
+                    )
+                self.last_plan = plan
+                self.last_routing = routing
+                dispatched = dropping_gather(x, plan)
+            with span("experts"):
+                expert_out = self._compute_experts(dispatched)
+            with span("unpermute"):
+                out = dropping_scatter(
+                    expert_out, plan, routing.expert_weights
+                )
 
         if len(orig_shape) == 3:
             out = out.reshape(orig_shape)

@@ -1,0 +1,261 @@
+"""Unified metrics registry: counters, gauges, histograms, one snapshot.
+
+Before this module the repo's telemetry lived in three disconnected
+counter namespaces — :mod:`repro.sparse.stats` (kernel dispatch paths,
+FLOPs, topology-cache), :mod:`repro.autograd.stats` (tape nodes, fusion,
+arena), and :mod:`repro.resilience.counters` (recovery events).  They
+keep working unchanged (cheap always-on dict increments), but the
+registry *absorbs* them as snapshot sources so one call returns
+everything a run recorded::
+
+    from repro.observability import registry
+
+    reg = registry()
+    reg.counter("tokens").inc(4096)
+    reg.histogram("step_time").observe(0.012)
+    snap = reg.snapshot()
+    snap["counters"]["tokens"]            # 4096
+    snap["histograms"]["step_time"]["p95"]
+    snap["sources"]["sparse"]["ops"]      # re-exported sparse.stats
+    snap["sources"]["resilience"]         # re-exported recovery counters
+
+``snapshot()`` deep-copies everything it returns; mutating a snapshot
+never touches live counters.  ``reset()`` zeroes the registry's own
+instruments and every registered source in one call.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, by: int = 1) -> int:
+        self.value += by
+        return self.value
+
+
+class Gauge:
+    """Last-written value (e.g. current arena pool size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming value distribution with percentile summaries.
+
+    Values are kept verbatim (runs here are thousands of steps, not
+    billions of requests — exactness beats a sketch) up to ``max_samples``,
+    after which uniform decimation keeps memory bounded.
+    """
+
+    __slots__ = ("values", "max_samples")
+
+    def __init__(self, max_samples: int = 65536) -> None:
+        self.values: List[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+        if len(self.values) > self.max_samples:
+            # Keep every other sample; counts stay approximate past the
+            # cap but percentiles remain representative.
+            self.values = self.values[::2]
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100]; 0.0 when empty."""
+        if not self.values:
+            return 0.0
+        return float(np.percentile(self.values, q))
+
+    def summary(self) -> Dict[str, float]:
+        """count / sum / mean / min / max / p50 / p95 / p99."""
+        if not self.values:
+            return {
+                "count": 0, "sum": 0.0, "mean": 0.0,
+                "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        arr = np.asarray(self.values, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return {
+            "count": int(arr.size),
+            "sum": float(arr.sum()),
+            "mean": float(arr.mean()),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms plus external snapshot sources."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        # name -> (snapshot_fn, reset_fn or None)
+        self._sources: Dict[
+            str, Tuple[Callable[[], dict], Optional[Callable[[], None]]]
+        ] = {}
+
+    # -- instruments ----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    # -- external sources -------------------------------------------------
+    def register_source(
+        self,
+        name: str,
+        snapshot_fn: Callable[[], dict],
+        reset_fn: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Absorb an existing counter module behind the registry API.
+
+        ``snapshot_fn`` must return a plain dict; ``reset_fn`` (optional)
+        participates in :meth:`reset`.  Registering the same name again
+        replaces the source (idempotent setup).
+        """
+        self._sources[name] = (snapshot_fn, reset_fn)
+
+    # -- aggregate views --------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep copy of every instrument and every source."""
+        sources = {}
+        for name, (snapshot_fn, _) in self._sources.items():
+            sources[name] = copy.deepcopy(snapshot_fn())
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: h.summary() for k, h in self._histograms.items()
+            },
+            "sources": sources,
+        }
+
+    def reset(self) -> None:
+        """Zero own instruments and reset every source that supports it."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        for _, reset_fn in self._sources.values():
+            if reset_fn is not None:
+                reset_fn()
+
+    def summary(self) -> str:
+        """Human-readable multi-section table of the current snapshot."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(k) for k in snap["counters"])
+            for k in sorted(snap["counters"]):
+                lines.append(f"  {k:<{width}}  {snap['counters'][k]}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(k) for k in snap["gauges"])
+            for k in sorted(snap["gauges"]):
+                lines.append(f"  {k:<{width}}  {snap['gauges'][k]:g}")
+        if snap["histograms"]:
+            lines.append(
+                "histograms:            count       mean        p50"
+                "        p95        p99"
+            )
+            for k in sorted(snap["histograms"]):
+                s = snap["histograms"][k]
+                lines.append(
+                    f"  {k:<20} {s['count']:6d} {s['mean']:10.4g} "
+                    f"{s['p50']:10.4g} {s['p95']:10.4g} {s['p99']:10.4g}"
+                )
+        for name in sorted(snap["sources"]):
+            lines.append(f"source {name}: {snap['sources'][name]}")
+        return "\n".join(lines) if lines else "no metrics recorded"
+
+
+# ----------------------------------------------------------------------
+# Process-global registry, pre-wired to the three legacy stat modules.
+# Imports happen inside the source functions so loading observability
+# never drags in (or cyclically imports) the sparse/autograd packages.
+# ----------------------------------------------------------------------
+def _sparse_source() -> dict:
+    from repro.sparse import stats
+
+    return stats.snapshot()
+
+
+def _sparse_reset() -> None:
+    from repro.sparse import stats
+
+    stats.reset()
+
+
+def _autograd_source() -> dict:
+    from repro.autograd import stats
+
+    return stats.snapshot()
+
+
+def _autograd_reset() -> None:
+    from repro.autograd import stats
+
+    stats.reset()
+
+
+def _resilience_source() -> dict:
+    from repro.resilience import counters
+
+    return counters.snapshot()
+
+
+def _resilience_reset() -> None:
+    from repro.resilience import counters
+
+    counters.reset()
+
+
+_REGISTRY = MetricsRegistry()
+_REGISTRY.register_source("sparse", _sparse_source, _sparse_reset)
+_REGISTRY.register_source("autograd", _autograd_source, _autograd_reset)
+_REGISTRY.register_source("resilience", _resilience_source, _resilience_reset)
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry (sources pre-registered)."""
+    return _REGISTRY

@@ -43,9 +43,14 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd import arena
+from repro.observability.tracing import span
 from repro.sparse import dispatch, stats
 from repro.sparse.matrix import BlockSparseMatrix
 from repro.sparse.topology import Topology
+
+#: Shared span-args dicts: no per-call allocation on the tracing path.
+_SPAN_GROUPED = {"dispatch": stats.PATH_GROUPED}
+_SPAN_BLOCKED = {"dispatch": stats.PATH_BLOCKED}
 
 
 # ----------------------------------------------------------------------
@@ -166,15 +171,17 @@ def sdd(
 
     plan = dispatch.analyze(topology)
     if dispatch.use_grouped(plan, needs_disjoint_cols=False):
-        a_eff = a.T if trans_a else a
-        b_eff = b.T if trans_b else b
-        values = dispatch.grouped_sdd(a_eff, b_eff, topology, plan, out_dtype)
+        with span("sdd", _SPAN_GROUPED):
+            a_eff = a.T if trans_a else a
+            b_eff = b.T if trans_b else b
+            values = dispatch.grouped_sdd(a_eff, b_eff, topology, plan, out_dtype)
         stats.record_op("sdd", stats.PATH_GROUPED, flops)
         return BlockSparseMatrix(topology, values)
 
-    a_blocks = _row_block_view(a, bs, trans_a)[topology.row_indices]
-    b_blocks = _col_block_view(b, bs, trans_b)[topology.column_indices]
-    values = np.matmul(a_blocks, b_blocks).astype(out_dtype, copy=False)
+    with span("sdd", _SPAN_BLOCKED):
+        a_blocks = _row_block_view(a, bs, trans_a)[topology.row_indices]
+        b_blocks = _col_block_view(b, bs, trans_b)[topology.column_indices]
+        values = np.matmul(a_blocks, b_blocks).astype(out_dtype, copy=False)
     stats.record_op("sdd", stats.PATH_BLOCKED, flops)
     return BlockSparseMatrix(topology, values)
 
@@ -221,25 +228,29 @@ def dsd(
 
     plan = dispatch.analyze(topo)
     if dispatch.use_grouped(plan, needs_disjoint_cols=trans_s):
-        b_eff = b.T if trans_b else b
-        out = dispatch.grouped_dsd(s.values, b_eff, topo, plan, trans_s, out_dtype)
+        with span(op_name, _SPAN_GROUPED):
+            b_eff = b.T if trans_b else b
+            out = dispatch.grouped_dsd(
+                s.values, b_eff, topo, plan, trans_s, out_dtype
+            )
         stats.record_op(op_name, stats.PATH_GROUPED, flops)
         return out
 
-    stripes = _stripe_view(b, bs, trans_b)
-    out = arena.zeros((m_eff // bs, bs, n_eff), out_dtype)
-    if topo.nnz_blocks:
-        if trans_s:
-            order = topo.transpose_block_offsets
-            block_values = np.swapaxes(s.values[order], -1, -2)
-            stripe_ids = topo.row_indices[order]
-            offsets = topo.transpose_row_offsets
-        else:
-            block_values = s.values
-            stripe_ids = topo.column_indices
-            offsets = topo.row_offsets
-        prod = np.matmul(block_values, stripes[stripe_ids])
-        _segment_reduce(prod, offsets, out)
+    with span(op_name, _SPAN_BLOCKED):
+        stripes = _stripe_view(b, bs, trans_b)
+        out = arena.zeros((m_eff // bs, bs, n_eff), out_dtype)
+        if topo.nnz_blocks:
+            if trans_s:
+                order = topo.transpose_block_offsets
+                block_values = np.swapaxes(s.values[order], -1, -2)
+                stripe_ids = topo.row_indices[order]
+                offsets = topo.transpose_row_offsets
+            else:
+                block_values = s.values
+                stripe_ids = topo.column_indices
+                offsets = topo.row_offsets
+            prod = np.matmul(block_values, stripes[stripe_ids])
+            _segment_reduce(prod, offsets, out)
     stats.record_op(op_name, stats.PATH_BLOCKED, flops)
     return out.reshape(m_eff, n_eff)
 
@@ -283,37 +294,42 @@ def dds(
 
     plan = dispatch.analyze(topo)
     if dispatch.use_grouped(plan, needs_disjoint_cols=not trans_s):
-        a_eff = a.T if trans_a else a
-        out = dispatch.grouped_dds(a_eff, s.values, topo, plan, trans_s, out_dtype)
+        with span(op_name, _SPAN_GROUPED):
+            a_eff = a.T if trans_a else a
+            out = dispatch.grouped_dds(
+                a_eff, s.values, topo, plan, trans_s, out_dtype
+            )
         stats.record_op(op_name, stats.PATH_GROUPED, flops)
         return out
 
-    # (num_stripes, M, bs) view: stripe i is columns i*bs:(i+1)*bs of A_eff.
-    if trans_a:
-        stripes = a.reshape(k_a // bs, bs, m_eff).transpose(0, 2, 1)
-    else:
-        stripes = a.reshape(m_eff, k_a // bs, bs).transpose(1, 0, 2)
-
-    out = arena.zeros((m_eff, n_eff // bs, bs), out_dtype)
-    if topo.nnz_blocks:
-        if trans_s:
-            block_values = np.swapaxes(s.values, -1, -2)
-            stripe_ids = topo.column_indices
-            offsets = topo.row_offsets
+    with span(op_name, _SPAN_BLOCKED):
+        # (num_stripes, M, bs) view: stripe i is columns i*bs:(i+1)*bs of
+        # A_eff.
+        if trans_a:
+            stripes = a.reshape(k_a // bs, bs, m_eff).transpose(0, 2, 1)
         else:
-            order = topo.transpose_block_offsets
-            block_values = s.values[order]
-            stripe_ids = topo.row_indices[order]
-            offsets = topo.transpose_row_offsets
-        prod = np.matmul(stripes[stripe_ids], block_values)
-        nonempty = np.flatnonzero(np.diff(offsets) > 0)
-        if len(nonempty):
-            starts = offsets[nonempty].astype(np.intp)
-            # (segments, M, bs) summed in sorted column order, assigned
-            # straight into the (M, col_block, bs) output view.
-            out[:, nonempty, :] = np.add.reduceat(prod, starts, axis=0).transpose(
-                1, 0, 2
-            )
+            stripes = a.reshape(m_eff, k_a // bs, bs).transpose(1, 0, 2)
+
+        out = arena.zeros((m_eff, n_eff // bs, bs), out_dtype)
+        if topo.nnz_blocks:
+            if trans_s:
+                block_values = np.swapaxes(s.values, -1, -2)
+                stripe_ids = topo.column_indices
+                offsets = topo.row_offsets
+            else:
+                order = topo.transpose_block_offsets
+                block_values = s.values[order]
+                stripe_ids = topo.row_indices[order]
+                offsets = topo.transpose_row_offsets
+            prod = np.matmul(stripes[stripe_ids], block_values)
+            nonempty = np.flatnonzero(np.diff(offsets) > 0)
+            if len(nonempty):
+                starts = offsets[nonempty].astype(np.intp)
+                # (segments, M, bs) summed in sorted column order, assigned
+                # straight into the (M, col_block, bs) output view.
+                out[:, nonempty, :] = np.add.reduceat(
+                    prod, starts, axis=0
+                ).transpose(1, 0, 2)
     stats.record_op(op_name, stats.PATH_BLOCKED, flops)
     return out.reshape(m_eff, n_eff)
 

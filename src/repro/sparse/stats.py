@@ -24,7 +24,8 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict
+import copy
+from typing import Dict, Optional
 
 #: Dispatch paths a kernel call can take.
 PATH_GROUPED = "grouped"
@@ -56,9 +57,10 @@ def reset() -> None:
 
 
 def snapshot() -> dict:
-    """A copy of all counters: ``{"ops": ..., "flops": ..., "cache": ...}``."""
+    """A deep copy of all counters: ``{"ops": ..., "flops": ..., "cache":
+    ...}`` — mutating the snapshot never touches the live counters."""
     return {
-        "ops": {op: dict(c) for op, c in _op_counts.items()},
+        "ops": copy.deepcopy(_op_counts),
         "flops": dict(_op_flops),
         "cache": dict(_cache_counts),
     }
@@ -68,7 +70,7 @@ def total_flops() -> int:
     return sum(_op_flops.values())
 
 
-def grouped_fraction(op: str = None) -> float:
+def grouped_fraction(op: Optional[str] = None) -> float:
     """Fraction of calls (of ``op``, or overall) served by the fast path."""
     if op is not None:
         counts = _op_counts.get(op, {})

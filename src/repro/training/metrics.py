@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,12 @@ class TrainingRecord:
     tape_nodes: Optional[int] = None
     nodes_fused: Optional[int] = None
     arena_hit_rate: Optional[float] = None
+    #: Wall-clock seconds for the optimizer step that produced this
+    #: record (always measured; two perf_counter reads per step).
+    step_time: Optional[float] = None
+    #: Per-phase seconds (data/forward/backward/...) from the tracer;
+    #: None unless a tracer was installed (``repro.observability``).
+    phase_times: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -36,11 +42,23 @@ class History:
 
     @property
     def steps(self) -> np.ndarray:
-        return np.array([r.step for r in self.records])
+        # Explicit dtype: an empty np.array([]) would default to float64.
+        return np.array([r.step for r in self.records], dtype=np.int64)
 
     @property
     def losses(self) -> np.ndarray:
-        return np.array([r.loss for r in self.records])
+        return np.array([r.loss for r in self.records], dtype=np.float64)
+
+    @property
+    def step_times(self) -> np.ndarray:
+        """Per-record step seconds (NaN where the trainer didn't time)."""
+        return np.array(
+            [
+                r.step_time if r.step_time is not None else np.nan
+                for r in self.records
+            ],
+            dtype=np.float64,
+        )
 
     @property
     def val_points(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -22,13 +22,16 @@ On top of the recipe sits the fault-tolerance layer (``docs/robustness.md``):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.autograd import get_arena, no_grad, steady_state
 from repro.autograd import stats as ag_stats
+from repro.observability.metrics import registry
+from repro.observability.tracing import get_tracer, span
 from repro.autograd.tensor import Tensor
 from repro.data.dataset import LMDataset
 from repro.moe.capacity import min_capacity_factor
@@ -158,6 +161,10 @@ class Trainer:
         self.fault_injector = fault_injector
         self._snapshot = None
         self._good_since_snapshot = 0
+        #: Wall-clock seconds of the most recent train_step (always
+        #: measured) and its per-phase breakdown (tracer-only).
+        self.last_step_time: Optional[float] = None
+        self.last_phase_times: Optional[Dict[str, float]] = None
         from repro.distributed.collectives import CommLog
 
         self.comm_log = CommLog() if config.dp_world > 1 else None
@@ -265,6 +272,10 @@ class Trainer:
     def _evaluate_impl(self) -> Optional[float]:
         if self.val_data is None:
             return None
+        with span("eval"):
+            return self._evaluate_batches()
+
+    def _evaluate_batches(self) -> Optional[float]:
         self.model.eval()
         losses = []
         with no_grad():
@@ -283,54 +294,83 @@ class Trainer:
     def train_step(self, step: int) -> float:
         """One optimizer step (with gradient accumulation and guardrails)."""
         ag_stats.reset()
-        if self.config.steady_state:
-            with steady_state():
-                # Everything the previous step allocated from the arena
-                # (activations, tape intermediates, leaf gradients) is
-                # dead once zero_grad runs below, so retire the whole
-                # generation back to the free pool first.
-                get_arena().next_generation()
-                return self._train_step_impl(step)
-        return self._train_step_impl(step)
+        t0 = time.perf_counter()
+        with span("step", {"step": step}):
+            if self.config.steady_state:
+                with steady_state():
+                    # Everything the previous step allocated from the
+                    # arena (activations, tape intermediates, leaf
+                    # gradients) is dead once zero_grad runs below, so
+                    # retire the whole generation back to the free pool
+                    # first.
+                    with span("arena_retire"):
+                        get_arena().next_generation()
+                    loss = self._train_step_impl(step)
+            else:
+                loss = self._train_step_impl(step)
+        self.last_step_time = time.perf_counter() - t0
+        tracer = get_tracer()
+        if tracer is not None:
+            root = tracer.last_root("step")
+            self.last_phase_times = (
+                tracer.breakdown(root) if root is not None else None
+            )
+            tracer.sample("tape_nodes", ag_stats.tape_nodes)
+            if self.config.steady_state:
+                tracer.sample("arena_hit_rate", get_arena().hit_rate())
+            reg = registry()
+            reg.histogram("trainer/step_time").observe(self.last_step_time)
+            if self.last_phase_times:
+                for phase, seconds in self.last_phase_times.items():
+                    reg.histogram(f"trainer/phase/{phase}").observe(seconds)
+        else:
+            self.last_phase_times = None
+        return loss
 
     def _train_step_impl(self, step: int) -> float:
         cfg = self.config
         if self.fault_injector is not None:
             self.fault_injector.current_step = step
-        self.optimizer.zero_grad()
+        with span("zero_grad"):
+            self.optimizer.zero_grad()
         total = 0.0
         for _ in range(cfg.accumulation_steps):
-            batch = self._next_batch(cfg.micro_batch)
-            loss, lm, _ = self.model.loss(batch.inputs, batch.targets)
-            # Scale so accumulated gradients average over micro batches.
-            scaled = loss * (1.0 / cfg.accumulation_steps)
-            if self.grad_scaler is not None:
-                scaled = self.grad_scaler.scale_loss(scaled)
-            scaled.backward()
+            with span("data"):
+                batch = self._next_batch(cfg.micro_batch)
+            with span("forward"):
+                loss, lm, _ = self.model.loss(batch.inputs, batch.targets)
+                # Scale so accumulated gradients average over micro batches.
+                scaled = loss * (1.0 / cfg.accumulation_steps)
+                if self.grad_scaler is not None:
+                    scaled = self.grad_scaler.scale_loss(scaled)
+            with span("backward"):
+                scaled.backward()
             total += float(lm.data)
         mean_loss = total / cfg.accumulation_steps
 
         if self.fault_injector is not None:
             self.fault_injector.corrupt_gradients(step, self.optimizer.params)
 
-        verdict = gr.OK
-        if self.guard is not None and not np.isfinite(mean_loss):
-            verdict = gr.NONFINITE_LOSS
-        if verdict == gr.OK and self.grad_scaler is not None:
-            if not self.grad_scaler.unscale_and_check(self.optimizer.params):
-                # Overflow: the scaler already zeroed grads and backed off.
-                verdict = gr.GRAD_OVERFLOW
-        elif verdict == gr.OK and self.guard is not None:
-            if not self.guard.gradients_finite(self.optimizer.params):
-                verdict = gr.NONFINITE_GRAD
-                self._drop_gradients()
+        with span("guard"):
+            verdict = gr.OK
+            if self.guard is not None and not np.isfinite(mean_loss):
+                verdict = gr.NONFINITE_LOSS
+            if verdict == gr.OK and self.grad_scaler is not None:
+                if not self.grad_scaler.unscale_and_check(self.optimizer.params):
+                    # Overflow: the scaler already zeroed grads and backed off.
+                    verdict = gr.GRAD_OVERFLOW
+            elif verdict == gr.OK and self.guard is not None:
+                if not self.guard.gradients_finite(self.optimizer.params):
+                    verdict = gr.NONFINITE_GRAD
+                    self._drop_gradients()
         if verdict == gr.OK and cfg.dp_world > 1:
-            try:
-                self._sync_gradients()
-            except CollectiveFault as exc:
-                logger.warning("step %d: unrecovered %s", step, exc)
-                verdict = gr.COLLECTIVE_FAULT
-                self._drop_gradients()
+            with span("grad_sync"):
+                try:
+                    self._sync_gradients()
+                except CollectiveFault as exc:
+                    logger.warning("step %d: unrecovered %s", step, exc)
+                    verdict = gr.COLLECTIVE_FAULT
+                    self._drop_gradients()
         if (
             verdict == gr.OK
             and self.guard is not None
@@ -340,13 +380,16 @@ class Trainer:
             self._drop_gradients()
 
         if verdict == gr.OK:
-            clip_grad_norm(self.optimizer.params, cfg.grad_clip)
-            self.optimizer.step(lr=self.schedule(step))
+            with span("clip"):
+                clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+            with span("optimizer"):
+                self.optimizer.step(lr=self.schedule(step))
             if self.guard is not None:
                 self.guard.record_good(mean_loss)
                 self._good_since_snapshot += 1
                 if self._good_since_snapshot >= self.guard.config.snapshot_every:
-                    self._capture_snapshot()
+                    with span("snapshot"):
+                        self._capture_snapshot()
         else:
             self.skipped_steps += 1
             if self.guard is not None:
@@ -361,9 +404,11 @@ class Trainer:
                     logger.warning(
                         "step %d: rewinding to last known-good state", step
                     )
-                    self._restore_snapshot()
+                    with span("snapshot"):
+                        self._restore_snapshot()
                     self.guard.record_rewind()
-        self._collect_routing_stats(step)
+        with span("routing"):
+            self._collect_routing_stats(step)
         return mean_loss
 
     # ------------------------------------------------------------------
@@ -490,6 +535,8 @@ class Trainer:
                     arena_hit_rate=(
                         get_arena().hit_rate() if cfg.steady_state else None
                     ),
+                    step_time=self.last_step_time,
+                    phase_times=self.last_phase_times,
                 )
                 self.history.log(record)
                 if callback is not None:

@@ -1,26 +1,78 @@
-"""Thin wrapper over :mod:`logging` with a library-wide namespace."""
+"""Thin wrapper over :mod:`logging` with a library-wide namespace.
+
+Configuration policy (the library-friendly behavior an embedding
+application expects):
+
+- A stderr handler and INFO level are attached to the ``repro`` logger
+  **only if nothing is configured yet**: a pre-existing handler on the
+  ``repro`` logger means the application owns log routing, and a level
+  the application already set is never overwritten.
+- Configuration is idempotent per process — at most one handler is ever
+  attached, and repeated :func:`get_logger` calls are a no-op after the
+  first successful configuration.
+- ``REPRO_NO_LOG_CONFIG=1`` opts out entirely: the library then emits
+  through whatever handlers the application installs (or nowhere).
+"""
 
 from __future__ import annotations
 
 import logging
+import os
 import sys
 
 _CONFIGURED = False
 
+#: Marker attribute on the handler this module attaches, so reconfiguring
+#: (and tests) can tell our handler from an application's.
+_HANDLER_TAG = "_repro_default_handler"
+
+
+def configure(force: bool = False) -> bool:
+    """Attach the default repro handler if nothing else is configured.
+
+    Returns True when this call attached the handler.  ``force=True``
+    re-runs the checks even if a previous call already configured (used
+    after an application tears its logging down).  Never touches a level
+    or handler the application set, and does nothing at all when
+    ``REPRO_NO_LOG_CONFIG`` is set to a non-empty, non-``0`` value.
+    """
+    global _CONFIGURED
+    if _CONFIGURED and not force:
+        return False
+    if os.environ.get("REPRO_NO_LOG_CONFIG", "0") not in ("", "0"):
+        return False
+    root = logging.getLogger("repro")
+    if root.handlers:
+        # The embedding application configured this namespace first;
+        # respect its handlers and level.  _CONFIGURED stays False so a
+        # later configure(force=True) can attach after a teardown.
+        return False
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    if root.level == logging.NOTSET:
+        # Only set a level the application has not chosen already.
+        root.setLevel(logging.INFO)
+    _CONFIGURED = True
+    return True
+
+
+def unconfigure() -> None:
+    """Remove the handler :func:`configure` attached (test/teardown aid)."""
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    _CONFIGURED = False
+
 
 def get_logger(name: str = "repro") -> logging.Logger:
     """Return a logger under the ``repro`` namespace, configuring once."""
-    global _CONFIGURED
-    if not _CONFIGURED:
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
-        root = logging.getLogger("repro")
-        if not root.handlers:
-            root.addHandler(handler)
-        root.setLevel(logging.INFO)
-        _CONFIGURED = True
+    configure()
     if name == "repro" or name.startswith("repro."):
         return logging.getLogger(name)
     return logging.getLogger(f"repro.{name}")

@@ -1,9 +1,21 @@
-"""Wall-clock timing helpers for examples and benchmarks."""
+"""Wall-clock timing helpers for examples, benchmarks, and tracing.
+
+:class:`Timer` is the monotonic stopwatch the observability layer's
+spans are built on (``repro.observability.tracing`` reads the same
+:func:`time.perf_counter` clock).  It accumulates laps across uses,
+raises explicit errors on misuse (never ``assert``, which ``python -O``
+strips), and rejects re-entrant ``with`` blocks instead of silently
+losing the outer start — nest separate ``Timer`` instances (or tracing
+spans) to time nested regions.
+"""
 
 from __future__ import annotations
 
+import functools
 import time
-from typing import Optional
+from typing import Callable, Optional, TypeVar
+
+F = TypeVar("F", bound=Callable)
 
 
 class Timer:
@@ -12,24 +24,46 @@ class Timer:
     >>> t = Timer()
     >>> with t:
     ...     pass
-    >>> t.elapsed >= 0.0
+    >>> t.elapsed >= 0.0 and t.last >= 0.0
     True
+
+    Attributes:
+        elapsed: total seconds across all completed laps.
+        count: completed laps.
+        last: duration of the most recently completed lap.
     """
 
     def __init__(self) -> None:
         self.elapsed: float = 0.0
         self.count: int = 0
+        self.last: float = 0.0
         self._start: Optional[float] = None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer is not re-entrant: __enter__ while a lap is already "
+                "running; use a second Timer (or a tracing span) for the "
+                "nested region"
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
+        if self._start is None:
+            raise RuntimeError(
+                "Timer.__exit__ without a matching __enter__ (lap never "
+                "started or already stopped)"
+            )
+        self.last = time.perf_counter() - self._start
+        self.elapsed += self.last
         self.count += 1
         self._start = None
+
+    @property
+    def running(self) -> bool:
+        """True while a lap is open."""
+        return self._start is not None
 
     @property
     def mean(self) -> float:
@@ -37,8 +71,36 @@ class Timer:
         return self.elapsed / self.count if self.count else 0.0
 
     def reset(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("cannot reset a Timer while a lap is running")
         self.elapsed = 0.0
         self.count = 0
+        self.last = 0.0
+
+    def time(self, fn: Optional[F] = None):
+        """Time one lap: bare context manager or function decorator.
+
+        As a context manager the lap lands in :attr:`last` on exit::
+
+            t = Timer()
+            with t.time():
+                work()
+            print(t.last)
+
+        As a decorator every call of the wrapped function records a lap::
+
+            @t.time
+            def work(): ...
+        """
+        if fn is None:
+            return self
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper
 
 
 def format_duration(seconds: float) -> str:

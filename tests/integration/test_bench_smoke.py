@@ -92,3 +92,15 @@ def test_step_memory_smoke(bench):
     mod = bench("test_step_memory")
     assert mod.SMOKE
     mod.test_step_latency_and_allocations(_PassthroughBenchmark())
+
+
+def test_step_trace_smoke(bench):
+    """Traced step benchmark: emits BENCH_trace.json with the per-phase
+    breakdown and asserts the Chrome-trace exporter produces schema-valid
+    JSON (ph/ts/dur on every complete event, strictly nested spans) while
+    leaving losses and parameters bit-identical."""
+    mod = bench("test_step_trace")
+    assert mod.SMOKE
+    mod.test_traced_step_breakdown(_PassthroughBenchmark())
+    out = os.path.join(BENCH_DIR, "BENCH_trace.json")
+    assert os.path.exists(out)

@@ -1,0 +1,158 @@
+"""Exporters: Chrome-trace schema, step tables, JSONL run logs."""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    chrome_trace,
+    format_step_table,
+    phase_rows,
+    save_chrome_trace,
+    step_rows_from_trace,
+    step_table,
+    validate_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.tracing import Tracer
+from repro.training.metrics import TrainingRecord
+
+
+def make_tracer(steps: int = 3) -> Tracer:
+    t = Tracer()
+    for i in range(steps):
+        with t.span("step", {"step": i}):
+            with t.span("forward"):
+                with t.span("moe"):
+                    with t.span("sdd"):
+                        pass
+            with t.span("backward"):
+                pass
+            with t.span("optimizer"):
+                pass
+        t.sample("tape_nodes", 100 + i)
+    return t
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        trace = chrome_trace(make_tracer())
+        events = validate_chrome_trace(trace)
+        # 3 steps x 5 spans each (step/forward/moe/sdd/backward/optimizer
+        # minus... count exactly): step, forward, moe, sdd, backward,
+        # optimizer = 6 complete events per step.
+        assert len(events) == 3 * 6
+
+    def test_complete_event_fields(self):
+        trace = chrome_trace(make_tracer(1))
+        ev = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        assert set(("name", "cat", "ph", "ts", "dur", "pid", "tid")) <= set(ev)
+        assert ev["args"]["path"].startswith("step")
+        assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+
+    def test_counter_events_emitted(self):
+        trace = chrome_trace(make_tracer())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 3
+        assert counters[0]["name"] == "tape_nodes"
+        assert counters[0]["args"]["value"] == 100
+
+    def test_validator_rejects_missing_dur(self):
+        trace = chrome_trace(make_tracer(1))
+        for ev in trace["traceEvents"]:
+            if ev["ph"] == "X":
+                del ev["dur"]
+                break
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(trace)
+
+    def test_validator_rejects_partial_overlap(self):
+        trace = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0.0, "dur": 10.0,
+                 "pid": 0, "tid": 0},
+                {"name": "b", "ph": "X", "ts": 5.0, "dur": 10.0,
+                 "pid": 0, "tid": 0},
+            ]
+        }
+        with pytest.raises(ValueError, match="strictly nested"):
+            validate_chrome_trace(trace)
+
+    def test_save_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        saved = save_chrome_trace(path, make_tracer())
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded == saved
+        validate_chrome_trace(loaded)
+
+
+class TestStepTable:
+    def test_rows_per_step(self):
+        t = make_tracer(4)
+        rows = phase_rows(t)
+        assert len(rows) == 4
+        assert set(rows[0]) == {"_total", "forward", "backward", "optimizer"}
+        # Direct children only: moe/sdd are nested under forward.
+        assert "moe" not in rows[0] and "sdd" not in rows[0]
+
+    def test_table_text(self):
+        text = step_table(make_tracer())
+        assert "forward" in text and "(other)" in text
+        assert "3 steps" in text
+
+    def test_empty(self):
+        assert "no 'step' spans" in step_table(Tracer())
+
+    def test_rows_from_trace_match_live(self):
+        t = make_tracer(3)
+        live = phase_rows(t)
+        from_file = step_rows_from_trace(chrome_trace(t))
+        assert len(live) == len(from_file)
+        for a, b in zip(live, from_file):
+            assert set(a) == set(b)
+            for k in a:
+                assert a[k] == pytest.approx(b[k], abs=5e-6)
+
+    def test_format_from_trace_rows(self):
+        t = make_tracer(3)
+        text = format_step_table(step_rows_from_trace(chrome_trace(t)))
+        assert "forward" in text
+
+
+class TestJsonl:
+    def test_write_jsonl_dataclasses(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        records = [
+            TrainingRecord(step=0, tokens=10, loss=2.0),
+            TrainingRecord(
+                step=1, tokens=20, loss=1.5,
+                step_time=0.01, phase_times={"forward": 0.005},
+            ),
+        ]
+        n = write_jsonl(path, records)
+        assert n == 2
+        lines = [json.loads(l) for l in open(path)]
+        assert lines[0]["step"] == 0 and lines[0]["val_loss"] is None
+        assert lines[1]["phase_times"] == {"forward": 0.005}
+
+    def test_run_log_incremental(self, tmp_path):
+        from repro.observability.export import JsonlRunLog
+
+        path = str(tmp_path / "log.jsonl")
+        log = JsonlRunLog(path)
+        log.write({"step": 0})
+        log.write(TrainingRecord(step=1, tokens=1, loss=1.0))
+        log.close(final={"done": True})
+        lines = [json.loads(l) for l in open(path)]
+        assert len(lines) == 3
+        assert lines[-1] == {"done": True}
+        assert log.records_written == 3
+
+    def test_numpy_values_serializable(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "np.jsonl")
+        write_jsonl(path, [{"a": np.float64(1.5), "b": np.arange(3)}])
+        line = json.loads(open(path).read())
+        assert line == {"a": 1.5, "b": [0, 1, 2]}

@@ -1,0 +1,149 @@
+"""MetricsRegistry: instruments, percentiles, source absorption."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import stats as ag_stats
+from repro.observability.metrics import (
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.resilience import counters as res_counters
+from repro.sparse import stats as sp_stats
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("steps")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("steps").value == 5
+        assert reg.counter("steps") is c
+
+    def test_gauge_holds_last(self):
+        reg = MetricsRegistry()
+        reg.gauge("pool").set(3.5)
+        reg.gauge("pool").set(1.0)
+        assert reg.gauge("pool").value == 1.0
+
+    def test_histogram_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.percentile(50) == pytest.approx(50.5)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+    def test_histogram_empty_summary(self):
+        s = Histogram().summary()
+        assert s["count"] == 0 and s["p99"] == 0.0
+
+    def test_histogram_decimates_past_cap(self):
+        h = Histogram(max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count <= 8
+        # Percentiles stay representative of the full range.
+        assert h.percentile(100) >= 90.0
+
+
+class TestRegistry:
+    def test_snapshot_is_deep_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        snap["counters"]["a"] = 999
+        assert reg.counter("a").value == 1
+
+    def test_sources_absorbed_and_reset(self):
+        events = {"n": 0}
+        reg = MetricsRegistry()
+        reg.register_source(
+            "fake",
+            lambda: {"n": events["n"]},
+            lambda: events.update(n=0),
+        )
+        events["n"] = 3
+        assert reg.snapshot()["sources"]["fake"] == {"n": 3}
+        reg.reset()
+        assert events["n"] == 0
+
+    def test_source_snapshot_mutation_isolated(self):
+        live = {"nested": {"x": 1}}
+        reg = MetricsRegistry()
+        reg.register_source("fake", lambda: live)
+        snap = reg.snapshot()
+        snap["sources"]["fake"]["nested"]["x"] = 99
+        assert live["nested"]["x"] == 1
+
+    def test_summary_renders(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(1.0)
+        text = reg.summary()
+        assert "counters" in text and "histograms" in text
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().summary() == "no metrics recorded"
+
+
+class TestGlobalRegistry:
+    def test_legacy_namespaces_re_exported(self):
+        sp_stats.reset()
+        ag_stats.reset()
+        res_counters.reset()
+        sp_stats.record_op("sdd", sp_stats.PATH_GROUPED, flops=10)
+        ag_stats.record_node()
+        res_counters.increment("router_fallback")
+
+        snap = registry().snapshot()
+        assert snap["sources"]["sparse"]["ops"]["sdd"]["grouped"] == 1
+        assert snap["sources"]["autograd"]["tape_nodes"] == 1
+        assert snap["sources"]["resilience"]["router_fallback"] == 1
+
+        sp_stats.reset()
+        ag_stats.reset()
+        res_counters.reset()
+
+    def test_reset_propagates_to_sources(self):
+        sp_stats.record_op("dsd", sp_stats.PATH_BLOCKED)
+        registry().reset()
+        assert sp_stats.snapshot()["ops"] == {}
+
+
+class TestLegacySnapshotsDeepCopy:
+    def test_sparse_snapshot_mutation_isolated(self):
+        sp_stats.reset()
+        sp_stats.record_op("sdd", sp_stats.PATH_GROUPED)
+        snap = sp_stats.snapshot()
+        snap["ops"]["sdd"]["grouped"] = 999
+        snap["cache"]["hits"] = 999
+        assert sp_stats.snapshot()["ops"]["sdd"]["grouped"] == 1
+        assert sp_stats.snapshot()["cache"]["hits"] == 0
+        sp_stats.reset()
+
+    def test_autograd_snapshot_mutation_isolated(self):
+        ag_stats.reset()
+        ag_stats.record_fused("bias_gelu")
+        snap = ag_stats.snapshot()
+        snap["fused_calls"]["bias_gelu"] = 999
+        snap["arena"]["hits"] = -1
+        fresh = ag_stats.snapshot()
+        assert fresh["fused_calls"]["bias_gelu"] == 1
+        assert fresh["arena"]["hits"] >= 0
+        ag_stats.reset()
+
+    def test_grouped_fraction_optional_annotation(self):
+        import inspect
+        import typing
+
+        sig = inspect.signature(sp_stats.grouped_fraction)
+        hints = typing.get_type_hints(sp_stats.grouped_fraction)
+        assert sig.parameters["op"].default is None
+        assert hints["op"] == typing.Optional[str]

@@ -1,6 +1,29 @@
 import logging
 
-from repro.utils.logging import get_logger
+import pytest
+
+from repro.utils import logging as repro_logging
+from repro.utils.logging import _HANDLER_TAG, configure, get_logger, unconfigure
+
+
+@pytest.fixture
+def clean_repro_logger():
+    """Detach everything from the 'repro' logger, restore it afterwards."""
+    root = logging.getLogger("repro")
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    saved_configured = repro_logging._CONFIGURED
+    for h in saved_handlers:
+        root.removeHandler(h)
+    root.setLevel(logging.NOTSET)
+    repro_logging._CONFIGURED = False
+    yield root
+    for h in list(root.handlers):
+        root.removeHandler(h)
+    for h in saved_handlers:
+        root.addHandler(h)
+    root.setLevel(saved_level)
+    repro_logging._CONFIGURED = saved_configured
 
 
 class TestGetLogger:
@@ -22,3 +45,57 @@ class TestGetLogger:
         get_logger("b")
         root = logging.getLogger("repro")
         assert len(root.handlers) == 1
+
+
+class TestConfigurePolicy:
+    def test_attaches_default_handler_once(self, clean_repro_logger):
+        assert configure() is True
+        assert configure() is False  # idempotent per process
+        root = clean_repro_logger
+        assert len(root.handlers) == 1
+        assert getattr(root.handlers[0], _HANDLER_TAG, False)
+        assert root.level == logging.INFO
+
+    def test_respects_preexisting_handler(self, clean_repro_logger):
+        root = clean_repro_logger
+        app_handler = logging.NullHandler()
+        root.addHandler(app_handler)
+        assert configure() is False
+        assert root.handlers == [app_handler]
+        # Not latched: after the app tears down, force can still attach.
+        root.removeHandler(app_handler)
+        assert configure(force=True) is True
+
+    def test_respects_preexisting_level(self, clean_repro_logger):
+        root = clean_repro_logger
+        root.setLevel(logging.DEBUG)
+        configure()
+        assert root.level == logging.DEBUG
+
+    def test_env_opt_out(self, clean_repro_logger, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_LOG_CONFIG", "1")
+        assert configure() is False
+        assert clean_repro_logger.handlers == []
+
+    def test_env_opt_out_zero_means_configure(self, clean_repro_logger,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_NO_LOG_CONFIG", "0")
+        assert configure() is True
+
+    def test_unconfigure_removes_only_our_handler(self, clean_repro_logger):
+        root = clean_repro_logger
+        configure()
+        app_handler = logging.NullHandler()
+        root.addHandler(app_handler)
+        unconfigure()
+        assert root.handlers == [app_handler]
+
+    def test_reconfigure_after_unconfigure(self, clean_repro_logger):
+        configure()
+        unconfigure()
+        assert configure() is True
+        assert len(clean_repro_logger.handlers) == 1
+
+    def test_get_logger_triggers_configure(self, clean_repro_logger):
+        get_logger("anything")
+        assert len(clean_repro_logger.handlers) == 1

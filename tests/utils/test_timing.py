@@ -1,3 +1,5 @@
+import pytest
+
 from repro.utils.timing import Timer, format_duration
 
 
@@ -19,9 +21,114 @@ class TestTimer:
         t.reset()
         assert t.count == 0
         assert t.elapsed == 0.0
+        assert t.last == 0.0
 
     def test_mean_empty(self):
         assert Timer().mean == 0.0
+
+    def test_last_lap_recorded(self):
+        t = Timer()
+        with t:
+            pass
+        assert t.last >= 0.0
+        assert t.last == pytest.approx(t.elapsed)
+
+    def test_running_property(self):
+        t = Timer()
+        assert not t.running
+        with t:
+            assert t.running
+        assert not t.running
+
+
+class TestTimerMisuse:
+    def test_reentrant_enter_raises(self):
+        t = Timer()
+        t.__enter__()
+        with pytest.raises(RuntimeError, match="not re-entrant"):
+            t.__enter__()
+        t.__exit__(None, None, None)
+
+    def test_reentrant_error_survives_optimized_mode(self):
+        # The old implementation used `assert`, which `python -O` strips;
+        # a RuntimeError must be raised regardless of interpreter flags.
+        t = Timer()
+        t.__enter__()
+        with pytest.raises(RuntimeError):
+            with t:
+                pass
+        t.__exit__(None, None, None)
+
+    def test_exit_without_enter_raises(self):
+        with pytest.raises(RuntimeError, match="matching __enter__"):
+            Timer().__exit__(None, None, None)
+
+    def test_double_exit_raises(self):
+        t = Timer()
+        t.__enter__()
+        t.__exit__(None, None, None)
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
+
+    def test_state_intact_after_rejected_reentry(self):
+        t = Timer()
+        with t:
+            pass
+        t.__enter__()
+        with pytest.raises(RuntimeError):
+            t.__enter__()
+        t.__exit__(None, None, None)
+        assert t.count == 2
+        assert not t.running
+
+    def test_reset_while_running_raises(self):
+        t = Timer()
+        t.__enter__()
+        with pytest.raises(RuntimeError, match="while a lap is running"):
+            t.reset()
+        t.__exit__(None, None, None)
+
+
+class TestTimerTime:
+    def test_context_manager_returns_lap(self):
+        t = Timer()
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.last >= 0.0
+
+    def test_decorator_records_each_call(self):
+        t = Timer()
+
+        @t.time
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6
+        assert work(4) == 8
+        assert t.count == 2
+
+    def test_decorator_preserves_metadata(self):
+        t = Timer()
+
+        @t.time
+        def documented():
+            """docstring"""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docstring"
+
+    def test_decorator_records_lap_on_exception(self):
+        t = Timer()
+
+        @t.time
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            boom()
+        assert t.count == 1
+        assert not t.running
 
 
 class TestFormatDuration:
