@@ -78,6 +78,8 @@ from repro.autograd.ops_fused import (
     softmax_cross_entropy,
 )
 from repro.autograd.grad_check import check_gradients, numerical_grad
+from repro.autograd import graph
+from repro.autograd.graph import CaptureSession, GraphInvalidated, StepGraph
 
 
 @contextmanager
@@ -161,4 +163,8 @@ __all__ = [
     "set_fusion_enabled",
     "fused_ops",
     "steady_state",
+    "graph",
+    "CaptureSession",
+    "GraphInvalidated",
+    "StepGraph",
 ]

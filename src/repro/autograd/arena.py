@@ -125,6 +125,17 @@ class BufferArena:
         Contents are uninitialized (stale from a previous step); the
         caller must fully overwrite them.
         """
+        # Static-buffer-plan fast path (graph replay): the recorded
+        # schedule re-requests the same sequence of buffers every step,
+        # so a cursor over the recorded plan replaces the whole pool
+        # dance below.  One global load + is-None test when inactive.
+        script = _SCRIPT
+        if script is not None:
+            view = script._serve(shape, dtype)
+            if view is not None:
+                return view
+            # Plan diverged: _serve deactivated the script; fall through
+            # to the real pool for the rest of the step.
         dt = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
         if type(shape) is not tuple:
             shape = (shape,) if type(shape) is int else tuple(shape)
@@ -134,7 +145,11 @@ class BufferArena:
         n = int(n)
         if n < MIN_BUCKET:
             self.skipped += 1
-            return np.empty(shape, dtype=dt)
+            arr = np.empty(shape, dtype=dt)
+            rec = _SCRIPT_REC
+            if rec is not None:
+                rec.entries.append([dt, shape, arr, None, None, None])
+            return arr
         b = 1 << (n - 1).bit_length()
         key = (b, dt.num)
         stack = self._free.get(key)
@@ -152,6 +167,9 @@ class BufferArena:
             vc = {shape: view}
         self._live[id(base)] = (key, base, vc)
         self._live_bytes += base.nbytes
+        rec = _SCRIPT_REC
+        if rec is not None:
+            rec.entries.append([dt, shape, view, base, vc, b])
         # Tracing hook: a counter bump when a tracer is installed, one
         # is-None check otherwise (acquire runs ~1000x per step).
         tracer = get_tracer()
@@ -165,6 +183,12 @@ class BufferArena:
         collapses view chains, so ``view.base`` is the flat base array).
         No-op (returns False) for arrays the arena does not own — callers
         may pass anything without checking provenance."""
+        if _SCRIPT is not None:
+            # Scripted replay: every buffer in flight is script-owned and
+            # already detached from the pool, so the release is a
+            # guaranteed no-op — skip the base walk and dict lookup
+            # (~400 calls per step).
+            return False
         base = view
         while base.base is not None:  # broadcast_to views nest one deeper
             base = base.base
@@ -238,6 +262,181 @@ class BufferArena:
             "pooled_bytes": self.pooled_bytes,
             "live_buffers": len(self._live),
         }
+
+
+# ----------------------------------------------------------------------
+# Static buffer plans (captured step-graph replay)
+# ----------------------------------------------------------------------
+class BufferScript:
+    """The static buffer plan of one replayed micro batch.
+
+    A compiled step graph executes the identical op schedule every
+    replay, so it also issues the identical sequence of arena requests.
+    On its first replay the graph records that sequence — every
+    :meth:`BufferArena.acquire` appends ``[dtype, shape, view, base,
+    viewcache, bucket]`` — and the recorded bases are *detached* from
+    the pool (removed from the free stacks and the live table) so
+    nothing else can ever alias them.  Subsequent replays serve the plan
+    by cursor: the common case is one tuple compare and a list index in
+    place of the bucket/LIFO/view-cache machinery.
+
+    Divergence handling keeps the plan safe rather than clever:
+
+    - Same position, different shape that still fits the owned base
+      (tokens-per-expert wobble resizing a sparse buffer): a fresh view
+      of the same memory is served and the entry updated in place.
+    - Shape that outgrows the base (wobble crossing a bucket boundary):
+      the base grows monotonically, like a capacity vector — same
+      position, same role, so the liveness reasoning is unchanged.
+    - Different dtype, or more requests than entries — the op sequence
+      itself changed, not just sizes: the script deactivates itself
+      *for the rest of the step* and the real pool takes over.  The
+      served prefix followed the recorded order exactly, so its
+      liveness reasoning still holds, and the pool can never hand out a
+      script-owned base.  The owner re-records a fresh plan next replay.
+    - Fewer requests than entries (detected by the owner via
+      ``cursor != len(entries)``): the plan is dropped and re-recorded.
+
+    Entries below the pooling floor hold their own private small array
+    (distinct per position, so two live small buffers can never share
+    memory); serving it again is safe under the arena's fully-overwrite
+    contract that every call site already obeys.
+    """
+
+    __slots__ = ("entries", "cursor", "dead")
+
+    def __init__(self) -> None:
+        self.entries: list = []
+        self.cursor = 0
+        self.dead = False
+
+    def _serve(self, shape, dtype) -> Optional[np.ndarray]:
+        i = self.cursor
+        entries = self.entries
+        if i >= len(entries):
+            self.dead = True
+            deactivate_script()
+            return None
+        e = entries[i]
+        # Fast path: same shape tuple, same dtype object (builtin NumPy
+        # dtypes are singletons, so identity almost always hits).
+        if shape == e[1] and (dtype is e[0] or dtype == e[0]):
+            self.cursor = i + 1
+            return e[2]
+        return self._serve_slow(e, shape, dtype)
+
+    def _serve_slow(self, e, shape, dtype) -> Optional[np.ndarray]:
+        dt = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
+        if type(shape) is not tuple:
+            shape = (shape,) if type(shape) is int else tuple(shape)
+        if dt != e[0]:
+            # A dtype change at a fixed schedule position means the op
+            # sequence itself changed — not wobble.  Bail out safely.
+            self.dead = True
+            deactivate_script()
+            return None
+        if shape == e[1]:
+            self.cursor += 1
+            return e[2]
+        n = 1
+        for s in shape:
+            n *= s
+        n = int(n)
+        base = e[3]
+        if base is not None and n <= base.size:
+            # Shape wobble within the owned base: new view, same memory.
+            vc = e[4]
+            view = vc.get(shape)
+            if view is None:
+                view = vc[shape] = base[:n].reshape(shape)
+        elif base is None and n < MIN_BUCKET:
+            # Below-floor entry: adopt the new small shape in place.
+            view = np.empty(shape, dtype=dt)
+        else:
+            # Outgrew the owned base (tokens-per-expert drift crossing a
+            # bucket boundary): grow it monotonically, like a capacity
+            # vector.  The old base is dropped; same position, same
+            # role, so the plan's liveness reasoning is unchanged.
+            b = 1 << (n - 1).bit_length()
+            if b < MIN_BUCKET:
+                b = MIN_BUCKET
+            base = np.empty(b, dtype=dt)
+            view = base[:n].reshape(shape)
+            e[3] = base
+            e[4] = {shape: view}
+            e[5] = b
+        e[1] = shape
+        e[2] = view
+        self.cursor += 1
+        return view
+
+
+_SCRIPT: Optional[BufferScript] = None
+_SCRIPT_REC: Optional[BufferScript] = None
+
+
+def begin_script_recording() -> BufferScript:
+    """Start recording every ``acquire`` into a fresh buffer plan."""
+    global _SCRIPT_REC
+    if _SCRIPT_REC is not None or _SCRIPT is not None:
+        raise RuntimeError("a buffer script is already recording or active")
+    _SCRIPT_REC = BufferScript()
+    return _SCRIPT_REC
+
+
+def end_script_recording(discard: bool = False) -> Optional[BufferScript]:
+    """Stop recording; detach the recorded bases from the pool.
+
+    Detaching (dropping the bases from the live table and free stacks)
+    makes the plan self-contained: the pool can never serve one of its
+    buffers to an unrelated caller, which is what makes cursor-order
+    replay alias-free.  With ``discard=True`` nothing is detached and
+    the partial plan is thrown away (exception paths).
+    """
+    global _SCRIPT_REC
+    script, _SCRIPT_REC = _SCRIPT_REC, None
+    if script is None or discard:
+        return None
+    ids = {id(e[3]) for e in script.entries if e[3] is not None}
+    if ids:
+        pool = _ARENA
+        for bid in ids:
+            entry = pool._live.pop(bid, None)
+            if entry is not None:
+                pool._live_bytes -= entry[1].nbytes
+        for key in list(pool._free):
+            stack = pool._free[key]
+            kept = [bv for bv in stack if id(bv[0]) not in ids]
+            if len(kept) != len(stack):
+                for b, _vc in stack:
+                    if id(b) in ids:
+                        pool._free_bytes -= b.nbytes
+                if kept:
+                    pool._free[key] = kept
+                else:
+                    del pool._free[key]
+    return script
+
+
+def activate_script(script: BufferScript) -> None:
+    """Serve subsequent acquires from ``script`` (until deactivated or
+    the plan diverges)."""
+    global _SCRIPT
+    if _SCRIPT_REC is not None:
+        raise RuntimeError("cannot activate a buffer script while recording")
+    script.cursor = 0
+    _SCRIPT = script
+
+
+def deactivate_script() -> Optional[BufferScript]:
+    """Stop serving from the active script; returns it (or ``None``)."""
+    global _SCRIPT
+    script, _SCRIPT = _SCRIPT, None
+    return script
+
+
+def script_active() -> bool:
+    return _SCRIPT is not None
 
 
 # ----------------------------------------------------------------------
@@ -344,6 +543,11 @@ def reshaped(a: np.ndarray, shape) -> np.ndarray:
     Bit-identical either way.
     """
     if not _ENABLED:
+        return a.reshape(shape)
+    if a.flags.c_contiguous:
+        # A C-contiguous array always reshapes to a view; skip the
+        # try/except below (raising + catching AttributeError costs more
+        # than the reshape itself at ~90 calls per step).
         return a.reshape(shape)
     v = a.view()
     try:

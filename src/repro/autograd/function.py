@@ -28,15 +28,19 @@ from repro.autograd import arena, stats
 _Tensor = None
 _is_grad_enabled = None
 
+# Active CaptureSession (repro.autograd.graph) or None.  Checked with a
+# single global load + is-None test per apply() so the eager path pays
+# nothing measurable when capture is off.
+_CAPTURE = None
+
 
 class Context:
     """Per-call scratch space connecting ``forward`` and ``backward``."""
 
-    __slots__ = ("saved", "extras")
+    __slots__ = ("saved",)
 
     def __init__(self) -> None:
         self.saved: Tuple[Any, ...] = ()
-        self.extras: dict = {}
 
     def save_for_backward(self, *items: Any) -> None:
         """Stash arrays (or any values) needed by ``backward``."""
@@ -125,18 +129,30 @@ class Function:
         if requires_grad:
             out._node = Node(cls, ctx, args)
             stats.record_node()
+        if _CAPTURE is not None:
+            # Record every op (grad or not): non-grad outputs can still be
+            # data-dependent inputs of later recorded calls.
+            _CAPTURE.record_op(cls, args, kwargs, out)
         return out
 
 
 class Node:
-    """Tape entry: which Function produced a tensor and from what inputs."""
+    """Tape entry: which Function produced a tensor and from what inputs.
 
-    __slots__ = ("fn", "ctx", "inputs")
+    ``consumed`` is set by :meth:`Tensor.backward` once the node's
+    gradient has been propagated (unless ``retain_graph=True``): under
+    buffer recycling a second walk would read contexts whose saved
+    arrays may already be back in the arena pool, so double-backward is
+    rejected loudly instead of silently misbehaving.
+    """
+
+    __slots__ = ("fn", "ctx", "inputs", "consumed")
 
     def __init__(self, fn: type, ctx: Context, inputs: Sequence[Any]) -> None:
         self.fn = fn
         self.ctx = ctx
         self.inputs = inputs
+        self.consumed = False
 
     def tensor_inputs(self):
         global _Tensor

@@ -1,0 +1,643 @@
+"""Captured step graphs: record the tape once, replay a compiled schedule.
+
+PR 3 removed steady-state allocations, leaving the training step
+Python-dispatch-bound: every step re-runs the ``nn.Module`` call chains,
+re-records ~200 tape nodes through :meth:`Function.apply`, re-sorts the
+tape, and re-juggles the gradient dict — for a graph that is
+structurally identical step after step.  This module is the CUDA-Graphs
+/ TinyJit analog for the NumPy substrate: execute one micro batch
+eagerly under a :class:`CaptureSession`, and every subsequent micro
+batch with a matching :class:`StepGraph` signature replays a flat,
+topologically-ordered schedule of pre-resolved op records — no module
+traversal, no ``apply``, no Tensor/Node construction, no topo sort.
+
+Record kinds
+============
+
+**Op records** are appended by the hook in :meth:`Function.apply`: the
+``Function`` subclass, pre-resolved argument specs, and frozen kwargs.
+At replay, ``fn.forward`` is called directly on raw arrays.  Because the
+same ``forward`` bodies run (arena ``out=`` staging and all), replay is
+bit-identical to eager by construction.
+
+**Host records** are data-dependent computations that live *outside*
+the tape — routing index selection, permutation-plan and topology
+construction, jitter noise draws.  Module code routes them through
+:func:`host`, which is a plain passthrough outside capture.  During
+capture the callable and its argument specs are recorded and the result
+objects are walked into the dynamic-value registry (so downstream op
+args that reference e.g. ``plan.gather_indices`` resolve to *this
+step's* plan, not a frozen copy).  At replay, host records re-execute
+in recorded order — RNG draws advance identically, and a shifted
+routing distribution flows through the schedule naturally because the
+sparse kernels are shape-polymorphic in their topology argument.
+
+A host record with ``guard=True`` compares its replayed result against
+the captured one and raises :class:`GraphInvalidated` on mismatch; this
+covers data-dependent *control flow* the schedule froze (the router's
+non-finite fallback branch, Tutel's dynamic capacity that sizes frozen
+reshape constants).  Replay snapshots every RNG stream the graph
+touches before running, and restores them when a guard trips, so the
+transparent eager fallback consumes exactly the draws a pure-eager step
+would have — fallbacks stay bit-identical.
+
+Argument resolution
+===================
+
+Each positional argument of a recorded call is classified once, at
+capture:
+
+- output of an earlier record            -> resolved from the replay value table
+- leaf Tensor (parameter)                -> re-reads ``tensor.data`` every replay,
+                                            so in-place optimizer updates *and*
+                                            checkpoint loads are picked up
+- registered dynamic value (host output
+  or a named graph input such as the
+  micro-batch arrays)                    -> extracted from the replaying record's
+                                            fresh result by attribute/index path
+- anything else                          -> frozen constant (shapes, masks,
+                                            modules, RNG generators, dtypes)
+
+The backward pass is precompiled at :meth:`CaptureSession.finalize`
+from the tape's topological order into a list of slot-addressed
+entries that mirror :meth:`Tensor.backward`'s accumulation arithmetic
+exactly — including the arena base-refcount release discipline and the
+owned-buffer in-place adds — so gradients are bit-identical too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import arena
+from repro.autograd import function as _function
+from repro.autograd.function import Context
+from repro.autograd.tensor import Tensor, _accumulate_leaf, _coerce_data
+
+_ndarray = np.ndarray
+
+__all__ = [
+    "CaptureSession",
+    "GraphInvalidated",
+    "StepGraph",
+    "active_session",
+    "host",
+]
+
+
+class GraphInvalidated(RuntimeError):
+    """A replayed guard diverged from its captured value; the caller must
+    discard the :class:`StepGraph`, fall back to eager, and recapture."""
+
+
+# Argument-spec tags (plain ints: the replay resolver is the hot loop).
+_REC = 0      # (tag, record_index)                 -> values[record_index]
+_LEAF = 1     # (tag, tensor)                       -> tensor.data  (re-read)
+_CONST = 2    # (tag, value)                        -> value (frozen)
+_DYN = 3      # (tag, record_index, path)           -> walk path from values[i]
+_INPUT = 4    # (tag, name)                         -> inputs[name]
+_TUPLE = 5    # (tag, (spec, ...))                  -> tuple of resolved specs
+
+
+class _OpRecord:
+    """One :meth:`Function.apply` call: kernel class + resolved args."""
+
+    __slots__ = ("fn", "specs", "kwargs", "requires_grad")
+
+    def __init__(self, fn, specs, kwargs, requires_grad):
+        self.fn = fn
+        self.specs = specs
+        self.kwargs = kwargs
+        self.requires_grad = requires_grad
+
+
+class _HostRecord:
+    """One :func:`host` call: non-tape callable re-executed at replay."""
+
+    __slots__ = ("fn", "specs", "guard", "expected")
+
+    def __init__(self, fn, specs, guard, expected):
+        self.fn = fn
+        self.specs = specs
+        self.guard = guard
+        self.expected = expected
+
+
+def _host_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and bool(np.array_equal(a, b))
+        )
+    return a == b
+
+
+# ----------------------------------------------------------------------
+# Capture
+# ----------------------------------------------------------------------
+_ACTIVE: Optional["CaptureSession"] = None
+
+
+def active_session() -> Optional["CaptureSession"]:
+    return _ACTIVE
+
+
+def host(fn: Callable, *args: Any, guard: bool = False):
+    """Run (and, under capture, record) a data-dependent host computation.
+
+    Outside a capture this is ``fn(*args)`` — one global load and an
+    is-None test of overhead on the eager path.  Under capture the call
+    is recorded for re-execution at replay; its result objects (arrays,
+    plans, topologies, tuples of them) register as dynamic values so
+    later recorded calls resolve them per step.  With ``guard=True`` the
+    replayed result must equal the captured one or the replay raises
+    :class:`GraphInvalidated` (use for values that select control flow
+    or size frozen constants).
+    """
+    s = _ACTIVE
+    if s is None:
+        return fn(*args)
+    return s.record_host(fn, args, guard)
+
+
+class CaptureSession:
+    """Records one eager micro batch into a :class:`StepGraph`.
+
+    Use :meth:`begin` / :meth:`finalize` (or ``abort``) around the eager
+    execution; :meth:`Function.apply` feeds op records through the hook
+    installed by ``begin``.
+    """
+
+    def __init__(self, signature: tuple, inputs: Dict[str, np.ndarray]):
+        self.signature = signature
+        self.records: List[Any] = []
+        # id(Tensor) -> producing record index (op outputs).
+        self._tensor_ids: Dict[int, int] = {}
+        # id(object) -> dynamic-value spec (host outputs, inputs, raw
+        # op-output arrays).  Later registrations overwrite earlier ones,
+        # which is the correct temporal binding when the arena re-issues
+        # a view object it released earlier in the same step.
+        self._dyn: Dict[int, tuple] = {}
+        # Strong refs keep every registered id stable for the session.
+        self._keepalive: List[Any] = []
+        self._gens: List[np.random.Generator] = []
+        for name, arr in inputs.items():
+            self._dyn[id(arr)] = (_INPUT, name)
+            self._keepalive.append(arr)
+
+    # -- lifecycle -------------------------------------------------------
+    def begin(self) -> "CaptureSession":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("a CaptureSession is already active")
+        _ACTIVE = self
+        _function._CAPTURE = self
+        return self
+
+    def abort(self) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+        _function._CAPTURE = None
+
+    # -- recording -------------------------------------------------------
+    def _note_generator(self, v) -> None:
+        if isinstance(v, np.random.Generator) and v not in self._gens:
+            self._gens.append(v)
+
+    def _spec_for(self, x) -> tuple:
+        if isinstance(x, Tensor):
+            idx = self._tensor_ids.get(id(x))
+            if idx is not None:
+                return (_REC, idx)
+            d = self._dyn.get(id(x.data))
+            if d is not None:
+                return d
+            if x._node is not None:
+                raise RuntimeError(
+                    "captured op consumes a tape tensor produced outside "
+                    "the capture session"
+                )
+            # Leaf: parameters and persistent wrappers.  ``.data`` is
+            # re-read per replay so in-place updates and checkpoint
+            # loads are honored.
+            self._keepalive.append(x)
+            return (_LEAF, x)
+        if isinstance(x, np.ndarray):
+            d = self._dyn.get(id(x))
+            if d is not None:
+                return d
+            self._keepalive.append(x)
+            return (_CONST, x)
+        if type(x) is tuple:
+            specs = tuple(self._spec_for(e) for e in x)
+            if all(s[0] == _CONST for s in specs):
+                return (_CONST, x)
+            return (_TUPLE, specs)
+        d = self._dyn.get(id(x))
+        if d is not None:
+            return d
+        self._note_generator(x)
+        self._keepalive.append(x)
+        return (_CONST, x)
+
+    def record_op(self, fn, args, kwargs, out: Tensor) -> None:
+        """Hook target for :meth:`Function.apply` (capture only)."""
+        specs = tuple(self._spec_for(a) for a in args)
+        if kwargs:
+            for v in kwargs.values():
+                self._note_generator(v)
+        idx = len(self.records)
+        self.records.append(
+            _OpRecord(fn, specs, dict(kwargs) if kwargs else None, out.requires_grad)
+        )
+        self._tensor_ids[id(out)] = idx
+        self._dyn[id(out.data)] = (_REC, idx)
+        self._keepalive.append(out)
+
+    def record_host(self, fn, args, guard):
+        specs = tuple(self._spec_for(a) for a in args)
+        idx = len(self.records)
+        result = fn(*args)
+        self.records.append(
+            _HostRecord(fn, specs, guard, result if guard else None)
+        )
+        self._keepalive.append(result)
+        self._register(result, idx, ())
+        return result
+
+    def _register(self, obj, idx: int, path: tuple) -> None:
+        """Walk a host result, registering every array / container so
+        later arguments referencing any part of it resolve dynamically."""
+        if isinstance(obj, np.ndarray):
+            self._dyn[id(obj)] = (_DYN, idx, path) if path else (_REC, idx)
+            return
+        if isinstance(obj, (tuple, list)):
+            if path or type(obj) is not tuple:
+                self._dyn[id(obj)] = (_DYN, idx, path) if path else (_REC, idx)
+            for k, e in enumerate(obj):
+                self._register(e, idx, path + (("i", k),))
+            return
+        if hasattr(obj, "__dataclass_fields__"):
+            self._dyn[id(obj)] = (_DYN, idx, path) if path else (_REC, idx)
+            for name in obj.__dataclass_fields__:
+                v = getattr(obj, name)
+                if isinstance(v, (np.ndarray, tuple, list)) or hasattr(
+                    v, "__dataclass_fields__"
+                ):
+                    self._register(v, idx, path + (("a", name),))
+
+    # -- finalize --------------------------------------------------------
+    def finalize(self, lm: Tensor, root: Tensor) -> "StepGraph":
+        """Compile the backward schedule and seal the graph.
+
+        ``root`` is the tensor whose (scalar) backward the step runs —
+        capture must have called ``root.backward(retain_graph=True)``
+        first, so the tape is still walkable here.  ``lm`` is the
+        tensor whose value :meth:`StepGraph.replay` returns.
+        """
+        self.abort()
+        root_idx = self._tensor_ids.get(id(root))
+        lm_idx = self._tensor_ids.get(id(lm))
+        if root_idx is None or lm_idx is None:
+            raise RuntimeError("finalize() tensors were not captured")
+
+        order = root._topological_order()
+        nrec = len(self.records)
+        slot_of: Dict[int, int] = {}
+        next_slot = nrec
+
+        def slot(t: Tensor) -> int:
+            k = id(t)
+            s = slot_of.get(k)
+            if s is None:
+                s = self._tensor_ids.get(k)
+                if s is None:
+                    nonlocal next_slot
+                    s = next_slot
+                    next_slot += 1
+                slot_of[k] = s
+            return s
+
+        bwd: List[tuple] = []
+        for t in order:
+            node = t._node
+            if node is not None:
+                ridx = self._tensor_ids.get(id(t))
+                if ridx is None:
+                    raise RuntimeError(
+                        "tape node produced outside the capture session"
+                    )
+                targets = tuple(
+                    slot(inp) if inp.requires_grad else -1
+                    for inp in node.tensor_inputs()
+                )
+                bwd.append((0, slot(t), ridx, node.fn, targets))
+            elif t.requires_grad:
+                bwd.append((1, slot(t), t, None, None))
+
+        if id(root) not in slot_of:
+            raise RuntimeError("backward root is not part of the tape")
+        graph = StepGraph(
+            root_slot=slot_of[id(root)],
+            signature=self.signature,
+            records=self.records,
+            bwd=bwd,
+            num_slots=next_slot,
+            root_idx=root_idx,
+            lm_idx=lm_idx,
+            gens=self._gens,
+        )
+        # Drop capture-time activations: the schedule holds classes,
+        # specs, leaf refs, and constants — not the step's tensors.
+        self._keepalive = []
+        self._tensor_ids = {}
+        self._dyn = {}
+        from repro.observability.metrics import registry
+
+        registry().counter("graph_captures").inc()
+        return graph
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+class StepGraph:
+    """A sealed, replayable schedule for one micro-batch step."""
+
+    __slots__ = (
+        "signature",
+        "records",
+        "bwd",
+        "num_slots",
+        "root_idx",
+        "root_slot",
+        "lm_idx",
+        "gens",
+        "replays",
+        "_plan",
+        "_bwd_plan",
+        "_scripts",
+    )
+
+    def __init__(
+        self, signature, records, bwd, num_slots, root_idx, root_slot, lm_idx, gens
+    ):
+        self.signature = signature
+        self.records = records
+        self.bwd = bwd
+        self.num_slots = num_slots
+        self.root_idx = root_idx
+        self.root_slot = root_slot
+        self.lm_idx = lm_idx
+        self.gens = gens
+        self.replays = 0
+        # Static buffer plans, one per accumulation slot (the first
+        # micro batch of a step acquires the leaf-gradient buffers that
+        # later micro batches accumulate into in place, so their arena
+        # request sequences differ).  Recorded lazily on the first
+        # replay of each slot; see :class:`repro.autograd.arena.BufferScript`.
+        self._scripts: Dict[int, arena.BufferScript] = {}
+        self._plan = [self._compile_record(r) for r in records]
+        # Backward entries with ``Function.backward`` pre-bound (one
+        # descriptor lookup per entry per replay otherwise).
+        self._bwd_plan = [
+            (kind, slot, ref, fn.backward if kind == 0 else None, targets)
+            for kind, slot, ref, fn, targets in bwd
+        ]
+
+    @staticmethod
+    def _compile_record(rec) -> tuple:
+        """Pre-split a record's specs into a constant argument template
+        plus patches for the dynamic positions.
+
+        Constants are filled into ``static`` once; at replay only the
+        patched positions are re-resolved (most records are all-constant
+        or have one or two dynamic arguments).  ``static`` is used
+        as-is — without copying — when there are no patches.
+        """
+        static: List[Any] = []
+        patches: List[tuple] = []
+        for pos, s in enumerate(rec.specs):
+            if s[0] == _CONST:
+                static.append(s[1])
+            else:
+                static.append(None)
+                patches.append((pos, s[0], s[1], s))
+        if type(rec) is _OpRecord:
+            return (True, rec.fn.forward, rec.kwargs, static, tuple(patches), rec)
+        return (False, rec.fn, None, static, tuple(patches), rec)
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(1 for r in self.records if type(r) is _OpRecord)
+
+    def replay(self, inputs: Dict[str, np.ndarray], slot: int = 0) -> float:
+        """Execute the schedule; returns ``float(lm)`` with gradients
+        accumulated into the leaf parameters, bit-identical to eager.
+
+        ``slot`` selects the static buffer plan (0 for the first micro
+        batch of a step, 1 for accumulation micro batches): the first
+        replay of a slot records the plan, later replays serve the
+        pre-resolved buffers by cursor instead of running the arena's
+        pool machinery.  Buffer identity does not affect the arithmetic,
+        so scripted and pool-served replays are bit-identical.
+
+        Raises :class:`GraphInvalidated` when a guard diverges; every
+        RNG stream the graph draws from is restored first, so the eager
+        fallback re-consumes the identical draws.
+        """
+        from repro.utils.rng import get_global_state, set_global_state
+
+        g_state = get_global_state()
+        states = [(g, g.bit_generator.state) for g in self.gens]
+        script = rec = None
+        if arena.is_arena_enabled():
+            script = self._scripts.get(slot)
+            if script is not None:
+                arena.activate_script(script)
+            else:
+                rec = arena.begin_script_recording()
+        try:
+            values = self._forward(inputs)
+            self._backward(values)
+        except BaseException as exc:
+            if rec is not None:
+                arena.end_script_recording(discard=True)
+            elif script is not None:
+                arena.deactivate_script()
+                self._scripts.pop(slot, None)
+            if isinstance(exc, GraphInvalidated):
+                set_global_state(g_state)
+                for g, s in states:
+                    g.bit_generator.state = s
+            raise
+        if rec is not None:
+            recorded = arena.end_script_recording()
+            if recorded is not None and recorded.entries:
+                self._scripts[slot] = recorded
+        elif script is not None:
+            arena.deactivate_script()
+            if script.dead or script.cursor != len(script.entries):
+                # The request sequence drifted (bucket change or count
+                # mismatch); drop the plan and re-record next replay.
+                self._scripts.pop(slot, None)
+        self.replays += 1
+        from repro.observability.metrics import registry
+
+        registry().counter("graph_replays").inc()
+        return float(values[self.lm_idx][1])
+
+    # -- forward ---------------------------------------------------------
+    def _resolve(self, s, values, inputs):
+        tag = s[0]
+        if tag == _REC:
+            return values[s[1]][1]
+        if tag == _LEAF:
+            return s[1].data
+        if tag == _CONST:
+            return s[1]
+        if tag == _DYN:
+            v = values[s[1]][1]
+            for kind, key in s[2]:
+                v = getattr(v, key) if kind == "a" else v[key]
+            return v
+        if tag == _INPUT:
+            return inputs[s[1]]
+        return tuple(self._resolve(e, values, inputs) for e in s[1])
+
+    def _forward(self, inputs) -> list:
+        """Run every record in order; returns ``[(ctx, value), ...]``."""
+        values: List[Optional[tuple]] = [None] * len(self.records)
+        resolve = self._resolve
+        ndarray = np.ndarray
+        for i, (is_op, fn, kwargs, static, patches, rec) in enumerate(self._plan):
+            if patches:
+                args = static.copy()
+                for pos, tag, payload, s in patches:
+                    if tag == _REC:
+                        args[pos] = values[payload][1]
+                    elif tag == _LEAF:
+                        args[pos] = payload.data
+                    elif tag == _INPUT:
+                        args[pos] = inputs[payload]
+                    else:
+                        args[pos] = resolve(s, values, inputs)
+            else:
+                args = static
+            if is_op:
+                ctx = Context()
+                if kwargs is None:
+                    out = fn(ctx, *args)
+                else:
+                    out = fn(ctx, *args, **kwargs)
+                if type(out) is not ndarray:
+                    # Full reductions return NumPy scalars; match the
+                    # coercing Tensor(...) path of Function.apply.
+                    out = _coerce_data(out)
+                values[i] = (ctx, out)
+            else:
+                res = fn(*args)
+                if rec.guard and not _host_equal(res, rec.expected):
+                    raise GraphInvalidated(
+                        f"guard {fn.__name__} diverged from capture: "
+                        f"{rec.expected!r} -> {res!r}"
+                    )
+                values[i] = (None, res)
+        return values
+
+    # -- backward --------------------------------------------------------
+    def _backward(self, values) -> None:
+        """Precompiled mirror of :meth:`Tensor.backward`.
+
+        Slot-addressed gradient table instead of the id-keyed dict, but
+        the accumulation arithmetic, the ``owned``-buffer discipline,
+        and the arena base-refcount release order are byte-for-byte the
+        eager walk's — that is what keeps replay bit-identical under
+        buffer recycling.
+        """
+        grads: List[Optional[np.ndarray]] = [None] * self.num_slots
+        owned = bytearray(self.num_slots)
+
+        pool = arena.get_arena() if arena.is_arena_enabled() else None
+        base_refs: Dict[int, int] = {}
+
+        def _retire(a: np.ndarray) -> None:
+            b = a
+            while b.base is not None:
+                b = b.base
+            bid = id(b)
+            n = base_refs.get(bid, 0) - 1
+            if n > 0:
+                base_refs[bid] = n
+            else:
+                base_refs.pop(bid, None)
+                pool.release(a)
+
+        def _track(a: np.ndarray) -> None:
+            b = a
+            while b.base is not None:
+                b = b.base
+            bid = id(b)
+            base_refs[bid] = base_refs.get(bid, 0) + 1
+
+        seed = np.ones_like(values[self.root_idx][1])
+        grads[self.root_slot] = seed
+        if pool is not None:
+            _track(seed)
+
+        for kind, slot, ref, bwd_fn, targets in self._bwd_plan:
+            g = grads[slot]
+            if g is None:
+                continue
+            grads[slot] = None
+            if kind == 0:
+                igs = bwd_fn(values[ref][0], g)
+                if not isinstance(igs, (tuple, list)):
+                    igs = (igs,)
+                if len(igs) != len(targets):
+                    raise RuntimeError(
+                        f"{bwd_fn.__qualname__} returned {len(igs)} grads "
+                        f"for {len(targets)} tensor inputs"
+                    )
+                for tslot, ig in zip(targets, igs):
+                    if tslot < 0 or ig is None:
+                        continue
+                    if type(ig) is not _ndarray:
+                        ig = np.asarray(ig)
+                    cur = grads[tslot]
+                    if cur is None:
+                        grads[tslot] = ig
+                        owned[tslot] = 0
+                        if pool is not None:
+                            _track(ig)
+                    elif cur.shape == ig.shape and cur.dtype == ig.dtype:
+                        if owned[tslot]:
+                            np.add(cur, ig, out=cur)
+                        else:
+                            buf = arena.empty(cur.shape, cur.dtype)
+                            np.add(cur, ig, out=buf)
+                            grads[tslot] = buf
+                            owned[tslot] = 1
+                            if pool is not None:
+                                _track(buf)
+                                _retire(cur)
+                    else:
+                        new = cur + ig
+                        grads[tslot] = new
+                        owned[tslot] = 1
+                        if pool is not None:
+                            _track(new)
+                            _retire(cur)
+            else:
+                _accumulate_leaf(ref, g)
+            if pool is not None:
+                _retire(g)

@@ -372,9 +372,9 @@ def _scatter_add_rows(out: np.ndarray, idx: np.ndarray, rows: np.ndarray) -> Non
     if idx.size < 16:
         np.add.at(out, idx, rows)
         return
-    order = np.argsort(idx, kind="stable")
+    order = idx.argsort(kind="stable")
     sidx = idx[order]
-    srows = np.take(rows, order, axis=0)
+    srows = rows.take(order, axis=0)
     seg_starts = np.empty(sidx.shape, dtype=bool)
     seg_starts[0] = True
     np.not_equal(sidx[1:], sidx[:-1], out=seg_starts[1:])
@@ -398,18 +398,28 @@ class _GetItem(Function):
             and len(shape) == 2
             and isinstance(index[0], np.ndarray)
             and isinstance(index[1], np.ndarray)
-            and index[0].ndim == 1
-            and index[1].ndim == 1
+            and index[0].shape == index[1].shape
             and index[0].dtype.kind in "iu"
             and index[1].dtype.kind in "iu"
-            and grad.ndim == 1
+            and grad.shape == index[0].shape
             and index[0].min(initial=0) >= 0
             and index[1].min(initial=0) >= 0
         ):
-            # The router's ``x[arange(n), expert]`` pattern: scatter into
-            # flat linear indices instead of ufunc.at's per-element loop.
+            # The router's ``x[arange(n), expert]`` pattern (1-D or keepdim
+            # column variants): scatter into flat linear indices instead of
+            # ufunc.at's per-element loop.
             flat = index[0].astype(np.int64) * shape[1] + index[1]
-            _scatter_add_rows(out.reshape(-1), flat, grad)
+            _scatter_add_rows(out.reshape(-1), flat.reshape(-1), grad.reshape(-1))
+        elif (
+            isinstance(index, np.ndarray)
+            and index.ndim == 1
+            and index.dtype.kind in "iu"
+            and len(shape) == 2
+            and grad.shape == (index.shape[0],) + tuple(shape[1:])
+            and index.min(initial=0) >= 0
+        ):
+            # Row gather ``x[idx]`` on a matrix: segment-reduce the rows.
+            _scatter_add_rows(out, index, grad)
         else:
             np.add.at(out, index, grad)
         return (out,)
@@ -476,10 +486,10 @@ class _MatMul(Function):
     @staticmethod
     def backward(ctx, grad):
         a, b = ctx.saved
-        bt = np.swapaxes(b, -1, -2)
+        bt = b.swapaxes(-1, -2)
         out = arena.matmul_buf(grad, bt)
         ga = grad @ bt if out is None else np.matmul(grad, bt, out=out)
-        at = np.swapaxes(a, -1, -2)
+        at = a.swapaxes(-1, -2)
         out = arena.matmul_buf(at, grad)
         gb = at @ grad if out is None else np.matmul(at, grad, out=out)
         # Handle broadcasting over batch dims.
@@ -520,7 +530,7 @@ class _Clip(Function):
     @staticmethod
     def forward(ctx, a, lo, hi):
         ctx.save_for_backward((a >= lo) & (a <= hi))
-        return np.clip(a, lo, hi)
+        return a.clip(lo, hi)
 
     @staticmethod
     def backward(ctx, grad):

@@ -171,10 +171,10 @@ class _LinearBias(Function):
 
         x, w, sb = ctx.saved
         gb = unbroadcast(grad, sb)
-        wt = np.swapaxes(w, -1, -2)
+        wt = w.swapaxes(-1, -2)
         out = arena.matmul_buf(grad, wt)
         gx = grad @ wt if out is None else np.matmul(grad, wt, out=out)
-        xt = np.swapaxes(x, -1, -2)
+        xt = x.swapaxes(-1, -2)
         out = arena.matmul_buf(xt, grad)
         gw = xt @ grad if out is None else np.matmul(xt, grad, out=out)
         if gx.shape != x.shape:
@@ -383,7 +383,7 @@ class _AttentionCore(Function):
             2, 0, 3, 1, 4
         )
         q, k, v = qkv5[0], qkv5[1], qkv5[2]
-        kt = np.transpose(k, (0, 1, 3, 2))
+        kt = k.transpose(0, 1, 3, 2)
         out = arena.matmul_buf(q, kt)
         scores = q @ kt if out is None else np.matmul(q, kt, out=out)
         if _chainable(scores):
@@ -403,7 +403,7 @@ class _AttentionCore(Function):
         out = arena.matmul_buf(probs, v)
         ctx4 = probs @ v if out is None else np.matmul(probs, v, out=out)
         merged = arena.reshaped(
-            np.transpose(ctx4, (0, 2, 1, 3)), (batch, seq, num_heads * head_dim)
+            ctx4.transpose(0, 2, 1, 3), (batch, seq, num_heads * head_dim)
         )
         _release_unless_aliased(ctx4, merged)
         ctx.save_for_backward(qkv, probs, mask, scale, (batch, seq, num_heads, head_dim))
@@ -422,10 +422,10 @@ class _AttentionCore(Function):
             arena.reshaped(grad, (batch, seq, num_heads, head_dim)), (0, 2, 1, 3)
         )
         # probs @ v backward — operand shapes match, so no unbroadcast.
-        bt = np.swapaxes(v, -1, -2)
+        bt = v.swapaxes(-1, -2)
         out = arena.matmul_buf(g_ctx, bt)
         g_probs = g_ctx @ bt if out is None else np.matmul(g_ctx, bt, out=out)
-        at = np.swapaxes(probs, -1, -2)
+        at = probs.swapaxes(-1, -2)
         out = arena.matmul_buf(at, g_ctx)
         g_v = at @ g_ctx if out is None else np.matmul(at, g_ctx, out=out)
         # Masked softmax backward (the ``_MaskedSoftmax`` chain verbatim).
@@ -446,11 +446,11 @@ class _AttentionCore(Function):
         # q @ k^T backward; the key-transpose perm is self-inverse.
         out = arena.matmul_buf(g_scores, k)
         g_q = g_scores @ k if out is None else np.matmul(g_scores, k, out=out)
-        at = np.swapaxes(q, -1, -2)
+        at = q.swapaxes(-1, -2)
         out = arena.matmul_buf(at, g_scores)
         g_kt = at @ g_scores if out is None else np.matmul(at, g_scores, out=out)
         arena.release(g_scores)
-        g_k = np.transpose(g_kt, (0, 1, 3, 2))
+        g_k = g_kt.transpose(0, 1, 3, 2)
         # Slice gradients occupy disjoint slots of the stacked buffer, so
         # direct writes plus one ``+ 0.0`` pass reproduce the reference
         # zeros-init + add accumulation bit for bit (including -0.0).
@@ -494,7 +494,9 @@ class _FusedSoftmaxCrossEntropy(Function):
     @staticmethod
     def forward(ctx, logits, targets, ignore_index=-100):
         flat = logits.reshape(-1, logits.shape[-1])
-        tgt = targets.reshape(-1)
+        # astype here, not in the wrapper, so a captured graph reads the
+        # live target array per replay (repro.autograd.graph).
+        tgt = targets.astype(np.int64, copy=False).reshape(-1)
         valid = tgt != ignore_index
         n_valid = max(int(valid.sum()), 1)
 
@@ -536,5 +538,5 @@ def softmax_cross_entropy(logits, targets, ignore_index: int = -100) -> Tensor:
     stats.record_fused("softmax_cross_entropy")
     tgt = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
     return _FusedSoftmaxCrossEntropy.apply(
-        as_tensor(logits), tgt.astype(np.int64), ignore_index=ignore_index
+        as_tensor(logits), tgt, ignore_index=ignore_index
     )

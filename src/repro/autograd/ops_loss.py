@@ -18,7 +18,9 @@ class _CrossEntropy(Function):
     @staticmethod
     def forward(ctx, logits, targets, ignore_index=-100):
         flat = logits.reshape(-1, logits.shape[-1])
-        tgt = targets.reshape(-1)
+        # astype here, not in the wrapper, so a captured graph reads the
+        # live target array per replay (repro.autograd.graph).
+        tgt = targets.astype(np.int64, copy=False).reshape(-1)
         valid = tgt != ignore_index
         n_valid = max(int(valid.sum()), 1)
 
@@ -45,9 +47,7 @@ class _CrossEntropy(Function):
 def cross_entropy(logits, targets, ignore_index: int = -100) -> Tensor:
     """Mean cross-entropy between ``logits`` (..., V) and int ``targets`` (...)."""
     tgt = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
-    return _CrossEntropy.apply(
-        as_tensor(logits), tgt.astype(np.int64), ignore_index=ignore_index
-    )
+    return _CrossEntropy.apply(as_tensor(logits), tgt, ignore_index=ignore_index)
 
 
 class _MSE(Function):

@@ -252,11 +252,15 @@ def dropout(a, p: float, training: bool = True, rng=None) -> Tensor:
 class _Embedding(Function):
     @staticmethod
     def forward(ctx, weight, ids):
+        # Index dtype is normalized here rather than in the wrapper so a
+        # captured graph resolves the caller's *live* id array instead of
+        # freezing a converted copy (repro.autograd.graph).
+        ids = ids.astype(np.int64, copy=False)
         ctx.save_for_backward(weight.shape, ids)
         out = arena.out_buf(ids.shape + (weight.shape[1],), weight.dtype)
         if out is None:
             return weight[ids]
-        np.take(weight, ids, axis=0, out=out)
+        weight.take(ids, axis=0, out=out)
         return out
 
     @staticmethod
@@ -270,7 +274,7 @@ class _Embedding(Function):
 def embedding(weight, ids) -> Tensor:
     """Row lookup ``weight[ids]`` with scatter-add backward."""
     ids_data = ids.data if isinstance(ids, Tensor) else np.asarray(ids)
-    return _Embedding.apply(as_tensor(weight), ids_data.astype(np.int64))
+    return _Embedding.apply(as_tensor(weight), ids_data)
 
 
 # ----------------------------------------------------------------------
@@ -285,12 +289,15 @@ class _GatherRows(Function):
 
     @staticmethod
     def forward(ctx, x, indices):
+        # astype inside forward: keeps capture specs bound to the live
+        # index array (see _Embedding.forward).
+        indices = indices.astype(np.int64, copy=False)
         ctx.save_for_backward(x.shape, indices)
         out = arena.out_buf((len(indices),) + x.shape[1:], x.dtype)
         if out is not None:
-            np.take(x, np.clip(indices, 0, None), axis=0, out=out)
+            x.take(indices.clip(0), axis=0, out=out)
         else:
-            out = x[np.clip(indices, 0, None)]
+            out = x[indices.clip(0)]
         out[indices < 0] = 0.0
         return out
 
@@ -313,6 +320,7 @@ class _ScatterRows(Function):
 
     @staticmethod
     def forward(ctx, x, indices, num_rows):
+        indices = indices.astype(np.int64, copy=False)
         ctx.save_for_backward(indices, x.shape)
         out = arena.zeros((num_rows,) + x.shape[1:], x.dtype)
         valid = indices >= 0
@@ -330,9 +338,9 @@ class _ScatterRows(Function):
 
 def gather_rows(x, indices) -> Tensor:
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
-    return _GatherRows.apply(as_tensor(x), idx.astype(np.int64))
+    return _GatherRows.apply(as_tensor(x), idx)
 
 
 def scatter_rows(x, indices, num_rows: int) -> Tensor:
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
-    return _ScatterRows.apply(as_tensor(x), idx.astype(np.int64), int(num_rows))
+    return _ScatterRows.apply(as_tensor(x), idx, int(num_rows))

@@ -148,11 +148,20 @@ class Tensor:
     # ------------------------------------------------------------------
     # Backward pass
     # ------------------------------------------------------------------
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(
+        self, grad: Optional[np.ndarray] = None, retain_graph: bool = False
+    ) -> None:
         """Accumulate gradients into every reachable leaf tensor.
 
         ``grad`` defaults to ones for scalar outputs (the usual loss case);
         non-scalar outputs require an explicit seed gradient.
+
+        Each tape may be walked once: backward marks every reached node
+        consumed and a second call raises ``RuntimeError``, because with
+        the buffer arena enabled the saved activations may have been
+        recycled after the first walk.  Pass ``retain_graph=True`` to
+        keep the tape walkable (graph capture does, so it can compile
+        the schedule from the still-intact tape after the eager walk).
         """
         if grad is None:
             if self.data.size != 1:
@@ -169,6 +178,19 @@ class Tensor:
                 grad = grad.reshape(self.data.shape)
 
         order = self._topological_order()
+        for t in order:
+            node = t._node
+            if node is not None and node.consumed:
+                raise RuntimeError(
+                    f"backward through {node.fn.__name__} a second time: the "
+                    "tape has already been consumed (its saved buffers may "
+                    "have been recycled). Pass retain_graph=True to the "
+                    "first backward() to keep the tape walkable."
+                )
+        if not retain_graph:
+            for t in order:
+                if t._node is not None:
+                    t._node.consumed = True
         grads: dict = {id(self): grad}
         tensors: dict = {id(self): self}
         # Keys whose buffer in `grads` is exclusively ours — safe to add

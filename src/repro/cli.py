@@ -75,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tokens", type=int, default=300_000,
                    help="synthetic-Pile tokens to generate")
     p.add_argument("--amp", action="store_true", help="use the GradScaler")
+    p.add_argument("--capture", action="store_true",
+                   help="capture the step graph once and replay the compiled "
+                        "op schedule on signature-matching steps")
     p.add_argument("--checkpoint", default=None, help="path to save when done")
     p.add_argument("--resume", default=None, help="checkpoint to restore first")
     p.add_argument("--eval-every", type=int, default=None)
@@ -163,6 +166,7 @@ def main(argv=None) -> int:
         eval_every=args.eval_every or max(args.steps // 5, 1),
         log_every=max(args.steps // 10, 1),
         use_grad_scaler=args.amp,
+        capture=args.capture,
     )
     trainer = Trainer(
         model, train, val, tcfg,
@@ -198,6 +202,15 @@ def main(argv=None) -> int:
         logger.info("run log written to %s", args.run_log)
     final = history.final_val_loss()
     logger.info("done: final val loss %.4f", final if final is not None else float("nan"))
+
+    if args.capture:
+        reg = registry()
+        logger.info(
+            "step graph: %d captures, %d replays, %d fallbacks",
+            reg.counter("graph_captures").value,
+            reg.counter("graph_replays").value,
+            reg.counter("graph_fallbacks").value,
+        )
 
     if trainer.routing_stats:
         cfs = [s.max_dynamic_capacity_factor for s in trainer.routing_stats]

@@ -21,7 +21,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+import dataclasses
+
 from repro.autograd import ACTIVATIONS, getitem
+from repro.autograd.graph import host as graph_host
 from repro.autograd.ops_fused import fusion_enabled
 from repro.autograd.tensor import Tensor
 from repro.core.topology_builder import expert_of_padded_row, make_topology
@@ -43,6 +46,30 @@ from repro.sparse.autograd_ops import (
 )
 from repro.sparse.topology import Topology
 from repro.utils.rng import RngLike
+
+
+def _build_dispatch(mod: "dMoE", expert_indices: np.ndarray):
+    """Plan + topology + padded-row expert map for one routing outcome.
+
+    This is a :func:`repro.autograd.graph.host` computation: a captured
+    graph re-executes it each replay, so a shifted tokens-per-expert
+    distribution flows into fresh permutation indices and a fresh
+    (cache-memoized) topology without invalidating the graph.  It also
+    refreshes the module's ``last_*`` introspection state, which replays
+    would otherwise leave stale (module ``forward`` bodies do not run).
+    """
+    plan = make_padded_plan(expert_indices, mod.num_experts, mod.block_size)
+    topology = make_topology(plan, mod.ffn_hidden_size)
+    row_expert = expert_of_padded_row(plan)
+    mod.last_plan = plan
+    mod.last_topology = topology
+    lr = mod.last_routing
+    if lr is not None and lr.expert_indices is not expert_indices:
+        # Replay path: keep the routing-stats view of expert assignment
+        # current.  (Tensor fields of the stale result are not refreshed;
+        # nothing reads them after the step.)
+        mod.last_routing = dataclasses.replace(lr, expert_indices=expert_indices)
+    return plan, topology, row_expert
 
 
 class dMoE(Module):
@@ -127,12 +154,9 @@ class dMoE(Module):
             # routing distributions reuse metadata and the grouped-GEMM
             # dispatch plan.
             with span("topology"):
-                plan = make_padded_plan(
-                    routing.expert_indices, self.num_experts, self.block_size
+                plan, topology, row_expert = graph_host(
+                    _build_dispatch, self, routing.expert_indices
                 )
-                topology = make_topology(plan, self.ffn_hidden_size)
-            self.last_plan = plan
-            self.last_topology = topology
             self.last_routing = routing
 
             # (3) Permute the tokens to group by expert (padded to blocks).
@@ -151,7 +175,6 @@ class dMoE(Module):
                     h = sparse_bias_add(h, e.b1_flat(), topology)
                     h = ACTIVATIONS[self.activation](h)
                 y = dsd_mm(h, e.w2_flat(), topology)
-                row_expert = expert_of_padded_row(plan)
                 y = y + getitem(e.b2, row_expert)
 
             # (5) Un-permute the tokens and scale by router confidence.

@@ -62,8 +62,8 @@ def cached_block_diagonal_topology(
         cols_key: tuple = (int(cols_per_block_group),)
     else:
         cols_per = np.asarray(cols_per_block_group, dtype=np.int64)
-        cols_key = tuple(int(c) for c in cols_per)
-    key = (int(block_size), cols_key, tuple(int(r) for r in rows_per))
+        cols_key = tuple(cols_per.tolist())
+    key = (int(block_size), cols_key, tuple(rows_per.tolist()))
 
     topo = _cache.get(key)
     if topo is not None:

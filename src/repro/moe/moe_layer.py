@@ -14,7 +14,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+import dataclasses
+
 from repro.autograd import ACTIVATIONS
+from repro.autograd.graph import host as graph_host
 from repro.autograd.ops_fused import bias_gelu, fusion_enabled
 from repro.autograd.tensor import Tensor
 from repro.moe.capacity import expert_capacity
@@ -24,11 +27,39 @@ from repro.moe.permute import (
     dropping_gather,
     dropping_scatter,
     make_dropping_plan,
+    plan_flats,
 )
 from repro.moe.router import Router, RoutingResult
 from repro.nn.module import Module
 from repro.observability.tracing import span
 from repro.utils.rng import RngLike
+
+
+def _dropping_plan_host(mod: "MoELayer", expert_indices: np.ndarray, capacity: int):
+    """Dispatch-plan build as a :func:`repro.autograd.graph.host` record.
+
+    Returns the plan *and* its cached flat index views so a captured
+    graph registers the exact arrays ``dropping_gather`` / ``_scatter``
+    consume.  Also refreshes the module's ``last_*`` introspection state,
+    which replays would otherwise leave stale.
+    """
+    plan = make_dropping_plan(expert_indices, mod.num_experts, capacity)
+    flat_tokens, flat_copies = plan_flats(plan)
+    mod.last_plan = plan
+    lr = mod.last_routing
+    if lr is not None and lr.expert_indices is not expert_indices:
+        mod.last_routing = dataclasses.replace(lr, expert_indices=expert_indices)
+    return plan, flat_tokens, flat_copies
+
+
+def _dynamic_capacity(mod: "DynamicCapacityMoELayer", expert_indices: np.ndarray):
+    """Tutel-style no-drop capacity — guarded under capture: the frozen
+    dispatch-buffer shapes are only valid while this value is stable, so
+    a shifted maximum invalidates the graph (transparent recapture)."""
+    counts = np.bincount(expert_indices.reshape(-1), minlength=mod.num_experts)
+    capacity = max(int(counts.max()), 1)
+    mod.last_dynamic_capacity = capacity
+    return capacity
 
 
 class MoELayer(Module):
@@ -121,10 +152,9 @@ class MoELayer(Module):
                 routing = self.router(x)
             capacity = self._capacity(num_tokens)
             with span("permute"):
-                plan = make_dropping_plan(
-                    routing.expert_indices, self.num_experts, capacity
+                plan, _, _ = graph_host(
+                    _dropping_plan_host, self, routing.expert_indices, capacity
                 )
-                self.last_plan = plan
                 self.last_routing = routing
                 dispatched = dropping_gather(x, plan)
             with span("experts"):
@@ -161,21 +191,17 @@ class DynamicCapacityMoELayer(MoELayer):
         with span("moe"):
             with span("route"):
                 routing = self.router(x)
-            counts = np.bincount(
-                routing.expert_indices.reshape(-1), minlength=self.num_experts
+            capacity = graph_host(
+                _dynamic_capacity, self, routing.expert_indices, guard=True
             )
-            capacity = max(int(counts.max()), 1)
-            self.last_dynamic_capacity = capacity
             with span("permute"):
-                plan = make_dropping_plan(
-                    routing.expert_indices, self.num_experts, capacity,
-                    counts=counts,
+                plan, _, _ = graph_host(
+                    _dropping_plan_host, self, routing.expert_indices, capacity
                 )
                 if plan.num_dropped:
                     raise AssertionError(
                         "dynamic capacity must never drop tokens"
                     )
-                self.last_plan = plan
                 self.last_routing = routing
                 dispatched = dropping_gather(x, plan)
             with span("experts"):

@@ -77,11 +77,11 @@ def make_padded_plan(
     if flat.size and (flat.min() < 0 or flat.max() >= num_experts):
         raise ValueError("expert index out of range")
 
-    order = np.argsort(flat, kind="stable")  # copies grouped by expert
+    order = flat.argsort(kind="stable")  # copies grouped by expert
     counts = np.bincount(flat, minlength=num_experts).astype(np.int64)
     padded = round_up_counts(counts, block_size)
-    padded_starts = np.concatenate([[0], np.cumsum(padded)])[:-1]
-    sorted_starts = np.concatenate([[0], np.cumsum(counts)])[:-1]
+    padded_starts = np.concatenate([[0], padded.cumsum()])[:-1]
+    sorted_starts = np.concatenate([[0], counts.cumsum()])[:-1]
 
     total_padded = int(padded.sum())
     gather = np.full(total_padded, -1, dtype=np.int64)
@@ -182,11 +182,11 @@ def make_dropping_plan(
         raise ValueError(f"capacity must be >= 1, got {capacity}")
     flat = idx.reshape(-1)
 
-    order = np.argsort(flat, kind="stable")
+    order = flat.argsort(kind="stable")
     if counts is None:
         counts = np.bincount(flat, minlength=num_experts)
     counts = np.asarray(counts, dtype=np.int64)
-    sorted_starts = np.concatenate([[0], np.cumsum(counts)])[:-1]
+    sorted_starts = np.concatenate([[0], counts.cumsum()])[:-1]
 
     dispatch_tokens = np.full((num_experts, capacity), -1, dtype=np.int64)
     dispatch_copies = np.full((num_experts, capacity), -1, dtype=np.int64)
@@ -209,9 +209,28 @@ def make_dropping_plan(
     )
 
 
+def plan_flats(plan: DroppingPlan):
+    """Flat views of the dispatch index matrices, cached on the plan.
+
+    ``reshape(-1)`` creates a fresh array object per call; caching keeps
+    one stable pair per plan so (a) repeated gathers/scatters skip the
+    view construction and (b) graph capture can resolve the flat indices
+    dynamically by object identity instead of freezing a copy.
+    """
+    flats = getattr(plan, "_flats", None)
+    if flats is None:
+        flats = (
+            plan.dispatch_tokens.reshape(-1),
+            plan.dispatch_copies.reshape(-1),
+        )
+        plan._flats = flats
+    return flats
+
+
 def dropping_gather(x: Tensor, plan: DroppingPlan) -> Tensor:
     """Dispatch tokens into the ``(num_experts, capacity, hidden)`` buffer."""
-    flat = gather_rows(x, plan.dispatch_tokens.reshape(-1))
+    flat_tokens, _ = plan_flats(plan)
+    flat = gather_rows(x, flat_tokens)
     num_experts, capacity = plan.dispatch_tokens.shape
     return flat.reshape((num_experts, capacity, x.shape[-1]))
 
@@ -225,10 +244,9 @@ def dropping_scatter(
     their representation forward, per paper §2.2).
     """
     num_experts, capacity = plan.dispatch_tokens.shape
+    flat_tokens, flat_copies = plan_flats(plan)
     flat_y = y.reshape((num_experts * capacity, y.shape[-1]))
     flat_weights = expert_weights.reshape((plan.num_tokens * plan.top_k, 1))
-    slot_weights = gather_rows(flat_weights, plan.dispatch_copies.reshape(-1))
+    slot_weights = gather_rows(flat_weights, flat_copies)
     weighted = flat_y * slot_weights
-    return scatter_rows(
-        weighted, plan.dispatch_tokens.reshape(-1), plan.num_tokens
-    )
+    return scatter_rows(weighted, flat_tokens, plan.num_tokens)

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd import getitem, mean, softmax, sum_
+from repro.autograd.graph import host as graph_host
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Linear
 from repro.nn.module import Module
@@ -69,8 +70,16 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     if not 1 <= k <= num_experts:
         raise ValueError(f"top_k={k} out of range for {num_experts} experts")
     # argsort on (-score, id): stable lexicographic tie-break.
-    order = np.argsort(-scores, axis=-1, kind="stable")
+    order = (-scores).argsort(axis=-1, kind="stable")
     return order[..., :k]
+
+
+def _lb_fractions(expert_indices: np.ndarray, num_experts: int) -> np.ndarray:
+    """Dispatch fraction per expert, ``f_e`` — a host computation so a
+    captured graph recomputes it from the step's live routing."""
+    counts = np.bincount(expert_indices.reshape(-1), minlength=num_experts)
+    f = counts.astype(np.float64) / max(expert_indices.size, 1)
+    return f.astype(np.float32)
 
 
 def load_balancing_loss(
@@ -82,12 +91,19 @@ def load_balancing_loss(
     through the mean probabilities ``P_e`` only, as in the reference
     implementations.
     """
-    num_tokens = expert_indices.shape[0]
-    counts = np.bincount(expert_indices.reshape(-1), minlength=num_experts)
-    # Fraction of routed token-slots per expert.
-    f = counts.astype(np.float64) / max(expert_indices.size, 1)
+    f = graph_host(_lb_fractions, expert_indices, num_experts)
     p = mean(scores, axis=0)  # (num_experts,)
-    return sum_(p * f.astype(np.float32)) * float(num_experts)
+    return sum_(p * f) * float(num_experts)
+
+
+def _jitter_noise(rng, eps: float, shape, dtype) -> np.ndarray:
+    """Multiplicative jitter draw — host-recorded so replays advance the
+    router RNG stream exactly like eager steps do."""
+    return rng.uniform(1.0 - eps, 1.0 + eps, size=shape).astype(dtype)
+
+
+def _logits_finite(logits: np.ndarray) -> bool:
+    return bool(np.isfinite(logits).all())
 
 
 def router_z_loss(logits: Tensor) -> Tensor:
@@ -145,19 +161,21 @@ class Router(Module):
         if x.ndim != 2:
             raise ValueError(f"router expects (tokens, hidden), got {x.shape}")
         if self.training and self.jitter_eps > 0:
-            noise = self._rng.uniform(
-                1.0 - self.jitter_eps, 1.0 + self.jitter_eps, size=x.shape
-            ).astype(x.dtype)
+            noise = graph_host(
+                _jitter_noise, self._rng, self.jitter_eps, x.shape, x.dtype
+            )
             x = x * Tensor(noise)
         # Non-finite weights/inputs are handled by the fallback below, so
         # the projection is allowed to produce NaN/Inf without warning.
         with np.errstate(invalid="ignore", over="ignore"):
             logits = self.proj(x)
-        if not np.isfinite(logits.data).all():
+        # Guarded host check: a captured graph freezes this branch, so a
+        # replay whose logits flip finiteness invalidates and recaptures.
+        if not graph_host(_logits_finite, logits.data, guard=True):
             return self._uniform_fallback(x.shape[0], x.data.dtype)
         scores = softmax(logits, axis=-1)
 
-        indices = top_k_indices(scores.data, self.top_k)
+        indices = graph_host(top_k_indices, scores.data, self.top_k)
         rows = np.arange(indices.shape[0])[:, None]
         weights = getitem(scores, (rows, indices))  # differentiable gather
         if self.normalize_weights and self.top_k > 1:
@@ -189,7 +207,7 @@ class Router(Module):
         and detached from the tape so no gradient trains the router from
         garbage.  The ``router_fallback`` counter records the event.
         """
-        counters.increment("router_fallback")
+        graph_host(counters.increment, "router_fallback")
         base = np.arange(num_tokens, dtype=np.int64)[:, None]
         offsets = np.arange(self.top_k, dtype=np.int64)[None, :]
         indices = (base + offsets) % self.num_experts

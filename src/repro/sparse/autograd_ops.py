@@ -18,7 +18,7 @@ from repro.autograd.function import Function
 from repro.autograd.ops_fused import _chainable, _gelu_bwd, _gelu_fwd
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.sparse.matrix import BlockSparseMatrix
-from repro.sparse.ops import dds, dsd, sdd
+from repro.sparse.ops import dds, dsd, sdd, segment_meta
 from repro.sparse.topology import Topology
 
 
@@ -94,13 +94,10 @@ def _segment_reduce_bias_grad(grad: np.ndarray, topology: Topology) -> np.ndarra
     bs = topology.block_size
     gbias_blocks = grad.sum(axis=1)  # (nnz, bs): sum over block rows
     gbias = arena.zeros((topology.block_cols, bs), grad.dtype)
-    offsets = topology.transpose_row_offsets
-    nonempty = np.flatnonzero(np.diff(offsets) > 0)
+    nonempty, starts = segment_meta(topology, transpose=True)
     if len(nonempty):
         sorted_blocks = gbias_blocks[topology.transpose_block_offsets]
-        gbias[nonempty] = np.add.reduceat(
-            sorted_blocks, offsets[nonempty].astype(np.intp), axis=0
-        )
+        gbias[nonempty] = np.add.reduceat(sorted_blocks, starts, axis=0)
     return gbias.reshape(-1)
 
 

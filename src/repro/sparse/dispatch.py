@@ -111,11 +111,11 @@ class DispatchPlan:
     def num_groups(self) -> int:
         return len(self.row_start)
 
-    @property
+    @cached_property
     def nnz_blocks(self) -> int:
         return int((self.row_count * self.col_count).sum())
 
-    @property
+    @cached_property
     def mean_blocks_per_group(self) -> float:
         g = self.num_groups
         return self.nnz_blocks / g if g else 0.0
@@ -139,6 +139,26 @@ class DispatchPlan:
         """Total block columns written by the groups.  Only meaningful
         as a coverage test when ``cols_disjoint`` is also true."""
         return int(self.col_count.sum())
+
+    @cached_property
+    def groups(self) -> tuple:
+        """Per-group ``(row_start, row_count, col_start, col_count,
+        val_start)`` as plain Python ints.
+
+        The grouped executors iterate this instead of indexing the five
+        arrays per group per call: the plan is cached on its topology
+        (and the topology in the builder's LRU), so the int extraction —
+        previously redone on every kernel invocation even on cache hits —
+        happens once per topology."""
+        return tuple(
+            zip(
+                self.row_start.tolist(),
+                self.row_count.tolist(),
+                self.col_start.tolist(),
+                self.col_count.tolist(),
+                self.val_start.tolist(),
+            )
+        )
 
 
 def _build_plan(topo: Topology) -> DispatchPlan | None:
@@ -186,7 +206,7 @@ def _build_plan(topo: Topology) -> DispatchPlan | None:
     col_count = ne_counts[starts]
     val_start = offsets[row_start]
 
-    order = np.argsort(col_start, kind="stable")
+    order = col_start.argsort(kind="stable")
     s, c = col_start[order], col_count[order]
     cols_disjoint = bool(np.all(s[1:] >= (s + c)[:-1])) if len(s) > 1 else True
     return DispatchPlan(
@@ -271,10 +291,7 @@ def grouped_sdd(
     # slice is written exactly once — no zero-init needed.
     values = arena.empty((topo.nnz_blocks, bs, bs), out_dtype)
     stage = _stage_buf(plan, bs, np.result_type(a_eff, b_eff))
-    for g in range(plan.num_groups):
-        r0, r = plan.row_start[g], plan.row_count[g]
-        c0, c = plan.col_start[g], plan.col_count[g]
-        v0 = plan.val_start[g]
+    for r0, r, c0, c, v0 in plan.groups:
         a_g = a_eff[r0 * bs : (r0 + r) * bs]
         b_g = b_eff[:, c0 * bs : (c0 + c) * bs]
         if stage is None:
@@ -312,17 +329,19 @@ def grouped_dsd(
         else arena.zeros((m_eff, b_eff.shape[1]), out_dtype)
     )
     stage = _stage_buf(plan, bs, values.dtype)
-    for g in range(plan.num_groups):
-        r0, r = plan.row_start[g], plan.row_count[g]
-        c0, c = plan.col_start[g], plan.col_count[g]
-        s_g = _group_values(values, plan.val_start[g], r, c, stage)
+    for r0, r, c0, c, v0 in plan.groups:
+        s_g = _group_values(values, v0, r, c, stage)
         if trans_s:
-            out[c0 * bs : (c0 + c) * bs] = np.matmul(
-                s_g.T, b_eff[r0 * bs : (r0 + r) * bs]
+            np.matmul(
+                s_g.T,
+                b_eff[r0 * bs : (r0 + r) * bs],
+                out=out[c0 * bs : (c0 + c) * bs],
             )
         else:
-            out[r0 * bs : (r0 + r) * bs] = np.matmul(
-                s_g, b_eff[c0 * bs : (c0 + c) * bs]
+            np.matmul(
+                s_g,
+                b_eff[c0 * bs : (c0 + c) * bs],
+                out=out[r0 * bs : (r0 + r) * bs],
             )
     arena.release(stage)
     return out
@@ -352,17 +371,19 @@ def grouped_dds(
         else arena.zeros((a_eff.shape[0], n_eff), out_dtype)
     )
     stage = _stage_buf(plan, bs, values.dtype)
-    for g in range(plan.num_groups):
-        r0, r = plan.row_start[g], plan.row_count[g]
-        c0, c = plan.col_start[g], plan.col_count[g]
-        s_g = _group_values(values, plan.val_start[g], r, c, stage)
+    for r0, r, c0, c, v0 in plan.groups:
+        s_g = _group_values(values, v0, r, c, stage)
         if trans_s:
-            out[:, r0 * bs : (r0 + r) * bs] = np.matmul(
-                a_eff[:, c0 * bs : (c0 + c) * bs], s_g.T
+            np.matmul(
+                a_eff[:, c0 * bs : (c0 + c) * bs],
+                s_g.T,
+                out=out[:, r0 * bs : (r0 + r) * bs],
             )
         else:
-            out[:, c0 * bs : (c0 + c) * bs] = np.matmul(
-                a_eff[:, r0 * bs : (r0 + r) * bs], s_g
+            np.matmul(
+                a_eff[:, r0 * bs : (r0 + r) * bs],
+                s_g,
+                out=out[:, c0 * bs : (c0 + c) * bs],
             )
     arena.release(stage)
     return out

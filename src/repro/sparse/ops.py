@@ -114,21 +114,44 @@ def _out_dtype(a: np.ndarray, b: np.ndarray, dtype) -> np.dtype:
     return np.result_type(a.dtype, b.dtype)
 
 
-def _segment_reduce(
-    prod: np.ndarray, offsets: np.ndarray, out: np.ndarray
-) -> None:
-    """Sum ``prod`` slices into ``out`` rows by the segment pointer
-    ``offsets`` (``out`` row ``r`` owns ``prod[offsets[r]:offsets[r+1]]``).
+_SEG_META_ATTR = "_segment_meta"
+
+
+def segment_meta(topo: Topology, transpose: bool):
+    """``(nonempty_rows, reduceat_starts)`` for one segment order, memoized
+    on the topology (same lifetime trick as the dispatch plan: Topology
+    is frozen, so the derived metadata is stashed via object.__setattr__
+    and lives exactly as long as the topology — which the builder LRU
+    keeps hot across steps).  Previously recomputed on every blocked
+    kernel call even on topology-cache hits.
+    """
+    cached = getattr(topo, _SEG_META_ATTR, None)
+    if cached is None:
+        cached = [None, None]
+        object.__setattr__(topo, _SEG_META_ATTR, cached)
+    key = 1 if transpose else 0
+    meta = cached[key]
+    if meta is None:
+        offsets = topo.transpose_row_offsets if transpose else topo.row_offsets
+        nonempty = np.flatnonzero(np.diff(offsets) > 0)
+        starts = offsets[nonempty].astype(np.intp)
+        meta = (nonempty, starts)
+        cached[key] = meta
+    return meta
+
+
+def _segment_reduce(prod: np.ndarray, meta, out: np.ndarray) -> None:
+    """Sum ``prod`` slices into ``out`` rows by the :func:`segment_meta`
+    of the output order.
 
     ``prod`` must already be sorted by output row — true of BCSR order
     (``row_offsets``) and of transpose order (``transpose_row_offsets``)
     — which is what makes the scatter-free ``reduceat`` valid.  Empty
-    segments are excluded up front because ``reduceat`` would return the
-    *next* element for them rather than zero.
+    segments are excluded (in the memoized metadata) because ``reduceat``
+    would return the *next* element for them rather than zero.
     """
-    nonempty = np.flatnonzero(np.diff(offsets) > 0)
+    nonempty, starts = meta
     if len(nonempty):
-        starts = offsets[nonempty].astype(np.intp)
         out[nonempty] = np.add.reduceat(prod, starts, axis=0)
 
 
@@ -244,13 +267,11 @@ def dsd(
                 order = topo.transpose_block_offsets
                 block_values = np.swapaxes(s.values[order], -1, -2)
                 stripe_ids = topo.row_indices[order]
-                offsets = topo.transpose_row_offsets
             else:
                 block_values = s.values
                 stripe_ids = topo.column_indices
-                offsets = topo.row_offsets
             prod = np.matmul(block_values, stripes[stripe_ids])
-            _segment_reduce(prod, offsets, out)
+            _segment_reduce(prod, segment_meta(topo, trans_s), out)
     stats.record_op(op_name, stats.PATH_BLOCKED, flops)
     return out.reshape(m_eff, n_eff)
 
@@ -315,16 +336,13 @@ def dds(
             if trans_s:
                 block_values = np.swapaxes(s.values, -1, -2)
                 stripe_ids = topo.column_indices
-                offsets = topo.row_offsets
             else:
                 order = topo.transpose_block_offsets
                 block_values = s.values[order]
                 stripe_ids = topo.row_indices[order]
-                offsets = topo.transpose_row_offsets
             prod = np.matmul(stripes[stripe_ids], block_values)
-            nonempty = np.flatnonzero(np.diff(offsets) > 0)
+            nonempty, starts = segment_meta(topo, not trans_s)
             if len(nonempty):
-                starts = offsets[nonempty].astype(np.intp)
                 # (segments, M, bs) summed in sorted column order, assigned
                 # straight into the (M, col_block, bs) output view.
                 out[:, nonempty, :] = np.add.reduceat(

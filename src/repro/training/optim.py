@@ -106,6 +106,10 @@ class SGD(Optimizer):
 
     def step(self, lr: Optional[float] = None) -> None:
         lr = self.lr if lr is None else lr
+        # Hoisted out of the loop: the arena switch cannot change
+        # mid-step, and the per-parameter global lookup shows up once
+        # the rest of the step is allocation-free.
+        steady = arena.is_arena_enabled()
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -116,9 +120,9 @@ class SGD(Optimizer):
             else:
                 update = p.grad
             if (
-                update.dtype == np.float32
+                steady
+                and update.dtype == np.float32
                 and p.data.dtype == np.float32
-                and arena.is_arena_enabled()
             ):
                 # ``(lr * update).astype(f32)`` without the temporary:
                 # lr is a weak Python scalar, so the product is already
@@ -162,13 +166,15 @@ class Adam(Optimizer):
         self.t += 1
         bc1 = 1.0 - self.beta1**self.t
         bc2 = 1.0 - self.beta2**self.t
+        # Hoisted out of the loop (see SGD.step).
+        steady = arena.is_arena_enabled()
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
             if (
-                p.grad.dtype != np.float32
+                not steady
+                or p.grad.dtype != np.float32
                 or p.data.dtype != np.float32
-                or not arena.is_arena_enabled()
             ):
                 # Reference (allocating) path: non-fp32 parameters, and
                 # every parameter when the steady-state step is off.  The

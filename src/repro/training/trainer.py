@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.autograd import get_arena, no_grad, steady_state
 from repro.autograd import stats as ag_stats
+from repro.autograd.graph import CaptureSession, GraphInvalidated, StepGraph
 from repro.observability.metrics import registry
 from repro.observability.tracing import get_tracer, span
 from repro.autograd.tensor import Tensor
@@ -96,6 +97,15 @@ class TrainerConfig:
             bias/activation/dropout/residual chains into single tape
             nodes (see ``docs/performance.md``).  Training trajectories
             are bit-identical with the flag on or off.
+        capture: enable captured step graphs — the first micro batch is
+            executed eagerly under a :class:`repro.autograd.graph
+            .CaptureSession` and every signature-matching micro batch
+            after it replays the compiled schedule with no module
+            traversal or tape construction (``tape_nodes`` stays 0 on
+            replayed steps).  Signature changes, guarded host
+            divergences, guardrail skips/rewinds, and checkpoint
+            restores fall back to eager and recapture transparently.
+            Bit-identical to eager (see ``docs/performance.md``).
     """
 
     global_batch: int = 32
@@ -109,6 +119,7 @@ class TrainerConfig:
     guardrails: Optional[GuardrailConfig] = None
     dp_world: int = 0
     steady_state: bool = False
+    capture: bool = False
 
     def __post_init__(self) -> None:
         if self.global_batch % self.micro_batch:
@@ -161,6 +172,9 @@ class Trainer:
         self.fault_injector = fault_injector
         self._snapshot = None
         self._good_since_snapshot = 0
+        #: Compiled step graph (capture mode), or None before the first
+        #: capture / after an invalidation.
+        self.step_graph: Optional[StepGraph] = None
         #: Wall-clock seconds of the most recent train_step (always
         #: measured) and its per-phase breakdown (tracer-only).
         self.last_step_time: Optional[float] = None
@@ -327,6 +341,93 @@ class Trainer:
             self.last_phase_times = None
         return loss
 
+    # ------------------------------------------------------------------
+    # Micro-batch execution: eager, captured, or replayed.
+    # ------------------------------------------------------------------
+    def _micro_batch_eager(self, batch) -> float:
+        """One forward/backward on ``batch``; returns the LM loss."""
+        with span("forward"):
+            loss, lm, _ = self.model.loss(batch.inputs, batch.targets)
+            # Scale so accumulated gradients average over micro batches.
+            scaled = loss * (1.0 / self.config.accumulation_steps)
+            if self.grad_scaler is not None:
+                scaled = self.grad_scaler.scale_loss(scaled)
+        with span("backward"):
+            scaled.backward()
+        return float(lm.data)
+
+    def _graph_signature(self, batch) -> tuple:
+        """Replay validity key: anything the compiled schedule froze that
+        is not re-derived per replay.  Shapes/dtypes pin the buffer and
+        broadcast metadata, the loss scale pins the captured multiplier,
+        and the steady-state/training flags pin arena routing and
+        dropout presence.  The topology cache key is deliberately *not*
+        part of it: topology and permutation plans rebuild as host
+        records each replay, so tokens-per-expert wobble replays fine.
+        """
+        return (
+            batch.inputs.shape,
+            str(batch.inputs.dtype),
+            batch.targets.shape,
+            str(batch.targets.dtype),
+            float(self.grad_scaler.scale) if self.grad_scaler is not None else None,
+            self.config.steady_state,
+            bool(self.model.training),
+        )
+
+    def invalidate_graph(self) -> None:
+        """Discard the compiled step graph; the next micro batch runs
+        eagerly and recaptures.  Called on guardrail skips/rewinds and
+        checkpoint restores — cheap insurance that replay never runs
+        against state transitions the schedule did not see."""
+        self.step_graph = None
+
+    def _micro_batch_captured(self, batch, slot: int = 0) -> float:
+        sig = self._graph_signature(batch)
+        g = self.step_graph
+        if g is not None:
+            if g.signature == sig:
+                try:
+                    with span("replay"):
+                        return g.replay(
+                            {"inputs": batch.inputs, "targets": batch.targets},
+                            slot=slot,
+                        )
+                except GraphInvalidated as exc:
+                    # RNG streams were restored by replay(); the eager
+                    # recapture below consumes the identical draws.
+                    logger.info("step graph invalidated (%s); recapturing", exc)
+            else:
+                logger.info(
+                    "step graph signature changed %s -> %s; recapturing",
+                    g.signature,
+                    sig,
+                )
+            registry().counter("graph_fallbacks").inc()
+            self.step_graph = None
+        return self._capture_micro_batch(batch, sig)
+
+    def _capture_micro_batch(self, batch, sig: tuple) -> float:
+        """Eager micro batch recorded into a fresh :class:`StepGraph`."""
+        session = CaptureSession(
+            sig, {"inputs": batch.inputs, "targets": batch.targets}
+        ).begin()
+        try:
+            with span("forward"):
+                loss, lm, _ = self.model.loss(batch.inputs, batch.targets)
+                scaled = loss * (1.0 / self.config.accumulation_steps)
+                if self.grad_scaler is not None:
+                    scaled = self.grad_scaler.scale_loss(scaled)
+            with span("backward"):
+                # retain_graph: finalize() compiles the backward schedule
+                # from the still-intact tape right after this walk.
+                scaled.backward(retain_graph=True)
+        except BaseException:
+            session.abort()
+            raise
+        self.step_graph = session.finalize(lm, scaled)
+        return float(lm.data)
+
     def _train_step_impl(self, step: int) -> float:
         cfg = self.config
         if self.fault_injector is not None:
@@ -334,18 +435,17 @@ class Trainer:
         with span("zero_grad"):
             self.optimizer.zero_grad()
         total = 0.0
-        for _ in range(cfg.accumulation_steps):
+        for acc_i in range(cfg.accumulation_steps):
             with span("data"):
                 batch = self._next_batch(cfg.micro_batch)
-            with span("forward"):
-                loss, lm, _ = self.model.loss(batch.inputs, batch.targets)
-                # Scale so accumulated gradients average over micro batches.
-                scaled = loss * (1.0 / cfg.accumulation_steps)
-                if self.grad_scaler is not None:
-                    scaled = self.grad_scaler.scale_loss(scaled)
-            with span("backward"):
-                scaled.backward()
-            total += float(lm.data)
+            if cfg.capture:
+                # Slot 0 (first micro batch: leaf-grad buffers are
+                # acquired) and slot 1 (accumulation micro batches:
+                # grads accumulate in place) have different static
+                # buffer plans.
+                total += self._micro_batch_captured(batch, 1 if acc_i else 0)
+            else:
+                total += self._micro_batch_eager(batch)
         mean_loss = total / cfg.accumulation_steps
 
         if self.fault_injector is not None:
@@ -392,6 +492,10 @@ class Trainer:
                         self._capture_snapshot()
         else:
             self.skipped_steps += 1
+            # A skipped step (and a potential rewind below) transitions
+            # optimizer/scaler state outside the captured schedule's
+            # assumptions — drop the graph and recapture next step.
+            self.invalidate_graph()
             if self.guard is not None:
                 rewind_due = self.guard.record_bad(verdict)
                 logger.warning(
@@ -497,6 +601,10 @@ class Trainer:
             self.grad_scaler.load_state_dict(state["scaler"])
         self._snapshot = None
         self._good_since_snapshot = 0
+        # Leaf slots re-read parameter arrays (in-place checkpoint loads
+        # included), but a restore is a wholesale state transition —
+        # recapture rather than reason about it.
+        self.invalidate_graph()
         return int(meta["step"])
 
     # ------------------------------------------------------------------

@@ -94,6 +94,17 @@ def test_step_memory_smoke(bench):
     mod.test_step_latency_and_allocations(_PassthroughBenchmark())
 
 
+def test_step_replay_smoke(bench):
+    """Captured-step-graph benchmark: replay must be bit-identical,
+    tape-free on replayed steps, and faster than the interleaved eager
+    run; emits BENCH_replay.json."""
+    mod = bench("test_step_replay")
+    assert mod.SMOKE
+    mod.test_step_replay(_PassthroughBenchmark())
+    out = os.path.join(BENCH_DIR, "BENCH_replay.json")
+    assert os.path.exists(out)
+
+
 def test_step_trace_smoke(bench):
     """Traced step benchmark: emits BENCH_trace.json with the per-phase
     breakdown and asserts the Chrome-trace exporter produces schema-valid
