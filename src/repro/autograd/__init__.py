@@ -80,6 +80,7 @@ from repro.autograd.ops_fused import (
 from repro.autograd.grad_check import check_gradients, numerical_grad
 from repro.autograd import graph
 from repro.autograd.graph import CaptureSession, GraphInvalidated, StepGraph
+from repro.autograd import lower
 
 
 @contextmanager
@@ -167,4 +168,5 @@ __all__ = [
     "CaptureSession",
     "GraphInvalidated",
     "StepGraph",
+    "lower",
 ]

@@ -101,16 +101,34 @@ _INPUT = 4    # (tag, name)                         -> inputs[name]
 _TUPLE = 5    # (tag, (spec, ...))                  -> tuple of resolved specs
 
 
+def _describe(x) -> Optional[tuple]:
+    """Stable per-array descriptor: ``(dtype str, shape, strides)``.
+
+    Captured once per record argument/output so a lowering pass (or any
+    other consumer of the schedule) can reason about layouts without
+    re-deriving them from live arrays — which may have been recycled by
+    the arena by the time the pass runs."""
+    if isinstance(x, np.ndarray):
+        return (x.dtype.str, x.shape, x.strides)
+    return None
+
+
 class _OpRecord:
-    """One :meth:`Function.apply` call: kernel class + resolved args."""
+    """One :meth:`Function.apply` call: kernel class + resolved args.
 
-    __slots__ = ("fn", "specs", "kwargs", "requires_grad")
+    ``descs`` holds ``(out_descriptor, (arg_descriptor, ...))`` where each
+    descriptor is ``(dtype str, shape, strides)`` for ndarray-backed
+    positions and ``None`` otherwise — the stable layout metadata the
+    native-code lowering keys its segment templates on."""
 
-    def __init__(self, fn, specs, kwargs, requires_grad):
+    __slots__ = ("fn", "specs", "kwargs", "requires_grad", "descs")
+
+    def __init__(self, fn, specs, kwargs, requires_grad, descs=None):
         self.fn = fn
         self.specs = specs
         self.kwargs = kwargs
         self.requires_grad = requires_grad
+        self.descs = descs
 
 
 class _HostRecord:
@@ -252,8 +270,17 @@ class CaptureSession:
             for v in kwargs.values():
                 self._note_generator(v)
         idx = len(self.records)
+        descs = (
+            _describe(out.data),
+            tuple(
+                _describe(a.data) if isinstance(a, Tensor) else _describe(a)
+                for a in args
+            ),
+        )
         self.records.append(
-            _OpRecord(fn, specs, dict(kwargs) if kwargs else None, out.requires_grad)
+            _OpRecord(
+                fn, specs, dict(kwargs) if kwargs else None, out.requires_grad, descs
+            )
         )
         self._tensor_ids[id(out)] = idx
         self._dyn[id(out.data)] = (_REC, idx)
@@ -382,6 +409,7 @@ class StepGraph:
         "_plan",
         "_bwd_plan",
         "_scripts",
+        "_lowered",
     )
 
     def __init__(
@@ -402,6 +430,9 @@ class StepGraph:
         # request sequences differ).  Recorded lazily on the first
         # replay of each slot; see :class:`repro.autograd.arena.BufferScript`.
         self._scripts: Dict[int, arena.BufferScript] = {}
+        #: Native lowering plan (repro.autograd.lower), or None for the
+        #: pure-NumPy replay path.
+        self._lowered = None
         self._plan = [self._compile_record(r) for r in records]
         # Backward entries with ``Function.backward`` pre-bound (one
         # descriptor lookup per entry per replay otherwise).
@@ -431,6 +462,28 @@ class StepGraph:
         if type(rec) is _OpRecord:
             return (True, rec.fn.forward, rec.kwargs, static, tuple(patches), rec)
         return (False, rec.fn, None, static, tuple(patches), rec)
+
+    # -- native lowering -------------------------------------------------
+    def attach_lowered(self, plan) -> None:
+        """Install a :class:`repro.autograd.lower.LoweredPlan`.
+
+        The lowered path issues its own arena request sequence (it skips
+        staging temporaries the C kernels fuse away), so any buffer
+        scripts recorded under the NumPy replay are dropped and re-record
+        on the next replay of each slot.
+        """
+        if self._lowered is not None:
+            self.detach_lowered()
+        self._lowered = plan
+        self._scripts.clear()
+
+    def detach_lowered(self) -> None:
+        """Remove the lowered plan and restore the NumPy backward entries."""
+        plan = self._lowered
+        if plan is not None:
+            self._lowered = None
+            plan.detach()
+            self._scripts.clear()
 
     @property
     def num_records(self) -> int:
@@ -467,7 +520,10 @@ class StepGraph:
             else:
                 rec = arena.begin_script_recording()
         try:
-            values = self._forward(inputs)
+            if self._lowered is not None:
+                values = self._lowered.run_forward(inputs)
+            else:
+                values = self._forward(inputs)
             self._backward(values)
         except BaseException as exc:
             if rec is not None:

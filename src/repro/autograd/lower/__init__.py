@@ -1,0 +1,29 @@
+"""Native-code lowering of captured step graphs.
+
+``attach(step_graph)`` turns a sealed :class:`StepGraph` into generated
+C: the segmenter partitions the record list into fused elementwise
+chains, specialized kernels, and host runs; the renderer emits one
+translation unit; the toolchain compiles it (content-addressed on-disk
+cache) and loads it via ctypes; the runtime swaps the lowered segments
+into the replay schedule with per-segment guards that fall back to the
+NumPy interpreter on any layout mismatch.
+
+Fallback ladder: generated C → NumPy replay (PR 5) → eager capture.
+Every rung is bit-identical to the last; lowering only changes
+dispatch, never numerics.
+"""
+
+from repro.autograd.lower.optim_lower import attach_adam
+from repro.autograd.lower.runtime import LoweredPlan, attach
+from repro.autograd.lower.segmenter import Analysis, LoweringError, analyze
+from repro.autograd.lower.toolchain import cc_available
+
+__all__ = [
+    "Analysis",
+    "LoweredPlan",
+    "LoweringError",
+    "analyze",
+    "attach",
+    "attach_adam",
+    "cc_available",
+]

@@ -1,0 +1,159 @@
+"""Native fused Adam step.
+
+The optimizer update is the one hot loop of a training step that lives
+outside the captured graph, so it gets its own tiny lowering: the
+prelude-only translation unit (shared by every optimizer and process
+through the on-disk cache — the tag differs from graph lowerings, the
+source is just :data:`~repro.autograd.lower.csrc.PRELUDE`) exposes
+``repro_adam_f32``, a per-element fusion of the nine-ufunc in-place
+mirror in :class:`repro.training.optim.Adam`, and
+``repro_adam_multi_f32``, which walks prebuilt pointer tables so the
+whole-model update costs one ctypes crossing per step instead of one
+per parameter.  Bit-identical: every intermediate rounds to float32
+exactly where the NumPy sequence does.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+__all__ = ["attach_adam"]
+
+
+def attach_adam(opt) -> bool:
+    """Install the native step on an :class:`Adam` instance.
+
+    Returns ``False`` (leaving the optimizer untouched) when the
+    toolchain is unavailable or the prelude fails to compile; the
+    NumPy steady-state path keeps running in that case.
+    """
+    from repro.autograd.lower import csrc, runtime, toolchain
+
+    if not toolchain.cc_available():
+        return False
+    lib = toolchain.compile_and_load(csrc.PRELUDE, tag="prelude")
+    if lib is None:
+        return False
+    runtime.bind(lib)
+    cfn = lib.repro_adam_f32
+    mfn = lib.repro_adam_multi_f32
+    f32 = np.float32
+
+    def _cc(p, m, v, g, lr, bc1, bc2):
+        # ``weight_decay > 0`` gates the decay term in the NumPy path;
+        # pass 0.0 for any non-positive setting so C agrees.
+        wd = opt.weight_decay if opt.weight_decay > 0 else 0.0
+        cfn(
+            p.ctypes.data, m.ctypes.data, v.ctypes.data, g.ctypes.data,
+            p.size, float(lr), float(bc1), float(bc2),
+            float(opt.beta1), float(opt.beta2), float(opt.eps), float(wd),
+        )
+
+    # Pointer tables for the whole-model call, rebuilt only when some
+    # parameter or gradient buffer changes identity (steady-state leaf
+    # grads are accumulated in place, so rebuilds are rare).
+    state = {"key": None, "argv": None}
+
+    def _cc_multi(lr, bc1, bc2):
+        params = opt.params
+        key = state["key"]
+        n = len(params)
+        fresh = key is None or len(key) != n
+        if not fresh:
+            for k in range(n):
+                p = params[k]
+                ent = key[k]
+                if p.data is not ent[0] or p.grad is not ent[1]:
+                    fresh = True
+                    break
+        if fresh:
+            mlist, vlist = opt._m, opt._v
+            ps = (ctypes.c_void_p * n)()
+            ms = (ctypes.c_void_p * n)()
+            vs = (ctypes.c_void_p * n)()
+            gs = (ctypes.c_void_p * n)()
+            sizes = np.empty(n, np.int64)
+            newkey = []
+            used = 0
+            for k in range(n):
+                p = params[k]
+                d, g = p.data, p.grad
+                newkey.append((d, g))
+                if g is None:
+                    continue
+                m, v = mlist[k], vlist[k]
+                if not (
+                    g.dtype == f32
+                    and d.dtype == f32
+                    and g.flags.c_contiguous
+                    and d.flags.c_contiguous
+                    and m.flags.c_contiguous
+                    and v.flags.c_contiguous
+                ):
+                    state["key"] = None
+                    return False
+                ps[used] = d.ctypes.data
+                ms[used] = m.ctypes.data
+                vs[used] = v.ctypes.data
+                gs[used] = g.ctypes.data
+                sizes[used] = d.size
+                used += 1
+            state["key"] = newkey
+            state["argv"] = (ps, ms, vs, gs, sizes, used)
+        ps, ms, vs, gs, sizes, used = state["argv"]
+        wd = opt.weight_decay if opt.weight_decay > 0 else 0.0
+        mfn(
+            ctypes.addressof(ps), ctypes.addressof(ms),
+            ctypes.addressof(vs), ctypes.addressof(gs),
+            sizes.ctypes.data, used,
+            float(lr), float(bc1), float(bc2),
+            float(opt.beta1), float(opt.beta2), float(opt.eps), float(wd),
+        )
+        return True
+
+    # Native global grad-norm clip: one C call for the fp64 sum of
+    # squares (NumPy pairwise order) and one for the in-place scale.
+    csq = lib.repro_clip_sumsq_f32
+    csc = lib.repro_scale_multi_f32
+    clip_state = {"key": None, "argv": None}
+
+    def _clip_cc(params, max_norm):
+        key = clip_state["key"]
+        n = len(params)
+        fresh = key is None or len(key) != n
+        if not fresh:
+            for k in range(n):
+                if params[k].grad is not key[k]:
+                    fresh = True
+                    break
+        if fresh:
+            gs = (ctypes.c_void_p * n)()
+            sizes = np.empty(n, np.int64)
+            newkey = []
+            for k in range(n):
+                g = params[k].grad
+                if not (g.dtype == f32 and g.flags.c_contiguous):
+                    clip_state["key"] = None
+                    return None
+                gs[k] = g.ctypes.data
+                sizes[k] = g.size
+                newkey.append(g)
+            clip_state["key"] = newkey
+            clip_state["argv"] = (gs, sizes)
+        gs, sizes = clip_state["argv"]
+        sq = csq(ctypes.addressof(gs), sizes.ctypes.data, n)
+        norm = float(np.sqrt(sq))
+        if max_norm > 0 and norm > max_norm:
+            scale = max_norm / (norm + 1e-12)
+            csc(ctypes.addressof(gs), sizes.ctypes.data, n, float(scale))
+        return norm
+
+    opt._cc = _cc
+    opt._cc_multi = _cc_multi
+
+    from repro.training import optim as _optim
+
+    _optim._CLIP_CC = _clip_cc
+    return True

@@ -1,0 +1,712 @@
+"""Partition a captured :class:`StepGraph` into lowerable segments.
+
+The segmenter walks the record list once, propagating *staticness*
+(whether a record's output layout is pinned for the life of the graph)
+and classifying every record:
+
+- **Fused segments** — maximal runs of consecutive same-dtype,
+  same-output-shape elementwise records (``_Add``/``_Sub``/``_Mul``/
+  ``_Div`` and mask-free ``_DropoutResidual``) rendered as one C loop
+  nest.  Intermediates consumed only inside the segment are *elided*:
+  they live in C registers and are never materialized.
+- **Kernel units** — records with a specialized C implementation
+  (LayerNorm forward/backward, embedding lookup, the MoE row
+  gather/scatter pair) or a specialized Python closure (reshape,
+  transpose, ``__getitem__``).
+- **Host runs** — everything else (GEMMs, softmax/GELU transcendentals,
+  routing host records, reductions) replays through the PR 5 NumPy
+  interpreter unchanged.
+
+Staticness is decided from the capture-time argument specs: leaves,
+named inputs, and constants are static; host-record outputs (``_DYN``
+references) are dynamic and poison every consumer — except
+``_ScatterRows``, whose output shape is ``(num_rows,) + x.shape[1:]``
+with a constant ``num_rows``, re-anchoring the token-major layout after
+the dynamically-sized expert segment.
+
+With ``strict=True`` an elementwise record that *would* fuse but
+references a dynamic position raises :class:`LoweringError` naming the
+record — the debugging aid for kernels that are expected to lower.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ops_basic as _B
+from repro.autograd import ops_fused as _F
+from repro.autograd import ops_nn as _N
+from repro.autograd.graph import _CONST, _DYN, _REC, _TUPLE, _OpRecord
+from repro.sparse import autograd_ops as _S
+
+__all__ = ["LoweringError", "analyze", "Analysis"]
+
+
+class LoweringError(RuntimeError):
+    """A segment references an argument it cannot pin to a static layout."""
+
+
+#: Elementwise binary ops and the C infix operator each lowers to.
+_ELEM_OPS = {
+    _B._Add: "+",
+    _B._Sub: "-",
+    _B._Mul: "*",
+    _B._Div: "/",
+}
+
+#: Ops whose ``Context`` stores operand *arrays* (not just shapes); an
+#: in-segment producer feeding one of these must be materialized.
+_CTX_SAVES_ARRAYS = (_B._Mul, _B._Div)
+
+_FLOAT_DTYPES = {"<f4": "float", "<f8": "double"}
+_MAX_DIMS = 4
+
+
+class PyUnit:
+    """A run of record indices executed by the NumPy replay interpreter."""
+
+    __slots__ = ("indices",)
+
+    def __init__(self, indices: List[int]):
+        self.indices = indices
+
+
+class KernUnit:
+    """One record backed by a specialized kernel or closure.
+
+    ``kind`` is one of ``ln``, ``embed``, ``gather``, ``scatter``,
+    ``getitem_dyn``, ``getitem_const``, ``reshape``, ``transpose``,
+    ``sbgelu``, ``attn``.  ``native`` marks kinds that execute
+    generated C.
+    """
+
+    __slots__ = ("index", "kind", "meta", "native")
+
+    def __init__(self, index: int, kind: str, meta: dict, native: bool):
+        self.index = index
+        self.kind = kind
+        self.meta = meta
+        self.native = native
+
+
+class FusedStep:
+    """One elementwise record inside a fused segment."""
+
+    __slots__ = ("index", "op", "lhs", "rhs", "materialize", "ctx_kind")
+
+    def __init__(self, index, op, lhs, rhs):
+        self.index = index
+        self.op = op
+        self.lhs = lhs  # ("ext", k) | ("tmp", record_index) | ("lit", value)
+        self.rhs = rhs
+        self.materialize = True
+        self.ctx_kind = None  # "shapes2" | "arrays" | "dropres"
+
+
+class FusedSeg:
+    """A maximal elementwise chain compiled to one C function."""
+
+    __slots__ = (
+        "indices", "ctype", "dtype", "shape", "ext", "steps", "name", "flat",
+        "flat2", "ekinds",
+    )
+
+    def __init__(self, ctype, dtype, shape):
+        self.indices: List[int] = []
+        self.ctype = ctype
+        self.dtype = dtype
+        self.shape = shape
+        #: list of (spec, desc, padded element strides) — C pointer params.
+        self.ext: List[tuple] = []
+        self.steps: List[FusedStep] = []
+        self.name = ""
+        #: True when every external operand is a full-shape C-contiguous
+        #: array: the loop nest collapses to one flat loop whose trip
+        #: count is read at *call* time, so the segment keeps executing
+        #: natively when the live shape drifts from the baked one (the
+        #: routing-dependent padded expert rows in the MoE layers).
+        self.flat = False
+        #: Like ``flat`` but with last-axis broadcasting: every operand
+        #: is either full-shape contiguous or a contiguous ``(..., 1)``
+        #: column (per-row scale, e.g. routing weights); ``ekinds``
+        #: holds ``"full"``/``"row"`` per ext slot.  The row count is
+        #: read at call time; the last-axis width stays baked.
+        self.flat2 = False
+        self.ekinds: List[str] = []
+
+
+class Analysis:
+    __slots__ = ("units", "bwd", "lowered", "native", "total")
+
+    def __init__(self, units, bwd, lowered, native, total):
+        self.units = units
+        #: record index -> ("mul"|"add2"|"dropres2"|"ln"|"embed"|"gather"|
+        #: "scatter"|"getitem"|"sbgelu"|"biasgelu"|"linbias"|"attn")
+        #: backward-swap descriptor.
+        self.bwd = bwd
+        self.lowered = lowered  # record indices with a lowered forward
+        self.native = native  # subset executing generated C
+        self.total = total
+
+
+# ----------------------------------------------------------------------
+# Spec helpers
+# ----------------------------------------------------------------------
+def _spec_static(s, out_static) -> bool:
+    tag = s[0]
+    if tag == _REC:
+        return out_static[s[1]]
+    if tag == _DYN:
+        return False
+    if tag == _TUPLE:
+        return all(_spec_static(e, out_static) for e in s[1])
+    return True  # _LEAF, _CONST, _INPUT
+
+
+def _spec_key(spec):
+    """A hashable identity key for a spec (specs can embed ndarrays)."""
+    tag = spec[0]
+    if tag == _TUPLE:
+        return (tag, tuple(_spec_key(e) for e in spec[1]))
+    if tag == _DYN:
+        return (tag, spec[1], spec[2])
+    if tag == _REC:
+        return (tag, spec[1])
+    return (tag, id(spec[1]))
+
+
+def _const_value(s):
+    """The frozen value of a ``_CONST`` spec, else a sentinel."""
+    if s[0] == _CONST:
+        return s[1]
+    return _NO_CONST
+
+
+_NO_CONST = object()
+
+
+def _iter_rec_refs(spec):
+    """Yield every record index a spec references (``_REC``/``_DYN``)."""
+    tag = spec[0]
+    if tag == _REC or tag == _DYN:
+        yield spec[1]
+    elif tag == _TUPLE:
+        for e in spec[1]:
+            yield from _iter_rec_refs(e)
+
+
+def _elem_strides(desc, out_shape) -> Optional[Tuple[int, ...]]:
+    """Element strides of an operand broadcast against ``out_shape``.
+
+    Returns ``None`` when the operand cannot broadcast to the output
+    with the baked layout (never happens for a faithfully captured
+    record, but the segmenter double-checks rather than trusting)."""
+    dtype_str, shape, strides = desc
+    itemsize = np.dtype(dtype_str).itemsize
+    nd_out = len(out_shape)
+    pad = nd_out - len(shape)
+    if pad < 0:
+        return None
+    out: List[int] = []
+    for d in range(nd_out):
+        if d < pad:
+            out.append(0)
+            continue
+        s_dim = shape[d - pad]
+        if s_dim == out_shape[d]:
+            b = strides[d - pad]
+            if b % itemsize != 0:
+                return None
+            out.append(b // itemsize)
+        elif s_dim == 1:
+            out.append(0)
+        else:
+            return None
+    return tuple(out)
+
+
+def _is_c_contiguous(desc) -> bool:
+    dtype_str, shape, strides = desc
+    item = np.dtype(dtype_str).itemsize
+    expect = item
+    for dim, st in zip(reversed(shape), reversed(strides)):
+        if dim > 1 and st != expect:
+            return False
+        expect *= dim
+    return True
+
+
+def _finite_scalar(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and np.isfinite(v)
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+def _classify_elem(i, rec, out_static, strict) -> Optional[tuple]:
+    """``(op, operand_specs, operand_descs)`` when record ``i`` can join a
+    fused segment, else ``None`` (raising under ``strict`` when the only
+    blocker is a dynamic argument)."""
+    fn = rec.fn
+    op = _ELEM_OPS.get(fn)
+    is_dropres = fn is _F._DropoutResidual
+    if op is None and not is_dropres:
+        return None
+    out_desc = rec.descs[0] if rec.descs else None
+    if out_desc is None:
+        return None
+    ctype = _FLOAT_DTYPES.get(out_desc[0])
+    if ctype is None or len(out_desc[1]) > _MAX_DIMS:
+        return None
+
+    if is_dropres:
+        # forward(ctx, y, residual, p, training, rng): only the
+        # mask-free configuration is a plain add.
+        p = _const_value(rec.specs[2])
+        training = _const_value(rec.specs[3])
+        if p is _NO_CONST or training is _NO_CONST:
+            return None
+        if training and (p is not None and p > 0.0):
+            return None
+        operands = (rec.specs[1], rec.specs[0])  # residual + y
+        descs = (rec.descs[1][1], rec.descs[1][0])
+        op = "+"
+    else:
+        operands = rec.specs[:2]
+        descs = rec.descs[1][:2]
+
+    for pos, (spec, desc) in enumerate(zip(operands, descs)):
+        if desc is None:
+            # Non-array operand: only a frozen finite scalar constant is
+            # representable as a literal — and not for ops whose Context
+            # saves the operand *objects* (the literal would lose the
+            # original scalar the eager backward multiplies by).
+            if fn in _CTX_SAVES_ARRAYS:
+                return None
+            if spec[0] != _CONST or not _finite_scalar(spec[1]):
+                # Dynamic operands are baked optimistically from the
+                # capture-time layout (the runtime guard re-checks every
+                # replay) — but with no descriptor there is nothing to
+                # bake, and the segment cannot pin the argument.
+                if strict and spec[0] != _CONST:
+                    raise LoweringError(
+                        f"record {i} ({fn.__name__}): argument {pos} "
+                        f"resolves to a dynamic position (spec tag "
+                        f"{spec[0]}) the fused segment cannot pin to a "
+                        f"static layout"
+                    )
+                return None
+        else:
+            if desc[0] != out_desc[0]:
+                return None  # mixed dtypes: let NumPy's casting rule it
+            if _elem_strides(desc, out_desc[1]) is None:
+                return None
+    return op, operands, descs
+
+
+def _classify_kern(i, rec, out_static) -> Optional[KernUnit]:
+    fn = rec.fn
+    descs = rec.descs
+    if descs is None:
+        return None  # graph captured without layout descriptors
+    arg_descs = descs[1]
+    out_desc = descs[0]
+
+    if fn is _N._LayerNorm:
+        if out_desc is None or out_desc[0] != "<f4" or len(out_desc[1]) < 2:
+            return None
+        x_d, w_d, b_d = arg_descs[0], arg_descs[1], arg_descs[2]
+        if x_d is None or w_d is None or b_d is None:
+            return None
+        if not (
+            x_d[0] == w_d[0] == b_d[0] == "<f4"
+            and _is_c_contiguous(x_d)
+            and _is_c_contiguous(w_d)
+            and _is_c_contiguous(b_d)
+            and len(w_d[1]) == 1
+            and len(b_d[1]) == 1
+            and w_d[1][0] == x_d[1][-1]
+            and b_d[1][0] == x_d[1][-1]
+        ):
+            return None
+        eps = (rec.kwargs or {}).get("eps", 1e-5)
+        if len(rec.specs) > 3:
+            eps = _const_value(rec.specs[3])
+            if eps is _NO_CONST:
+                return None
+        meta = {"shape": x_d[1], "H": x_d[1][-1], "eps": float(eps)}
+        return KernUnit(i, "ln", meta, native=True)
+
+    if fn is _N._Embedding:
+        w_d, ids_d = arg_descs[0], arg_descs[1]
+        if (
+            w_d is None
+            or ids_d is None
+            or w_d[0] != "<f4"
+            or len(w_d[1]) != 2
+            or not _is_c_contiguous(w_d)
+            or np.dtype(ids_d[0]).kind not in "iu"
+        ):
+            return None
+        return KernUnit(
+            i, "embed", {"H": w_d[1][1], "V": w_d[1][0]}, native=True
+        )
+
+    if fn is _N._GatherRows:
+        x_d = arg_descs[0]
+        if x_d is None or x_d[0] != "<f4" or len(x_d[1]) != 2:
+            return None
+        if not _is_c_contiguous(x_d):
+            return None
+        return KernUnit(i, "gather", {"H": x_d[1][1]}, native=True)
+
+    if fn is _N._ScatterRows:
+        x_d = arg_descs[0]
+        num_rows = _const_value(rec.specs[2])
+        if (
+            x_d is None
+            or x_d[0] != "<f4"
+            or len(x_d[1]) != 2
+            or not _is_c_contiguous(x_d)
+            or num_rows is _NO_CONST
+        ):
+            return None
+        return KernUnit(
+            i, "scatter", {"H": x_d[1][1], "num_rows": int(num_rows)}, native=True
+        )
+
+    if fn is _B._Reshape:
+        shape = _const_value(rec.specs[1])
+        if shape is _NO_CONST:
+            return None
+        return KernUnit(i, "reshape", {"shape": tuple(shape)}, native=False)
+
+    if fn is _B._Transpose:
+        axes = _const_value(rec.specs[1]) if len(rec.specs) > 1 else None
+        if axes is _NO_CONST:
+            return None
+        a_d = arg_descs[0]
+        if a_d is None:
+            return None
+        if axes is None:
+            axes = tuple(reversed(range(len(a_d[1]))))
+        inverse = tuple(int(v) for v in np.argsort(axes))
+        return KernUnit(
+            i, "transpose", {"axes": tuple(axes), "inverse": inverse}, native=False
+        )
+
+    if fn is _S._SparseBiasGelu:
+        # forward(ctx, values, bias, topology): the bias gather + add and
+        # the GELU polynomial run in C around one NumPy np.tanh pass.
+        v_d, b_d = arg_descs[0], arg_descs[1]
+        if (
+            v_d is None
+            or b_d is None
+            or v_d[0] != "<f4"
+            or b_d[0] != "<f4"
+            or len(v_d[1]) != 3
+            or v_d[1][1] != v_d[1][2]
+            or len(b_d[1]) != 1
+            or not _is_c_contiguous(b_d)
+        ):
+            return None
+        return KernUnit(i, "sbgelu", {}, native=True)
+
+    if fn is _F._AttentionCore:
+        # forward(ctx, qkv, mask, scale, num_heads, head_dim): matmuls
+        # stay NumPy; the masked-softmax chain runs in C around np.exp.
+        scale = _const_value(rec.specs[2])
+        nh = _const_value(rec.specs[3])
+        hd = _const_value(rec.specs[4])
+        q_d = arg_descs[0]
+        if (
+            scale is _NO_CONST
+            or nh is _NO_CONST
+            or hd is _NO_CONST
+            or q_d is None
+            or q_d[0] != "<f4"
+            or len(q_d[1]) != 3
+            or not _is_c_contiguous(q_d)
+        ):
+            return None
+        meta = {"scale": float(scale), "nh": int(nh), "hd": int(hd)}
+        return KernUnit(i, "attn", meta, native=True)
+
+    if fn is _B._GetItem:
+        index_spec = rec.specs[1]
+        a_d = arg_descs[0]
+        if index_spec[0] == _CONST:
+            return KernUnit(
+                i, "getitem_const", {"index": index_spec[1]}, native=False
+            )
+        # Dynamic index (router selection patterns): forward stays a
+        # Python closure; the win is the C scatter in backward, which
+        # needs a pinned 2-D float32 base.
+        if a_d is None or a_d[0] != "<f4" or len(a_d[1]) != 2:
+            return None
+        return KernUnit(i, "getitem_dyn", {"shape": a_d[1]}, native=False)
+
+    return None
+
+
+# ----------------------------------------------------------------------
+# Analysis driver
+# ----------------------------------------------------------------------
+def analyze(graph, strict: bool = False) -> Analysis:
+    records = graph.records
+    n = len(records)
+
+    # Pass 1: staticness of every record's output.
+    out_static = [False] * n
+    for i, rec in enumerate(records):
+        if type(rec) is not _OpRecord:
+            continue
+        if rec.fn is _N._ScatterRows:
+            out_static[i] = _const_value(rec.specs[2]) is not _NO_CONST
+        else:
+            out_static[i] = all(
+                _spec_static(s, out_static) for s in rec.specs
+            )
+
+    # Pass 2: who references each record from *outside* a segment —
+    # needed for register elision.  Host records and op records both
+    # reference through their specs; the loss/root/seed reads count too.
+    consumers: Dict[int, List[int]] = {}
+    for j, rec in enumerate(records):
+        for s in rec.specs:
+            for ridx in _iter_rec_refs(s):
+                consumers.setdefault(ridx, []).append(j)
+
+    # Pass 3: classify and group.
+    units: List[Any] = []
+    bwd: Dict[int, tuple] = {}
+    lowered: set = set()
+    native: set = set()
+    py_run: List[int] = []
+    seg: Optional[FusedSeg] = None
+
+    def flush_py():
+        nonlocal py_run
+        if py_run:
+            units.append(PyUnit(py_run))
+            py_run = []
+
+    def flush_seg():
+        nonlocal seg
+        if seg is not None:
+            _finish_segment(graph, seg, consumers)
+            units.append(seg)
+            lowered.update(seg.indices)
+            native.update(seg.indices)
+            seg = None
+
+    for i, rec in enumerate(records):
+        is_op = type(rec) is _OpRecord
+        elem = None
+        if is_op:
+            elem = _classify_elem(i, rec, out_static, strict)
+        if elem is not None:
+            op, operands, descs = elem
+            out_desc = rec.descs[0]
+            ctype = _FLOAT_DTYPES[out_desc[0]]
+            if seg is not None and (
+                seg.ctype != ctype or seg.shape != out_desc[1]
+            ):
+                flush_seg()
+            if seg is None:
+                flush_py()
+                seg = FusedSeg(ctype, out_desc[0], out_desc[1])
+            _append_step(seg, i, rec, op, operands, descs)
+            continue
+
+        kern = _classify_kern(i, rec, out_static) if is_op else None
+        if kern is not None:
+            flush_seg()
+            flush_py()
+            units.append(kern)
+            lowered.add(i)
+            if kern.native:
+                native.add(i)
+            continue
+
+        flush_seg()
+        py_run.append(i)
+
+    flush_seg()
+    flush_py()
+
+    # Backward swaps: independent of forward lowering — the Context
+    # protocol is identical whether the forward ran eagerly, through the
+    # replay interpreter, or in C.
+    for i, rec in enumerate(records):
+        if type(rec) is not _OpRecord or not rec.requires_grad:
+            continue
+        fn = rec.fn
+        descs = rec.descs
+        out_desc = descs[0] if descs else None
+
+        def _same_shape_pair(a_pos, b_pos):
+            # Baked operand shapes equal to the output shape: the
+            # predictor for the same-shape fast paths (a runtime guard
+            # still re-checks against the live arrays).
+            if out_desc is None:
+                return False
+            da, db = descs[1][a_pos], descs[1][b_pos]
+            return (
+                da is not None
+                and db is not None
+                and da[1] == out_desc[1]
+                and db[1] == out_desc[1]
+            )
+
+        if fn is _B._Mul:
+            if (
+                out_desc is not None
+                and out_desc[0] == "<f4"
+                and _same_shape_pair(0, 1)
+            ):
+                size = 1
+                for d in out_desc[1]:
+                    size *= int(d)
+                # Below this the ctypes call + two pool acquisitions cost
+                # more than NumPy's whole ufunc dispatch: the swap would
+                # only ever slow down the scalar loss-combination muls.
+                if size >= 4096:
+                    bwd[i] = ("mul", {})
+        elif fn is _B._Add:
+            if _same_shape_pair(0, 1):
+                bwd[i] = ("add2", {})
+        elif fn is _F._DropoutResidual:
+            if _same_shape_pair(0, 1):
+                bwd[i] = ("dropres2", {})
+        elif fn is _N._LayerNorm:
+            u = _classify_kern(i, rec, out_static)
+            if u is not None and u.kind == "ln":
+                bwd[i] = ("ln", u.meta)
+        elif fn is _N._Embedding:
+            u = _classify_kern(i, rec, out_static)
+            if u is not None and u.kind == "embed":
+                bwd[i] = ("embed", u.meta)
+        elif fn is _N._GatherRows:
+            u = _classify_kern(i, rec, out_static)
+            if u is not None and u.kind == "gather":
+                bwd[i] = ("gather", u.meta)
+        elif fn is _N._ScatterRows:
+            u = _classify_kern(i, rec, out_static)
+            if u is not None and u.kind == "scatter":
+                bwd[i] = ("scatter", u.meta)
+        elif fn is _F._AttentionCore:
+            u = _classify_kern(i, rec, out_static)
+            if u is not None and u.kind == "attn":
+                bwd[i] = ("attn", u.meta)
+        elif fn is _F._BiasGelu or fn is _S._SparseBiasGelu:
+            # The tanh term is saved by forward, so the backward is a
+            # pure f32 elementwise chain — the single most expensive
+            # swappable closure in the dMoE replay.
+            if out_desc is not None and out_desc[0] == "<f4":
+                bwd[i] = (
+                    "sbgelu" if fn is _S._SparseBiasGelu else "biasgelu", {}
+                )
+        elif fn is _F._LinearBias:
+            b_d = descs[1][2] if descs else None
+            if (
+                out_desc is not None
+                and out_desc[0] == "<f4"
+                and len(out_desc[1]) in (2, 3)
+                and b_d is not None
+                and len(b_d[1]) == 1
+                and b_d[1][0] == out_desc[1][-1]
+            ):
+                bwd[i] = ("linbias", {})
+        elif fn is _B._GetItem:
+            bwd[i] = ("getitem", {})
+
+    return Analysis(units, bwd, lowered, native, n)
+
+
+def _append_step(seg: FusedSeg, i: int, rec, op, operands, descs) -> None:
+    in_seg = {s.index for s in seg.steps}
+
+    seen = {(_spec_key(e[0]), e[2]): k for k, e in enumerate(seg.ext)}
+
+    def ref_for(spec, desc):
+        if desc is None:  # frozen scalar literal
+            return ("lit", float(spec[1]))
+        if spec[0] == _REC and spec[1] in in_seg:
+            return ("tmp", spec[1])
+        # External pointer param; reuse an existing slot for the same spec.
+        strides = _elem_strides(desc, seg.shape)
+        key = (_spec_key(spec), strides)
+        k = seen.get(key)
+        if k is None:
+            k = len(seg.ext)
+            seg.ext.append((spec, desc, strides))
+            seen[key] = k
+        return ("ext", k)
+
+    step = FusedStep(
+        i, op, ref_for(operands[0], descs[0]), ref_for(operands[1], descs[1])
+    )
+    if rec.fn in _CTX_SAVES_ARRAYS:
+        step.ctx_kind = "arrays"
+    elif rec.fn is _F._DropoutResidual:
+        step.ctx_kind = "dropres"
+    else:
+        step.ctx_kind = "shapes2"
+    seg.steps.append(step)
+    seg.indices.append(i)
+
+
+def _finish_segment(graph, seg: FusedSeg, consumers) -> None:
+    """Decide which in-segment outputs must hit memory.
+
+    A step's output is register-only when (a) nothing outside the
+    segment reads it — including the replay's root/loss reads — and
+    (b) no in-segment consumer's ``Context`` captures it as a saved
+    operand array (``_Mul``/``_Div`` save ``(a, b)``)."""
+    in_seg = set(seg.indices)
+    saves_arrays: Dict[int, bool] = {}
+    for s in seg.steps:
+        if s.ctx_kind == "arrays":
+            for ref in (s.lhs, s.rhs):
+                if ref[0] == "tmp":
+                    saves_arrays[ref[1]] = True
+    for s in seg.steps:
+        outside = [c for c in consumers.get(s.index, ()) if c not in in_seg]
+        s.materialize = (
+            bool(outside)
+            or s.index == graph.root_idx
+            or s.index == graph.lm_idx
+            or saves_arrays.get(s.index, False)
+        )
+
+    # No broadcasting anywhere → one flat loop with a runtime trip count.
+    contig: List[int] = []
+    acc = 1
+    for dim in reversed(seg.shape):
+        contig.append(acc)
+        acc *= dim
+    contig_t = tuple(reversed(contig))
+    seg.flat = bool(seg.ext) and all(st == contig_t for _s, _d, st in seg.ext)
+
+    # Last-axis broadcast only → rows*H nest with a runtime row count.
+    if not seg.flat and seg.ext and len(seg.shape) >= 2:
+        lead: List[int] = []
+        acc = 1
+        for dim in reversed(seg.shape[:-1]):
+            lead.append(acc)
+            acc *= dim
+        rowcast_t = tuple(reversed(lead)) + (0,)
+        kinds: List[str] = []
+        for _s, _d, st in seg.ext:
+            if st == contig_t:
+                kinds.append("full")
+            elif st == rowcast_t:
+                kinds.append("row")
+            else:
+                return
+        if "full" in kinds:
+            seg.flat2 = True
+            seg.ekinds = kinds

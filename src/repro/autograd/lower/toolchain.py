@@ -1,0 +1,185 @@
+"""C toolchain detection, the on-disk compile cache, and library loading.
+
+The lowering pass renders one translation unit per captured graph and
+hands it here.  Compilation is keyed by a content hash of the rendered
+source plus the compiler's version line, so repeat runs with the same
+graph signature load the cached ``.so`` straight from
+``~/.cache/repro/lower/`` (override with ``REPRO_LOWER_CACHE``) without
+invoking ``cc`` at all.
+
+Toolchain state is probed once per process.  A missing or broken ``cc``
+— or ``REPRO_NO_CC=1`` — logs exactly one warning and pins the probe to
+"unavailable"; every later lowering attempt then declines instantly and
+the trainer keeps running on the pure-NumPy replay path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+from typing import Dict, Optional, Tuple
+
+logger = logging.getLogger(__name__)
+
+#: Flags are part of the cache key.  ``-ffp-contract=off`` is
+#: load-bearing for bit-identity (no FMA contraction of the rendered
+#: ``a*b+c`` chains) and stays in force under ``-O3 -march=native``:
+#: GCC auto-vectorization never *reassociates* floating-point (that
+#: needs ``-fassociative-math``), it only widens independent per-element
+#: lanes — the same SIMD NumPy's ufunc loops use — so the generated
+#: code stays bit-identical while running 4-16 lanes wide.
+CFLAGS = ("-O3", "-march=native", "-fPIC", "-shared", "-ffp-contract=off")
+
+# None = not probed yet; False = unavailable; (cc_path, version) = usable.
+_probe: Optional[object] = None
+_warned = False
+_libs: Dict[str, ctypes.CDLL] = {}
+
+
+def _warn_once(reason: str) -> None:
+    global _warned
+    if not _warned:
+        _warned = True
+        logger.warning(
+            "native lowering unavailable (%s); falling back to NumPy replay",
+            reason,
+        )
+
+
+def _do_probe():
+    if os.environ.get("REPRO_NO_CC", "") not in ("", "0"):
+        return False, "REPRO_NO_CC=1"
+    name = os.environ.get("CC") or "cc"
+    path = shutil.which(name)
+    if path is None:
+        return False, f"no C compiler named {name!r} on PATH"
+    try:
+        out = subprocess.run(
+            [path, "--version"], capture_output=True, text=True, timeout=30
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        return False, f"{name} --version failed: {exc}"
+    if out.returncode != 0:
+        return False, f"{name} --version exited {out.returncode}"
+    banner = (out.stdout or out.stderr or "").splitlines()
+    version = banner[0].strip() if banner else "unknown"
+    return (path, version), None
+
+
+def toolchain() -> Optional[Tuple[str, str]]:
+    """``(cc_path, version_line)`` or ``None``; probes once per process."""
+    global _probe
+    if _probe is None:
+        result, reason = _do_probe()
+        _probe = result
+        if result is False:
+            _warn_once(reason)
+    return _probe if _probe else None
+
+
+def cc_available() -> bool:
+    return toolchain() is not None
+
+
+def mark_broken(reason: str) -> None:
+    """Pin the toolchain to unavailable after a failed compile/load."""
+    global _probe
+    _probe = False
+    _warn_once(reason)
+
+
+def cache_dir() -> str:
+    d = os.environ.get("REPRO_LOWER_CACHE", "")
+    if not d:
+        d = os.path.join(os.path.expanduser("~"), ".cache", "repro", "lower")
+    return d
+
+
+def compile_and_load(source: str, tag: str = "graph") -> Optional[ctypes.CDLL]:
+    """Compile ``source`` (or serve it from the cache); ``None`` on failure.
+
+    The artifact key is ``sha256(cc version || cflags || source)``: any
+    change to the rendered segments, the compiler, or the flags produces
+    a fresh ``.so``.  Both the ``.c`` and the ``.so`` are left in the
+    cache directory for inspection.  A failed compile marks the whole
+    toolchain broken (one warning) so subsequent graphs skip straight to
+    the NumPy replay without retrying ``cc`` per capture.
+    """
+    tc = toolchain()
+    if tc is None:
+        return None
+    cc, version = tc
+    from repro.observability.metrics import registry
+
+    key = hashlib.sha256(
+        "\x00".join((version,) + CFLAGS + (source,)).encode()
+    ).hexdigest()[:24]
+    lib = _libs.get(key)
+    if lib is not None:
+        registry().counter("lower_cache_hits").inc()
+        return lib
+
+    d = cache_dir()
+    so_path = os.path.join(d, f"{tag}-{key}.so")
+    if os.path.exists(so_path):
+        try:
+            lib = ctypes.CDLL(so_path)
+        except OSError:
+            lib = None  # stale/corrupt artifact: fall through and rebuild
+        if lib is not None:
+            registry().counter("lower_cache_hits").inc()
+            _libs[key] = lib
+            return lib
+
+    t0 = time.perf_counter()
+    tmp = None
+    try:
+        os.makedirs(d, exist_ok=True)
+        c_path = os.path.join(d, f"{tag}-{key}.c")
+        with open(c_path, "w") as f:
+            f.write(source)
+        fd, tmp = tempfile.mkstemp(dir=d, suffix=".so")
+        os.close(fd)
+        proc = subprocess.run(
+            [cc, *CFLAGS, c_path, "-o", tmp, "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout or "").strip().splitlines()
+            mark_broken(
+                "cc failed on rendered segment: "
+                + (detail[-1] if detail else f"exit {proc.returncode}")
+            )
+            return None
+        os.replace(tmp, so_path)
+        tmp = None
+        lib = ctypes.CDLL(so_path)
+    except (OSError, subprocess.SubprocessError) as exc:
+        mark_broken(f"compile cache unusable: {exc}")
+        return None
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+    elapsed_ms = (time.perf_counter() - t0) * 1000.0
+    registry().counter("lower_compile_ms").inc(max(1, int(elapsed_ms)))
+    _libs[key] = lib
+    return lib
+
+
+def _reset_for_tests() -> None:
+    """Forget the probe verdict, the warning latch, and loaded libraries."""
+    global _probe, _warned
+    _probe = None
+    _warned = False
+    _libs.clear()

@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--capture", action="store_true",
                    help="capture the step graph once and replay the compiled "
                         "op schedule on signature-matching steps")
+    p.add_argument("--backend", default=None,
+                   choices=["eager", "replay", "cc"],
+                   help="step execution backend: eager, replay (captured "
+                        "step graphs), or cc (captured graphs lowered to "
+                        "generated C; falls back to replay without a C "
+                        "toolchain). Overrides --capture.")
     p.add_argument("--checkpoint", default=None, help="path to save when done")
     p.add_argument("--resume", default=None, help="checkpoint to restore first")
     p.add_argument("--eval-every", type=int, default=None)
@@ -167,6 +173,7 @@ def main(argv=None) -> int:
         log_every=max(args.steps // 10, 1),
         use_grad_scaler=args.amp,
         capture=args.capture,
+        backend=args.backend,
     )
     trainer = Trainer(
         model, train, val, tcfg,
@@ -203,13 +210,24 @@ def main(argv=None) -> int:
     final = history.final_val_loss()
     logger.info("done: final val loss %.4f", final if final is not None else float("nan"))
 
-    if args.capture:
+    if args.capture or tcfg.capture:
         reg = registry()
         logger.info(
             "step graph: %d captures, %d replays, %d fallbacks",
             reg.counter("graph_captures").value,
             reg.counter("graph_replays").value,
             reg.counter("graph_fallbacks").value,
+        )
+    if args.backend == "cc":
+        reg = registry()
+        logger.info(
+            "lowering: %d graphs lowered (%d ms compiling, %d cache hits), "
+            "%d segment fallbacks, %d toolchain fallbacks",
+            reg.counter("graph_lowered").value,
+            reg.counter("lower_compile_ms").value,
+            reg.counter("lower_cache_hits").value,
+            reg.counter("lower_segment_fallbacks").value,
+            reg.counter("lower_toolchain_fallbacks").value,
         )
 
     if trainer.routing_stats:

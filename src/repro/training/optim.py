@@ -26,6 +26,14 @@ from repro.nn.module import Parameter
 #: gradient serves every parameter every step.
 _CLIP_SCRATCH: Optional[np.ndarray] = None
 
+#: Native clip path, installed by repro.autograd.lower.attach_adam.
+#: Called with the non-None-grad parameter list and ``max_norm``;
+#: returns the pre-clipping norm, or None to decline (non-f32 or
+#: non-contiguous gradients), in which case the NumPy loop below runs.
+#: Bit-identical: C replicates the widening square and NumPy's pairwise
+#: f64 summation, so installing it never changes trajectories.
+_CLIP_CC = None
+
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is <= ``max_norm``.
@@ -37,6 +45,10 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     if not params:
         return 0.0
     steady = arena.is_arena_enabled()
+    if steady and _CLIP_CC is not None:
+        norm = _CLIP_CC(params, max_norm)
+        if norm is not None:
+            return norm
     sq = 0.0
     for p in params:
         # Same arithmetic as ``(grad.astype(f64) ** 2).sum()``: the
@@ -144,6 +156,15 @@ class Adam(Optimizer):
         weight_decay: decoupled (AdamW-style) weight decay.
     """
 
+    #: Native fused step, installed by repro.autograd.lower.attach_adam;
+    #: replaces the in-place ufunc mirror below bit-for-bit.
+    _cc = None
+    #: Whole-model native step (one C call for every parameter).  Takes
+    #: (lr, bc1, bc2) and returns True when it handled the full update;
+    #: False bails to the per-parameter loop below (e.g. a missing or
+    #: non-contiguous gradient).
+    _cc_multi = None
+
     def __init__(
         self,
         params,
@@ -168,6 +189,8 @@ class Adam(Optimizer):
         bc2 = 1.0 - self.beta2**self.t
         # Hoisted out of the loop (see SGD.step).
         steady = arena.is_arena_enabled()
+        if steady and self._cc_multi is not None and self._cc_multi(lr, bc1, bc2):
+            return
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
@@ -194,6 +217,15 @@ class Adam(Optimizer):
             # same left-to-right order, staged through two fp32 scratch
             # arrays (g is read-only, so the astype copy is dropped).
             g = p.grad
+            if (
+                self._cc is not None
+                and g.flags.c_contiguous
+                and p.data.flags.c_contiguous
+                and m.flags.c_contiguous
+                and v.flags.c_contiguous
+            ):
+                self._cc(p.data, m, v, g, lr, bc1, bc2)
+                continue
             s1, s2 = self._scratch(p.data.shape)
             np.multiply(m, self.beta1, out=m)
             np.multiply(1.0 - self.beta1, g, out=s1)

@@ -106,6 +106,15 @@ class TrainerConfig:
             divergences, guardrail skips/rewinds, and checkpoint
             restores fall back to eager and recapture transparently.
             Bit-identical to eager (see ``docs/performance.md``).
+        backend: step execution backend — ``"eager"`` (sets
+            ``capture=False``), ``"replay"`` (``capture=True``), or
+            ``"cc"`` (``capture=True`` plus native-code lowering: each
+            captured graph is compiled to C via ``repro.autograd.lower``
+            and the fused Adam/clip kernels are installed; see
+            ``docs/codegen.md``).  ``None`` leaves ``capture`` alone.
+            Every backend is bit-identical; a missing C toolchain (or
+            ``REPRO_NO_CC=1``) degrades ``"cc"`` to ``"replay"`` with a
+            single warning.
     """
 
     global_batch: int = 32
@@ -120,6 +129,7 @@ class TrainerConfig:
     dp_world: int = 0
     steady_state: bool = False
     capture: bool = False
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.global_batch % self.micro_batch:
@@ -129,6 +139,16 @@ class TrainerConfig:
             )
         if self.dp_world < 0:
             raise ValueError(f"dp_world must be >= 0, got {self.dp_world}")
+        if self.backend is not None:
+            if self.backend == "eager":
+                self.capture = False
+            elif self.backend in ("replay", "cc"):
+                self.capture = True
+            else:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}: "
+                    "expected 'eager', 'replay', or 'cc'"
+                )
 
     @property
     def accumulation_steps(self) -> int:
@@ -182,6 +202,12 @@ class Trainer:
         from repro.distributed.collectives import CommLog
 
         self.comm_log = CommLog() if config.dp_world > 1 else None
+        if config.backend == "cc" and isinstance(self.optimizer, Adam):
+            # Fused native optimizer step + grad-norm clip (bit-identical
+            # mirrors; no-ops without a C toolchain).
+            from repro.autograd import lower
+
+            lower.attach_adam(self.optimizer)
 
     # ------------------------------------------------------------------
     def _next_batch(self, batch_size: int):
@@ -426,6 +452,13 @@ class Trainer:
             session.abort()
             raise
         self.step_graph = session.finalize(lm, scaled)
+        if self.config.backend == "cc":
+            # Lower the fresh capture to native code.  Declines cleanly
+            # (counter + one warning) without a toolchain; recaptures
+            # after invalidation re-lower and hit the on-disk cache.
+            from repro.autograd import lower
+
+            lower.attach(self.step_graph)
         return float(lm.data)
 
     def _train_step_impl(self, step: int) -> float:

@@ -105,6 +105,18 @@ def test_step_replay_smoke(bench):
     assert os.path.exists(out)
 
 
+def test_step_lower_smoke(bench):
+    """Native-lowering benchmark: generated-C execution must stay
+    bit-identical to eager and replay, cover >= 60% of the replay
+    records, hold the load-compensated speedup floor over the PR 5
+    replay interpreter, and emit BENCH_lower.json."""
+    mod = bench("test_step_lower")
+    assert mod.SMOKE
+    mod.test_step_lower(_PassthroughBenchmark())
+    out = os.path.join(BENCH_DIR, "BENCH_lower.json")
+    assert os.path.exists(out)
+
+
 def test_step_trace_smoke(bench):
     """Traced step benchmark: emits BENCH_trace.json with the per-phase
     breakdown and asserts the Chrome-trace exporter produces schema-valid

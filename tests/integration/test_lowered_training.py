@@ -1,0 +1,170 @@
+"""Native-code lowering: ``backend="cc"`` must be invisible to training.
+
+``TrainerConfig(backend="cc")`` compiles each captured step graph to
+generated C (``repro.autograd.lower``) and installs the fused Adam and
+grad-clip kernels.  Lowering is a pure dispatch optimization, so every
+test here asserts **bit-identity** against the eager run — losses by
+float equality, parameters and optimizer moments by ``array_equal`` —
+across steady-state and GradScaler combinations, through guardrail
+rewinds, and across a checkpoint/resume round trip.  The no-toolchain
+path (``REPRO_NO_CC=1``) must degrade to plain replay with exactly one
+warning and the fallback counter ticked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import lower
+from repro.autograd.lower import toolchain
+from repro.observability import registry
+from repro.resilience.faults import (
+    NAN_GRAD,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    inject_faults,
+)
+from repro.resilience.guardrails import GuardrailConfig
+
+from tests.integration.test_step_graph import (
+    _assert_same,
+    _fingerprint,
+    _trainer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _lower_cache(tmp_path, monkeypatch):
+    """Isolate the compile cache per test and re-probe the toolchain."""
+    monkeypatch.setenv("REPRO_LOWER_CACHE", str(tmp_path / "lower-cache"))
+    toolchain._reset_for_tests()
+    yield
+    toolchain._reset_for_tests()
+
+
+needs_cc = pytest.mark.skipif(
+    not lower.cc_available(), reason="no C toolchain in this environment"
+)
+
+
+@needs_cc
+@pytest.mark.parametrize("use_scaler", [False, True], ids=["fp32", "scaler"])
+@pytest.mark.parametrize("steady", [False, True], ids=["eager-alloc", "steady"])
+class TestLoweredBitIdentity:
+    def test_matches_eager_run(self, steady, use_scaler):
+        eager = _trainer(False, steady=steady, use_scaler=use_scaler)
+        ref = _fingerprint(eager, eager.train())
+
+        reg = registry()
+        before = reg.counter("lower_segment_fallbacks").value
+        lowered = _trainer(
+            True, steady=steady, use_scaler=use_scaler, backend="cc"
+        )
+        got = _fingerprint(lowered, lowered.train())
+
+        _assert_same(ref, got)
+        assert lowered.step_graph is not None
+        assert lowered.step_graph._lowered is not None
+        # Guards held: this workload's live shapes never left the plan.
+        assert reg.counter("lower_segment_fallbacks").value == before
+
+
+@needs_cc
+class TestLoweredResilience:
+    def test_guardrail_rewind_stays_bit_identical(self):
+        """NaN-grad skips + snapshot rewind with lowering on must
+        converge to the exact same state as the eager guardrail run
+        (rewind drops the graph; the recapture re-lowers from cache)."""
+
+        def run(backend):
+            schedule = FaultSchedule(
+                [FaultEvent(NAN_GRAD, step=2), FaultEvent(NAN_GRAD, step=3)]
+            )
+            guard = GuardrailConfig(max_consecutive_bad=2, snapshot_every=1)
+            tr = _trainer(
+                backend == "cc",
+                steady=True,
+                injector=FaultInjector(schedule),
+                guardrails=guard,
+                max_steps=6,
+                eval_every=3,
+                backend=backend,
+            )
+            with inject_faults(tr.fault_injector):
+                hist = tr.train()
+            assert tr.skipped_steps == 2
+            assert tr.guard.rewinds >= 1
+            return tr, hist
+
+        eager_tr, eager_hist = run("eager")
+        cc_tr, cc_hist = run("cc")
+        _assert_same(
+            _fingerprint(eager_tr, eager_hist), _fingerprint(cc_tr, cc_hist)
+        )
+        for p in cc_tr.model.parameters():
+            assert np.isfinite(p.data).all()
+
+    def test_checkpoint_roundtrip_mid_run(self, tmp_path):
+        """save() mid-run + resume with backend="cc" reproduces the
+        uninterrupted lowered run — and the eager run — bit for bit."""
+        n, total = 2, 4
+
+        def make(backend):
+            return _trainer(
+                backend == "cc",
+                dropout_p=0.0,
+                max_steps=total,
+                eval_every=0,
+                backend=backend,
+            )
+
+        eager = make("eager")
+        eager.train()
+        straight = make("cc")
+        straight.train()
+
+        first = make("cc")
+        first.config.max_steps = n
+        first.train()
+        assert first.step_graph is not None
+        path = str(tmp_path / "mid.npz")
+        first.save(path, step=n)
+
+        resumed = make("cc")
+        resumed.fit(resume=path)
+
+        want = {r.step: r.loss for r in straight.history.records}
+        got = {r.step: r.loss for r in resumed.history.records}
+        for step in range(n, total):
+            assert got[step] == want[step], f"loss diverged at step {step}"
+        for ref in (straight, eager):
+            for a, b in zip(ref.model.parameters(), resumed.model.parameters()):
+                np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestNoToolchain:
+    def test_no_cc_matches_plain_replay(self, monkeypatch, caplog):
+        """REPRO_NO_CC=1: backend="cc" must complete bit-identical to
+        capture-only training, warn exactly once, and count the
+        declined lowering."""
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        toolchain._reset_for_tests()
+
+        replay = _trainer(True, steady=True)
+        ref = _fingerprint(replay, replay.train())
+
+        reg = registry()
+        before = reg.counter("lower_toolchain_fallbacks").value
+        with caplog.at_level("WARNING", logger="repro.autograd.lower.toolchain"):
+            lowered = _trainer(True, steady=True, backend="cc")
+            got = _fingerprint(lowered, lowered.train())
+
+        _assert_same(ref, got)
+        assert lowered.step_graph is not None
+        assert lowered.step_graph._lowered is None  # never attached
+        warnings = [
+            r for r in caplog.records
+            if "native lowering unavailable" in r.getMessage()
+        ]
+        assert len(warnings) == 1, "must warn exactly once"
+        assert reg.counter("lower_toolchain_fallbacks").value > before

@@ -43,6 +43,7 @@ def _trainer(
     dropout_p=0.1,
     max_steps=STEPS,
     eval_every=2,
+    backend=None,
 ):
     from repro.core import dMoE
 
@@ -62,6 +63,7 @@ def _trainer(
         steady_state=steady,
         use_grad_scaler=use_scaler,
         capture=capture,
+        backend=backend,
     )
     return Trainer(
         model,
