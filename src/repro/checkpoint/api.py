@@ -1,0 +1,117 @@
+"""Format-dispatching checkpoint API.
+
+``save_checkpoint`` / ``load_checkpoint`` keep the PR 2 call signatures
+but now speak both formats:
+
+- a path ending in ``.npz`` is the monolithic v2 format;
+- any other path is a sharded v3 checkpoint *directory*.
+
+``load_checkpoint`` additionally dispatches on what is actually on disk
+(a directory loads as v3 regardless of suffix), which is the
+``format_version=2 → 3`` migration path: old checkpoints keep loading,
+new ones are sharded, and nothing upstream has to know which is which.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.checkpoint.common import CheckpointState
+from repro.checkpoint.format_npz import (
+    load_checkpoint_npz,
+    save_checkpoint_npz,
+    write_npz_state,
+)
+from repro.checkpoint.sharded import (
+    FaultHook,
+    load_checkpoint_sharded,
+    save_checkpoint_sharded,
+    write_sharded_state,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nn.module import Module
+    from repro.training.optim import Optimizer
+
+
+def is_sharded_path(path: str) -> bool:
+    """Would :func:`save_checkpoint` write ``path`` as a v3 directory?"""
+    if os.path.isdir(path):
+        return True
+    return not path.endswith(".npz")
+
+
+def save_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    step: int = 0,
+    extra: Optional[Dict[str, Any]] = None,
+    extra_arrays: Optional[Dict[str, np.ndarray]] = None,
+    mesh: Optional[Any] = None,
+    fault_hook: Optional[FaultHook] = None,
+) -> str:
+    """Write a checkpoint; format chosen by the path (see module doc)."""
+    if is_sharded_path(path):
+        return save_checkpoint_sharded(
+            path,
+            model,
+            optimizer,
+            step=step,
+            extra=extra,
+            extra_arrays=extra_arrays,
+            mesh=mesh,
+            fault_hook=fault_hook,
+        )
+    return save_checkpoint_npz(
+        path,
+        model,
+        optimizer,
+        step=step,
+        extra=extra,
+        extra_arrays=extra_arrays,
+        mesh=mesh,
+    )
+
+
+def write_state(
+    path: str,
+    state: CheckpointState,
+    fault_hook: Optional[FaultHook] = None,
+) -> str:
+    """Serialize an already-captured :class:`CheckpointState`.
+
+    The entry point both the synchronous save and the async background
+    writer funnel through — one serializer, byte-identical outputs.
+    """
+    if is_sharded_path(path):
+        return write_sharded_state(path, state, fault_hook=fault_hook)
+    return write_npz_state(path, state)
+
+
+def load_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    mesh: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Restore a checkpoint of either format.
+
+    Dispatches on the on-disk shape: directories load as sharded v3
+    (reshard-aware when ``mesh`` is given), files as monolithic v2.
+    Every array/shard is CRC-validated before any state is mutated.
+
+    Raises:
+        CheckpointCorruptError: damaged file, torn shard directory,
+            checksum mismatch, or unknown schema version.
+        FileNotFoundError: nothing at ``path``.
+        KeyError / ValueError: architecture mismatches (parameter names,
+            Adam moment counts/shapes).
+    """
+    if os.path.isdir(path):
+        return load_checkpoint_sharded(path, model, optimizer, mesh=mesh)
+    return load_checkpoint_npz(path, model, optimizer)

@@ -1,0 +1,182 @@
+"""Monolithic ``.npz`` checkpoint format (``format_version=2``).
+
+The PR 2 format, unchanged on disk: one atomic ``.npz`` holding
+``model/<name>`` parameter arrays, ``optim/m|v/<index>`` Adam moments,
+``extra/<name>`` caller arrays, and a ``__meta__`` JSON blob with the
+scalars and the per-array CRC32 table.  v3 (:mod:`repro.checkpoint
+.sharded`) supersedes it for large models and elastic resume, but the
+loader keeps reading v2 forever — :func:`repro.checkpoint
+.load_checkpoint` dispatches on the path — and
+:func:`repro.checkpoint.sharded.migrate_v2_to_v3` converts in place.
+
+Durability fix over PR 2: the rename that publishes the file (and the
+rotation-index write in the manager) is followed by a *parent-directory
+fsync* through the shared :func:`repro.checkpoint.common.fsync_parent_dir`
+helper, the same one the v3 manifest publish uses — without it a crash
+shortly after ``os.replace`` could roll back the rename and lose a
+checkpoint that the trainer believed was on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+import zlib
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.checkpoint.common import (
+    FORMAT_VERSION_NPZ,
+    CheckpointCorruptError,
+    CheckpointState,
+    apply_state,
+    build_state,
+    crc32,
+    fsync_parent_dir,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nn.module import Module
+    from repro.training.optim import Optimizer
+
+
+def write_npz_state(path: str, state: CheckpointState) -> str:
+    """Atomically write a :class:`CheckpointState` as a v2 ``.npz``."""
+    arrays = dict(state.arrays)
+    meta: Dict[str, Any] = dict(state.meta)
+    meta["format_version"] = FORMAT_VERSION_NPZ
+    meta["crc32"] = {name: crc32(arr) for name, arr in arrays.items()}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    # Explicit file handle: np.savez never renames or appends suffixes,
+    # and we can fsync before publishing the file under its final name.
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+    # Make the rename itself durable (shared with the v3 manifest publish).
+    fsync_parent_dir(path)
+    return path
+
+
+def save_checkpoint_npz(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    step: int = 0,
+    extra: Optional[Dict[str, Any]] = None,
+    extra_arrays: Optional[Dict[str, np.ndarray]] = None,
+    mesh: Optional[Any] = None,
+) -> str:
+    """Write a single validated v2 ``.npz`` checkpoint."""
+    state = build_state(
+        model,
+        optimizer,
+        step=step,
+        extra=extra,
+        extra_arrays=extra_arrays,
+        mesh=mesh,
+    )
+    return write_npz_state(path, state)
+
+
+def _read_array(data, name: str, path: str) -> np.ndarray:
+    try:
+        return data[name]
+    except (zipfile.BadZipFile, EOFError, OSError, zlib.error) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r}: array {name!r} is unreadable "
+            f"(truncated or corrupted write?): {exc}"
+        ) from exc
+
+
+def load_npz_state(path: str) -> CheckpointState:
+    """Read and fully CRC-validate a v2 ``.npz`` into memory (model-free).
+
+    Raises:
+        CheckpointCorruptError: truncated/damaged file, checksum
+            mismatch, or unknown schema version.
+        FileNotFoundError: no file at ``path``.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is not a readable npz archive "
+            f"(truncated or corrupted write?): {exc}"
+        ) from exc
+    with data:
+        if "__meta__" not in data.files:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} has no __meta__ record"
+            )
+        try:
+            meta = json.loads(
+                bytes(_read_array(data, "__meta__", path)).decode("utf-8")
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r}: metadata is not valid JSON: {exc}"
+            ) from exc
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION_NPZ:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} has format_version={version!r}; "
+                f"this build reads version {FORMAT_VERSION_NPZ}"
+            )
+
+        # Read and checksum-validate every array up front, before any
+        # model/optimizer state is touched.
+        checksums: Dict[str, int] = meta.get("crc32", {})
+        arrays: Dict[str, np.ndarray] = {}
+        for name in data.files:
+            if name == "__meta__":
+                continue
+            arr = _read_array(data, name, path)
+            if name not in checksums:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path!r}: array {name!r} has no recorded "
+                    f"checksum"
+                )
+            got = crc32(arr)
+            if got != checksums[name]:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path!r}: checksum mismatch for {name!r} "
+                    f"(recorded {checksums[name]:#010x}, got {got:#010x}) — "
+                    f"the file is corrupt"
+                )
+            arrays[name] = arr
+        missing = set(checksums) - set(arrays)
+        if missing:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r}: arrays missing from archive: "
+                f"{sorted(missing)}"
+            )
+    meta.pop("crc32", None)
+    return CheckpointState(arrays=arrays, meta=meta)
+
+
+def load_checkpoint_npz(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+) -> Dict[str, Any]:
+    """Restore a v2 checkpoint written by :func:`save_checkpoint_npz`."""
+    state = load_npz_state(path)
+    meta = apply_state(state, model, optimizer)
+    from repro.checkpoint.sharded import _registry
+
+    _registry().counter("ckpt/v2_loads").inc()
+    return meta

@@ -1,0 +1,244 @@
+"""Rotating checkpoint directory: keep-last-N plus best-by-metric.
+
+Format-aware since v3: a manager created with ``fmt="sharded"`` names
+checkpoints as directories (``ckpt-00000040/``) instead of ``.npz``
+files, and every manager — whatever it writes — *recognizes both* when
+rebuilding its index from a directory listing, so a run can migrate
+formats mid-flight and ``load_latest`` still sees the full history.
+
+``load_latest`` falls back past anything broken, whichever way it is
+broken: a truncated ``.npz``, a torn shard directory (no manifest), or
+— new in v3 — a checkpoint whose manifest is intact but whose
+referenced shard is missing or fails its CRC.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.checkpoint.api import load_checkpoint, save_checkpoint
+from repro.checkpoint.common import (
+    MANIFEST_NAME,
+    CheckpointCorruptError,
+    CheckpointError,
+    fsync_parent_dir,
+    logger,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nn.module import Module
+    from repro.training.optim import Optimizer
+
+#: Recognized checkpoint formats and their manager path shapes.
+FORMATS = ("npz", "sharded")
+
+
+class CheckpointManager:
+    """Rotation over ``<prefix>-<step:08d>[.npz]`` checkpoints.
+
+    ``fmt="npz"`` (default, the PR 2 behavior) writes monolithic files;
+    ``fmt="sharded"`` writes v3 directories.  The best checkpoint (by a
+    lower-is-better metric) is copied to ``<prefix>-best[.npz]`` so
+    pruning never discards it.  ``index.json`` (written atomically,
+    rename fsynced) records rotation state and is rebuilt from the
+    directory listing — accepting both formats — when absent.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        keep_last: int = 3,
+        keep_best: bool = True,
+        prefix: str = "ckpt",
+        fmt: str = "npz",
+    ) -> None:
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        if fmt not in FORMATS:
+            raise ValueError(f"fmt must be one of {FORMATS}, got {fmt!r}")
+        self.directory = directory
+        self.keep_last = keep_last
+        self.keep_best = keep_best
+        self.prefix = prefix
+        self.fmt = fmt
+        os.makedirs(directory, exist_ok=True)
+        self._steps: List[int] = []
+        self._best: Optional[Dict[str, Any]] = None
+        self._load_index()
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> str:
+        """On-disk path for ``step`` under this manager's write format."""
+        suffix = ".npz" if self.fmt == "npz" else ""
+        return os.path.join(
+            self.directory, f"{self.prefix}-{step:08d}{suffix}"
+        )
+
+    def existing_path_for(self, step: int) -> Optional[str]:
+        """Whichever format's path exists on disk for ``step``."""
+        for suffix in ("", ".npz") if self.fmt == "sharded" else (".npz", ""):
+            path = os.path.join(
+                self.directory, f"{self.prefix}-{step:08d}{suffix}"
+            )
+            if os.path.exists(path):
+                return path
+        return None
+
+    @property
+    def best_path(self) -> str:
+        suffix = ".npz" if self.fmt == "npz" else ""
+        return os.path.join(self.directory, f"{self.prefix}-best{suffix}")
+
+    @property
+    def _index_path(self) -> str:
+        return os.path.join(self.directory, "index.json")
+
+    def _load_index(self) -> None:
+        if os.path.exists(self._index_path):
+            try:
+                with open(self._index_path) as fh:
+                    index = json.load(fh)
+                self._steps = [int(s) for s in index.get("checkpoints", [])]
+                self._best = index.get("best")
+            except (json.JSONDecodeError, OSError):
+                logger.warning("index.json unreadable; rebuilding from listing")
+                self._steps, self._best = [], None
+        if not self._steps:
+            head = f"{self.prefix}-"
+            for name in sorted(os.listdir(self.directory)):
+                if not name.startswith(head):
+                    continue
+                stem = name[len(head):]
+                if stem.endswith(".npz"):
+                    stem = stem[: -len(".npz")]
+                # Sharded checkpoints are bare directories; accept both
+                # formats so a mixed-history run rebuilds completely.
+                if stem.isdigit():
+                    self._steps.append(int(stem))
+        self._steps = sorted(set(self._steps))
+
+    def _write_index(self) -> None:
+        tmp = self._index_path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump({"checkpoints": self._steps, "best": self._best}, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._index_path)
+        # Durability fix (shared helper with both publish paths): make
+        # the index rename itself crash-safe.
+        fsync_parent_dir(self._index_path)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _remove(path: str) -> None:
+        if os.path.isdir(path):
+            shutil.rmtree(path, ignore_errors=True)
+        elif os.path.exists(path):
+            os.remove(path)
+
+    @staticmethod
+    def _copy(src: str, dst: str) -> None:
+        CheckpointManager._remove(dst)
+        if os.path.isdir(src):
+            shutil.copytree(src, dst)
+        else:
+            shutil.copy2(src, dst)
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        model: Module,
+        optimizer: Optional[Optimizer] = None,
+        step: int = 0,
+        metric: Optional[float] = None,
+        extra: Optional[Dict[str, Any]] = None,
+        extra_arrays: Optional[Dict[str, np.ndarray]] = None,
+        writer: Optional[Callable[[str], None]] = None,
+        mesh: Optional[Any] = None,
+    ) -> str:
+        """Write the checkpoint for ``step`` and rotate.
+
+        ``writer(path)``, when given, performs the actual write (the
+        trainer passes its own state-aware saver); otherwise
+        :func:`save_checkpoint` is called with the given pieces.
+        ``metric`` (lower is better) drives best-checkpoint tracking.
+        """
+        path = self.path_for(step)
+        if writer is not None:
+            writer(path)
+        else:
+            save_checkpoint(
+                path, model, optimizer, step, extra, extra_arrays, mesh=mesh
+            )
+        self.register(step, metric)
+        return path
+
+    def register(self, step: int, metric: Optional[float] = None) -> None:
+        """Record an externally written checkpoint for ``step`` and rotate."""
+        if step not in self._steps:
+            self._steps.append(int(step))
+            self._steps.sort()
+        if (
+            self.keep_best
+            and metric is not None
+            and (self._best is None or metric < self._best["metric"])
+        ):
+            source = self.existing_path_for(step) or self.path_for(step)
+            self._copy(source, self.best_path)
+            self._best = {"step": int(step), "metric": float(metric)}
+        while len(self._steps) > self.keep_last:
+            victim = self._steps.pop(0)
+            victim_path = self.existing_path_for(victim)
+            if victim_path is not None:
+                self._remove(victim_path)
+        self._write_index()
+
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> List[int]:
+        return list(self._steps)
+
+    @property
+    def best(self) -> Optional[Dict[str, Any]]:
+        """``{"step": ..., "metric": ...}`` of the best checkpoint, if any."""
+        return dict(self._best) if self._best else None
+
+    def latest_path(self) -> Optional[str]:
+        if not self._steps:
+            return None
+        step = self._steps[-1]
+        return self.existing_path_for(step) or self.path_for(step)
+
+    def load_latest(
+        self,
+        model: Module,
+        optimizer: Optional[Optimizer] = None,
+        mesh: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """Restore the newest *valid* checkpoint.
+
+        Anything broken is skipped (with a warning) in favour of the
+        next-newest — a truncated ``.npz``, a torn shard directory, or a
+        manifest whose referenced shard is missing or corrupt.  That is
+        the reason rotation keeps more than one.
+        """
+        errors = []
+        for step in reversed(self._steps):
+            path = self.existing_path_for(step) or self.path_for(step)
+            try:
+                return load_checkpoint(path, model, optimizer, mesh=mesh)
+            except (CheckpointCorruptError, FileNotFoundError) as exc:
+                logger.warning("skipping %s: %s", path, exc)
+                errors.append(f"{path}: {exc}")
+        raise CheckpointError(
+            "no valid checkpoint in "
+            f"{self.directory!r}; tried {len(errors)}: " + "; ".join(errors)
+            if errors
+            else f"no checkpoints in {self.directory!r}"
+        )

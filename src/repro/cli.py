@@ -18,6 +18,16 @@ The ``trace`` subcommand reports on a Chrome-trace JSON written by
 prints the per-phase step breakdown; the file itself loads in
 ``chrome://tracing`` or https://ui.perfetto.dev (see
 ``docs/observability.md``).
+
+The ``ckpt`` subcommand inspects and migrates checkpoints of either
+format (monolithic v2 ``.npz`` or sharded v3 directory):
+
+    python -m repro.cli ckpt inspect runs/ckpt-00000040 --verify
+    python -m repro.cli ckpt migrate runs/old.npz runs/old-sharded
+
+``inspect`` prints step / mesh (world size) metadata and the per-shard
+table (name, shape, dtype, size, CRC32); ``--verify`` re-reads every
+shard and recomputes checksums.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -86,6 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "toolchain). Overrides --capture.")
     p.add_argument("--checkpoint", default=None, help="path to save when done")
     p.add_argument("--resume", default=None, help="checkpoint to restore first")
+    p.add_argument("--ckpt-dir", default=None, metavar="DIR",
+                   help="rotating checkpoint directory (CheckpointManager)")
+    p.add_argument("--ckpt-format", default="npz", choices=["npz", "sharded"],
+                   help="rotating checkpoint format: monolithic v2 .npz or "
+                        "sharded v3 directories")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="write a rotating checkpoint every N steps "
+                        "(requires --ckpt-dir)")
+    p.add_argument("--async-checkpoint", action="store_true",
+                   help="write rotating checkpoints on a background thread "
+                        "(snapshot at the step boundary, serialize off-thread)")
     p.add_argument("--eval-every", type=int, default=None)
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="trace the run; write a Chrome-trace JSON here "
@@ -126,11 +147,66 @@ def trace_main(argv=None) -> int:
     return 0
 
 
+def build_ckpt_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.cli ckpt",
+        description="Inspect or migrate checkpoints (v2 .npz / v3 sharded).",
+    )
+    sub = p.add_subparsers(dest="action", required=True)
+    insp = sub.add_parser("inspect", help="print checkpoint metadata + shards")
+    insp.add_argument("path", help="checkpoint path (.npz file or directory)")
+    insp.add_argument("--verify", action="store_true",
+                      help="re-read every shard and recompute its CRC32")
+    insp.add_argument("--limit", type=int, default=0,
+                      help="show at most N shard rows (0 = all)")
+    insp.add_argument("--json", action="store_true",
+                      help="emit the description as JSON instead of a table")
+    mig = sub.add_parser(
+        "migrate", help="convert a v2 .npz into a sharded v3 directory"
+    )
+    mig.add_argument("src", help="source .npz checkpoint")
+    mig.add_argument("dst", help="destination directory to create")
+    return p
+
+
+def ckpt_main(argv=None) -> int:
+    """``python -m repro.cli ckpt inspect|migrate ...``."""
+    from repro.checkpoint import (
+        CheckpointError,
+        describe_checkpoint,
+        format_describe,
+        migrate_v2_to_v3,
+    )
+
+    args = build_ckpt_parser().parse_args(argv)
+    try:
+        if args.action == "inspect":
+            info = describe_checkpoint(args.path, verify=args.verify)
+            if args.json:
+                print(json.dumps(info, indent=2, default=str))
+            else:
+                print(format_describe(info, limit=args.limit))
+                if args.verify:
+                    print(f"verify: OK ({info['num_shards']} shards)")
+        else:
+            out = migrate_v2_to_v3(args.src, args.dst)
+            print(f"migrated {args.src} -> {out}")
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "ckpt":
+        return ckpt_main(argv[1:])
     args = build_parser().parse_args(argv)
     seed_all(args.seed)
 
@@ -174,7 +250,13 @@ def main(argv=None) -> int:
         use_grad_scaler=args.amp,
         capture=args.capture,
         backend=args.backend,
+        async_checkpoint=args.async_checkpoint,
     )
+    manager = None
+    if args.ckpt_dir:
+        from repro.checkpoint import CheckpointManager
+
+        manager = CheckpointManager(args.ckpt_dir, fmt=args.ckpt_format)
     trainer = Trainer(
         model, train, val, tcfg,
         optimizer=optimizer,
@@ -191,9 +273,16 @@ def main(argv=None) -> int:
         if run_log is not None:
             run_log.write(r)
 
+    def run():
+        return trainer.fit(
+            callback=callback,
+            checkpoint_manager=manager,
+            checkpoint_every=args.checkpoint_every if manager else 0,
+        )
+
     if args.trace:
         with tracing() as tracer:
-            history = trainer.train(callback=callback)
+            history = run()
         os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
         trace = save_chrome_trace(args.trace, tracer)
         logger.info(
@@ -203,7 +292,7 @@ def main(argv=None) -> int:
         )
         print(step_table(tracer))
     else:
-        history = trainer.train(callback=callback)
+        history = run()
     if run_log is not None:
         run_log.close(final={"metrics": registry().snapshot()})
         logger.info("run log written to %s", args.run_log)

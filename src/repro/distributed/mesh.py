@@ -37,3 +37,18 @@ class DeviceMesh:
 
     def owner_of_expert(self, expert: int, num_experts: int) -> int:
         return expert // self.experts_per_rank(num_experts)
+
+    def expert_slice(self, rank: int, num_experts: int) -> range:
+        """Expert indices owned by ``rank`` (contiguous block layout).
+
+        The inverse of :meth:`owner_of_expert`; the checkpoint reshard
+        planner uses it to audit that an N→M remap covers every expert
+        exactly once.
+        """
+        if not 0 <= rank < self.expert_parallel:
+            raise ValueError(
+                f"rank {rank} out of range for expert_parallel="
+                f"{self.expert_parallel}"
+            )
+        per_rank = self.experts_per_rank(num_experts)
+        return range(rank * per_rank, (rank + 1) * per_rank)

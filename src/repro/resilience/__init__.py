@@ -6,6 +6,7 @@ See ``docs/robustness.md`` for the fault model and recovery semantics.
 from repro.resilience import counters
 from repro.resilience.faults import (
     ALL_KINDS,
+    CHECKPOINT_KINDS,
     COLLECTIVE_KINDS,
     CORRUPT_PAYLOAD,
     DELAY,
@@ -13,6 +14,8 @@ from repro.resilience.faults import (
     INF_GRAD,
     NAN_GRAD,
     RANK_FAILURE,
+    TORN_WRITE,
+    CheckpointWriteFault,
     CollectiveFault,
     FaultEvent,
     FaultInjector,
@@ -30,6 +33,7 @@ from repro.resilience.guardrails import (
 __all__ = [
     "counters",
     "ALL_KINDS",
+    "CHECKPOINT_KINDS",
     "COLLECTIVE_KINDS",
     "GRADIENT_KINDS",
     "NAN_GRAD",
@@ -37,6 +41,8 @@ __all__ = [
     "RANK_FAILURE",
     "CORRUPT_PAYLOAD",
     "DELAY",
+    "TORN_WRITE",
+    "CheckpointWriteFault",
     "CollectiveFault",
     "FaultEvent",
     "FaultSchedule",

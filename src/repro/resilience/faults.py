@@ -47,10 +47,12 @@ INF_GRAD = "inf_grad"  # overwrite one gradient entry with +inf
 RANK_FAILURE = "rank_failure"  # collective raises CollectiveFault
 CORRUPT_PAYLOAD = "corrupt_payload"  # collective payload gets a NaN
 DELAY = "delay"  # collective completes after simulated latency
+TORN_WRITE = "torn_write"  # checkpoint write killed mid-shard
 
 GRADIENT_KINDS = frozenset({NAN_GRAD, INF_GRAD})
 COLLECTIVE_KINDS = frozenset({RANK_FAILURE, CORRUPT_PAYLOAD, DELAY})
-ALL_KINDS = GRADIENT_KINDS | COLLECTIVE_KINDS
+CHECKPOINT_KINDS = frozenset({TORN_WRITE})
+ALL_KINDS = GRADIENT_KINDS | COLLECTIVE_KINDS | CHECKPOINT_KINDS
 
 
 class CollectiveFault(RuntimeError):
@@ -64,6 +66,24 @@ class CollectiveFault(RuntimeError):
         self.op = op
         self.step = step
         self.attempt = attempt
+
+
+class CheckpointWriteFault(RuntimeError):
+    """A simulated mid-write checkpoint death (power loss, OOM kill).
+
+    Raised out of :meth:`FaultInjector.checkpoint_fault` *inside* the
+    shard writer, before the manifest publishes — the checkpoint
+    directory is left torn, exactly as a real crash would leave it, and
+    the recovery contract (``load_latest`` falls back past it) is
+    exercised end to end.
+    """
+
+    def __init__(self, key: str, step: Optional[int]) -> None:
+        super().__init__(
+            f"simulated torn checkpoint write at shard {key!r} (step={step})"
+        )
+        self.key = key
+        self.step = step
 
 
 @dataclass
@@ -274,6 +294,26 @@ class FaultInjector:
         if self.policy is not None:
             return self.policy.run(attempt, op)
         return attempt(0)
+
+    # -- checkpoint hook (called by the ShardWriter per shard) ---------
+    def checkpoint_fault(self, key: str) -> None:
+        """Fire any armed ``TORN_WRITE`` fault for shard ``key``.
+
+        Passed as ``fault_hook`` into the shard writer, which calls it
+        immediately before each shard hits disk.  An event with
+        ``op="*"`` kills the very first shard; ``op="<shard key>"``
+        kills the write mid-stream, after earlier shards have landed —
+        either way the manifest never publishes and the directory is
+        left torn for the recovery path to skip.
+        """
+        event = self.schedule.match(
+            CHECKPOINT_KINDS, step=self.current_step, op=key
+        )
+        if event is None:
+            return
+        self.schedule.consume(event)
+        counters.increment(f"injected_{event.kind}")
+        raise CheckpointWriteFault(key, self.current_step)
 
     # -- gradient hook (called by the Trainer after backward) ----------
     def corrupt_gradients(self, step: int, params) -> bool:

@@ -17,6 +17,7 @@ from repro.training.metrics import (
 from repro.training.trainer import RoutingStats, Trainer, TrainerConfig
 from repro.training.amp import GradScaler, MasterWeights, half_tensor, to_half
 from repro.training.checkpoint import (
+    AsyncCheckpointWriter,
     CheckpointCorruptError,
     CheckpointError,
     CheckpointManager,
@@ -51,6 +52,7 @@ __all__ = [
     "CheckpointManager",
     "CheckpointError",
     "CheckpointCorruptError",
+    "AsyncCheckpointWriter",
     "evaluate_lm",
     "perplexity",
     "bits_per_token",

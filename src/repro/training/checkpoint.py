@@ -1,397 +1,35 @@
-"""Validated, atomic checkpointing with rotation.
+"""Compatibility shim: checkpointing now lives in :mod:`repro.checkpoint`.
 
-Checkpoints are the recovery substrate of the fault-tolerance layer
-(``docs/robustness.md``), so writes and reads are hardened:
-
-- **Atomic writes** — arrays stream through an explicit file handle to a
-  ``.tmp`` path, which is flushed, fsynced, and ``os.replace``d into
-  place; a crash mid-write leaves the previous checkpoint intact.
-- **Integrity validation** — every array carries a CRC32 checksum in the
-  metadata; loads verify each checksum and wrap any container-level
-  failure (truncation, bad zip, short reads) in
-  :class:`CheckpointCorruptError` with a clear diagnostic instead of a
-  cryptic ``zipfile`` traceback.
-- **Schema versioning** — ``format_version`` is checked on load so
-  future layout changes fail loudly, not as shape errors.
-- **Rotation** — :class:`CheckpointManager` keeps the last N checkpoints
-  plus the best-by-metric one, and can fall back to an older checkpoint
-  when the newest is corrupt.
-
-File layout (one ``.npz``): ``model/<name>`` parameter arrays,
-``optim/m|v/<index>`` Adam moments, ``extra/<name>`` caller arrays
-(trainer RNG/epoch state), and ``__meta__`` — a JSON blob holding the
-scalars and the checksum table.
+PR 7 promoted the checkpoint subsystem out of ``repro.training`` into a
+first-class package with the sharded streaming format, elastic resume,
+and the async background writer.  Every name this module historically
+exported keeps working; new code should import from ``repro.checkpoint``
+directly.
 """
 
-from __future__ import annotations
+from repro.checkpoint import (  # noqa: F401
+    FORMAT_VERSION,
+    AsyncCheckpointWriter,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointState,
+    ShardReader,
+    ShardWriter,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.checkpoint.common import _crc32  # noqa: F401
 
-import json
-import os
-import shutil
-import zipfile
-import zlib
-from typing import Any, Callable, Dict, List, Optional
-
-import numpy as np
-
-from repro.nn.module import Module
-from repro.training.optim import Adam, Optimizer
-from repro.utils.logging import get_logger
-
-logger = get_logger("checkpoint")
-
-#: Current checkpoint layout version.  Bump when the array naming or
-#: metadata schema changes incompatibly.
-FORMAT_VERSION = 2
-
-
-class CheckpointError(ValueError):
-    """A checkpoint could not be saved or restored."""
-
-
-class CheckpointCorruptError(CheckpointError):
-    """The checkpoint file is damaged (truncated, bad CRC, bad schema)."""
-
-
-def _crc32(arr: np.ndarray) -> int:
-    return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
-
-
-def save_checkpoint(
-    path: str,
-    model: Module,
-    optimizer: Optional[Optimizer] = None,
-    step: int = 0,
-    extra: Optional[Dict[str, Any]] = None,
-    extra_arrays: Optional[Dict[str, np.ndarray]] = None,
-) -> None:
-    """Atomically write a single validated ``.npz`` checkpoint.
-
-    Model parameters are stored under ``model/<name>``; Adam moments (if
-    an Adam optimizer is given) under ``optim/<m|v>/<index>``; caller
-    arrays under ``extra/<name>``; scalars and per-array CRC32 checksums
-    in a JSON metadata blob.
-    """
-    arrays: Dict[str, np.ndarray] = {}
-    for name, p in model.named_parameters():
-        arrays[f"model/{name}"] = p.data
-    meta: Dict[str, Any] = {
-        "format_version": FORMAT_VERSION,
-        "step": int(step),
-        "extra": extra or {},
-    }
-    if isinstance(optimizer, Adam):
-        meta["adam"] = {
-            "t": optimizer.t,
-            "lr": optimizer.lr,
-            "num_params": len(optimizer._m),
-        }
-        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
-            arrays[f"optim/m/{i}"] = m
-            arrays[f"optim/v/{i}"] = v
-    for name, arr in (extra_arrays or {}).items():
-        arrays[f"extra/{name}"] = np.asarray(arr)
-    meta["crc32"] = {name: _crc32(arr) for name, arr in arrays.items()}
-    arrays["__meta__"] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    )
-
-    # Explicit file handle: np.savez never renames or appends suffixes,
-    # and we can fsync before publishing the file under its final name.
-    tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **arrays)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.remove(tmp)
-    # Best-effort directory fsync so the rename itself is durable.
-    dirname = os.path.dirname(os.path.abspath(path))
-    try:
-        dfd = os.open(dirname, os.O_RDONLY)
-        try:
-            os.fsync(dfd)
-        finally:
-            os.close(dfd)
-    except OSError:
-        pass
-
-
-def _read_array(data, name: str, path: str) -> np.ndarray:
-    try:
-        return data[name]
-    except (zipfile.BadZipFile, EOFError, OSError, zlib.error) as exc:
-        raise CheckpointCorruptError(
-            f"checkpoint {path!r}: array {name!r} is unreadable "
-            f"(truncated or corrupted write?): {exc}"
-        ) from exc
-
-
-def load_checkpoint(
-    path: str,
-    model: Module,
-    optimizer: Optional[Optimizer] = None,
-) -> Dict[str, Any]:
-    """Restore a checkpoint written by :func:`save_checkpoint`.
-
-    Every array's CRC32 is verified against the metadata table before
-    any state is mutated.  Returns the metadata dict (``step``,
-    ``extra``, plus ``extra_arrays`` holding any caller arrays).
-
-    Raises:
-        CheckpointCorruptError: truncated/damaged file, checksum
-            mismatch, or unknown schema version.
-        KeyError: parameter-name mismatch, or Adam state requested but
-            absent from the checkpoint.
-        ValueError: parameter count/shape mismatch between the
-            checkpoint and the given model/optimizer.
-    """
-    if not os.path.exists(path):
-        raise FileNotFoundError(path)
-    try:
-        data = np.load(path, allow_pickle=False)
-    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
-        raise CheckpointCorruptError(
-            f"checkpoint {path!r} is not a readable npz archive "
-            f"(truncated or corrupted write?): {exc}"
-        ) from exc
-    with data:
-        if "__meta__" not in data.files:
-            raise CheckpointCorruptError(
-                f"checkpoint {path!r} has no __meta__ record"
-            )
-        try:
-            meta = json.loads(
-                bytes(_read_array(data, "__meta__", path)).decode("utf-8")
-            )
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise CheckpointCorruptError(
-                f"checkpoint {path!r}: metadata is not valid JSON: {exc}"
-            ) from exc
-        version = meta.get("format_version")
-        if version != FORMAT_VERSION:
-            raise CheckpointCorruptError(
-                f"checkpoint {path!r} has format_version={version!r}; "
-                f"this build reads version {FORMAT_VERSION}"
-            )
-
-        # Read and checksum-validate every array up front, before any
-        # model/optimizer state is touched.
-        checksums: Dict[str, int] = meta.get("crc32", {})
-        arrays: Dict[str, np.ndarray] = {}
-        for name in data.files:
-            if name == "__meta__":
-                continue
-            arr = _read_array(data, name, path)
-            if name not in checksums:
-                raise CheckpointCorruptError(
-                    f"checkpoint {path!r}: array {name!r} has no recorded "
-                    f"checksum"
-                )
-            got = _crc32(arr)
-            if got != checksums[name]:
-                raise CheckpointCorruptError(
-                    f"checkpoint {path!r}: checksum mismatch for {name!r} "
-                    f"(recorded {checksums[name]:#010x}, got {got:#010x}) — "
-                    f"the file is corrupt"
-                )
-            arrays[name] = arr
-        missing = set(checksums) - set(arrays)
-        if missing:
-            raise CheckpointCorruptError(
-                f"checkpoint {path!r}: arrays missing from archive: "
-                f"{sorted(missing)}"
-            )
-
-    state = {
-        name[len("model/"):]: arr
-        for name, arr in arrays.items()
-        if name.startswith("model/")
-    }
-    model.load_state_dict(state)
-    if optimizer is not None and isinstance(optimizer, Adam):
-        if "adam" not in meta:
-            raise KeyError("checkpoint holds no Adam state")
-        saved = int(meta["adam"].get("num_params", -1))
-        if saved != len(optimizer._m):
-            raise ValueError(
-                f"optimizer parameter count mismatch: checkpoint holds Adam "
-                f"moments for {saved} parameters, optimizer has "
-                f"{len(optimizer._m)} — model/optimizer architecture differs "
-                f"from the saved run"
-            )
-        for i in range(len(optimizer._m)):
-            for kind, store in (("m", optimizer._m), ("v", optimizer._v)):
-                arr = arrays[f"optim/{kind}/{i}"]
-                if arr.shape != store[i].shape:
-                    raise ValueError(
-                        f"optimizer moment optim/{kind}/{i} shape mismatch: "
-                        f"checkpoint {arr.shape} vs optimizer {store[i].shape}"
-                    )
-        optimizer.t = int(meta["adam"]["t"])
-        for i in range(len(optimizer._m)):
-            optimizer._m[i][...] = arrays[f"optim/m/{i}"]
-            optimizer._v[i][...] = arrays[f"optim/v/{i}"]
-    meta["extra_arrays"] = {
-        name[len("extra/"):]: arr
-        for name, arr in arrays.items()
-        if name.startswith("extra/")
-    }
-    return meta
-
-
-class CheckpointManager:
-    """Rotating checkpoint directory: keep-last-N plus best-by-metric.
-
-    Checkpoints are named ``<prefix>-<step:08d>.npz``; the best one (by
-    a lower-is-better metric, typically validation loss) is copied to
-    ``<prefix>-best.npz`` so pruning never discards it.  An ``index.json``
-    (written atomically) records the rotation state and is rebuilt from
-    the directory listing when absent.
-    """
-
-    def __init__(
-        self,
-        directory: str,
-        keep_last: int = 3,
-        keep_best: bool = True,
-        prefix: str = "ckpt",
-    ) -> None:
-        if keep_last < 1:
-            raise ValueError("keep_last must be >= 1")
-        self.directory = directory
-        self.keep_last = keep_last
-        self.keep_best = keep_best
-        self.prefix = prefix
-        os.makedirs(directory, exist_ok=True)
-        self._steps: List[int] = []
-        self._best: Optional[Dict[str, Any]] = None
-        self._load_index()
-
-    # ------------------------------------------------------------------
-    def path_for(self, step: int) -> str:
-        return os.path.join(self.directory, f"{self.prefix}-{step:08d}.npz")
-
-    @property
-    def best_path(self) -> str:
-        return os.path.join(self.directory, f"{self.prefix}-best.npz")
-
-    @property
-    def _index_path(self) -> str:
-        return os.path.join(self.directory, "index.json")
-
-    def _load_index(self) -> None:
-        if os.path.exists(self._index_path):
-            try:
-                with open(self._index_path) as fh:
-                    index = json.load(fh)
-                self._steps = [int(s) for s in index.get("checkpoints", [])]
-                self._best = index.get("best")
-            except (json.JSONDecodeError, OSError):
-                logger.warning("index.json unreadable; rebuilding from listing")
-                self._steps, self._best = [], None
-        if not self._steps:
-            head = f"{self.prefix}-"
-            for name in sorted(os.listdir(self.directory)):
-                stem = name[len(head):-len(".npz")]
-                if (
-                    name.startswith(head)
-                    and name.endswith(".npz")
-                    and stem.isdigit()
-                ):
-                    self._steps.append(int(stem))
-        self._steps = sorted(set(self._steps))
-
-    def _write_index(self) -> None:
-        tmp = self._index_path + ".tmp"
-        with open(tmp, "w") as fh:
-            json.dump({"checkpoints": self._steps, "best": self._best}, fh)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self._index_path)
-
-    # ------------------------------------------------------------------
-    def save(
-        self,
-        model: Module,
-        optimizer: Optional[Optimizer] = None,
-        step: int = 0,
-        metric: Optional[float] = None,
-        extra: Optional[Dict[str, Any]] = None,
-        extra_arrays: Optional[Dict[str, np.ndarray]] = None,
-        writer: Optional[Callable[[str], None]] = None,
-    ) -> str:
-        """Write the checkpoint for ``step`` and rotate.
-
-        ``writer(path)``, when given, performs the actual write (the
-        trainer passes its own state-aware saver); otherwise
-        :func:`save_checkpoint` is called with the given pieces.
-        ``metric`` (lower is better) drives best-checkpoint tracking.
-        """
-        path = self.path_for(step)
-        if writer is not None:
-            writer(path)
-        else:
-            save_checkpoint(path, model, optimizer, step, extra, extra_arrays)
-        self.register(step, metric)
-        return path
-
-    def register(self, step: int, metric: Optional[float] = None) -> None:
-        """Record an externally written checkpoint for ``step`` and rotate."""
-        if step not in self._steps:
-            self._steps.append(int(step))
-            self._steps.sort()
-        if (
-            self.keep_best
-            and metric is not None
-            and (self._best is None or metric < self._best["metric"])
-        ):
-            shutil.copy2(self.path_for(step), self.best_path)
-            self._best = {"step": int(step), "metric": float(metric)}
-        while len(self._steps) > self.keep_last:
-            victim = self._steps.pop(0)
-            victim_path = self.path_for(victim)
-            if os.path.exists(victim_path):
-                os.remove(victim_path)
-        self._write_index()
-
-    # ------------------------------------------------------------------
-    @property
-    def steps(self) -> List[int]:
-        return list(self._steps)
-
-    @property
-    def best(self) -> Optional[Dict[str, Any]]:
-        """``{"step": ..., "metric": ...}`` of the best checkpoint, if any."""
-        return dict(self._best) if self._best else None
-
-    def latest_path(self) -> Optional[str]:
-        return self.path_for(self._steps[-1]) if self._steps else None
-
-    def load_latest(
-        self,
-        model: Module,
-        optimizer: Optional[Optimizer] = None,
-    ) -> Dict[str, Any]:
-        """Restore the newest *valid* checkpoint.
-
-        Corrupt checkpoints are skipped (with a warning) in favour of
-        the next-newest — the reason rotation keeps more than one.
-        """
-        errors = []
-        for step in reversed(self._steps):
-            path = self.path_for(step)
-            try:
-                return load_checkpoint(path, model, optimizer)
-            except (CheckpointCorruptError, FileNotFoundError) as exc:
-                logger.warning("skipping %s: %s", path, exc)
-                errors.append(f"{path}: {exc}")
-        raise CheckpointError(
-            "no valid checkpoint in "
-            f"{self.directory!r}; tried {len(errors)}: " + "; ".join(errors)
-            if errors
-            else f"no checkpoints in {self.directory!r}"
-        )
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointManager",
+    "CheckpointState",
+    "AsyncCheckpointWriter",
+    "ShardWriter",
+    "ShardReader",
+    "save_checkpoint",
+    "load_checkpoint",
+]

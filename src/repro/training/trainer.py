@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -40,11 +40,14 @@ from repro.nn.transformer import TransformerLM
 from repro.resilience import guardrails as gr
 from repro.resilience.faults import CollectiveFault, FaultInjector
 from repro.resilience.guardrails import GuardrailConfig, NumericGuard
-from repro.training.checkpoint import (
+from repro.checkpoint import (
+    AsyncCheckpointWriter,
     CheckpointError,
     CheckpointManager,
+    CheckpointState,
+    build_state,
     load_checkpoint,
-    save_checkpoint,
+    write_state,
 )
 from repro.training.lr_schedule import ConstantLR, LRSchedule
 from repro.training.metrics import History, TrainingRecord
@@ -115,6 +118,13 @@ class TrainerConfig:
             Every backend is bit-identical; a missing C toolchain (or
             ``REPRO_NO_CC=1``) degrades ``"cc"`` to ``"replay"`` with a
             single warning.
+        async_checkpoint: write periodic checkpoints through the
+            background :class:`repro.checkpoint.AsyncCheckpointWriter`:
+            the step boundary pays only a snapshot memcpy, and the
+            serialize+fsync runs on a worker thread.  Byte-identical to
+            synchronous checkpoints (see ``docs/robustness.md``).
+        ckpt_queue_size: bounded async-writer queue depth (pending
+            snapshots before :meth:`submit` applies backpressure).
     """
 
     global_batch: int = 32
@@ -130,6 +140,8 @@ class TrainerConfig:
     steady_state: bool = False
     capture: bool = False
     backend: Optional[str] = None
+    async_checkpoint: bool = False
+    ckpt_queue_size: int = 2
 
     def __post_init__(self) -> None:
         if self.global_batch % self.micro_batch:
@@ -168,6 +180,7 @@ class Trainer:
         schedule: Optional[LRSchedule] = None,
         rng: RngLike = None,
         fault_injector: Optional[FaultInjector] = None,
+        mesh: Optional[Any] = None,
     ) -> None:
         self.model = model
         self.train_data = train_data
@@ -190,6 +203,11 @@ class Trainer:
             NumericGuard(config.guardrails) if config.guardrails else None
         )
         self.fault_injector = fault_injector
+        #: Device mesh recorded into checkpoints; drives elastic resume
+        #: (expert-weight resharding) when the saved mesh differs.
+        self.mesh = mesh
+        #: Lazily created background writer (``async_checkpoint=True``).
+        self.ckpt_writer: Optional[AsyncCheckpointWriter] = None
         self._snapshot = None
         self._good_since_snapshot = 0
         #: Compiled step graph (capture mode), or None before the first
@@ -551,19 +569,26 @@ class Trainer:
     # ------------------------------------------------------------------
     # Checkpoint round-trip (see docs/robustness.md).
     # ------------------------------------------------------------------
-    def save(
+    def _ckpt_fault_hook(self):
+        """Chaos seam: the injector's TORN_WRITE hook, when armed."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.checkpoint_fault
+
+    def _build_save_state(
         self,
-        path: str,
         step: int = 0,
         val_loss: Optional[float] = None,
         extra: Optional[dict] = None,
-    ) -> None:
-        """Checkpoint model + optimizer + full trainer state.
+        copy: bool = False,
+    ) -> CheckpointState:
+        """Capture the full resumable state as a :class:`CheckpointState`.
 
-        ``step`` is the number of completed optimizer steps (the resumed
-        run starts there).  Captures the trainer's and the process-global
-        RNG streams, the epoch shuffle order/position, and grad-scaler
-        state, so :meth:`fit(resume=...)` is bit-exact.
+        Both save paths funnel through here: the synchronous
+        :meth:`save` serializes it immediately (``copy=False`` — the
+        arrays are read before anything can mutate them), while the
+        async path snapshots with ``copy=True`` so later steps and
+        guardrail rewinds cannot race the background write.
         """
         trainer_state = {
             "rng": {
@@ -588,18 +613,42 @@ class Trainer:
         extra_arrays = {}
         if self._epoch_order is not None:
             extra_arrays["epoch_order"] = self._epoch_order
-        save_checkpoint(
-            path,
+        return build_state(
             self.model,
             self.optimizer,
             step=step,
             extra=merged,
             extra_arrays=extra_arrays,
+            mesh=self.mesh,
+            copy=copy,
         )
+
+    def save(
+        self,
+        path: str,
+        step: int = 0,
+        val_loss: Optional[float] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        """Checkpoint model + optimizer + full trainer state.
+
+        ``step`` is the number of completed optimizer steps (the resumed
+        run starts there).  Captures the trainer's and the process-global
+        RNG streams, the epoch shuffle order/position, and grad-scaler
+        state, so :meth:`fit(resume=...)` is bit-exact.  The format is
+        chosen by the path: ``.npz`` writes monolithic v2, anything else
+        a sharded v3 directory.
+        """
+        state = self._build_save_state(step=step, val_loss=val_loss, extra=extra)
+        write_state(path, state, fault_hook=self._ckpt_fault_hook())
 
     def restore(self, path: str) -> int:
         """Restore a :meth:`save` checkpoint; returns the next step index."""
-        meta = load_checkpoint(path, self.model, self.optimizer)
+        meta = load_checkpoint(path, self.model, self.optimizer, mesh=self.mesh)
+        if meta.get("reshard"):
+            logger.info(
+                "elastic resume from %s: %s", path, meta["reshard"]
+            )
         state = meta["extra"].get("trainer_state")
         if state is None:
             raise CheckpointError(
@@ -688,12 +737,47 @@ class Trainer:
                 and (step + 1) % checkpoint_every == 0
             ):
                 done = step + 1
-                checkpoint_manager.save(
-                    self.model,
-                    self.optimizer,
-                    step=done,
-                    metric=val,
-                    writer=lambda p: self.save(p, step=done, val_loss=val),
+                if cfg.async_checkpoint:
+                    # Snapshot at the step boundary (cheap memcpy into
+                    # staging buffers), then hand off: serialize+fsync
+                    # happen on the writer thread, registration with the
+                    # manager after a successful publish.
+                    if self.ckpt_writer is None:
+                        self.ckpt_writer = AsyncCheckpointWriter(
+                            queue_size=cfg.ckpt_queue_size
+                        )
+                    with span("ckpt_snapshot", {"step": done}):
+                        state = self._build_save_state(
+                            step=done, val_loss=val, copy=True
+                        )
+                    with span("ckpt_submit", {"step": done}):
+                        self.ckpt_writer.submit(
+                            checkpoint_manager.path_for(done),
+                            state,
+                            step=done,
+                            metric=val,
+                            manager=checkpoint_manager,
+                            fault_hook=self._ckpt_fault_hook(),
+                        )
+                else:
+                    with span("ckpt_write", {"step": done}):
+                        checkpoint_manager.save(
+                            self.model,
+                            self.optimizer,
+                            step=done,
+                            metric=val,
+                            writer=lambda p: self.save(p, step=done, val_loss=val),
+                        )
+        if self.ckpt_writer is not None:
+            # Settle in-flight writes before the run is declared done; a
+            # failed background write is surfaced (logged + counted), not
+            # fatal — the torn artifact is skipped by load_latest.
+            self.ckpt_writer.drain()
+            if self.ckpt_writer.failed:
+                logger.warning(
+                    "%d async checkpoint write(s) failed (last: %s)",
+                    self.ckpt_writer.failed,
+                    self.ckpt_writer.last_error_path,
                 )
         # Always close with a final evaluation point.
         final_val = self.evaluate()

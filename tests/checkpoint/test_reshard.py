@@ -1,0 +1,146 @@
+"""Elastic resume planning and execution.
+
+An expert's shard is the unit of exchange: resharding from world N to
+world M only remaps *ownership* (``DeviceMesh.owner_of_expert``), never
+slices or re-encodes a shard file, so the restored weights and Adam
+moments must be bit-identical in every direction — N==M (no plan at
+all), N→M grow, M→N shrink, and the N→M→N round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    ExpertMove,
+    load_checkpoint,
+    maybe_plan_reshard,
+    plan_reshard,
+    save_checkpoint,
+)
+from repro.checkpoint.common import build_state
+from repro.distributed import DeviceMesh
+from repro.nn import TransformerLM
+from repro.training import Adam
+
+
+def _moe_model(rng=0):
+    from repro.core import dMoE
+
+    ffn = lambda i: dMoE(16, 32, num_experts=4, block_size=8, rng=i)
+    return TransformerLM(64, 16, 2, 2, 16, ffn_factory=ffn, rng=rng)
+
+
+def _step_optimizer(model, opt, seed=0, steps=2):
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        for p in opt.params:
+            p.grad = rng.standard_normal(p.data.shape).astype(np.float32)
+        opt.step()
+
+
+class TestPlanner:
+    def test_plan_4_to_2(self):
+        src = DeviceMesh(world=4, expert_parallel=4)
+        dst = DeviceMesh(world=2, expert_parallel=2)
+        plan = plan_reshard(4, src, dst)
+        # 4 ranks x 1 expert -> 2 ranks x 2 experts: only expert 0 stays.
+        assert plan.stationary == 1
+        assert plan.moves == [
+            ExpertMove(1, 1, 0),
+            ExpertMove(2, 2, 1),
+            ExpertMove(3, 3, 1),
+        ]
+        assert plan.summary()["moves"] == 3
+
+    def test_plan_validates_divisibility(self):
+        src = DeviceMesh(world=4, expert_parallel=4)
+        bad = DeviceMesh(world=3, expert_parallel=3)
+        with pytest.raises(CheckpointError, match="cannot reshard"):
+            plan_reshard(4, src, bad)
+
+    def test_same_mesh_needs_no_plan(self):
+        mesh = DeviceMesh(world=4, expert_parallel=4)
+        state = build_state(_moe_model(), mesh=mesh)
+        saved = {"world": 4, "expert_parallel": 4}
+        assert maybe_plan_reshard(state, saved, mesh) is None
+
+    def test_expert_slice_inverts_owner_of_expert(self):
+        for ep in (1, 2, 4, 8):
+            mesh = DeviceMesh(world=8, expert_parallel=ep)
+            seen = []
+            for rank in range(ep):
+                block = mesh.expert_slice(rank, 8)
+                seen.extend(block)
+                for e in block:
+                    assert mesh.owner_of_expert(e, 8) == rank
+            assert seen == list(range(8))
+
+    def test_expert_slice_rejects_bad_rank(self):
+        mesh = DeviceMesh(world=4, expert_parallel=4)
+        with pytest.raises(ValueError, match="out of range"):
+            mesh.expert_slice(4, 8)
+
+
+class TestElasticLoad:
+    @pytest.mark.parametrize(
+        "save_ep,load_ep", [(4, 2), (2, 4), (4, 1)], ids=["shrink", "grow", "gather"]
+    )
+    def test_cross_world_load_is_bit_identical(self, tmp_path, save_ep, load_ep):
+        model = _moe_model()
+        opt = Adam(model.parameters(), lr=1e-2)
+        _step_optimizer(model, opt)
+        src_mesh = DeviceMesh(world=save_ep, expert_parallel=save_ep)
+        path = str(tmp_path / "ckpt")
+        save_checkpoint(path, model, opt, step=2, mesh=src_mesh)
+
+        dst_mesh = DeviceMesh(world=load_ep, expert_parallel=load_ep)
+        m2 = _moe_model(rng=99)
+        opt2 = Adam(m2.parameters(), lr=1e-2)
+        meta = load_checkpoint(path, m2, opt2, mesh=dst_mesh)
+        assert meta["reshard"]["src_world"] == save_ep
+        assert meta["reshard"]["dst_world"] == load_ep
+        for (n1, p1), (n2, p2) in zip(
+            model.named_parameters(), m2.named_parameters()
+        ):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data, err_msg=n1)
+        for a, b in zip(opt._m, opt2._m):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(opt._v, opt2._v):
+            np.testing.assert_array_equal(a, b)
+
+    def test_same_world_load_has_no_reshard_meta(self, tmp_path):
+        model = _moe_model()
+        mesh = DeviceMesh(world=4, expert_parallel=4)
+        path = str(tmp_path / "ckpt")
+        save_checkpoint(path, model, step=1, mesh=mesh)
+        meta = load_checkpoint(path, _moe_model(rng=5), mesh=mesh)
+        assert "reshard" not in meta
+
+    def test_indivisible_target_mesh_fails_loudly(self, tmp_path):
+        model = _moe_model()  # 4 experts
+        path = str(tmp_path / "ckpt")
+        save_checkpoint(
+            path, model, step=1, mesh=DeviceMesh(world=4, expert_parallel=4)
+        )
+        with pytest.raises(CheckpointError, match="cannot reshard"):
+            load_checkpoint(
+                path,
+                _moe_model(rng=5),
+                mesh=DeviceMesh(world=3, expert_parallel=3),
+            )
+
+    def test_dense_model_reshards_trivially(self, tmp_path):
+        dense = TransformerLM(64, 16, 2, 2, 16, rng=0)
+        path = str(tmp_path / "ckpt")
+        save_checkpoint(
+            path, dense, step=1, mesh=DeviceMesh(world=4, expert_parallel=4)
+        )
+        d2 = TransformerLM(64, 16, 2, 2, 16, rng=9)
+        meta = load_checkpoint(
+            path, d2, mesh=DeviceMesh(world=2, expert_parallel=2)
+        )
+        assert meta["reshard"]["num_experts"] == 0
+        for p1, p2 in zip(dense.parameters(), d2.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)

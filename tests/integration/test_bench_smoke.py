@@ -40,7 +40,7 @@ def bench(request):
     stale = [
         m
         for m in sys.modules
-        if m.startswith(("harness", "test_fig", "test_step"))
+        if m.startswith(("harness", "test_fig", "test_step", "test_ckpt"))
     ]
     for m in stale:
         del sys.modules[m]
@@ -54,7 +54,7 @@ def bench(request):
     for m in [
         m
         for m in sys.modules
-        if m.startswith(("harness", "test_fig", "test_step"))
+        if m.startswith(("harness", "test_fig", "test_step", "test_ckpt"))
     ]:
         del sys.modules[m]
 
@@ -114,6 +114,18 @@ def test_step_lower_smoke(bench):
     assert mod.SMOKE
     mod.test_step_lower(_PassthroughBenchmark())
     out = os.path.join(BENCH_DIR, "BENCH_lower.json")
+    assert os.path.exists(out)
+
+
+def test_ckpt_stream_smoke(bench):
+    """Streaming checkpoint benchmark: async checkpoints must be
+    byte-identical to synchronous ones, written off the training thread,
+    with losses bit-equal; emits BENCH_ckpt.json with the measured
+    step-boundary stall delta."""
+    mod = bench("test_ckpt_stream")
+    assert mod.SMOKE
+    mod.test_ckpt_stream(_PassthroughBenchmark())
+    out = os.path.join(BENCH_DIR, "BENCH_ckpt.json")
     assert os.path.exists(out)
 
 
