@@ -19,6 +19,8 @@ from repro.autograd.tensor import (
     Tensor,
     as_tensor,
     full,
+    inference_mode,
+    is_inference,
     no_grad,
     ones,
     randn,
@@ -103,6 +105,8 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "no_grad",
+    "inference_mode",
+    "is_inference",
     "zeros",
     "ones",
     "full",

@@ -203,6 +203,62 @@ class BufferArena:
             tracer.count("arena/release")
         return True
 
+    def acquire_detached(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A pooled buffer *outside* generation tracking.
+
+        Long-lived state — the serving KV caches — must survive
+        :meth:`next_generation`, which retires every buffer in the live
+        table.  A detached acquire reuses pooled memory (popping the
+        free stacks like :meth:`acquire`) but never enters ``_live``,
+        so per-step reclaim cannot take it back.  Return it explicitly
+        with :meth:`surrender` when the owner is done.
+
+        Contents are uninitialized; the caller must overwrite them.
+        """
+        dt = dtype if isinstance(dtype, np.dtype) else np.dtype(dtype)
+        if type(shape) is not tuple:
+            shape = (shape,) if type(shape) is int else tuple(shape)
+        n = 1
+        for s in shape:
+            n *= s
+        n = int(n)
+        if n < MIN_BUCKET:
+            self.skipped += 1
+            return np.empty(shape, dtype=dt)
+        b = 1 << (n - 1).bit_length()
+        key = (b, dt.num)
+        stack = self._free.get(key)
+        if stack:
+            base, vc = stack.pop()
+            self._free_bytes -= base.nbytes
+            self.hits += 1
+            view = vc.get(shape)
+            if view is None:
+                view = vc[shape] = base[:n].reshape(shape)
+        else:
+            base = np.empty(b, dtype=dt)
+            self.misses += 1
+            view = base[:n].reshape(shape)
+        return view
+
+    def surrender(self, view: np.ndarray) -> None:
+        """Return a buffer from :meth:`acquire_detached` to the pool.
+
+        Below-floor buffers (plain mallocs) just drop to the GC.  The
+        view cache is rebuilt fresh: the detached holder may have carved
+        arbitrary views that are now dead.
+        """
+        base = view
+        while base.base is not None:
+            base = base.base
+        n = base.size
+        if n < MIN_BUCKET:
+            return
+        b = 1 << (n - 1).bit_length()
+        if b != n:  # not a pooled flat base we handed out; let GC take it
+            return
+        self._stash(((b, base.dtype.num), base, {}))
+
     def owns(self, view: np.ndarray) -> bool:
         """True if ``view`` is backed by a currently-live arena buffer."""
         base = view

@@ -54,6 +54,42 @@ def no_grad():
         _GRAD_ENABLED = prev
 
 
+_INFERENCE = False
+
+
+def is_inference() -> bool:
+    """True inside an :func:`inference_mode` block (the serving path)."""
+    return _INFERENCE
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """Serving-mode scope: ``no_grad`` plus shape-stable kernels.
+
+    Inside this block the model forwards take the inference seams: no
+    tape nodes are recorded, MoE layers skip auxiliary-loss accumulation
+    and dispatch through the padding-free serving path, and every matmul
+    that mixes token rows routes through the bitwise shape-stable
+    kernels of :mod:`repro.serving.kernels`.  The latter is what makes
+    KV-cached incremental decode produce logits *bit-identical* to the
+    uncached full-window forward: NumPy's BLAS-backed ``matmul`` rounds
+    differently for different row counts, so both the cached and the
+    uncached inference paths must share per-row-stable computations.
+
+    Training numerics are untouched — the flag defaults off and nothing
+    outside this context reads it.
+    """
+    global _GRAD_ENABLED, _INFERENCE
+    prev_grad, prev_inf = _GRAD_ENABLED, _INFERENCE
+    _GRAD_ENABLED = False
+    _INFERENCE = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev_grad
+        _INFERENCE = prev_inf
+
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 

@@ -28,6 +28,18 @@ format (monolithic v2 ``.npz`` or sharded v3 directory):
 ``inspect`` prints step / mesh (world size) metadata and the per-shard
 table (name, shape, dtype, size, CRC32); ``--verify`` re-reads every
 shard and recomputes checksums.  See ``docs/robustness.md``.
+
+The ``generate`` and ``serve-bench`` subcommands drive the inference
+serving stack (see ``docs/serving.md``):
+
+    python -m repro.cli generate --checkpoint runs/dmoe-xs.npz \
+        --prompt 5,1,0 --max-new-tokens 64 --gen-top-k 20
+    python -m repro.cli serve-bench --requests 32 --max-batch 4 --int8
+
+``generate`` samples through the KV-cached engine (``--uncached`` for
+the O(T²) baseline); ``serve-bench`` runs a synthetic mixed-length
+request stream through the continuous-batching scheduler and prints the
+TTFT / per-token latency percentile table.
 """
 
 from __future__ import annotations
@@ -200,6 +212,181 @@ def ckpt_main(argv=None) -> int:
     return 0
 
 
+def _add_serving_model_args(p: argparse.ArgumentParser) -> None:
+    """Model-construction flags shared by ``generate`` and ``serve-bench``."""
+    p.add_argument("--model", default="XS", help="Table-1 size")
+    p.add_argument("--system", default="dmoe", choices=SYSTEMS)
+    p.add_argument("--scale", type=float, default=1 / 16)
+    p.add_argument("--num-experts", type=int, default=None)
+    p.add_argument("--top-k", type=int, default=1)
+    p.add_argument("--vocab-size", type=int, default=512)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint to load (v2 .npz or v3 sharded dir); "
+                        "flags must match the architecture it was trained "
+                        "with. Omitted = randomly initialized weights.")
+    p.add_argument("--int8", action="store_true",
+                   help="serve with int8 expert weights (quantize_experts)")
+
+
+def _build_serving_model(args):
+    model = build_model(
+        args.model,
+        system=args.system,
+        scale=args.scale,
+        num_experts=args.num_experts,
+        top_k=args.top_k,
+        vocab_size=args.vocab_size,
+        rng=args.seed,
+    )
+    if args.checkpoint:
+        from repro.checkpoint import load_checkpoint as load_ckpt
+
+        meta = load_ckpt(args.checkpoint, model)
+        logger.info(
+            "loaded %s (step %s)", args.checkpoint, meta.get("step", "?")
+        )
+    return model
+
+
+def build_generate_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.cli generate",
+        description="Sample tokens from a (checkpointed) model via the "
+        "KV-cached inference engine.",
+    )
+    _add_serving_model_args(p)
+    p.add_argument("--prompt", default="1,2,3",
+                   help="comma-separated seed token ids")
+    p.add_argument("--max-new-tokens", type=int, default=32)
+    p.add_argument("--temperature", type=float, default=1.0)
+    p.add_argument("--gen-top-k", type=int, default=None, metavar="K",
+                   help="sample from the K most likely tokens")
+    p.add_argument("--eos-token-id", type=int, default=None)
+    p.add_argument("--uncached", action="store_true",
+                   help="use the O(T^2) uncached generate() baseline "
+                        "instead of the KV-cached engine")
+    return p
+
+
+def generate_main(argv=None) -> int:
+    """``python -m repro.cli generate``: checkpoint → sampled token ids."""
+    import time
+
+    from repro.serving.engine import InferenceEngine
+
+    args = build_generate_parser().parse_args(argv)
+    seed_all(args.seed)
+    model = _build_serving_model(args)
+    try:
+        prompt = np.array(
+            [int(t) for t in args.prompt.split(",") if t.strip() != ""],
+            dtype=np.int64,
+        )
+    except ValueError:
+        print(f"error: --prompt must be comma-separated ints, got "
+              f"{args.prompt!r}", file=sys.stderr)
+        return 1
+    if prompt.size == 0 or prompt.min() < 0 or prompt.max() >= model.vocab_size:
+        print(f"error: prompt ids must be in [0, {model.vocab_size})",
+              file=sys.stderr)
+        return 1
+
+    t0 = time.perf_counter()
+    if args.uncached:
+        out = model.generate(
+            prompt, args.max_new_tokens, temperature=args.temperature,
+            top_k=args.gen_top_k, eos_token_id=args.eos_token_id,
+            rng=args.seed,
+        )
+    else:
+        engine = InferenceEngine(
+            model, quantize_experts="int8" if args.int8 else None
+        )
+        if engine.quant_report:
+            logger.info(
+                "int8 experts: %d layers, %.0f -> %.0f KiB (%.2fx)",
+                engine.quant_report["layers"],
+                engine.quant_report["fp32_bytes"] / 1024,
+                engine.quant_report["int8_bytes"] / 1024,
+                engine.quant_report["ratio"],
+            )
+        out = engine.generate(
+            prompt, args.max_new_tokens, temperature=args.temperature,
+            top_k=args.gen_top_k, eos_token_id=args.eos_token_id,
+            rng=args.seed,
+        )
+    dt = time.perf_counter() - t0
+    new = out.shape[1] - prompt.size
+    print(" ".join(str(t) for t in out[0]))
+    logger.info(
+        "%d new tokens in %.3fs (%.1f tok/s, %s)",
+        new, dt, new / dt if dt > 0 else float("inf"),
+        "uncached" if args.uncached else "kv-cached",
+    )
+    return 0
+
+
+def build_serve_bench_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.cli serve-bench",
+        description="Synthetic load against the continuous-batching "
+        "scheduler; prints the latency percentile table.",
+    )
+    _add_serving_model_args(p)
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--token-budget", type=int, default=None)
+    p.add_argument("--min-prompt", type=int, default=4)
+    p.add_argument("--max-prompt", type=int, default=32)
+    p.add_argument("--min-new", type=int, default=4)
+    p.add_argument("--max-new", type=int, default=24)
+    p.add_argument("--temperature", type=float, default=1.0)
+    return p
+
+
+def serve_bench_main(argv=None) -> int:
+    """``python -m repro.cli serve-bench``: scheduler under synthetic load."""
+    import time
+
+    from repro.serving.engine import InferenceEngine
+    from repro.serving.scheduler import ContinuousBatchingScheduler, Request
+
+    args = build_serve_bench_parser().parse_args(argv)
+    seed_all(args.seed)
+    model = _build_serving_model(args)
+    engine = InferenceEngine(
+        model, quantize_experts="int8" if args.int8 else None
+    )
+    gen = np.random.default_rng(args.seed + 1)
+    requests = [
+        Request(
+            prompt=gen.integers(
+                0, model.vocab_size,
+                size=int(gen.integers(args.min_prompt, args.max_prompt + 1)),
+            ),
+            max_new_tokens=int(gen.integers(args.min_new, args.max_new + 1)),
+            temperature=args.temperature,
+            seed=args.seed + 100 + i,
+        )
+        for i in range(args.requests)
+    ]
+    sched = ContinuousBatchingScheduler(
+        engine, max_batch_size=args.max_batch, token_budget=args.token_budget
+    )
+    t0 = time.perf_counter()
+    results = sched.run(requests)
+    dt = time.perf_counter() - t0
+    sched.close()
+    total_new = sum(r.new_tokens for r in results)
+    print(sched.latency_table())
+    logger.info(
+        "%d requests, %d generated tokens in %.3fs (%.1f tok/s)",
+        len(results), total_new, dt, total_new / dt if dt > 0 else 0.0,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -207,6 +394,10 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "ckpt":
         return ckpt_main(argv[1:])
+    if argv and argv[0] == "generate":
+        return generate_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return serve_bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     seed_all(args.seed)
 

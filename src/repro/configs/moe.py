@@ -7,7 +7,7 @@ every FFN layer replaced by a 64-expert MoE layer (top-1 routing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.configs.transformer import (
     TABLE1,
@@ -17,12 +17,33 @@ from repro.configs.transformer import (
 
 @dataclass(frozen=True)
 class MoEConfig:
-    """One row of Table 2."""
+    """One row of Table 2.
+
+    ``quantize_experts`` is a *serving-time* knob: ``"int8"`` requests
+    per-output-channel symmetric int8 expert FFN weights (4x weight-byte
+    reduction, fp32 scales) when the model is wrapped by
+    ``repro.serving.InferenceEngine``; training always runs fp32.
+    """
 
     name: str
     base: TransformerConfig
     num_experts: int = 64
     top_k: int = 1
+    quantize_experts: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.quantize_experts not in (None, "int8"):
+            raise ValueError(
+                f"quantize_experts={self.quantize_experts!r} unsupported; "
+                "options: None, 'int8'"
+            )
+
+    @property
+    def expert_weight_bytes_per_layer(self) -> int:
+        """Serving bytes for one layer's expert w1/w2 under the config."""
+        per_weight = 1 if self.quantize_experts == "int8" else 4
+        ffn = self.ffn_hidden_size
+        return self.num_experts * 2 * self.hidden_size * ffn * per_weight
 
     @property
     def hidden_size(self) -> int:

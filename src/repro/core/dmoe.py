@@ -26,9 +26,10 @@ import dataclasses
 from repro.autograd import ACTIVATIONS, getitem
 from repro.autograd.graph import host as graph_host
 from repro.autograd.ops_fused import fusion_enabled
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_inference
 from repro.core.topology_builder import expert_of_padded_row, make_topology
 from repro.moe.experts import ExpertWeights
+from repro.moe.inference import moe_inference_forward
 from repro.moe.permute import (
     PaddedPlan,
     make_padded_plan,
@@ -140,6 +141,10 @@ class dMoE(Module):
 
         ``x`` may be ``(tokens, hidden)`` or ``(batch, seq, hidden)``.
         """
+        if is_inference():
+            # Serving: padding-free grouped GEMMs, no topology build, no
+            # tape, no aux loss (repro.moe.inference).
+            return moe_inference_forward(self, x)
         orig_shape = x.shape
         if x.ndim == 3:
             x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))

@@ -27,6 +27,7 @@ from repro.moe.permute import (
 )
 from repro.moe.conv_moe import ConvExpertWeights, ConvMoELayer
 from repro.moe.experts import ExpertWeights
+from repro.moe.inference import moe_inference_forward
 from repro.moe.moe_layer import DynamicCapacityMoELayer, MoELayer
 from repro.moe.analysis import (
     BalanceTimeline,
@@ -64,6 +65,7 @@ __all__ = [
     "dropping_gather",
     "dropping_scatter",
     "round_up_counts",
+    "moe_inference_forward",
     "ExpertWeights",
     "ConvExpertWeights",
     "ConvMoELayer",

@@ -1,0 +1,102 @@
+"""Inference-mode MoE dispatch: padding-free gather → expert GEMM → scatter.
+
+The serving fast path shared by every MoE variant (``dMoE``,
+``MoELayer``, ``DynamicCapacityMoELayer``).  Active only inside
+:func:`repro.autograd.inference_mode`; the layers check the flag at the
+top of ``forward`` and delegate here.  Compared to the training paths it
+skips, in order:
+
+- auxiliary-loss accumulation (the router drops it under the flag);
+- tape construction (no_grad — zero nodes recorded);
+- the block-sparse transpose-topology precompute of ``dMoE`` and the
+  fixed-capacity dispatch buffer of ``MoELayer`` — per-decode-step
+  tokens-per-expert is tiny and skewed (often 1–4 tokens spread over a
+  few experts), where padding to blocks or to capacity wastes nearly
+  all the compute.
+
+Instead the dispatch is ScatterMoE-style and padding-free: a
+``PaddedPlan`` at block size 1 (exact expert grouping, zero padding
+rows) feeds :func:`repro.sparse.dispatch.grouped_rows_gemm`, and the
+outputs are scattered back weighted by router confidence.
+
+Two semantic notes:
+
+- **Dropless everywhere.** ``MoELayer``'s capacity-based token dropping
+  depends on how many tokens share the batch, which would make a
+  sequence's logits depend on decode-batch composition — unacceptable
+  for continuous batching (and bad for quality).  At inference every
+  routed token-copy is computed, for every variant.
+- **Bit-stability.** All GEMMs run through the row-stable einsum
+  kernels, and top-k copies are combined in a fixed per-token
+  expert-grouped order, so a token's output is bitwise independent of
+  the other tokens in the batch — the KV-cached decode bit-identity
+  rests on this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ACTIVATIONS
+from repro.autograd.tensor import Tensor
+from repro.moe.permute import make_padded_plan
+from repro.observability.tracing import span
+from repro.sparse.dispatch import grouped_rows_gemm
+
+
+def moe_inference_forward(layer, x: Tensor) -> Tuple[Tensor, Optional[Tensor]]:
+    """Serving forward for any MoE layer; returns ``(output, None)``.
+
+    ``layer`` duck-types the MoE interface: ``router``, ``experts``,
+    ``num_experts``, ``activation``, and optionally ``_quantized`` (set
+    by :func:`repro.serving.quantize.attach_quantized_experts`).
+    """
+    orig_shape = x.shape
+    if x.ndim == 3:
+        x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
+
+    with span("moe_infer"):
+        with span("route"):
+            routing = layer.router(x)
+        with span("dispatch"):
+            plan = make_padded_plan(
+                routing.expert_indices, layer.num_experts, block_size=1
+            )
+            offsets = np.concatenate(
+                [[0], plan.tokens_per_expert.cumsum()]
+            )
+            xg = x.data[plan.gather_indices]
+        with span("experts"):
+            quant = getattr(layer, "_quantized", None)
+            act = ACTIVATIONS[layer.activation]
+            e = layer.experts
+            if quant is not None:
+                h = quant.apply_ffn1(xg, offsets)
+                h = act(Tensor(h)).data
+                yg = quant.apply_ffn2(h, offsets)
+            else:
+                h = grouped_rows_gemm(
+                    xg, offsets, e.w1.data, e.b1.data, stable=True
+                )
+                h = act(Tensor(h)).data
+                yg = grouped_rows_gemm(
+                    h, offsets, e.w2.data, e.b2.data, stable=True
+                )
+        with span("combine"):
+            weights = routing.expert_weights.data.reshape(-1)
+            yg = yg * weights[plan.copy_indices][:, None]
+            out = np.zeros_like(x.data)
+            if plan.top_k == 1:
+                out[plan.gather_indices] = yg
+            else:
+                # Accumulate top-k copies in expert-grouped order: for a
+                # given token that order (its experts, ascending) does
+                # not depend on the rest of the batch, so the sum is
+                # batch-composition independent.
+                np.add.at(out, plan.gather_indices, yg)
+
+    layer.last_routing = routing
+    out_t = Tensor(out if len(orig_shape) == 2 else out.reshape(orig_shape))
+    return out_t, None

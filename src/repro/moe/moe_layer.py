@@ -19,9 +19,10 @@ import dataclasses
 from repro.autograd import ACTIVATIONS
 from repro.autograd.graph import host as graph_host
 from repro.autograd.ops_fused import bias_gelu, fusion_enabled
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_inference
 from repro.moe.capacity import expert_capacity
 from repro.moe.experts import ExpertWeights
+from repro.moe.inference import moe_inference_forward
 from repro.moe.permute import (
     DroppingPlan,
     dropping_gather,
@@ -142,6 +143,11 @@ class MoELayer(Module):
         ``x`` may be ``(tokens, hidden)`` or ``(batch, seq, hidden)``; the
         output matches the input shape.
         """
+        if is_inference():
+            # Serving: dropless padding-free dispatch — capacity-based
+            # dropping would tie a token's output to the batch around it
+            # (see repro.moe.inference).
+            return moe_inference_forward(self, x)
         orig_shape = x.shape
         if x.ndim == 3:
             x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))
@@ -184,6 +190,8 @@ class DynamicCapacityMoELayer(MoELayer):
         self.last_dynamic_capacity: Optional[int] = None
 
     def forward(self, x: Tensor) -> Tuple[Tensor, Optional[Tensor]]:
+        if is_inference():
+            return moe_inference_forward(self, x)
         orig_shape = x.shape
         if x.ndim == 3:
             x = x.reshape((orig_shape[0] * orig_shape[1], orig_shape[2]))

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.autograd import getitem, mean, softmax, sum_
 from repro.autograd.graph import host as graph_host
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_inference
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.resilience import counters
@@ -160,7 +160,7 @@ class Router(Module):
         """Route a flat batch of tokens ``x`` of shape (num_tokens, hidden)."""
         if x.ndim != 2:
             raise ValueError(f"router expects (tokens, hidden), got {x.shape}")
-        if self.training and self.jitter_eps > 0:
+        if self.training and self.jitter_eps > 0 and not is_inference():
             noise = graph_host(
                 _jitter_noise, self._rng, self.jitter_eps, x.shape, x.dtype
             )
@@ -182,13 +182,17 @@ class Router(Module):
             weights = weights / sum_(weights, axis=-1, keepdims=True)
 
         lb = None
-        if self.load_balance_coef > 0:
-            lb = load_balancing_loss(scores, indices, self.num_experts) * float(
-                self.load_balance_coef
-            )
         zl = None
-        if self.z_loss_coef > 0:
-            zl = router_z_loss(logits) * float(self.z_loss_coef)
+        if not is_inference():
+            # Serving skips the auxiliary losses entirely: nothing trains,
+            # and both reduce over the token batch, which would make the
+            # (unused) result depend on decode-batch composition.
+            if self.load_balance_coef > 0:
+                lb = load_balancing_loss(scores, indices, self.num_experts) * float(
+                    self.load_balance_coef
+                )
+            if self.z_loss_coef > 0:
+                zl = router_z_loss(logits) * float(self.z_loss_coef)
         return RoutingResult(
             expert_indices=indices,
             expert_weights=weights,

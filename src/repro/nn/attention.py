@@ -10,9 +10,10 @@ import numpy as np
 
 from repro.autograd import softmax, where
 from repro.autograd.ops_fused import attention_core, fusion_enabled, masked_softmax
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_inference
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
+from repro.serving.kernels import attention_row, attention_window
 from repro.utils.rng import RngLike
 
 _NEG_INF = -1e9
@@ -63,7 +64,9 @@ class CausalSelfAttention(Module):
         self.proj = Linear(hidden_size, hidden_size, init_std=out_std, rng=rng)
         self.attn_dropout = Dropout(dropout_p, rng=rng)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, kv_sink=None, slots=None) -> Tensor:
+        if is_inference():
+            return self._inference_window(x, kv_sink, slots)
         batch, seq, hidden = x.shape
         qkv = self.qkv(x)  # (B, S, 3H)
         if fusion_enabled() and (
@@ -100,3 +103,60 @@ class CausalSelfAttention(Module):
         ctx = probs @ v  # (B, heads, S, head_dim)
         ctx = ctx.transpose((0, 2, 1, 3)).reshape((batch, seq, hidden))
         return self.proj(ctx)
+
+    # ------------------------------------------------------------------
+    # Serving path (inference_mode): shape-stable kernels + KV cache
+    # ------------------------------------------------------------------
+    def _scale(self) -> float:
+        return float(1.0 / np.sqrt(self.head_dim))
+
+    def _split_qkv(self, qkv: np.ndarray):
+        """``(B, S, 3H)`` → contiguous ``(B, heads, S, d)`` q, k, v."""
+        batch, seq, _ = qkv.shape
+        qkv5 = qkv.reshape(batch, seq, 3, self.num_heads, self.head_dim)
+        q = np.ascontiguousarray(qkv5[:, :, 0].transpose(0, 2, 1, 3))
+        k = np.ascontiguousarray(qkv5[:, :, 1].transpose(0, 2, 1, 3))
+        v = np.ascontiguousarray(qkv5[:, :, 2].transpose(0, 2, 1, 3))
+        return q, k, v
+
+    def _inference_window(self, x: Tensor, kv_sink, slots) -> Tensor:
+        """Full-window inference forward (prefill / uncached reference).
+
+        Runs the per-(sequence, position) row kernel so position ``t``
+        issues exactly the BLAS calls a cached decode step at cache
+        length ``t`` issues — that shared computation is the whole
+        bit-identity argument.  When ``kv_sink`` (a ``LayerKV``) is
+        given, the freshly projected K/V rows are written into the cache
+        so subsequent ``forward_step`` calls can extend this window.
+        """
+        q, k, v = self._split_qkv(self.qkv(x).data)
+        if kv_sink is not None:
+            kv_sink.write_prefill(k, v, slots)
+        ctx = attention_window(q, k, v, self._scale())
+        return self.proj(Tensor(ctx))
+
+    def forward_step(self, x: Tensor, layer_kv, positions, slots) -> Tensor:
+        """One-token decode: append K/V to the cache, attend over it.
+
+        ``x`` is ``(B, 1, H)`` hidden states for the newest token of each
+        active sequence; ``positions[j]`` is the cache length of slot
+        ``slots[j]`` before this step.  K/V rows are appended in place at
+        ``positions[j]`` and the query attends over the ``L+1`` cached
+        rows of its own slot only, so logits are independent of which
+        other sequences share the decode batch.
+        """
+        xd = x.data
+        batch = xd.shape[0]
+        qkv = self.qkv(x).data.reshape(batch, 3, self.num_heads, self.head_dim)
+        K, V = layer_kv.k, layer_kv.v
+        scale = self._scale()
+        ctx = np.empty((batch, 1, self.hidden_size), dtype=xd.dtype)
+        for j in range(batch):
+            b = int(slots[j])
+            L = int(positions[j])
+            K[b, :, L] = qkv[j, 1]
+            V[b, :, L] = qkv[j, 2]
+            ctx[j, 0] = attention_row(
+                qkv[j, 0], K[b, :, : L + 1], V[b, :, : L + 1], scale
+            ).reshape(self.hidden_size)
+        return self.proj(Tensor(ctx))

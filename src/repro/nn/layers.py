@@ -10,7 +10,8 @@ from repro.autograd import dropout as dropout_op
 from repro.autograd import embedding as embedding_op
 from repro.autograd import layer_norm as layer_norm_op
 from repro.autograd.ops_fused import fusion_enabled, linear_bias
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_inference
+from repro.serving.kernels import stable_linear
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import RngLike
@@ -34,6 +35,17 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if is_inference():
+            # Serving path: row-stable einsum GEMM (no tape, and bitwise
+            # independent of how many token rows are in the batch — the
+            # KV-cached decode bit-identity guarantee rests on this).
+            return Tensor(
+                stable_linear(
+                    x.data,
+                    self.weight.data,
+                    None if self.bias is None else self.bias.data,
+                )
+            )
         if self.bias is not None and fusion_enabled():
             return linear_bias(x, self.weight, self.bias)
         out = x @ self.weight

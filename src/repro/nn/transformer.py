@@ -25,7 +25,7 @@ from repro.autograd.ops_fused import (
     fusion_enabled,
     softmax_cross_entropy,
 )
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_inference
 from repro.nn.attention import CausalSelfAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm
 from repro.nn.mlp import MLP
@@ -71,9 +71,14 @@ class TransformerBlock(Module):
         self.ffn = ffn
         self.dropout = Dropout(dropout_p, rng=rng)
 
-    def forward(self, x: Tensor):
-        fused = fusion_enabled()
-        attn_out = self.attn(self.ln1(x))
+    def forward(self, x: Tensor, layer_kv=None, slots=None):
+        fused = fusion_enabled() and not is_inference()
+        if layer_kv is None:
+            # Plain call: alternative attention modules (e.g. the
+            # block-sparse sliding-window variant) take no cache kwargs.
+            attn_out = self.attn(self.ln1(x))
+        else:
+            attn_out = self.attn(self.ln1(x), kv_sink=layer_kv, slots=slots)
         if fused:
             # Fused dropout + residual add: one tape node per branch (the
             # block-level residual has no bias — bias fusion lives inside
@@ -96,6 +101,22 @@ class TransformerBlock(Module):
         else:
             x = x + self.dropout(ffn_out)
         return x, aux
+
+    def forward_step(self, x: Tensor, layer_kv, positions, slots) -> Tensor:
+        """One-token decode through this block against a KV cache.
+
+        Same composition as the unfused ``forward`` (residual adds around
+        attention and FFN); only the attention swaps in the cached step
+        kernel.  Runs under :func:`~repro.autograd.inference_mode`, so
+        the FFN (dense or MoE) takes its own inference branch and any
+        auxiliary loss it would report is dropped.
+        """
+        attn_out = self.attn.forward_step(self.ln1(x), layer_kv, positions, slots)
+        x = x + self.dropout(attn_out)
+        ffn_out = self.ffn(self.ln2(x))
+        if isinstance(ffn_out, tuple):
+            ffn_out = ffn_out[0]
+        return x + self.dropout(ffn_out)
 
 
 class TransformerLM(Module):
@@ -164,7 +185,16 @@ class TransformerLM(Module):
 
             self.lm_head = Linear(hidden_size, vocab_size, bias=False, rng=rng)
 
-    def forward(self, ids) -> TransformerOutput:
+    def forward(self, ids, cache=None, slots=None) -> TransformerOutput:
+        """Full-window forward; training path unless inside inference_mode.
+
+        ``cache``/``slots`` are the serving prefill hooks: when a
+        :class:`~repro.serving.kv_cache.KVCache` is given (requires
+        inference_mode), each block writes its freshly projected K/V rows
+        into the cache — positions are absolute from 0, so the targeted
+        slots must be reset first — and the cache lengths are set to the
+        window length so ``forward_step`` can extend it.
+        """
         ids_arr = ids.data if isinstance(ids, Tensor) else np.asarray(ids)
         _, seq = ids_arr.shape
         if seq > self.max_seq_len:
@@ -174,17 +204,74 @@ class TransformerLM(Module):
         x = self.dropout(x)
 
         aux_total: Optional[Tensor] = None
-        for block in self.blocks:
-            x, aux = block(x)
+        for i, block in enumerate(self.blocks):
+            x, aux = block(
+                x,
+                cache.layers[i] if cache is not None else None,
+                slots,
+            )
             if aux is not None:
                 aux_total = aux if aux_total is None else aux_total + aux
 
         x = self.ln_f(x)
-        if self.tie_embeddings:
-            logits = x @ self.tok_emb.weight.transpose()
-        else:
-            logits = self.lm_head(x)
+        logits = self._head(x)
+        if cache is not None:
+            if slots is None:
+                cache.lengths[:] = seq
+            else:
+                cache.lengths[np.asarray(slots)] = seq
         return TransformerOutput(logits=logits, aux_loss=aux_total)
+
+    def _head(self, x: Tensor) -> Tensor:
+        """LM head; routed through the row-stable kernel when serving."""
+        if is_inference() and self.tie_embeddings:
+            from repro.serving.kernels import stable_matmul_tb
+
+            xd = x.data
+            w = self.tok_emb.weight.data
+            logits = stable_matmul_tb(xd.reshape(-1, xd.shape[-1]), w)
+            return Tensor(logits.reshape(xd.shape[:-1] + (w.shape[0],)))
+        if self.tie_embeddings:
+            return x @ self.tok_emb.weight.transpose()
+        return self.lm_head(x)
+
+    def forward_step(self, ids_t, cache, slots=None) -> np.ndarray:
+        """Single-token KV-cached decode; returns ``(B, vocab)`` logits.
+
+        ``ids_t`` holds the newest token id of each active sequence;
+        ``slots`` (default: all cache slots, in order) maps row ``j`` to
+        its cache slot.  Row ``j`` is embedded at absolute position
+        ``cache.lengths[slots[j]]``, each block appends its K/V in place
+        and attends over that slot's cached rows, and the cache lengths
+        advance by one.  Logits are bit-identical to row ``j``'s last
+        position under ``forward`` over the same window inside
+        inference_mode — and independent of which other sequences share
+        the batch, which is what lets the scheduler admit and evict
+        mid-flight without perturbing anyone's sampling.
+        """
+        from repro.autograd.tensor import inference_mode
+
+        if not is_inference():
+            with inference_mode():
+                return self.forward_step(ids_t, cache, slots)
+        ids_arr = np.asarray(ids_t, dtype=np.int64).reshape(-1)
+        idx = (
+            np.arange(len(cache.lengths)) if slots is None else np.asarray(slots)
+        )
+        positions = cache.lengths[idx]
+        if positions.max() >= self.max_seq_len:
+            raise ValueError(
+                "KV cache full: a sequence is at max_seq_len "
+                f"({self.max_seq_len}); slide the window (re-prefill) first"
+            )
+        x_np = self.tok_emb.weight.data[ids_arr] + self.pos_emb.weight.data[positions]
+        x = Tensor(np.ascontiguousarray(x_np[:, None, :]))
+        for i, block in enumerate(self.blocks):
+            x = block.forward_step(x, cache.layers[i], positions, idx)
+        x = self.ln_f(x)
+        logits = self._head(x)
+        cache.lengths[idx] = positions + 1
+        return logits.data[:, 0, :]
 
     def generate(
         self,
@@ -192,9 +279,16 @@ class TransformerLM(Module):
         max_new_tokens: int,
         temperature: float = 1.0,
         top_k: Optional[int] = None,
+        eos_token_id: Optional[int] = None,
         rng: RngLike = None,
     ) -> np.ndarray:
-        """Autoregressive sampling from the language model.
+        """Autoregressive sampling from the language model (uncached).
+
+        Re-runs the full forward over the sliding window for every new
+        token — O(T²) per sequence.  The KV-cached
+        :class:`repro.serving.engine.InferenceEngine` produces identical
+        tokens without the re-computation; this path is kept as the
+        reference baseline.
 
         Args:
             prompt: ``(batch, prompt_len)`` int array of seed tokens.
@@ -203,44 +297,48 @@ class TransformerLM(Module):
             temperature: 0 means greedy argmax; otherwise softmax
                 temperature.
             top_k: restrict sampling to the k most likely tokens.
+            eos_token_id: stop early once every sequence has emitted
+                this token; finished sequences keep emitting it while
+                the rest of the batch continues.
 
-        Returns the full ``(batch, prompt_len + max_new_tokens)`` array.
+        Returns ``(batch, prompt_len + n)`` where ``n`` is
+        ``max_new_tokens``, or fewer if every sequence hit
+        ``eos_token_id`` first.
         """
         from repro.autograd import no_grad
+        from repro.serving.sampling import sample_tokens
 
         gen = get_rng(rng)
-        ids = np.asarray(prompt, dtype=np.int64)
-        if ids.ndim == 1:
-            ids = ids[None, :]
+        ids_in = np.asarray(prompt, dtype=np.int64)
+        if ids_in.ndim == 1:
+            ids_in = ids_in[None, :]
+        batch, prompt_len = ids_in.shape
+        # Preallocate the output once instead of np.concatenate per token.
+        out = np.empty((batch, prompt_len + max_new_tokens), dtype=np.int64)
+        out[:, :prompt_len] = ids_in
+        done = np.zeros(batch, dtype=bool)
+        n = prompt_len
         was_training = self.training
         self.eval()
         try:
             with no_grad():
                 for _ in range(max_new_tokens):
-                    window = ids[:, -self.max_seq_len :]
-                    logits = self.forward(window).logits.data[:, -1, :]
-                    if temperature <= 0:
-                        nxt = logits.argmax(axis=-1)
-                    else:
-                        scaled = logits / temperature
-                        if top_k is not None and top_k < scaled.shape[-1]:
-                            kth = np.partition(scaled, -top_k, axis=-1)[
-                                :, -top_k
-                            ][:, None]
-                            scaled = np.where(scaled < kth, -np.inf, scaled)
-                        scaled = scaled - scaled.max(axis=-1, keepdims=True)
-                        probs = np.exp(scaled)
-                        probs /= probs.sum(axis=-1, keepdims=True)
-                        nxt = np.array(
-                            [
-                                gen.choice(len(p), p=p)
-                                for p in probs
-                            ]
-                        )
-                    ids = np.concatenate([ids, nxt[:, None]], axis=1)
+                    start = max(0, n - self.max_seq_len)
+                    logits = self.forward(out[:, start:n]).logits.data[:, -1, :]
+                    # Sample every row (fixed RNG consumption per step),
+                    # then overwrite finished rows with eos.
+                    nxt = sample_tokens(logits, temperature, top_k, gen)
+                    if eos_token_id is not None:
+                        nxt = np.where(done, eos_token_id, nxt)
+                    out[:, n] = nxt
+                    n += 1
+                    if eos_token_id is not None:
+                        done |= nxt == eos_token_id
+                        if done.all():
+                            break
         finally:
             self.train(was_training)
-        return ids
+        return out[:, :n]
 
     def loss(self, ids, targets, ignore_index: int = -100):
         """LM cross-entropy plus any auxiliary (load-balancing) loss.

@@ -1,0 +1,101 @@
+"""Bitwise shape-stable inference kernels.
+
+The serving path promises logits from KV-cached single-token decode that
+are *bit-identical* to an uncached full-window forward.  That promise is
+impossible through the training kernels: NumPy's BLAS-backed ``matmul``
+picks different blocking (and therefore different floating-point
+summation orders) for different row counts, so ``(A @ B)[t]`` generally
+differs in the last bit from ``A[t:t+1] @ B``.
+
+Two facts, verified empirically against the bundled BLAS, make a stable
+path possible:
+
+1. ``np.einsum("ij,jk->ik", a, b)`` and ``np.einsum("ij,kj->ik", a, b)``
+   compute each output row independently of the number of rows in ``a``
+   — row ``t`` of the batched product is bitwise equal to the product of
+   the single row.  All token-mixing projections (QKV, attention output,
+   FFN, LM head, expert GEMMs) route through these.
+2. ``matmul`` *is* deterministic for a fixed shape and memory layout.
+   Attention therefore runs one (head, 1, L) x (head, L, d) product per
+   (sequence, position) pair — the cached decode step and the uncached
+   window forward issue byte-identical BLAS calls.
+
+Everything here is plain NumPy on plain arrays: no Tensor, no tape, no
+imports from the rest of the package (``repro.nn`` imports this module,
+so it must stay a leaf).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` for 2-D operands, bitwise independent of ``a``'s row count."""
+    return np.einsum("ij,jk->ik", a, b)
+
+
+def stable_matmul_tb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b.T`` for 2-D operands, row-stable (used by the tied LM head)."""
+    return np.einsum("ij,kj->ik", a, b)
+
+
+def stable_linear(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Row-stable ``x @ weight + bias`` over arbitrary leading dimensions."""
+    lead = x.shape[:-1]
+    x2 = x.reshape(-1, x.shape[-1])
+    y = np.einsum("ij,jk->ik", x2, weight)
+    if bias is not None:
+        y += bias
+    return y.reshape(lead + (weight.shape[-1],))
+
+
+def attention_row(
+    q_hd: np.ndarray, k_hld: np.ndarray, v_hld: np.ndarray, scale: float
+) -> np.ndarray:
+    """Causal attention for one query row against ``L`` cached positions.
+
+    ``q_hd`` is ``(heads, d)``; ``k_hld``/``v_hld`` are ``(heads, L, d)``.
+    Returns the ``(heads, d)`` context.  Every operand is made contiguous
+    so the BLAS calls have a fixed layout for a fixed ``L`` — that, plus
+    the per-row last-axis softmax, is what makes the result depend only
+    on (query row, cached keys) and not on how many other rows are being
+    decoded alongside.
+    """
+    q = np.ascontiguousarray(q_hd)[:, None, :]
+    kt = np.ascontiguousarray(np.swapaxes(k_hld, 1, 2))
+    s = np.matmul(q, kt)
+    s *= scale
+    m = s.max(axis=-1, keepdims=True)
+    np.subtract(s, m, out=s)
+    np.exp(s, out=s)
+    s /= s.sum(axis=-1, keepdims=True)
+    ctx = np.matmul(s, np.ascontiguousarray(v_hld))
+    return ctx[:, 0]
+
+
+def attention_window(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: float
+) -> np.ndarray:
+    """Causal attention over a full window via per-(b, t) row kernels.
+
+    ``q``/``k``/``v`` are ``(B, heads, S, d)``.  Returns ``(B, S, H)``
+    with heads merged.  Deliberately loops over every (sequence, query
+    position) pair so position ``t`` issues *exactly* the BLAS calls a
+    cached decode step at length ``t`` issues — this is the uncached
+    reference the bit-identity guarantee is stated against.  It only
+    runs at prefill and in equivalence tests; the hot decode loop is
+    :func:`attention_row` against the KV cache.
+    """
+    B, nh, S, d = q.shape
+    H = nh * d
+    ctx = np.empty((B, S, H), dtype=q.dtype)
+    for b in range(B):
+        qb, kb, vb = q[b], k[b], v[b]
+        for t in range(S):
+            ctx[b, t] = attention_row(qb[:, t], kb[:, : t + 1], vb[:, : t + 1], scale).reshape(H)
+    return ctx

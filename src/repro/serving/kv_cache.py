@@ -1,0 +1,135 @@
+"""Per-layer K/V caches for incremental decode, backed by the buffer arena.
+
+Layout: one ``(batch_slots, heads, max_seq_len, head_dim)`` K and V
+array per Transformer layer, pre-grown to ``max_seq_len`` at
+construction so the decode loop never reallocates — appending a token is
+one in-place row write per layer (``K[slot, :, length] = k_new``).
+
+The arrays come from the PR 3 arena's *detached* pool
+(:meth:`BufferArena.acquire_detached`): pooled and bucket-recycled like
+step buffers, but outside generation tracking, because a KV cache must
+survive the per-step ``next_generation()`` reclaim that retires every
+tracked buffer.  :meth:`KVCache.release` surrenders the arrays back to
+the pool, so serving many requests in sequence reuses the same memory
+(zero arena growth after warmup — asserted by the tape-hygiene test).
+
+Sliding-window eviction: the model uses *learned absolute* position
+embeddings, so evicting the oldest row cannot be a memmove — the
+retained suffix would sit at the wrong positions and attention against
+shifted-but-not-re-encoded keys would diverge from the uncached
+reference.  Eviction is therefore a slot reset plus re-prefill of the
+retained window into the same (already allocated) buffers; the engine
+drives this and stays bit-identical to the uncached sliding-window
+``generate``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.arena import get_arena
+
+
+class LayerKV:
+    """K/V arrays for one layer: ``(slots, heads, max_seq_len, head_dim)``."""
+
+    __slots__ = ("k", "v")
+
+    def __init__(self, k: np.ndarray, v: np.ndarray) -> None:
+        self.k = k
+        self.v = v
+
+    def write_prefill(
+        self, k: np.ndarray, v: np.ndarray, slots: Optional[Sequence[int]] = None
+    ) -> None:
+        """Write a full prefill window ``(B, heads, S, d)`` at positions 0..S."""
+        seq = k.shape[2]
+        if slots is None:
+            self.k[:, :, :seq] = k
+            self.v[:, :, :seq] = v
+        else:
+            for j, b in enumerate(slots):
+                self.k[b, :, :seq] = k[j]
+                self.v[b, :, :seq] = v[j]
+
+
+class KVCache:
+    """KV storage plus per-slot lengths for a batch of decode slots.
+
+    ``lengths[b]`` is the number of cached positions for slot ``b``; the
+    model's ``forward`` (prefill) and ``forward_step`` maintain it.  Use
+    as a context manager, or call :meth:`release`, to return the buffers
+    to the arena pool.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        batch_slots: int,
+        num_heads: int,
+        max_seq_len: int,
+        head_dim: int,
+        dtype=np.float32,
+    ) -> None:
+        self.batch_slots = batch_slots
+        self.max_seq_len = max_seq_len
+        self.lengths = np.zeros(batch_slots, dtype=np.int64)
+        pool = get_arena()
+        shape = (batch_slots, num_heads, max_seq_len, head_dim)
+        self.layers: List[LayerKV] = [
+            LayerKV(
+                pool.acquire_detached(shape, dtype),
+                pool.acquire_detached(shape, dtype),
+            )
+            for _ in range(num_layers)
+        ]
+
+    @classmethod
+    def for_model(
+        cls, model, batch_slots: int, max_seq_len: Optional[int] = None
+    ) -> "KVCache":
+        """Size a cache from a ``TransformerLM`` (layers, heads, head_dim)."""
+        attn = model.blocks[0].attn
+        return cls(
+            num_layers=len(model.blocks),
+            batch_slots=batch_slots,
+            num_heads=attn.num_heads,
+            max_seq_len=max_seq_len or model.max_seq_len,
+            head_dim=attn.head_dim,
+            dtype=model.tok_emb.weight.data.dtype,
+        )
+
+    def reset(self, slots: Optional[Sequence[int]] = None) -> None:
+        """Clear slots for reuse (admission or sliding-window re-prefill).
+
+        Only the lengths reset; the K/V rows are overwritten by the next
+        prefill before anything reads them.
+        """
+        if slots is None:
+            self.lengths[:] = 0
+        else:
+            self.lengths[np.asarray(slots)] = 0
+
+    def remaining(self, slot: int) -> int:
+        return self.max_seq_len - int(self.lengths[slot])
+
+    @property
+    def nbytes(self) -> int:
+        return sum(l.k.nbytes + l.v.nbytes for l in self.layers)
+
+    def release(self) -> None:
+        """Surrender the K/V buffers back to the arena pool."""
+        pool = get_arena()
+        for layer in self.layers:
+            pool.surrender(layer.k)
+            pool.surrender(layer.v)
+        self.layers = []
+        self.lengths[:] = 0
+
+    def __enter__(self) -> "KVCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

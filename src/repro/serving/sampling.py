@@ -1,0 +1,48 @@
+"""Token sampling shared by ``TransformerLM.generate`` and the engine.
+
+One function, one contract: given next-token logits for a batch, draw
+one token id per row.  ``TransformerLM.generate`` (uncached), the
+KV-cached :class:`~repro.serving.engine.InferenceEngine`, and the
+continuous-batching scheduler all call this with identical RNG
+consumption per row, so cached and uncached generation agree token for
+token under the same seed.
+
+NumPy-only leaf module — ``repro.nn`` imports it, so it must not import
+the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def sample_tokens(
+    logits: np.ndarray,
+    temperature: float,
+    top_k: Optional[int],
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """Draw one token id per row of ``(B, vocab)`` next-token logits.
+
+    ``temperature <= 0`` means greedy argmax (no RNG consumed).  With
+    ``top_k`` set, all but the ``top_k`` highest logits are masked per
+    row before the softmax.  Sampling draws exactly one ``gen.choice``
+    per row, in row order — the per-row RNG contract every caller relies
+    on for seeded determinism.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if temperature <= 0:
+        return np.argmax(logits, axis=-1).astype(np.int64)
+    logits = logits / temperature
+    if top_k is not None and top_k < logits.shape[-1]:
+        kth = np.partition(logits, -top_k, axis=-1)[:, [-top_k]]
+        logits = np.where(logits < kth, -np.inf, logits)
+    logits = logits - logits.max(axis=-1, keepdims=True)
+    probs = np.exp(logits)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    out = np.empty(logits.shape[0], dtype=np.int64)
+    for i in range(logits.shape[0]):
+        out[i] = gen.choice(logits.shape[-1], p=probs[i])
+    return out

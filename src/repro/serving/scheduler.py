@@ -1,0 +1,302 @@
+"""Continuous-batching scheduler over the KV-cached inference engine.
+
+Orca/vLLM-style iteration-level scheduling on the NumPy substrate: the
+decode batch is re-formed *every step*.  Queued requests are admitted
+into free cache slots mid-flight (one solo prefill each, so in-flight
+sequences never recompute), every active sequence advances by one token
+per step through a single batched ``forward_step``, and finished
+sequences are evicted immediately — their slot and KV rows are reusable
+on the very next step.
+
+This is only sound because the model's inference path is
+batch-composition independent (row-stable linears, per-slot attention,
+dropless per-token MoE dispatch): a sequence's logits — and, with
+per-request RNG streams, its sampled tokens — are bit-identical whether
+it runs solo or shares the batch with any mix of neighbors.  The
+scheduler tests assert exactly that.
+
+Admission is token-budget gated: a request is admitted only while the
+sum of *peak* window sizes (``min(prompt + max_new, max_seq_len)``)
+across it and all active sequences stays within ``token_budget``, which
+bounds decode-step latency under load.
+
+Telemetry flows through the PR 4 registry and tracer:
+
+- histograms ``serving/ttft_ms`` (submit → first sampled token),
+  ``serving/token_latency_ms`` (per generated token), and
+  ``serving/step_ms`` (whole scheduler step);
+- counters ``serving/requests``, ``serving/tokens_generated``,
+  ``serving/prefill_tokens``;
+- gauge ``serving/active_sequences``;
+- spans ``serve/step`` / ``serve/prefill`` / ``serve/decode``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.observability.metrics import registry
+from repro.observability.tracing import span
+from repro.serving.engine import InferenceEngine
+from repro.serving.sampling import sample_tokens
+from repro.utils.rng import get_rng
+
+
+@dataclass
+class Request:
+    """One generation request submitted to the scheduler."""
+
+    prompt: np.ndarray
+    max_new_tokens: int
+    temperature: float = 1.0
+    top_k: Optional[int] = None
+    eos_token_id: Optional[int] = None
+    seed: Optional[int] = None
+    request_id: int = field(default=-1)  # assigned by submit()
+
+
+@dataclass
+class GenerationResult:
+    """Completed request: tokens plus per-request latency readings."""
+
+    request_id: int
+    tokens: np.ndarray  # (prompt_len + generated,)
+    prompt_len: int
+    finish_reason: str  # "eos" | "length"
+    ttft_s: float
+    total_s: float
+
+    @property
+    def new_tokens(self) -> int:
+        return len(self.tokens) - self.prompt_len
+
+
+class _Sequence:
+    """In-flight decode state for one admitted request."""
+
+    __slots__ = (
+        "request", "slot", "ids", "n", "window_start", "logits", "rng",
+        "submit_t", "first_token_t", "last_token_t", "done_reason",
+    )
+
+    def __init__(
+        self, request: Request, slot: int, submit_t: float, max_seq_len: int
+    ) -> None:
+        self.request = request
+        self.slot = slot
+        prompt = np.asarray(request.prompt, dtype=np.int64).reshape(-1)
+        self.ids = np.empty(len(prompt) + request.max_new_tokens, dtype=np.int64)
+        self.ids[: len(prompt)] = prompt
+        self.n = len(prompt)
+        self.window_start = max(0, len(prompt) - max_seq_len)
+        self.logits: Optional[np.ndarray] = None
+        self.rng = get_rng(request.seed)
+        self.submit_t = submit_t
+        self.first_token_t: Optional[float] = None
+        self.last_token_t = submit_t
+        self.done_reason: Optional[str] = None
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.ids) - self.request.max_new_tokens
+
+    def peak_tokens(self, max_seq_len: int) -> int:
+        return min(len(self.ids), max_seq_len)
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler: admit, decode one step, evict, repeat.
+
+    Args:
+        engine: the :class:`InferenceEngine` to drive.
+        max_batch_size: decode slots (the KV cache is allocated once for
+            this many sequences).
+        token_budget: admission bound on the summed peak window sizes of
+            concurrent sequences; defaults to
+            ``max_batch_size * max_seq_len`` (i.e. slot-limited only).
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_size: int = 4,
+        token_budget: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.max_seq_len = engine.model.max_seq_len
+        self.max_batch_size = max_batch_size
+        self.token_budget = (
+            token_budget
+            if token_budget is not None
+            else max_batch_size * self.max_seq_len
+        )
+        self.cache = engine.new_cache(max_batch_size)
+        self.queue: Deque[Request] = deque()
+        self.active: Dict[int, _Sequence] = {}  # slot -> sequence
+        self.free_slots: List[int] = list(range(max_batch_size))[::-1]
+        self.peak_concurrency = 0
+        self._next_id = 0
+        self._reg = registry()
+
+    # -- lifecycle -------------------------------------------------------
+    def submit(self, request: Request) -> int:
+        """Queue a request; returns its assigned request id."""
+        if request.request_id < 0:
+            request.request_id = self._next_id
+            self._next_id += 1
+        request.prompt = np.asarray(request.prompt, dtype=np.int64).reshape(-1)
+        if len(request.prompt) == 0:
+            raise ValueError("empty prompt")
+        if request.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        self._reg.counter("serving/requests").inc()
+        self.queue.append(request)
+        return request.request_id
+
+    def close(self) -> None:
+        """Release the KV cache back to the arena pool."""
+        self.cache.release()
+
+    @property
+    def committed_tokens(self) -> int:
+        return sum(s.peak_tokens(self.max_seq_len) for s in self.active.values())
+
+    # -- admission -------------------------------------------------------
+    def _admit(self, now: float) -> None:
+        budget_used = self.committed_tokens
+        while self.queue and self.free_slots:
+            req = self.queue[0]
+            peak = min(
+                len(req.prompt) + req.max_new_tokens, self.max_seq_len
+            )
+            if self.active and budget_used + peak > self.token_budget:
+                break  # token budget full; wait for evictions
+            self.queue.popleft()
+            slot = self.free_slots.pop()
+            seq = _Sequence(req, slot, now, self.max_seq_len)
+            self._prefill(seq)
+            self.active[slot] = seq
+            budget_used += peak
+        self.peak_concurrency = max(self.peak_concurrency, len(self.active))
+        self._reg.gauge("serving/active_sequences").set(len(self.active))
+
+    def _prefill(self, seq: _Sequence) -> None:
+        """Solo prefill of ``seq``'s current window into its slot."""
+        lo, hi = seq.window_start, seq.n
+        with span("serve/prefill"):
+            self.cache.reset([seq.slot])
+            seq.logits = self.engine.prefill(
+                seq.ids[None, lo:hi], self.cache, slots=[seq.slot]
+            )[0]
+        self._reg.counter("serving/prefill_tokens").inc(hi - lo)
+
+    # -- stepping --------------------------------------------------------
+    def step(self) -> List[GenerationResult]:
+        """Admit, sample one token per active sequence, decode, evict.
+
+        Returns the requests that finished during this step.
+        """
+        t0 = time.perf_counter()
+        finished: List[GenerationResult] = []
+        with span("serve/step"):
+            self._admit(t0)
+            if not self.active:
+                return finished
+
+            # Sample the next token of every active sequence from the
+            # logits computed last step (or at prefill).  Per-sequence
+            # RNG streams keep sampling independent of batch makeup.
+            now = time.perf_counter()
+            for seq in list(self.active.values()):
+                req = seq.request
+                tok = sample_tokens(
+                    seq.logits[None, :], req.temperature, req.top_k, seq.rng
+                )[0]
+                seq.ids[seq.n] = tok
+                seq.n += 1
+                if seq.first_token_t is None:
+                    seq.first_token_t = now
+                    self._reg.histogram("serving/ttft_ms").observe(
+                        (now - seq.submit_t) * 1e3
+                    )
+                self._reg.histogram("serving/token_latency_ms").observe(
+                    (now - seq.last_token_t) * 1e3
+                )
+                seq.last_token_t = now
+                self._reg.counter("serving/tokens_generated").inc()
+                if req.eos_token_id is not None and tok == req.eos_token_id:
+                    seq.done_reason = "eos"
+                elif seq.n == len(seq.ids):
+                    seq.done_reason = "length"
+
+            # Evict finished sequences before computing further logits.
+            for slot, seq in list(self.active.items()):
+                if seq.done_reason is not None:
+                    finished.append(self._finish(seq))
+                    del self.active[slot]
+                    self.free_slots.append(slot)
+            self._reg.gauge("serving/active_sequences").set(len(self.active))
+
+            # Advance the survivors: sequences at the window edge take a
+            # solo re-prefill (sliding-window eviction); the rest share
+            # one batched decode step.
+            batch: List[_Sequence] = []
+            for seq in self.active.values():
+                if (seq.n - 1) - seq.window_start >= self.max_seq_len:
+                    seq.window_start = seq.n - self.max_seq_len
+                    self._prefill(seq)
+                else:
+                    batch.append(seq)
+            if batch:
+                ids_t = np.array([s.ids[s.n - 1] for s in batch], dtype=np.int64)
+                slots = [s.slot for s in batch]
+                with span("serve/decode"):
+                    logits = self.engine.decode_step(ids_t, self.cache, slots=slots)
+                for j, seq in enumerate(batch):
+                    seq.logits = logits[j]
+        self._reg.histogram("serving/step_ms").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        return finished
+
+    def _finish(self, seq: _Sequence) -> GenerationResult:
+        return GenerationResult(
+            request_id=seq.request.request_id,
+            tokens=seq.ids[: seq.n].copy(),
+            prompt_len=seq.prompt_len,
+            finish_reason=seq.done_reason or "length",
+            ttft_s=(seq.first_token_t or seq.submit_t) - seq.submit_t,
+            total_s=seq.last_token_t - seq.submit_t,
+        )
+
+    def run(self, requests=None) -> List[GenerationResult]:
+        """Submit ``requests`` (optional) and step until everything drains."""
+        for req in requests or ():
+            self.submit(req)
+        results: List[GenerationResult] = []
+        while self.queue or self.active:
+            results.extend(self.step())
+        return sorted(results, key=lambda r: r.request_id)
+
+    def latency_table(self) -> str:
+        """Human-readable TTFT / per-token latency percentile table."""
+        rows = []
+        for name in ("serving/ttft_ms", "serving/token_latency_ms", "serving/step_ms"):
+            s = self._reg.histogram(name).summary()
+            rows.append(
+                f"  {name:<26} n={s['count']:<6d} p50={s['p50']:8.3f}ms "
+                f"p95={s['p95']:8.3f}ms  p99={s['p99']:8.3f}ms"
+            )
+        counters = self._reg
+        rows.append(
+            f"  requests={counters.counter('serving/requests').value}  "
+            f"tokens={counters.counter('serving/tokens_generated').value}  "
+            f"prefill_tokens={counters.counter('serving/prefill_tokens').value}  "
+            f"peak_concurrency={self.peak_concurrency}"
+        )
+        return "\n".join(rows)

@@ -387,3 +387,47 @@ def grouped_dds(
             )
     arena.release(stage)
     return out
+
+
+# ----------------------------------------------------------------------
+# Serving: grouped GEMM over expert-grouped token rows (no topology)
+# ----------------------------------------------------------------------
+def grouped_rows_gemm(
+    x: np.ndarray,
+    group_offsets: np.ndarray,
+    stacked_w: np.ndarray,
+    stacked_b: Optional[np.ndarray] = None,
+    stable: bool = False,
+) -> np.ndarray:
+    """One GEMM per row group: ``out[s_g:e_g] = x[s_g:e_g] @ w[g] (+ b[g])``.
+
+    The inference-mode MoE dispatch is the degenerate grouped-GEMM case
+    of this module: tokens arrive already grouped by expert (a
+    ``PaddedPlan`` at block size 1 — no padding rows at all), so each
+    expert's product is a plain row-slice GEMM with no block topology,
+    no gather copies, and no scatter-add.  ``group_offsets`` is the
+    ``(num_groups + 1,)`` prefix sum of group sizes; ``stacked_w`` is
+    ``(num_groups, in, out)``.
+
+    ``stable=True`` routes each group through the bitwise row-stable
+    einsum kernel of :mod:`repro.serving.kernels`, which is what lets
+    single-token decode batches reproduce full-window expert outputs
+    bit for bit regardless of per-step tokens-per-expert skew.
+    """
+    if stable:
+        from repro.serving.kernels import stable_matmul
+    num_groups = stacked_w.shape[0]
+    out = np.empty(
+        (x.shape[0], stacked_w.shape[-1]),
+        dtype=np.result_type(x.dtype, stacked_w.dtype),
+    )
+    for g in range(num_groups):
+        s, e = int(group_offsets[g]), int(group_offsets[g + 1])
+        if s == e:
+            continue
+        xg = x[s:e]
+        y = stable_matmul(xg, stacked_w[g]) if stable else xg @ stacked_w[g]
+        if stacked_b is not None:
+            y += stacked_b[g]
+        out[s:e] = y
+    return out

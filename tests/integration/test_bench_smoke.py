@@ -40,7 +40,9 @@ def bench(request):
     stale = [
         m
         for m in sys.modules
-        if m.startswith(("harness", "test_fig", "test_step", "test_ckpt"))
+        if m.startswith(
+            ("harness", "test_fig", "test_step", "test_ckpt", "test_serving")
+        )
     ]
     for m in stale:
         del sys.modules[m]
@@ -54,7 +56,9 @@ def bench(request):
     for m in [
         m
         for m in sys.modules
-        if m.startswith(("harness", "test_fig", "test_step", "test_ckpt"))
+        if m.startswith(
+            ("harness", "test_fig", "test_step", "test_ckpt", "test_serving")
+        )
     ]:
         del sys.modules[m]
 
@@ -126,6 +130,19 @@ def test_ckpt_stream_smoke(bench):
     assert mod.SMOKE
     mod.test_ckpt_stream(_PassthroughBenchmark())
     out = os.path.join(BENCH_DIR, "BENCH_ckpt.json")
+    assert os.path.exists(out)
+
+
+def test_serving_smoke(bench):
+    """Serving benchmark: KV-cached decode must emit the same greedy
+    tokens as the uncached baseline at >= the tokens/s speedup floor,
+    the scheduler must drain a mixed-length stream with ordered latency
+    percentiles, and int8 experts must hold the byte-ratio and
+    perplexity-delta bounds; emits BENCH_serving.json."""
+    mod = bench("test_serving")
+    assert mod.SMOKE
+    mod.test_serving(_PassthroughBenchmark())
+    out = os.path.join(BENCH_DIR, "BENCH_serving.json")
     assert os.path.exists(out)
 
 

@@ -1,0 +1,59 @@
+"""Shared model builders for the serving tests.
+
+Small models with a *small* ``max_seq_len`` so sliding-window behavior
+is exercised in a handful of decode steps (the factory-built models use
+the scaled Table-1 sequence lengths, which are too long for that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import dMoE
+from repro.moe import DynamicCapacityMoELayer, MoELayer
+from repro.nn import TransformerLM
+
+VOCAB = 61
+HIDDEN = 32
+HEADS = 2
+LAYERS = 2
+MAX_SEQ = 16
+FFN = 64
+EXPERTS = 4
+
+
+def make_model(system: str, top_k: int = 1, rng: int = 0) -> TransformerLM:
+    if system == "dense":
+        factory = None
+    elif system == "dmoe":
+        factory = lambda i: dMoE(  # noqa: E731
+            HIDDEN, FFN, EXPERTS, top_k=top_k, block_size=8, rng=rng
+        )
+    elif system == "moe":
+        factory = lambda i: MoELayer(  # noqa: E731
+            HIDDEN, FFN, EXPERTS, capacity_factor=1.0, top_k=top_k, rng=rng
+        )
+    elif system == "tutel-dmoe":
+        factory = lambda i: DynamicCapacityMoELayer(  # noqa: E731
+            hidden_size=HIDDEN, ffn_hidden_size=FFN, num_experts=EXPERTS,
+            top_k=top_k, rng=rng,
+        )
+    else:
+        raise ValueError(system)
+    model = TransformerLM(
+        vocab_size=VOCAB,
+        hidden_size=HIDDEN,
+        num_layers=LAYERS,
+        num_heads=HEADS,
+        max_seq_len=MAX_SEQ,
+        ffn_factory=factory,
+        rng=rng,
+    )
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def prompts() -> np.ndarray:
+    return np.random.default_rng(3).integers(0, VOCAB, size=(3, 5))

@@ -1,0 +1,77 @@
+"""The shared ``sample_tokens`` contract (greedy / temperature / top-k)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.sampling import sample_tokens
+
+
+def _logits(rows: int = 4, vocab: int = 23, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(rows, vocab)).astype(np.float32)
+
+
+def test_greedy_is_argmax():
+    logits = _logits()
+    out = sample_tokens(logits, 0.0, None, np.random.default_rng(0))
+    assert out.dtype == np.int64
+    assert np.array_equal(out, np.argmax(logits, axis=-1))
+
+
+def test_greedy_consumes_no_rng():
+    gen = np.random.default_rng(7)
+    sample_tokens(_logits(), 0.0, None, gen)
+    fresh = np.random.default_rng(7)
+    assert gen.integers(0, 1 << 30) == fresh.integers(0, 1 << 30)
+
+
+def test_top_k_one_matches_greedy():
+    logits = _logits(rows=6)
+    greedy = sample_tokens(logits, 0.0, None, np.random.default_rng(1))
+    topk1 = sample_tokens(logits, 1.0, 1, np.random.default_rng(1))
+    assert np.array_equal(greedy, topk1)
+
+
+def test_seeded_determinism_batched():
+    logits = _logits(rows=5)
+    a = sample_tokens(logits, 0.9, 8, np.random.default_rng(42))
+    b = sample_tokens(logits, 0.9, 8, np.random.default_rng(42))
+    c = sample_tokens(logits, 0.9, 8, np.random.default_rng(43))
+    assert np.array_equal(a, b)
+    assert a.shape == (5,)
+    assert not np.array_equal(a, c)  # different seed, different draws
+
+
+def test_top_k_restricts_support():
+    logits = _logits(rows=3, vocab=50)
+    k = 4
+    allowed = np.argsort(logits, axis=-1)[:, -k:]
+    gen = np.random.default_rng(0)
+    for _ in range(25):
+        out = sample_tokens(logits, 1.0, k, gen)
+        for row, tok in enumerate(out):
+            assert tok in allowed[row]
+
+
+def test_temperature_sharpens():
+    """Near-zero temperature concentrates sampling on the argmax."""
+    logits = _logits(rows=1, vocab=11)
+    gen = np.random.default_rng(5)
+    cold = [sample_tokens(logits, 1e-3, None, gen)[0] for _ in range(20)]
+    assert set(cold) == {int(np.argmax(logits))}
+
+
+def test_rng_consumed_per_row_in_row_order():
+    """Sampling B rows == sampling each row alone with the same stream."""
+    logits = _logits(rows=3, vocab=17)
+    batched = sample_tokens(logits, 1.0, 5, np.random.default_rng(9))
+    gen = np.random.default_rng(9)
+    solo = [sample_tokens(logits[i : i + 1], 1.0, 5, gen)[0] for i in range(3)]
+    assert np.array_equal(batched, np.array(solo))
+
+
+def test_bounds():
+    logits = _logits(rows=8, vocab=13)
+    out = sample_tokens(logits, 1.3, None, np.random.default_rng(3))
+    assert out.min() >= 0 and out.max() < 13
