@@ -13,6 +13,8 @@ chosen by the caller.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.autograd.function import Function
@@ -97,7 +99,7 @@ class _Conv1d(Function):
 def conv1d(
     x: Tensor,
     weight: Tensor,
-    bias: Tensor = None,
+    bias: Optional[Tensor] = None,
     padding: int = 0,
     groups: int = 1,
 ) -> Tensor:

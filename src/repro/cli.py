@@ -120,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write rotating checkpoints on a background thread "
                         "(snapshot at the step boundary, serialize off-thread)")
     p.add_argument("--eval-every", type=int, default=None)
+    p.add_argument("--dp-world", type=int, default=0, metavar="W",
+                   help="data-parallel world size: shard each global batch "
+                        "over W replicated ranks with an all-reduced "
+                        "gradient step (0 disables the distributed path)")
+    p.add_argument("--dist-backend", default="sim", choices=["sim", "mp"],
+                   help="collective transport for --dp-world: 'sim' reduces "
+                        "in process, 'mp' routes through forked worker "
+                        "processes over shared memory (bit-identical)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="trace the run; write a Chrome-trace JSON here "
                         "(open in chrome://tracing or Perfetto)")
@@ -442,6 +450,8 @@ def main(argv=None) -> int:
         capture=args.capture,
         backend=args.backend,
         async_checkpoint=args.async_checkpoint,
+        dp_world=args.dp_world,
+        dist_backend=args.dist_backend,
     )
     manager = None
     if args.ckpt_dir:

@@ -1,4 +1,10 @@
-"""Simulated distributed training: mesh, collectives, expert parallelism."""
+"""Distributed training: mesh, collectives, backends, expert parallelism.
+
+Two transports implement one :class:`ProcessGroup` API (see
+``docs/distributed.md``): ``"sim"`` rendezvouses rank-threads over the
+in-process reference collectives, ``"mp"`` forks real worker processes
+wired by pipes and shared memory.  They are bit-identical.
+"""
 
 from repro.distributed.mesh import DeviceMesh
 from repro.distributed.collectives import (
@@ -7,6 +13,16 @@ from repro.distributed.collectives import (
     all_gather,
     all_reduce,
     all_to_all,
+    broadcast,
+    log_all_to_all,
+)
+from repro.distributed.backend import (
+    BACKENDS,
+    DistributedRunResult,
+    PendingAllToAll,
+    ProcessGroup,
+    WorkerFailure,
+    run_distributed,
 )
 from repro.distributed.expert_parallel import (
     ExpertParallelDMoE,
@@ -15,12 +31,20 @@ from repro.distributed.expert_parallel import (
 from repro.distributed.data_parallel import DataParallelTrainer
 
 __all__ = [
+    "BACKENDS",
     "DeviceMesh",
     "CommLog",
     "CommRecord",
+    "DistributedRunResult",
+    "PendingAllToAll",
+    "ProcessGroup",
+    "WorkerFailure",
     "all_reduce",
     "all_to_all",
     "all_gather",
+    "broadcast",
+    "log_all_to_all",
+    "run_distributed",
     "ExpertParallelDMoE",
     "ExpertParallelResult",
     "DataParallelTrainer",

@@ -1,0 +1,210 @@
+"""The ProcessGroup abstraction: one collectives API, two backends.
+
+Everything distributed in this repo is written SPMD-style against
+:class:`ProcessGroup` — a per-rank handle exposing ``all_reduce`` /
+``all_to_all`` / ``all_gather`` / ``broadcast`` / ``barrier`` plus an
+*asynchronous* all-to-all (:meth:`ProcessGroup.isend_all_to_all`) that
+lets callers overlap communication with independent local work.  Two
+backends implement it:
+
+- ``"sim"`` (:mod:`repro.distributed.sim_backend`): rank-threads
+  rendezvous in process and the reduction runs through the existing
+  simulated collectives — the bit-exact reference, zero OS dependencies.
+- ``"mp"`` (:mod:`repro.distributed.mp_backend`): real forked worker
+  processes, a full pipe mesh for headers, and shared-memory segments
+  for payloads (:mod:`repro.distributed.shm`).  Faults are *real*: a
+  scheduled ``rank_failure`` is a SIGKILL, detected by peers through
+  recv deadlines and by the supervisor through result-pipe EOF.
+
+Both backends use the identical reduction formula
+(``np.sum(np.stack(parts_in_rank_order), axis=0)``), so for the same
+SPMD function they produce bit-identical results (tested).
+
+Entry point::
+
+    result = run_distributed(fn, world=4, backend="mp")
+    # fn(group) ran once per rank; result.values[r] is rank r's return.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+BACKENDS = ("sim", "mp")
+
+
+class WorkerFailure(RuntimeError):
+    """A distributed run lost one or more ranks (crash, kill, timeout).
+
+    Attributes:
+        failed_ranks: ranks that died or timed out.
+        reason: short classification (``"died"``, ``"timeout"``,
+            ``"error"``).
+    """
+
+    def __init__(
+        self, failed_ranks: Sequence[int], reason: str, detail: str = ""
+    ) -> None:
+        msg = f"rank(s) {sorted(failed_ranks)} {reason}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.failed_ranks = sorted(failed_ranks)
+        self.reason = reason
+
+
+class PendingAllToAll(abc.ABC):
+    """Handle for an in-flight all-to-all posted by
+    :meth:`ProcessGroup.isend_all_to_all`.
+
+    ``self_payload`` is this rank's own (diagonal) buffer, available
+    immediately — callers overlap work on it while remote rows are in
+    flight — and :meth:`wait` blocks until every remote row has
+    arrived, returning the full received list indexed by source rank.
+    """
+
+    @property
+    @abc.abstractmethod
+    def self_payload(self) -> Any:
+        ...
+
+    @abc.abstractmethod
+    def wait(self) -> List[Any]:
+        ...
+
+
+class ProcessGroup(abc.ABC):
+    """Per-rank SPMD handle over one communicator.
+
+    All tensor-moving methods take this rank's contribution and return
+    this rank's share of the result; ``wait_s`` accumulates the time
+    this rank spent *blocked* waiting for remote data (the exposed,
+    non-overlapped communication cost the benchmark gates on).
+    """
+
+    rank: int
+    world: int
+    wait_s: float = 0.0
+
+    @abc.abstractmethod
+    def all_reduce(self, arr: np.ndarray) -> np.ndarray:
+        """Elementwise sum over ranks; every rank gets the total."""
+
+    @abc.abstractmethod
+    def all_gather(self, arr: np.ndarray) -> List[np.ndarray]:
+        """Every rank gets the per-rank contributions in rank order."""
+
+    @abc.abstractmethod
+    def all_to_all(self, send: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """``send[dst]`` leaves this rank; returns arrivals by source."""
+
+    @abc.abstractmethod
+    def isend_all_to_all(
+        self, send: Sequence[np.ndarray]
+    ) -> PendingAllToAll:
+        """Post the sends of an all-to-all and return immediately."""
+
+    @abc.abstractmethod
+    def broadcast(self, arr: np.ndarray, root: int = 0) -> np.ndarray:
+        """Every rank receives ``root``'s array."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered."""
+
+    # Shared reduction kernel: BOTH backends must reduce with exactly
+    # this formula so results are bit-identical across backends and
+    # with the in-process reference collectives.
+    @staticmethod
+    def _reduce_sum(parts_in_rank_order: Sequence[np.ndarray]) -> np.ndarray:
+        return np.sum(np.stack(list(parts_in_rank_order), axis=0), axis=0)
+
+
+@dataclass
+class RankOutcome:
+    """What one rank produced: its return value and local stats."""
+
+    rank: int
+    value: Any
+    wait_s: float = 0.0
+
+
+@dataclass
+class DistributedRunResult:
+    """Outcome of :func:`run_distributed` across the whole world."""
+
+    backend: str
+    world: int
+    values: List[Any]
+    wait_s_per_rank: List[float]
+    elapsed_s: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def max_wait_s(self) -> float:
+        return max(self.wait_s_per_rank) if self.wait_s_per_rank else 0.0
+
+    @property
+    def total_wait_s(self) -> float:
+        return float(sum(self.wait_s_per_rank))
+
+
+def run_distributed(
+    fn: Callable[[ProcessGroup], Any],
+    world: int,
+    backend: str = "sim",
+    timeout_s: float = 120.0,
+    op_timeout_s: float = 30.0,
+    faults: Optional[Sequence] = None,
+    step: Optional[int] = None,
+) -> DistributedRunResult:
+    """Run ``fn(group)`` once per rank on the chosen backend.
+
+    Args:
+        fn: the SPMD body.  Called with a live :class:`ProcessGroup`;
+            its return value lands in ``result.values[rank]``.  Under
+            the ``"mp"`` backend ``fn`` executes in a forked child, so
+            closures over parent state are fine (copy-on-write) but
+            mutations do not propagate back — communicate through the
+            return value.
+        world: number of ranks.
+        backend: ``"sim"`` or ``"mp"``.
+        timeout_s: whole-run deadline enforced by the supervisor; on
+            expiry surviving workers are killed, shared memory is
+            swept, and :class:`WorkerFailure` is raised.
+        op_timeout_s: per-recv deadline inside ``"mp"`` collectives —
+            how long a rank waits on a silent peer before declaring a
+            collective fault (real dead-rank detection).
+        faults: optional sequence of
+            :class:`repro.resilience.faults.FaultEvent` delivered into
+            the workers.  Under ``"mp"`` these are *real*: a matching
+            ``rank_failure`` SIGKILLs the worker, ``delay`` sleeps,
+            ``corrupt_payload`` corrupts the sender's outgoing buffer.
+        step: logical step for fault matching (``FaultEvent.step``).
+
+    Raises:
+        WorkerFailure: a rank died, errored, or the run timed out.
+        ValueError: unknown backend / invalid world.
+    """
+    if world < 1:
+        raise ValueError(f"world must be >= 1, got {world}")
+    if backend == "sim":
+        from repro.distributed.sim_backend import run_sim
+
+        return run_sim(fn, world, faults=faults, step=step)
+    if backend == "mp":
+        from repro.distributed.mp_backend import run_mp
+
+        return run_mp(
+            fn,
+            world,
+            timeout_s=timeout_s,
+            op_timeout_s=op_timeout_s,
+            faults=faults,
+            step=step,
+        )
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

@@ -10,7 +10,7 @@ the volumes the real algorithms would move.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -58,11 +58,27 @@ def _execute(op: str, world: int, payloads, compute):
 
 @dataclass
 class CommRecord:
-    """One collective: operation name and per-rank bytes sent."""
+    """One collective: operation name and per-rank bytes sent.
+
+    ``bytes_sent_per_rank`` is the *mean* bytes a rank sends in this
+    collective — the honest per-rank volume even when token routing is
+    skewed.  For skew-sensitive collectives (``all_to_all``) the true
+    per-source breakdown is kept in ``bytes_by_rank`` and the straggler's
+    volume in ``max_bytes_sent`` (what a latency model should price,
+    since the collective completes when the busiest sender finishes).
+    Symmetric collectives leave ``bytes_by_rank`` as ``None`` — every
+    rank sends exactly ``bytes_sent_per_rank``.
+    """
 
     op: str
     world: int
     bytes_sent_per_rank: float
+    bytes_by_rank: Optional[List[float]] = None
+    max_bytes_sent: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_bytes_sent is None:
+            self.max_bytes_sent = float(self.bytes_sent_per_rank)
 
 
 @dataclass
@@ -71,12 +87,36 @@ class CommLog:
 
     records: List[CommRecord] = field(default_factory=list)
 
-    def log(self, op: str, world: int, bytes_sent_per_rank: float) -> None:
-        self.records.append(CommRecord(op, world, bytes_sent_per_rank))
+    def log(
+        self,
+        op: str,
+        world: int,
+        bytes_sent_per_rank: float,
+        bytes_by_rank: Optional[Sequence[float]] = None,
+        max_bytes_sent: Optional[float] = None,
+    ) -> None:
+        self.records.append(
+            CommRecord(
+                op,
+                world,
+                bytes_sent_per_rank,
+                list(bytes_by_rank) if bytes_by_rank is not None else None,
+                max_bytes_sent,
+            )
+        )
 
     def total_bytes_per_rank(self, op: str = "") -> float:
+        """Mean bytes sent per rank, summed over matching records."""
         return sum(
             r.bytes_sent_per_rank
+            for r in self.records
+            if not op or r.op == op
+        )
+
+    def max_bytes_per_rank(self, op: str = "") -> float:
+        """Straggler volume: max-sender bytes summed over records."""
+        return sum(
+            float(r.max_bytes_sent)
             for r in self.records
             if not op or r.op == op
         )
@@ -89,7 +129,7 @@ class CommLog:
 
 
 def all_reduce(
-    shards: Sequence[np.ndarray], log: CommLog = None
+    shards: Sequence[np.ndarray], log: Optional[CommLog] = None
 ) -> List[np.ndarray]:
     """Sum the per-rank arrays; every rank receives the total.
 
@@ -108,8 +148,38 @@ def all_reduce(
     return out
 
 
+def log_all_to_all(
+    buffers: Sequence[Sequence[np.ndarray]], log: Optional[CommLog]
+) -> None:
+    """Record one logical all-to-all's volume into ``log``.
+
+    Factored out of :func:`all_to_all` so retry wrappers (e.g.
+    ``ExpertParallelDMoE._exchange``) can account each *logical*
+    exchange exactly once, however many transport attempts it took.
+    Stores true mean per-rank bytes plus the per-source breakdown and
+    the straggler's (max-sender) volume — skewed token routing no
+    longer inflates the per-rank number.
+    """
+    world = len(buffers)
+    if log is None or world <= 1:
+        return
+    by_rank = [
+        float(
+            sum(buffers[src][dst].nbytes for dst in range(world) if dst != src)
+        )
+        for src in range(world)
+    ]
+    log.log(
+        "all_to_all",
+        world,
+        float(np.mean(by_rank)),
+        bytes_by_rank=by_rank,
+        max_bytes_sent=float(max(by_rank)),
+    )
+
+
 def all_to_all(
-    buffers: Sequence[Sequence[np.ndarray]], log: CommLog = None
+    buffers: Sequence[Sequence[np.ndarray]], log: Optional[CommLog] = None
 ) -> List[List[np.ndarray]]:
     """Exchange ``buffers[src][dst]`` so rank ``dst`` receives a list
     indexed by ``src`` — the token-dispatch primitive of expert parallelism.
@@ -126,17 +196,12 @@ def all_to_all(
         ]
 
     received = _execute("all_to_all", world, buffers, compute)
-    if log is not None and world > 1:
-        sent = max(
-            sum(buffers[src][dst].nbytes for dst in range(world) if dst != src)
-            for src in range(world)
-        )
-        log.log("all_to_all", world, float(sent))
+    log_all_to_all(buffers, log)
     return received
 
 
 def all_gather(
-    shards: Sequence[np.ndarray], log: CommLog = None
+    shards: Sequence[np.ndarray], log: Optional[CommLog] = None
 ) -> List[np.ndarray]:
     """Every rank receives the concatenation of all shards (axis 0)."""
     world = len(shards)
@@ -148,4 +213,38 @@ def all_gather(
     out = _execute("all_gather", world, list(shards), compute)
     if log is not None and world > 1:
         log.log("all_gather", world, float((world - 1) * shards[0].nbytes))
+    return out
+
+
+def broadcast(
+    value: np.ndarray,
+    world: int,
+    root: int = 0,
+    log: Optional[CommLog] = None,
+) -> List[np.ndarray]:
+    """Every rank receives a copy of ``root``'s array.
+
+    Tree-broadcast traffic model: the root's buffer crosses the network
+    ``world - 1`` times in total, ``log2``-depth pipelined, so the
+    charged per-rank volume is the mean over ranks (the root sends the
+    most; leaves send nothing).
+    """
+    if world < 1:
+        raise ValueError(f"world must be >= 1, got {world}")
+    if not 0 <= root < world:
+        raise ValueError(f"root {root} out of range for world {world}")
+
+    def compute(payloads):
+        src = np.asarray(payloads[0])
+        return [np.array(src, copy=True) for _ in range(world)]
+
+    out = _execute("broadcast", world, [np.asarray(value)], compute)
+    if log is not None and world > 1:
+        total = float((world - 1) * np.asarray(value).nbytes)
+        log.log(
+            "broadcast",
+            world,
+            total / world,
+            max_bytes_sent=float(np.asarray(value).nbytes),
+        )
     return out

@@ -35,9 +35,14 @@ class DataParallelTrainer:
         replicas: Sequence[Module],
         lr: float = 1e-3,
         grad_clip: float = 0.0,
+        dist_backend: str = "sim",
     ) -> None:
         if len(replicas) < 1:
             raise ValueError("need at least one replica")
+        if dist_backend not in ("sim", "mp"):
+            raise ValueError(
+                f"unknown dist_backend {dist_backend!r}: expected 'sim' or 'mp'"
+            )
         self.replicas = list(replicas)
         self.world = len(replicas)
         ref = self.replicas[0].state_dict()
@@ -51,6 +56,15 @@ class DataParallelTrainer:
         self.optimizers = [Adam(r.parameters(), lr=lr) for r in self.replicas]
         self.grad_clip = grad_clip
         self.comm_log = CommLog()
+        self.dist_backend = dist_backend
+        # Persistent forked echo workers carry each rank's shard over the
+        # shared-memory transport; the reduction formula is shared with
+        # the in-process reference, so both backends are bit-identical.
+        self._echo_group = None
+        if dist_backend == "mp" and self.world > 1:
+            from repro.distributed.mp_backend import MpEchoGroup
+
+            self._echo_group = MpEchoGroup(self.world)
 
     def step(
         self, loss_fn: Callable[[Module, int], "object"]
@@ -75,7 +89,12 @@ class DataParallelTrainer:
                 t.grad if t.grad is not None else np.zeros_like(t.data)
                 for t in tensors
             ]
-            summed = all_reduce(grads, self.comm_log)
+            if self._echo_group is not None:
+                summed = self._echo_group.all_reduce_shards(
+                    grads, self.comm_log
+                )
+            else:
+                summed = all_reduce(grads, self.comm_log)
             for t, g in zip(tensors, summed):
                 t.grad = (g / self.world).astype(t.data.dtype)
 
@@ -84,6 +103,12 @@ class DataParallelTrainer:
                 clip_grad_norm(opt.params, self.grad_clip)
             opt.step()
         return float(np.mean(local_losses))
+
+    def close(self) -> None:
+        """Tear down the mp echo workers (no-op under "sim")."""
+        if self._echo_group is not None:
+            self._echo_group.close()
+            self._echo_group = None
 
     def check_replicas_synchronized(self, atol: float = 0.0) -> None:
         """Raise if any replica's parameters drifted from rank 0."""

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.core.dmoe import dMoE
 from repro.core.topology_builder import make_topology
-from repro.distributed.collectives import CommLog, all_to_all
+from repro.distributed.collectives import CommLog, all_to_all, log_all_to_all
 from repro.distributed.mesh import DeviceMesh
 from repro.resilience import counters as res_counters
 from repro.resilience.faults import CollectiveFault, RetryPolicy
@@ -107,18 +107,25 @@ class ExpertParallelDMoE:
         self.retry_policy = retry_policy
 
     def _exchange(self, buffers, log: Optional[CommLog]):
-        """All-to-all with receipt validation + retry (when configured)."""
+        """All-to-all with receipt validation + retry (when configured).
+
+        Comm volume is accounted once per *logical* exchange, after it
+        succeeds — transport attempts under the retry policy do not
+        re-log, so fault injection cannot double-count bytes.
+        """
         if self.retry_policy is None:
             return all_to_all(buffers, log)
 
         def attempt(k: int):
-            received = all_to_all(buffers, log)
+            received = all_to_all(buffers, None)
             if not _payloads_finite(received):
                 res_counters.increment("ep_corrupt_payload_detected")
                 raise CollectiveFault("all_to_all", None, k)
             return received
 
-        return self.retry_policy.run(attempt, "all_to_all")
+        received = self.retry_policy.run(attempt, "all_to_all")
+        log_all_to_all(buffers, log)
+        return received
 
     # ------------------------------------------------------------------
     def _route(self, x: np.ndarray):
@@ -131,10 +138,22 @@ class ExpertParallelDMoE:
         weights = scores[np.arange(len(scores))[:, None], indices]
         return indices, weights
 
-    def _local_expert_compute(
-        self, rank: int, tokens: np.ndarray, local_expert_ids: np.ndarray
-    ) -> np.ndarray:
-        """Block-sparse 2-layer MLP over this rank's expert shard."""
+    def _build_local_plan(self, local_expert_ids: np.ndarray):
+        """Padded plan + block topology for one rank's received tokens.
+
+        Pure host-side metadata construction — it needs only the (tiny)
+        expert-id assignments, not the token payloads, which is exactly
+        what lets :meth:`forward_rank` run it *while* the token
+        all-to-all is still in flight.
+        """
+        plan = make_padded_plan(
+            local_expert_ids[:, None], self.local_experts, self.layer.block_size
+        )
+        topology = make_topology(plan, self.layer.ffn_hidden_size)
+        return plan, topology
+
+    def _slice_expert_weights(self, rank: int):
+        """This rank's expert shard, reshaped for the grouped GEMMs."""
         layer = self.layer
         h, f = layer.hidden_size, layer.ffn_hidden_size
         e0 = rank * self.local_experts
@@ -147,18 +166,21 @@ class ExpertParallelDMoE:
         b1 = layer.experts.b1.data[e0:e1].reshape(-1)
         w2 = layer.experts.w2.data[e0:e1].reshape(self.local_experts * f, h)
         b2 = layer.experts.b2.data[e0:e1]
+        return w1, b1, w2, b2
 
-        plan = make_padded_plan(
-            local_expert_ids[:, None], self.local_experts, layer.block_size
+    def _apply_local_experts(
+        self, tokens: np.ndarray, plan, topology, w1, b1, w2, b2
+    ) -> np.ndarray:
+        """Grouped block-sparse MLP over pre-built plan/topology."""
+        xp = np.zeros(
+            (plan.total_padded, self.layer.hidden_size), dtype=tokens.dtype
         )
-        topology = make_topology(plan, f)
-        xp = np.zeros((plan.total_padded, h), dtype=tokens.dtype)
         valid = plan.gather_indices >= 0
         xp[valid] = tokens[plan.gather_indices[valid]]
 
         hidden = sdd(xp, w1, topology)
         hidden = add_bias_columns(hidden, b1)
-        hidden = map_values(hidden, _ACT[layer.activation])
+        hidden = map_values(hidden, _ACT[self.layer.activation])
         y = dsd(hidden, w2)
         row_expert = np.repeat(
             np.arange(self.local_experts), plan.padded_tokens_per_expert
@@ -166,9 +188,20 @@ class ExpertParallelDMoE:
         y = y + b2[row_expert]
         # Un-permute back to the arrival order of `tokens` (weights are
         # applied at the source rank).
-        out = np.zeros_like(tokens, shape=(len(tokens), h))
+        out = np.zeros_like(
+            tokens, shape=(len(tokens), self.layer.hidden_size)
+        )
         out[plan.gather_indices[valid]] = y[valid]
         return out
+
+    def _local_expert_compute(
+        self, rank: int, tokens: np.ndarray, local_expert_ids: np.ndarray
+    ) -> np.ndarray:
+        """Block-sparse 2-layer MLP over this rank's expert shard."""
+        plan, topology = self._build_local_plan(local_expert_ids)
+        return self._apply_local_experts(
+            tokens, plan, topology, *self._slice_expert_weights(rank)
+        )
 
     # ------------------------------------------------------------------
     def forward(self, x_per_rank: Sequence[np.ndarray]) -> ExpertParallelResult:
@@ -249,6 +282,283 @@ class ExpertParallelDMoE:
             tokens_received_per_rank=tokens_received,
             comm_log=log,
         )
+
+    # ------------------------------------------------------------------
+    # SPMD path: one rank's view, driven by a ProcessGroup.  The same
+    # function body runs on the "sim" (rank-threads) and "mp" (forked
+    # processes) backends and is bit-identical across them.
+    # ------------------------------------------------------------------
+    def _route_and_bucket(self, x: np.ndarray, world: int):
+        """Route one rank's tokens and bucket copies by destination."""
+        indices, weights = self._route(x)
+        dest = indices // self.local_experts
+        rows, slots = np.nonzero(np.ones_like(indices, dtype=bool))
+        send_tokens, send_experts, send_meta = [], [], []
+        for dst in range(world):
+            mask = dest[rows, slots] == dst
+            r, s = rows[mask], slots[mask]
+            send_tokens.append(x[r])
+            send_experts.append(
+                (indices[r, s] - dst * self.local_experts).astype(np.int64)
+            )
+            send_meta.append(np.stack([r, s], axis=1))
+        return send_tokens, send_experts, send_meta, weights
+
+    @staticmethod
+    def _log_rank_a2a(log: Optional[CommLog], send, rank: int) -> None:
+        """Account one logical exchange from one rank's point of view:
+        this rank's true off-diagonal bytes (no mean over a world this
+        rank cannot see)."""
+        if log is None or len(send) <= 1:
+            return
+        mine = float(
+            sum(np.asarray(s).nbytes for d, s in enumerate(send) if d != rank)
+        )
+        log.log("all_to_all", len(send), mine, max_bytes_sent=mine)
+
+    def forward_rank(
+        self,
+        group,
+        x_local: np.ndarray,
+        comm_log: Optional[CommLog] = None,
+        overlap: bool = True,
+    ) -> np.ndarray:
+        """One rank's distributed forward over a live ProcessGroup.
+
+        With ``overlap=True`` the expensive token all-to-all is posted
+        asynchronously and the rank builds its padded plan + block
+        topology (host-side metadata that needs only the already-
+        exchanged expert ids) while payloads are in flight — the
+        comm/compute overlap of §5 of the paper.  ``overlap=False``
+        serializes exchange-then-plan; both orders compute the
+        identical grouped-GEMM batch, so outputs are bit-equal and the
+        switch is purely a performance knob (benchmarked in
+        ``BENCH_dist.json``).
+        """
+        world = group.world
+        if world != self.mesh.expert_parallel:
+            raise ValueError(
+                f"group world {world} != mesh expert_parallel "
+                f"{self.mesh.expert_parallel}"
+            )
+        rank = group.rank
+        layer = self.layer
+        x = np.asarray(x_local)
+        send_tokens, send_experts, send_meta, weights = self._route_and_bucket(
+            x, world
+        )
+
+        # Expert ids first: a few hundred int64s whose arrival unlocks
+        # all the host-side planning work.
+        recv_experts = group.all_to_all(send_experts)
+        counts = [len(e) for e in recv_experts]
+        expert_ids = (
+            np.concatenate(recv_experts).astype(np.int64)
+            if sum(counts)
+            else np.zeros((0,), dtype=np.int64)
+        )
+
+        self._log_rank_a2a(comm_log, send_tokens, rank)
+        if overlap:
+            pending = group.isend_all_to_all(send_tokens)
+            # ---- overlapped with the token exchange ----
+            plan, topology = self._build_local_plan(expert_ids)
+            w1, b1, w2, b2 = self._slice_expert_weights(rank)
+            # --------------------------------------------
+            recv_tokens = pending.wait()
+        else:
+            recv_tokens = group.all_to_all(send_tokens)
+            plan, topology = self._build_local_plan(expert_ids)
+            w1, b1, w2, b2 = self._slice_expert_weights(rank)
+
+        gathered = (
+            np.concatenate(recv_tokens, axis=0)
+            if sum(counts)
+            else np.zeros((0, layer.hidden_size), dtype=x.dtype)
+        )
+        out_local = self._apply_local_experts(
+            gathered, plan, topology, w1, b1, w2, b2
+        )
+
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        send_back = [
+            out_local[offsets[src] : offsets[src + 1]] for src in range(world)
+        ]
+        self._log_rank_a2a(comm_log, send_back, rank)
+        recv_back = group.all_to_all(send_back)
+
+        out = np.zeros_like(x)
+        for dst in range(world):
+            meta = send_meta[dst]
+            if meta is None or len(meta) == 0:
+                continue
+            rows, slots = meta[:, 0], meta[:, 1]
+            np.add.at(
+                out, rows, recv_back[dst] * weights[rows, slots][:, None]
+            )
+        return out
+
+    def forward_backward_rank(
+        self,
+        group,
+        x_local: np.ndarray,
+        grad_local: np.ndarray,
+        comm_log: Optional[CommLog] = None,
+        overlap: bool = True,
+    ):
+        """One rank's distributed forward + backward (fixed routing).
+
+        Four all-to-alls total (token dispatch, result return, output-
+        gradient dispatch, input-gradient return), exactly as the cost
+        model charges.  Tapes onto a *rank-private deep copy* of the
+        layer — under the sim backend every rank is a thread and the
+        shared parameter tape would race; under mp the fork already
+        isolates, and copying in both keeps the backends byte-for-byte
+        identical.
+
+        Returns ``(output, input_grad, expert_grads)`` where
+        ``expert_grads`` maps ``w1/b1/w2/b2`` to this rank's *local
+        shard* gradient slices.
+        """
+        import copy
+
+        from repro.autograd import ACTIVATIONS, gather_rows, getitem, scatter_rows
+        from repro.autograd.tensor import Tensor
+        from repro.sparse.autograd_ops import dsd_mm, sdd_mm, sparse_bias_add
+
+        world = group.world
+        if world != self.mesh.expert_parallel:
+            raise ValueError(
+                f"group world {world} != mesh expert_parallel "
+                f"{self.mesh.expert_parallel}"
+            )
+        rank = group.rank
+        layer = copy.deepcopy(self.layer)
+        h, f = layer.hidden_size, layer.ffn_hidden_size
+        act = ACTIVATIONS[layer.activation]
+        e = layer.experts
+        e0 = rank * self.local_experts
+        e1 = e0 + self.local_experts
+
+        # ---- forward stage A: route, per-destination gathers (taped).
+        x_leaf = Tensor(np.asarray(x_local), requires_grad=True, dtype=np.float64)
+        send_tokens, send_experts, send_meta, weights = self._route_and_bucket(
+            x_leaf.data, world
+        )
+        gathered_tensors = []
+        for dst in range(world):
+            meta = send_meta[dst]
+            g = gather_rows(x_leaf, meta[:, 0])
+            gathered_tensors.append(g)
+            send_tokens[dst] = g.data
+
+        recv_experts = group.all_to_all(send_experts)
+        counts = [len(ids) for ids in recv_experts]
+        total = sum(counts)
+        expert_ids = (
+            np.concatenate(recv_experts).astype(np.int64)
+            if total
+            else np.zeros((0,), dtype=np.int64)
+        )
+
+        self._log_rank_a2a(comm_log, send_tokens, rank)
+        if overlap:
+            pending = group.isend_all_to_all(send_tokens)
+            plan, topology = self._build_local_plan(expert_ids)
+            recv_tokens = pending.wait()
+        else:
+            recv_tokens = group.all_to_all(send_tokens)
+            plan, topology = self._build_local_plan(expert_ids)
+
+        # ---- forward stage B: local expert compute (taped).
+        gathered = (
+            np.concatenate(recv_tokens, axis=0)
+            if total
+            else np.zeros((0, h), dtype=np.float64)
+        )
+        g_leaf = Tensor(gathered, requires_grad=True, dtype=np.float64)
+        xp = gather_rows(g_leaf, plan.gather_indices)
+        w1 = e.w1[e0:e1].transpose((1, 0, 2)).reshape((h, self.local_experts * f))
+        b1 = e.b1[e0:e1].reshape((self.local_experts * f,))
+        w2 = e.w2[e0:e1].reshape((self.local_experts * f, h))
+        hid = sdd_mm(xp, w1, topology)
+        hid = sparse_bias_add(hid, b1, topology)
+        hid = act(hid)
+        yp = dsd_mm(hid, w2, topology)
+        row_expert = np.repeat(
+            np.arange(self.local_experts), plan.padded_tokens_per_expert
+        )
+        yp = yp + getitem(e.b2[e0:e1], row_expert)
+        y = scatter_rows(
+            yp,
+            np.where(plan.gather_indices >= 0, plan.gather_indices, -1),
+            total,
+        )
+
+        # ---- forward stage C: return exchange + combine (taped).
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        send_back = [
+            y.data[offsets[src] : offsets[src + 1]] for src in range(world)
+        ]
+        self._log_rank_a2a(comm_log, send_back, rank)
+        recv_back = group.all_to_all(send_back)
+
+        back_leaves = []
+        parts = []
+        for dst in range(world):
+            meta = send_meta[dst]
+            if meta is None or len(meta) == 0:
+                back_leaves.append(None)
+                continue
+            rows, slots = meta[:, 0], meta[:, 1]
+            leaf = Tensor(recv_back[dst], requires_grad=True, dtype=np.float64)
+            back_leaves.append(leaf)
+            w = weights[rows, slots][:, None]
+            parts.append(scatter_rows(leaf * Tensor(w), rows, len(x_leaf.data)))
+        out_t = parts[0]
+        for p in parts[1:]:
+            out_t = out_t + p
+
+        # ---- backward: combine -> grad a2a -> local -> grad a2a.
+        out_t.backward(np.asarray(grad_local, dtype=np.float64))
+        grad_back = [
+            back_leaves[dst].grad
+            if back_leaves[dst] is not None
+            else np.zeros((0, h))
+            for dst in range(world)
+        ]
+        self._log_rank_a2a(comm_log, grad_back, rank)
+        dy_parts = group.all_to_all(grad_back)  # y-gradients come home
+        dy = (
+            np.concatenate(dy_parts, axis=0) if total else np.zeros((0, h))
+        )
+        y.backward(dy)
+
+        g = g_leaf.grad
+        if g is None:
+            g = np.zeros((total, h))
+        grad_tokens = [
+            g[offsets[src] : offsets[src + 1]] for src in range(world)
+        ]
+        self._log_rank_a2a(comm_log, grad_tokens, rank)
+        dx_parts = group.all_to_all(grad_tokens)  # token grads to sources
+        for dst in range(world):
+            gt = gathered_tensors[dst]
+            if gt is not None and len(gt.data):
+                gt.backward(dx_parts[dst])
+        input_grad = (
+            x_leaf.grad
+            if x_leaf.grad is not None
+            else np.zeros_like(x_leaf.data)
+        )
+
+        expert_grads = {
+            "w1": (e.w1.grad[e0:e1] if e.w1.grad is not None else None),
+            "b1": (e.b1.grad[e0:e1] if e.b1.grad is not None else None),
+            "w2": (e.w2.grad[e0:e1] if e.w2.grad is not None else None),
+            "b2": (e.b2.grad[e0:e1] if e.b2.grad is not None else None),
+        }
+        return out_t.data, input_grad, expert_grads
 
     # ------------------------------------------------------------------
     def forward_backward(

@@ -1,0 +1,147 @@
+"""Shared-memory tensor transport for the multi-process backend.
+
+Pipes are the control plane, shared memory is the data plane: a payload
+above :data:`INLINE_THRESHOLD` bytes is written once into a
+``multiprocessing.shared_memory`` segment and only its *name* crosses
+the pipe, so a blocking ``Connection.send`` can never fill the ~64 KB
+pipe buffer no matter how large the tensor — the deadlock mode of
+naive pipe meshes.  Small payloads ride inline in the pickled header
+(one syscall beats a segment create/attach round trip).
+
+Lifecycle contract:
+
+- the **sender** creates the segment and never touches it again;
+- the **receiver** copies the data out and unlinks the segment;
+- every segment name carries the run's *session prefix*, so a
+  supervising parent can :func:`sweep_session` after killing workers
+  (a SIGKILL'd receiver never unlinks) and tests can assert
+  :func:`leaked_segments` is empty after clean and chaotic runs alike.
+
+Python 3.11's ``resource_tracker`` registers segments on *attach* as
+well as on create (fixed only in 3.13 via ``track=False``), so
+tracker bookkeeping must balance per process: the **creator**
+explicitly unregisters after writing (it never unlinks — the receiver
+owns teardown), while the **receiver**'s attach-time registration is
+balanced by ``unlink()``, which unregisters internally.  Any other
+combination double-unregisters and the tracker process logs spurious
+``KeyError`` tracebacks at exit.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from typing import Any, Dict, List
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where shm exists
+    from multiprocessing import resource_tracker, shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - py<3.8 / exotic platforms
+    HAVE_SHM = False
+
+# Payloads at or below this many bytes travel inline through the pipe.
+# Kept far below the 64 KB pipe buffer so a rank can post headers to
+# every peer (world <= 8) before anyone drains: 8 * ~4.2 KB < 64 KB.
+INLINE_THRESHOLD = 4096
+
+_SHM_DIR = "/dev/shm"
+
+
+def session_name() -> str:
+    """A unique, greppable prefix for one distributed run's segments."""
+    return f"rpd{os.getpid()}_{uuid.uuid4().hex[:8]}"
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from this process's resource tracker (see module
+    docstring — ownership is managed by the receiver-unlink contract)."""
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def encode_array(
+    arr: np.ndarray, session: str, threshold: int = INLINE_THRESHOLD
+) -> Dict[str, Any]:
+    """Pack ``arr`` into a small picklable header (sender side)."""
+    arr = np.ascontiguousarray(arr)
+    header: Dict[str, Any] = {
+        "dtype": arr.dtype.str,
+        "shape": arr.shape,
+    }
+    if arr.nbytes <= threshold or not HAVE_SHM:
+        header["inline"] = arr.tobytes()
+        return header
+    seg = shared_memory.SharedMemory(
+        create=True,
+        size=max(1, arr.nbytes),
+        name=f"{session}_{uuid.uuid4().hex[:8]}",
+    )
+    try:
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+    finally:
+        seg.close()
+    _untrack(seg.name)
+    header["shm"] = seg.name
+    return header
+
+
+def decode_array(header: Dict[str, Any]) -> np.ndarray:
+    """Unpack a header into a private array copy (receiver side).
+
+    Shared segments are unlinked here — the receiver is the terminal
+    owner.
+    """
+    dtype = np.dtype(header["dtype"])
+    shape = tuple(header["shape"])
+    if "inline" in header:
+        return np.frombuffer(header["inline"], dtype=dtype).reshape(shape).copy()
+    seg = shared_memory.SharedMemory(name=header["shm"])
+    try:
+        view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        out = view.copy()
+    finally:
+        seg.close()
+        try:
+            # unlink() also unregisters, balancing the attach-time
+            # registration (see module docstring).
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - double delivery
+            pass
+    return out
+
+
+def encode_arrays(
+    arrays: List[np.ndarray], session: str, threshold: int = INLINE_THRESHOLD
+) -> List[Dict[str, Any]]:
+    return [encode_array(a, session, threshold) for a in arrays]
+
+
+def decode_arrays(headers: List[Dict[str, Any]]) -> List[np.ndarray]:
+    return [decode_array(h) for h in headers]
+
+
+def leaked_segments(session: str) -> List[str]:
+    """Names of this session's segments still present in ``/dev/shm``."""
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    return sorted(n for n in os.listdir(_SHM_DIR) if n.startswith(session))
+
+
+def sweep_session(session: str) -> List[str]:
+    """Unlink every surviving segment of ``session`` (parent cleanup
+    after killing workers); returns the names it removed."""
+    removed = []
+    for name in leaked_segments(session):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()
+            seg.unlink()  # unregisters the attach-time registration too
+            removed.append(name)
+        except FileNotFoundError:  # pragma: no cover - raced with unlink
+            pass
+    return removed

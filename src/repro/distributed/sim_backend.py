@@ -1,0 +1,248 @@
+"""In-process reference backend: rank-threads + barrier rendezvous.
+
+Each rank is a thread; collectives deposit per-rank payloads into
+shared slots, rendezvous on a :class:`threading.Barrier`, and one
+thread (the barrier action) computes the result through the *existing*
+simulated collectives in :mod:`repro.distributed.collectives` — so the
+``"sim"`` backend is bit-exact with the in-process reference by
+construction, composes with the process-global fault hook and tracer,
+and needs nothing from the OS.  It is the semantics oracle the ``"mp"``
+backend is tested against.
+
+Faults passed to :func:`run_sim` are matched per rank (``FaultEvent
+.rank``): a ``rank_failure`` raises in that rank's thread and aborts
+the barrier so peers unwind promptly; ``delay`` really sleeps;
+``corrupt_payload`` plants a NaN in the matched rank's deposit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributed import collectives
+from repro.distributed.backend import (
+    DistributedRunResult,
+    PendingAllToAll,
+    ProcessGroup,
+    WorkerFailure,
+)
+from repro.resilience.faults import (
+    COLLECTIVE_KINDS,
+    CORRUPT_PAYLOAD,
+    DELAY,
+    RANK_FAILURE,
+    CollectiveFault,
+    FaultEvent,
+    FaultSchedule,
+)
+
+
+class _Rendezvous:
+    """Shared slots + barrier; the barrier action computes in one thread."""
+
+    def __init__(self, world: int) -> None:
+        self.world = world
+        self.slots: List[Any] = [None] * world
+        self.out: List[Any] = [None] * world
+        self._compute: Optional[Callable[[List[Any]], List[Any]]] = None
+        self.barrier = threading.Barrier(world, action=self._run)
+        self.fault_lock = threading.Lock()
+
+    def _run(self) -> None:
+        self.out = self._compute(self.slots)  # type: ignore[misc]
+
+    def exchange(self, rank: int, payload, compute, group: "SimProcessGroup"):
+        """Deposit, rendezvous, pick up this rank's share.
+
+        No trailing barrier is needed: the next collective cannot
+        overwrite ``slots`` until *every* rank re-enters the barrier,
+        which requires each to have read its result first.
+        """
+        self.slots[rank] = payload
+        self._compute = compute  # identical callable from every rank
+        t0 = time.perf_counter()
+        try:
+            self.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise CollectiveFault(
+                "collective", None, 0, detail="peer rank failed (barrier broken)"
+            ) from None
+        finally:
+            group.wait_s += time.perf_counter() - t0
+        return self.out[rank]
+
+
+class _SimPending(PendingAllToAll):
+    """Deferred all-to-all: the exchange runs at :meth:`wait`, after the
+    caller's overlapped local work — values are identical either way."""
+
+    def __init__(self, group: "SimProcessGroup", send: List[np.ndarray]) -> None:
+        self._group = group
+        self._send = send
+        self._self = np.array(send[group.rank], copy=True)
+
+    @property
+    def self_payload(self) -> np.ndarray:
+        return self._self
+
+    def wait(self) -> List[np.ndarray]:
+        return self._group.all_to_all(self._send, _pending_self=self._self)
+
+
+class SimProcessGroup(ProcessGroup):
+    def __init__(
+        self,
+        rank: int,
+        world: int,
+        rendezvous: _Rendezvous,
+        schedule: Optional[FaultSchedule] = None,
+        step: Optional[int] = None,
+    ) -> None:
+        self.rank = rank
+        self.world = world
+        self.wait_s = 0.0
+        self._rv = rendezvous
+        self._schedule = schedule
+        self._step = step
+
+    # -- faults --------------------------------------------------------
+    def _maybe_fault(self, op: str) -> bool:
+        """Fire any armed fault for this rank; True = corrupt payload."""
+        if self._schedule is None:
+            return False
+        with self._rv.fault_lock:
+            event = self._schedule.match(
+                COLLECTIVE_KINDS, step=self._step, op=op, rank=self.rank
+            )
+            if event is None or (
+                event.rank is None and self.rank != 0
+            ):  # unranked events fire once, on rank 0
+                return False
+            self._schedule.consume(event)
+        if event.kind == RANK_FAILURE:
+            self._rv.barrier.abort()  # peers unwind instead of hanging
+            raise CollectiveFault(
+                op, self._step, 0, detail=f"rank {self.rank} failed"
+            )
+        if event.kind == DELAY:
+            time.sleep(event.delay_s)
+            return False
+        return event.kind == CORRUPT_PAYLOAD
+
+    @staticmethod
+    def _corrupt(arrays: List[np.ndarray]) -> List[np.ndarray]:
+        """One NaN in the first non-empty float array (same convention
+        as the in-process injector)."""
+        out, planted = [], False
+        for a in arrays:
+            if (
+                not planted
+                and a.size
+                and np.issubdtype(a.dtype, np.floating)
+            ):
+                a = a.copy()
+                a.reshape(-1)[0] = np.nan
+                planted = True
+            out.append(a)
+        return out
+
+    # -- collectives ---------------------------------------------------
+    def all_reduce(self, arr: np.ndarray) -> np.ndarray:
+        self._maybe_fault("all_reduce")
+
+        def compute(slots):
+            return collectives.all_reduce(slots)
+
+        return self._rv.exchange(self.rank, np.asarray(arr), compute, self)
+
+    def all_gather(self, arr: np.ndarray) -> List[np.ndarray]:
+        self._maybe_fault("all_gather")
+
+        def compute(slots):
+            parts = [np.array(s, copy=True) for s in slots]
+            return [[p.copy() for p in parts] for _ in range(len(slots))]
+
+        return self._rv.exchange(self.rank, np.asarray(arr), compute, self)
+
+    def all_to_all(
+        self,
+        send: Sequence[np.ndarray],
+        _pending_self: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        send = [np.asarray(s) for s in send]
+        if self._maybe_fault("all_to_all"):
+            send = self._corrupt(send)
+
+        def compute(slots):
+            return collectives.all_to_all(slots)
+
+        received = self._rv.exchange(self.rank, send, compute, self)
+        if _pending_self is not None:
+            received = list(received)
+            received[self.rank] = _pending_self
+        return received
+
+    def isend_all_to_all(self, send: Sequence[np.ndarray]) -> PendingAllToAll:
+        return _SimPending(self, [np.asarray(s) for s in send])
+
+    def broadcast(self, arr: np.ndarray, root: int = 0) -> np.ndarray:
+        self._maybe_fault("broadcast")
+
+        def compute(slots):
+            src = np.asarray(slots[root])
+            return [np.array(src, copy=True) for _ in range(len(slots))]
+
+        return self._rv.exchange(self.rank, np.asarray(arr), compute, self)
+
+    def barrier(self) -> None:
+        self.all_gather(np.zeros(1))
+
+
+def run_sim(
+    fn: Callable[[ProcessGroup], Any],
+    world: int,
+    faults: Optional[Sequence[FaultEvent]] = None,
+    step: Optional[int] = None,
+) -> DistributedRunResult:
+    """Run ``fn`` on ``world`` rank-threads over one rendezvous."""
+    rendezvous = _Rendezvous(world)
+    schedule = FaultSchedule(list(faults)) if faults else None
+    groups = [
+        SimProcessGroup(r, world, rendezvous, schedule, step)
+        for r in range(world)
+    ]
+    values: List[Any] = [None] * world
+    errors: List[Optional[str]] = [None] * world
+
+    def body(rank: int) -> None:
+        try:
+            values[rank] = fn(groups[rank])
+        except BaseException as exc:  # noqa: BLE001 - reported as WorkerFailure
+            errors[rank] = f"{type(exc).__name__}: {exc}"
+            rendezvous.barrier.abort()
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=body, args=(r,), daemon=True)
+        for r in range(world)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+
+    failed = [r for r, e in enumerate(errors) if e is not None]
+    if failed:
+        raise WorkerFailure(failed, "error", "; ".join(errors[r] for r in failed))
+    return DistributedRunResult(
+        backend="sim",
+        world=world,
+        values=values,
+        wait_s_per_rank=[g.wait_s for g in groups],
+        elapsed_s=elapsed,
+    )

@@ -17,6 +17,7 @@ expert group, so results are deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -167,7 +168,7 @@ def make_dropping_plan(
     expert_indices: np.ndarray,
     num_experts: int,
     capacity: int,
-    counts: np.ndarray = None,
+    counts: Optional[np.ndarray] = None,
 ) -> DroppingPlan:
     """Build the fixed-capacity dispatch plan (earliest tokens keep slots).
 

@@ -16,6 +16,8 @@ drops from O(S^2) to O(S * window).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.autograd.tensor import Tensor
@@ -43,7 +45,7 @@ class BlockSparseCausalSelfAttention(Module):
         hidden_size: int,
         num_heads: int,
         block_size: int = 64,
-        window_blocks: int = None,
+        window_blocks: Optional[int] = None,
         init_std: float = 0.02,
         output_scale_layers: int = 1,
         rng: RngLike = None,

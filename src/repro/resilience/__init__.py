@@ -14,12 +14,15 @@ from repro.resilience.faults import (
     INF_GRAD,
     NAN_GRAD,
     RANK_FAILURE,
+    RETRIES_EXHAUSTED,
+    TIMEOUT_EXHAUSTED,
     TORN_WRITE,
     CheckpointWriteFault,
     CollectiveFault,
     FaultEvent,
     FaultInjector,
     FaultSchedule,
+    RetryExhaustedError,
     RetryPolicy,
     inject_faults,
 )
@@ -42,11 +45,14 @@ __all__ = [
     "CORRUPT_PAYLOAD",
     "DELAY",
     "TORN_WRITE",
+    "RETRIES_EXHAUSTED",
+    "TIMEOUT_EXHAUSTED",
     "CheckpointWriteFault",
     "CollectiveFault",
     "FaultEvent",
     "FaultSchedule",
     "FaultInjector",
+    "RetryExhaustedError",
     "RetryPolicy",
     "inject_faults",
     "BAD_VERDICTS",

@@ -56,16 +56,64 @@ ALL_KINDS = GRADIENT_KINDS | COLLECTIVE_KINDS | CHECKPOINT_KINDS
 
 
 class CollectiveFault(RuntimeError):
-    """A simulated collective failure (rank death / network fault)."""
+    """A collective failure (rank death / network fault)."""
 
-    def __init__(self, op: str, step: Optional[int], attempt: int) -> None:
-        super().__init__(
-            f"simulated fault in collective {op!r} "
-            f"(step={step}, attempt={attempt})"
+    def __init__(
+        self,
+        op: str,
+        step: Optional[int],
+        attempt: int,
+        detail: str = "",
+    ) -> None:
+        msg = (
+            f"fault in collective {op!r} (step={step}, attempt={attempt})"
         )
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
         self.op = op
         self.step = step
         self.attempt = attempt
+        self.detail = detail
+
+
+# Why a retry wrapper ultimately gave up — exhausting the bounded retry
+# count and exhausting the simulated-time budget are different failures
+# (the first says the fault is persistent, the second that recovery is
+# too slow) and operators tune different knobs for each.
+RETRIES_EXHAUSTED = "retries_exhausted"
+TIMEOUT_EXHAUSTED = "timeout_exhausted"
+
+
+class RetryExhaustedError(CollectiveFault):
+    """A retried collective gave up; ``reason`` says which budget ran out.
+
+    Subclasses :class:`CollectiveFault` so every existing handler (the
+    trainer's skip-step path, chaos suites) keeps working; the original
+    fault is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        step: Optional[int],
+        attempt: int,
+        reason: str,
+        waited_s: float,
+    ) -> None:
+        if reason not in (RETRIES_EXHAUSTED, TIMEOUT_EXHAUSTED):
+            raise ValueError(f"unknown give-up reason {reason!r}")
+        detail = (
+            f"gave up after {attempt} attempt(s): "
+            + (
+                "retry budget exhausted"
+                if reason == RETRIES_EXHAUSTED
+                else f"timeout budget exhausted (waited {waited_s:.3f}s)"
+            )
+        )
+        super().__init__(op, step, attempt, detail)
+        self.reason = reason
+        self.waited_s = waited_s
 
 
 class CheckpointWriteFault(RuntimeError):
@@ -95,17 +143,23 @@ class FaultEvent:
         step: trainer step the event is armed for (``None`` = any step).
         op: collective op name filter (``"*"`` = any) — ignored for
             gradient faults.
+        rank: rank filter (``None`` = any rank).  Only consulted by the
+            real multi-process backend, where each worker matches its
+            own rank before dying / corrupting its payload; the
+            in-process simulation sees all ranks at once and ignores it.
         count: how many times the event fires before it is exhausted.
             A ``RANK_FAILURE`` with ``count=2`` under a retry policy
             fails the first two attempts and succeeds on the third —
             i.e. ``count`` controls whether a failure is transient
             (``count <= max_retries``) or permanent.
-        delay_s: simulated latency for ``DELAY`` events.
+        delay_s: simulated latency for ``DELAY`` events (the
+            multi-process backend really sleeps).
     """
 
     kind: str
     step: Optional[int] = None
     op: str = "*"
+    rank: Optional[int] = None
     count: int = 1
     delay_s: float = 0.0
     fired: int = field(default=0, compare=False)
@@ -120,12 +174,20 @@ class FaultEvent:
     def exhausted(self) -> bool:
         return self.fired >= self.count
 
-    def matches(self, kinds: Iterable[str], step: Optional[int], op: str) -> bool:
+    def matches(
+        self,
+        kinds: Iterable[str],
+        step: Optional[int],
+        op: str,
+        rank: Optional[int] = None,
+    ) -> bool:
         if self.exhausted or self.kind not in kinds:
             return False
         if self.step is not None and step is not None and self.step != step:
             return False
         if self.op != "*" and op != "*" and self.op != op:
+            return False
+        if self.rank is not None and rank is not None and self.rank != rank:
             return False
         return True
 
@@ -169,11 +231,15 @@ class FaultSchedule:
         return cls(events)
 
     def match(
-        self, kinds: Iterable[str], step: Optional[int] = None, op: str = "*"
+        self,
+        kinds: Iterable[str],
+        step: Optional[int] = None,
+        op: str = "*",
+        rank: Optional[int] = None,
     ) -> Optional[FaultEvent]:
         """First unexhausted event matching ``kinds``/``step``/``op``."""
         for event in self.events:
-            if event.matches(kinds, step, op):
+            if event.matches(kinds, step, op, rank):
                 return event
         return None
 
@@ -194,7 +260,13 @@ class RetryPolicy:
     ``max_retries`` times, waiting ``base_delay_s * backoff**attempt``
     (accumulated into ``simulated_wait_s`` — nothing actually sleeps)
     and giving up early once the accumulated wait would exceed
-    ``timeout_s``.
+    ``timeout_s``.  A final retry whose backoff wait lands *exactly* on
+    the remaining budget is allowed: the comparison carries a relative
+    tolerance so accumulated floating-point error in ``waited`` cannot
+    spuriously reject it.  Giving up raises
+    :class:`RetryExhaustedError` whose ``reason`` distinguishes a
+    persistent fault (``retries_exhausted``) from a too-slow recovery
+    (``timeout_exhausted``).
     """
 
     max_retries: int = 3
@@ -214,13 +286,25 @@ class RetryPolicy:
             self.attempts += 1
             try:
                 return fn(attempt)
-            except CollectiveFault:
+            except CollectiveFault as fault:
                 attempt += 1
                 wait = self.base_delay_s * self.backoff ** (attempt - 1)
-                if attempt > self.max_retries or waited + wait > self.timeout_s:
+                # `waited` is a float accumulation (0.05 + 0.1 + 0.2 !=
+                # 0.35 exactly), so an exact-budget final retry must not
+                # be rejected by bit-level excess: only a genuine
+                # overshoot beyond the relative tolerance counts.
+                budget = self.timeout_s + 1e-9 * max(1.0, abs(self.timeout_s))
+                reason = None
+                if attempt > self.max_retries:
+                    reason = RETRIES_EXHAUSTED
+                elif waited + wait > budget:
+                    reason = TIMEOUT_EXHAUSTED
+                if reason is not None:
                     self.gave_up += 1
                     counters.increment("collective_gave_up")
-                    raise
+                    raise RetryExhaustedError(
+                        fault.op, fault.step, attempt, reason, waited
+                    ) from fault
                 waited += wait
                 self.simulated_wait_s += wait
                 self.retries += 1

@@ -94,6 +94,18 @@ class TrainerConfig:
             simulated data-parallel ``all_reduce`` each step (use a
             power of two so the reduction is bit-exact), exposing the
             step to injected collective faults and comm accounting.
+        dist_backend: transport for the data-parallel all-reduce —
+            ``"sim"`` (default) keeps the in-process reference
+            collective; ``"mp"`` round-trips every shard through
+            ``dp_world - 1`` persistent forked echo workers over the
+            shared-memory transport (``repro.distributed.mp_backend
+            .MpEchoGroup``).  Both reduce with the identical
+            rank-ordered formula, so training trajectories are
+            bit-identical across backends; under ``"mp"`` the fault
+            seams are *real* — a scheduled ``rank_failure`` SIGKILLs a
+            worker, the exchange times out into the existing
+            skip-step path, and the group heals (respawns) for the
+            next step (see ``docs/distributed.md``).
         steady_state: enable the zero-allocation steady-state step — the
             buffer arena recycles every fixed-shape activation/gradient
             array across steps and the fused elementwise ops collapse
@@ -137,6 +149,7 @@ class TrainerConfig:
     use_grad_scaler: bool = False
     guardrails: Optional[GuardrailConfig] = None
     dp_world: int = 0
+    dist_backend: str = "sim"
     steady_state: bool = False
     capture: bool = False
     backend: Optional[str] = None
@@ -151,6 +164,11 @@ class TrainerConfig:
             )
         if self.dp_world < 0:
             raise ValueError(f"dp_world must be >= 0, got {self.dp_world}")
+        if self.dist_backend not in ("sim", "mp"):
+            raise ValueError(
+                f"unknown dist_backend {self.dist_backend!r}: "
+                "expected 'sim' or 'mp'"
+            )
         if self.backend is not None:
             if self.backend == "eager":
                 self.capture = False
@@ -220,6 +238,9 @@ class Trainer:
         from repro.distributed.collectives import CommLog
 
         self.comm_log = CommLog() if config.dp_world > 1 else None
+        #: Persistent echo workers for dist_backend="mp" (created on the
+        #: first synced step, torn down by close_dist / end of _run).
+        self._echo_group = None
         if config.backend == "cc" and isinstance(self.optimizer, Adam):
             # Fused native optimizer step + grad-norm clip (bit-identical
             # mirrors; no-ops without a C toolchain).
@@ -301,8 +322,17 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def _sync_gradients(self) -> None:
-        """Simulated data-parallel gradient all-reduce (identity for a
-        power-of-two world, but exercises the real collective)."""
+        """Data-parallel gradient all-reduce (identity for a
+        power-of-two world, but exercises the real collective).
+
+        ``dist_backend="sim"`` runs the in-process reference;
+        ``"mp"`` ships every shard through the persistent forked echo
+        workers — same rank-ordered reduction, so the two backends are
+        bit-identical, but kills and timeouts are real under "mp".
+        """
+        if self.config.dist_backend == "mp":
+            self._sync_gradients_mp()
+            return
         from repro.distributed.collectives import all_reduce
 
         world = self.config.dp_world
@@ -312,6 +342,46 @@ class Trainer:
                 continue
             shards = [p.grad * inv for _ in range(world)]
             p.grad = all_reduce(shards, self.comm_log)[0]
+
+    def _sync_gradients_mp(self) -> None:
+        from repro.resilience.faults import RANK_FAILURE
+
+        world = self.config.dp_world
+        if self._echo_group is None:
+            from repro.distributed.mp_backend import MpEchoGroup
+
+            self._echo_group = MpEchoGroup(world, op_timeout_s=5.0)
+        # A scheduled rank failure is a *real* kill here: the worker is
+        # SIGKILLed and the exchange below discovers it by timeout.
+        if self.fault_injector is not None:
+            event = self.fault_injector.schedule.match(
+                {RANK_FAILURE},
+                step=self.fault_injector.current_step,
+                op="all_reduce",
+            )
+            if event is not None:
+                self.fault_injector.schedule.consume(event)
+                self._echo_group.kill_rank(event.rank or 1)
+        inv = 1.0 / world
+        try:
+            for p in self.optimizer.params:
+                if p.grad is None:
+                    continue
+                shards = [p.grad * inv for _ in range(world)]
+                p.grad = self._echo_group.all_reduce_shards(
+                    shards, self.comm_log
+                )[0]
+        except CollectiveFault:
+            # Respawn dead workers before the step is skipped so the
+            # next step finds a healthy group (PR 2 recovery contract).
+            self._echo_group.heal()
+            raise
+
+    def close_dist(self) -> None:
+        """Tear down the persistent mp echo workers (if any)."""
+        if self._echo_group is not None:
+            self._echo_group.close()
+            self._echo_group = None
 
     def _drop_gradients(self) -> None:
         for p in self.optimizer.params:
@@ -789,6 +859,9 @@ class Trainer:
                 val_loss=final_val,
             )
         )
+        # Persistent mp echo workers die with the run (a later fit
+        # lazily respawns them).
+        self.close_dist()
         return self.history
 
     def train(self, callback: Optional[Callable[[TrainingRecord], None]] = None) -> History:

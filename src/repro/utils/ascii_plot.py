@@ -7,7 +7,7 @@ is visible without a plotting stack.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -16,7 +16,7 @@ _MARKERS = "ox+*#@%&"
 
 def line_chart(
     series: Dict[str, Sequence[float]],
-    x: Sequence[float] = None,
+    x: Optional[Sequence[float]] = None,
     width: int = 60,
     height: int = 16,
     title: str = "",

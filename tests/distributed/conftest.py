@@ -1,0 +1,42 @@
+"""Distributed-suite safety net: hard per-test deadline + orphan reaping.
+
+The mp backend forks real worker processes, and its failure modes are
+exactly the ones that hang test suites: a collective waiting on a peer
+that will never answer, a worker that outlived its supervisor.  Every
+test in this package therefore runs under a hard ``SIGALRM`` deadline
+(a hung test fails loudly instead of stalling CI), and any child
+processes still alive when a test finishes are killed so one test's
+leak cannot deadlock the next.
+"""
+
+import multiprocessing
+import signal
+
+import pytest
+
+#: Generous relative to the slowest test here (a few seconds), tight
+#: relative to CI patience.
+HARD_TIMEOUT_S = 90
+
+
+@pytest.fixture(autouse=True)
+def _hard_deadline_and_child_reaper(request):
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the hard {HARD_TIMEOUT_S}s "
+            "distributed-test deadline (hung collective / stuck worker?)"
+        )
+
+    old = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(HARD_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+        # Reap anything a failed test left behind (run_mp cleans up after
+        # itself on every path, but a mid-test assertion error can strand
+        # a persistent echo worker).
+        for proc in multiprocessing.active_children():
+            proc.kill()
+            proc.join(timeout=5.0)

@@ -1,0 +1,327 @@
+"""One ProcessGroup contract, two transports.
+
+The forked ``"mp"`` backend must be bit-identical to the threaded
+``"sim"`` reference (and therefore to the in-process collectives) for
+every collective and for the full expert-parallel dMoE forward and
+backward, with overlap on or off.  Faults must be *real* under mp — a
+scheduled rank failure is a SIGKILL detected by peers — and no shared
+memory may survive a run, clean or chaotic.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import dMoE
+from repro.distributed import (
+    DeviceMesh,
+    ExpertParallelDMoE,
+    WorkerFailure,
+    all_reduce,
+    run_distributed,
+)
+from repro.distributed import shm
+from repro.distributed.mp_backend import MpEchoGroup
+from repro.resilience.faults import (
+    CORRUPT_PAYLOAD,
+    DELAY,
+    RANK_FAILURE,
+    CollectiveFault,
+    FaultEvent,
+)
+
+WORLDS = [2, 4]
+
+
+def _collective_suite(group):
+    """Every collective once, from one rank's point of view."""
+    w = group.world
+    base = np.arange(6, dtype=np.float64).reshape(2, 3) * (group.rank + 1)
+    out = {}
+    out["all_reduce"] = group.all_reduce(base)
+    out["all_gather"] = group.all_gather(base + 0.5)
+    send = [base + 10.0 * dst for dst in range(w)]
+    out["all_to_all"] = group.all_to_all(send)
+    pending = group.isend_all_to_all([s * 2.0 for s in send])
+    out["self_payload"] = np.array(pending.self_payload, copy=True)
+    out["isend_all_to_all"] = pending.wait()
+    out["broadcast"] = group.broadcast(base * 3.0, root=w - 1)
+    group.barrier()
+    return out
+
+
+def _assert_values_equal(a, b, msg=""):
+    if isinstance(a, dict):
+        assert a.keys() == b.keys()
+        for k in a:
+            _assert_values_equal(a[k], b[k], f"{msg}[{k}]")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), msg
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_values_equal(x, y, f"{msg}[{i}]")
+    else:
+        np.testing.assert_array_equal(a, b, err_msg=msg, strict=True)
+
+
+class TestCollectiveBitIdentity:
+    @pytest.mark.parametrize("world", WORLDS)
+    def test_mp_matches_sim_bitwise(self, world):
+        sim = run_distributed(_collective_suite, world, backend="sim")
+        mp_ = run_distributed(_collective_suite, world, backend="mp")
+        assert sim.backend == "sim" and mp_.backend == "mp"
+        for rank in range(world):
+            _assert_values_equal(
+                sim.values[rank], mp_.values[rank], f"rank {rank}"
+            )
+
+    @pytest.mark.parametrize("world", WORLDS)
+    def test_mp_matches_in_process_reference(self, world):
+        arrs = [
+            np.arange(6, dtype=np.float64).reshape(2, 3) * (r + 1)
+            for r in range(world)
+        ]
+        ref = all_reduce([a.copy() for a in arrs])
+        res = run_distributed(_collective_suite, world, backend="mp")
+        for rank in range(world):
+            np.testing.assert_array_equal(
+                res.values[rank]["all_reduce"], ref[rank], strict=True
+            )
+
+    def test_large_payloads_ride_shared_memory(self):
+        """Above the inline threshold the segment path must carry the
+        exact bytes (and leave nothing behind — checked suite-wide)."""
+        big = np.arange(8192, dtype=np.float64)  # 64 KiB >> threshold
+
+        def fn(group):
+            return group.all_reduce(big * (group.rank + 1))
+
+        res = run_distributed(fn, 2, backend="mp")
+        expected = big * 1 + big * 2
+        for v in res.values:
+            np.testing.assert_array_equal(v, expected, strict=True)
+        assert shm.leaked_segments(res.extras["session"]) == []
+
+
+def _make_ep(world, hidden=16, ffn=32, experts=8):
+    layer = dMoE(
+        hidden, ffn, experts, block_size=4, rng=0, load_balance_coef=0.0
+    )
+    layer.eval()
+    mesh = DeviceMesh(world=world, expert_parallel=world)
+    return layer, ExpertParallelDMoE(layer, mesh)
+
+
+class TestExpertParallelBitIdentity:
+    @pytest.mark.parametrize("world", WORLDS)
+    @pytest.mark.parametrize("overlap", [True, False], ids=["overlap", "serial"])
+    def test_forward_rank_across_backends_and_reference(self, world, overlap):
+        """mp == sim == in-process forward, bitwise; and all three match
+        the single-process dMoE to float tolerance."""
+        layer, ep = _make_ep(world)
+        rng = np.random.default_rng(3)
+        xs = [rng.standard_normal((6 + r, 16)) for r in range(world)]
+
+        def fn(group):
+            return ep.forward_rank(group, xs[group.rank], overlap=overlap)
+
+        sim = run_distributed(fn, world, backend="sim")
+        mp_ = run_distributed(fn, world, backend="mp")
+        ref = ep.forward(xs).outputs_per_rank
+        for r in range(world):
+            np.testing.assert_array_equal(sim.values[r], mp_.values[r], strict=True)
+            np.testing.assert_array_equal(mp_.values[r], ref[r], strict=True)
+
+        single, _ = layer(Tensor(np.concatenate(xs), dtype=np.float64))
+        np.testing.assert_allclose(
+            np.concatenate(mp_.values), single.data, atol=1e-9
+        )
+
+    def test_overlap_is_purely_a_performance_knob(self):
+        """Overlapped and serialized exchanges compute identical bits on
+        the mp backend (same grouped-GEMM batch, different schedule)."""
+        _, ep = _make_ep(4)
+        rng = np.random.default_rng(5)
+        xs = [rng.standard_normal((9, 16)) for _ in range(4)]
+
+        def run(overlap):
+            fn = lambda g: ep.forward_rank(g, xs[g.rank], overlap=overlap)
+            return run_distributed(fn, 4, backend="mp")
+
+        on, off = run(True), run(False)
+        for a, b in zip(on.values, off.values):
+            np.testing.assert_array_equal(a, b, strict=True)
+
+    @pytest.mark.parametrize("world", WORLDS)
+    def test_forward_backward_rank_across_backends(self, world):
+        """Forward output, input gradient, and the per-rank expert shard
+        gradients are bit-identical between the two backends."""
+        _, ep = _make_ep(world)
+        rng = np.random.default_rng(7)
+        xs = [rng.standard_normal((5 + r, 16)) for r in range(world)]
+        gs = [rng.standard_normal((5 + r, 16)) for r in range(world)]
+
+        def fn(group):
+            return ep.forward_backward_rank(
+                group, xs[group.rank], gs[group.rank]
+            )
+
+        sim = run_distributed(fn, world, backend="sim")
+        mp_ = run_distributed(fn, world, backend="mp")
+        for r in range(world):
+            s_out, s_dx, s_eg = sim.values[r]
+            m_out, m_dx, m_eg = mp_.values[r]
+            np.testing.assert_array_equal(s_out, m_out, strict=True)
+            np.testing.assert_array_equal(s_dx, m_dx, strict=True)
+            assert s_eg.keys() == m_eg.keys()
+            for k in s_eg:
+                if s_eg[k] is None:
+                    assert m_eg[k] is None, k
+                else:
+                    np.testing.assert_array_equal(
+                        s_eg[k], m_eg[k], err_msg=k, strict=True
+                    )
+
+    def test_forward_backward_rank_matches_in_process(self):
+        """The SPMD backward agrees with the in-process forward_backward
+        oracle on outputs and input gradients."""
+        world = 2
+        _, ep = _make_ep(world)
+        rng = np.random.default_rng(11)
+        xs = [rng.standard_normal((7, 16)) for _ in range(world)]
+        gs = [rng.standard_normal((7, 16)) for _ in range(world)]
+
+        def fn(group):
+            return ep.forward_backward_rank(
+                group, xs[group.rank], gs[group.rank]
+            )
+
+        mp_ = run_distributed(fn, world, backend="mp")
+        result, input_grads = ep.forward_backward(xs, gs)
+        for r in range(world):
+            out, dx, _ = mp_.values[r]
+            np.testing.assert_array_equal(
+                out, result.outputs_per_rank[r], strict=True
+            )
+            np.testing.assert_array_equal(dx, input_grads[r], strict=True)
+
+
+class TestRealFaults:
+    def test_rank_kill_is_a_real_death(self):
+        """A scheduled rank_failure SIGKILLs the worker; the supervisor
+        reports the dead rank instead of hanging."""
+
+        def fn(group):
+            return group.all_reduce(np.ones(4))
+
+        with pytest.raises(WorkerFailure) as ei:
+            run_distributed(
+                fn,
+                2,
+                backend="mp",
+                timeout_s=30.0,
+                op_timeout_s=2.0,
+                faults=[FaultEvent(RANK_FAILURE, op="all_reduce", rank=1)],
+            )
+        assert 1 in ei.value.failed_ranks
+
+    def test_corrupt_payload_reaches_the_peer(self):
+        """Sender-side corruption plants a NaN the *receiver* observes —
+        the bytes really crossed the process boundary."""
+
+        def fn(group):
+            recv = group.all_to_all(
+                [np.ones(8) for _ in range(group.world)]
+            )
+            return [bool(np.isnan(p).any()) for p in recv]
+
+        res = run_distributed(
+            fn,
+            2,
+            backend="mp",
+            faults=[FaultEvent(CORRUPT_PAYLOAD, op="all_to_all", rank=0)],
+        )
+        # Rank 1 sees the NaN in the payload that arrived from rank 0;
+        # nobody else's buffers are touched.
+        assert res.values[1][0] is True
+        assert res.values[1][1] is False
+        assert res.values[0] == [False, False]
+
+    def test_delay_is_real_and_exposed_as_wait(self):
+        """A delayed rank makes its *peer* block — the stall lands in
+        the peer's wait_s, the exposed-communication metric."""
+
+        def fn(group):
+            return group.all_reduce(np.ones(4))
+
+        res = run_distributed(
+            fn,
+            2,
+            backend="mp",
+            faults=[
+                FaultEvent(DELAY, op="all_reduce", rank=1, delay_s=0.3)
+            ],
+        )
+        assert res.wait_s_per_rank[0] >= 0.1
+
+    def test_no_shm_leak_after_rank_kill(self):
+        """A SIGKILL'd receiver never unlinks its segments; the
+        supervisor must sweep them before raising."""
+        parent_prefix = f"rpd{os.getpid()}_"
+        big = np.arange(8192, dtype=np.float64)
+
+        def fn(group):
+            return group.all_reduce(big)
+
+        with pytest.raises(WorkerFailure):
+            run_distributed(
+                fn,
+                2,
+                backend="mp",
+                timeout_s=30.0,
+                op_timeout_s=2.0,
+                faults=[FaultEvent(RANK_FAILURE, op="all_reduce", rank=1)],
+            )
+        assert shm.leaked_segments(parent_prefix) == []
+
+
+class TestEchoGroup:
+    def test_matches_in_process_all_reduce_bitwise(self):
+        group = MpEchoGroup(4)
+        try:
+            rng = np.random.default_rng(0)
+            shards = [rng.standard_normal((5, 3)) for _ in range(4)]
+            got = group.all_reduce_shards([s.copy() for s in shards])
+            ref = all_reduce([s.copy() for s in shards])
+            assert len(got) == 4
+            for a, b in zip(got, ref):
+                np.testing.assert_array_equal(a, b, strict=True)
+        finally:
+            group.close()
+        assert shm.leaked_segments(group.session) == []
+
+    def test_kill_faults_then_heal_recovers(self):
+        group = MpEchoGroup(3, op_timeout_s=2.0)
+        try:
+            group.kill_rank(1)
+            assert group.alive == [True, False, True]
+            with pytest.raises(CollectiveFault):
+                group.all_reduce_shards([np.ones(4)] * 3)
+            assert group.heal() == [1]
+            assert group.alive == [True, True, True]
+            out = group.all_reduce_shards([np.ones(4)] * 3)
+            np.testing.assert_array_equal(out[0], 3.0 * np.ones(4))
+        finally:
+            group.close()
+        assert shm.leaked_segments(group.session) == []
+
+    def test_shard_count_validated(self):
+        group = MpEchoGroup(2)
+        try:
+            with pytest.raises(ValueError):
+                group.all_reduce_shards([np.ones(2)] * 3)
+            with pytest.raises(ValueError):
+                group.kill_rank(0)
+        finally:
+            group.close()

@@ -53,6 +53,29 @@ class TestAllToAll:
         all_to_all(buffers, log)
         assert log.total_bytes_per_rank("all_to_all") == 80  # one off-diag buffer
 
+    def test_skewed_routing_logs_true_per_rank_bytes(self):
+        """Skew must not inflate the mean: rank 0 sends 800B, rank 1
+        sends 80B — per-rank mean is 440, the straggler field keeps the
+        max, and the per-source breakdown is recorded exactly."""
+        log = CommLog()
+        buffers = [
+            [np.zeros(1, dtype=np.float64), np.zeros(100, dtype=np.float64)],
+            [np.zeros(10, dtype=np.float64), np.zeros(1, dtype=np.float64)],
+        ]
+        all_to_all(buffers, log)
+        rec = log.records[0]
+        assert rec.bytes_by_rank == [800.0, 80.0]
+        assert rec.bytes_sent_per_rank == pytest.approx(440.0)
+        assert rec.max_bytes_sent == 800.0
+        assert log.max_bytes_per_rank("all_to_all") == 800.0
+
+    def test_symmetric_records_default_max_to_mean(self):
+        log = CommLog()
+        all_reduce([np.zeros(10), np.zeros(10)], log)
+        rec = log.records[0]
+        assert rec.bytes_by_rank is None
+        assert rec.max_bytes_sent == rec.bytes_sent_per_rank
+
     def test_copies_are_independent(self):
         buffers = [[np.zeros(2)] * 2] * 2
         out = all_to_all(buffers)

@@ -1,0 +1,194 @@
+"""The trainer seams over real processes.
+
+``TrainerConfig(dist_backend="mp")`` routes the per-step gradient
+all-reduce through persistent forked echo workers; the training
+trajectory must stay bit-identical to the ``"sim"`` reference, a
+scheduled rank failure must be a *real* SIGKILL whose recovery (skip
+the step, heal the group) matches the simulated fault path bit for
+bit, and a run interrupted after the chaos must resume from a
+checkpoint onto the exact same trajectory — including across world
+sizes (elastic resume, PR 7).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, cross_entropy
+from repro.core import dMoE
+from repro.data import LMDataset, PileConfig, SyntheticPile
+from repro.distributed import DataParallelTrainer, DeviceMesh
+from repro.nn import Linear, Sequential, TransformerLM
+from repro.resilience.faults import (
+    RANK_FAILURE,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    inject_faults,
+)
+from repro.resilience.guardrails import GuardrailConfig
+from repro.training import Adam, Trainer, TrainerConfig
+
+
+def _trainer(dist_backend, injector=None, max_steps=4, mesh=None):
+    pile = SyntheticPile(
+        PileConfig(vocab_size=64, num_domains=3, branching=4), seed=1
+    )
+    ds = LMDataset(pile.token_stream(8_000, 32), seq_len=16)
+    train, val = ds.split(0.1)
+    ffn = lambda i: dMoE(16, 32, num_experts=4, block_size=8, rng=i)
+    model = TransformerLM(64, 16, 2, 2, 16, ffn_factory=ffn, rng=0)
+    cfg = TrainerConfig(
+        global_batch=4,
+        micro_batch=4,
+        max_steps=max_steps,
+        eval_every=0,
+        log_every=1,
+        guardrails=GuardrailConfig(max_consecutive_bad=3),
+        dp_world=2,
+        dist_backend=dist_backend,
+    )
+    return Trainer(
+        model,
+        train,
+        val,
+        cfg,
+        optimizer=Adam(model.parameters(), lr=1e-3),
+        rng=9,
+        fault_injector=injector,
+        mesh=mesh,
+    )
+
+
+def _losses(history):
+    return {r.step: r.loss for r in history.records}
+
+
+def _assert_params_equal(a, b):
+    for (n1, p1), (_, p2) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_array_equal(p1.data, p2.data, err_msg=n1)
+
+
+class TestTrainerBackends:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="dist_backend"):
+            TrainerConfig(dist_backend="nccl")
+
+    def test_mp_trajectory_bit_identical_to_sim(self):
+        sim = _trainer("sim")
+        sim.train()
+        mp_ = _trainer("mp")
+        mp_.train()
+        assert _losses(sim.history) == _losses(mp_.history)
+        _assert_params_equal(sim.model, mp_.model)
+        # The echo workers died with the run.
+        assert mp_._echo_group is None
+
+    def test_real_rank_kill_skips_exactly_like_injected_fault(self):
+        """sim injects a collective fault at step 2; mp SIGKILLs a real
+        echo worker at step 2.  Both must skip that one step, heal, and
+        land on the identical trajectory."""
+        sim_sched = FaultSchedule(
+            [FaultEvent(RANK_FAILURE, step=2, op="all_reduce")]
+        )
+        sim_t = _trainer("sim", FaultInjector(sim_sched))
+        with inject_faults(sim_t.fault_injector):
+            sim_t.train()
+
+        mp_sched = FaultSchedule(
+            [FaultEvent(RANK_FAILURE, step=2, op="all_reduce")]
+        )
+        mp_t = _trainer("mp", FaultInjector(mp_sched))
+        with inject_faults(mp_t.fault_injector):
+            mp_t.train()
+
+        assert sim_sched.pending == 0, "sim fault never fired"
+        assert mp_sched.pending == 0, "mp kill never fired"
+        assert _losses(sim_t.history) == _losses(mp_t.history)
+        _assert_params_equal(sim_t.model, mp_t.model)
+
+        # The skip really happened: a fault-free run ends elsewhere.
+        clean = _trainer("sim")
+        clean.train()
+        diverged = any(
+            not np.array_equal(p1.data, p2.data)
+            for p1, p2 in zip(clean.model.parameters(), mp_t.model.parameters())
+        )
+        assert diverged, "the killed step was not skipped"
+
+    @pytest.mark.parametrize("resume_world", [4, 2], ids=["same", "shrink"])
+    def test_chaos_then_elastic_resume_bit_exact(self, tmp_path, resume_world):
+        """Kill a real rank at step 2, checkpoint at step 4, resume (at
+        the same or a smaller expert mesh) and finish: bit-equal to the
+        uninterrupted chaotic run."""
+        total, cut = 6, 4
+
+        def chaos_trainer(max_steps, mesh):
+            sched = FaultSchedule(
+                [FaultEvent(RANK_FAILURE, step=2, op="all_reduce")]
+            )
+            return _trainer("mp", FaultInjector(sched), max_steps, mesh)
+
+        straight = chaos_trainer(total, DeviceMesh(4, 4))
+        with inject_faults(straight.fault_injector):
+            straight.train()
+
+        first = chaos_trainer(total, DeviceMesh(4, 4))
+        first.config.max_steps = cut
+        with inject_faults(first.fault_injector):
+            first.train()
+        path = str(tmp_path / "chaos-ckpt")
+        first.save(path, step=cut)
+
+        resumed = _trainer(
+            "mp", max_steps=total, mesh=DeviceMesh(resume_world, resume_world)
+        )
+        hist = resumed.fit(resume=path)
+
+        s, r = _losses(straight.history), _losses(hist)
+        for step in range(cut, total):
+            assert s[step] == r[step], f"loss diverged at step {step}"
+        _assert_params_equal(straight.model, resumed.model)
+        for a, b in zip(straight.optimizer._m, resumed.optimizer._m):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestDataParallelBackends:
+    def _replicas(self, world):
+        return [
+            Sequential(Linear(6, 12, rng=0), Linear(12, 4, rng=1))
+            for _ in range(world)
+        ]
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="dist_backend"):
+            DataParallelTrainer(self._replicas(2), dist_backend="gloo")
+
+    def test_mp_training_bit_identical_to_sim(self):
+        world = 2
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((8, 6)).astype(np.float32)
+        y = rng.integers(0, 4, 8)
+
+        def loss_fn(model, rank):
+            xs, ys = x[rank * 4 : rank * 4 + 4], y[rank * 4 : rank * 4 + 4]
+            return cross_entropy(model(Tensor(xs)), ys)
+
+        losses = {}
+        params = {}
+        for backend in ("sim", "mp"):
+            dp = DataParallelTrainer(
+                self._replicas(world), lr=1e-2, dist_backend=backend
+            )
+            try:
+                losses[backend] = [dp.step(loss_fn) for _ in range(4)]
+                dp.check_replicas_synchronized()
+                params[backend] = [
+                    p.data.copy() for p in dp.replicas[0].parameters()
+                ]
+                # Both backends account the same ring-all-reduce volume.
+                assert dp.comm_log.counts()["all_reduce"] == 4 * 4
+            finally:
+                dp.close()
+        assert losses["sim"] == losses["mp"]
+        for a, b in zip(params["sim"], params["mp"]):
+            np.testing.assert_array_equal(a, b, strict=True)

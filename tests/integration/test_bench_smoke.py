@@ -41,7 +41,14 @@ def bench(request):
         m
         for m in sys.modules
         if m.startswith(
-            ("harness", "test_fig", "test_step", "test_ckpt", "test_serving")
+            (
+                "harness",
+                "test_fig",
+                "test_step",
+                "test_ckpt",
+                "test_serving",
+                "test_dist",
+            )
         )
     ]
     for m in stale:
@@ -57,7 +64,14 @@ def bench(request):
         m
         for m in sys.modules
         if m.startswith(
-            ("harness", "test_fig", "test_step", "test_ckpt", "test_serving")
+            (
+                "harness",
+                "test_fig",
+                "test_step",
+                "test_ckpt",
+                "test_serving",
+                "test_dist",
+            )
         )
     ]:
         del sys.modules[m]
@@ -143,6 +157,18 @@ def test_serving_smoke(bench):
     assert mod.SMOKE
     mod.test_serving(_PassthroughBenchmark())
     out = os.path.join(BENCH_DIR, "BENCH_serving.json")
+    assert os.path.exists(out)
+
+
+def test_dist_overlap_smoke(bench):
+    """Comm–compute overlap benchmark over real forked ranks: the
+    overlapped dispatch must be bit-identical to the serialized one and
+    hide the straggler's token-exchange wait behind the local plan
+    build; emits BENCH_dist.json."""
+    mod = bench("test_dist_overlap")
+    assert mod.SMOKE
+    mod.test_dist_overlap(_PassthroughBenchmark())
+    out = os.path.join(BENCH_DIR, "BENCH_dist.json")
     assert os.path.exists(out)
 
 

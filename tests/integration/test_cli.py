@@ -17,6 +17,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--system", "gshard"])
 
+    def test_distributed_flags(self):
+        args = build_parser().parse_args([])
+        assert args.dp_world == 0 and args.dist_backend == "sim"
+        args = build_parser().parse_args(
+            ["--dp-world", "2", "--dist-backend", "mp"]
+        )
+        assert args.dp_world == 2 and args.dist_backend == "mp"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dist-backend", "nccl"])
+
 
 class TestMain:
     COMMON = [
@@ -37,6 +47,15 @@ class TestMain:
 
     def test_amp_flag(self):
         assert main(["--system", "dmoe", "--amp"] + self.COMMON) == 0
+
+    @pytest.mark.parametrize("backend", ["sim", "mp"])
+    def test_data_parallel_run(self, backend):
+        """--dp-world routes the step through the sharded data-parallel
+        path on either transport (mp forks real echo workers)."""
+        assert main(
+            ["--system", "dmoe", "--dp-world", "2",
+             "--dist-backend", backend] + self.COMMON
+        ) == 0
 
     def test_checkpoint_and_resume(self, tmp_path):
         ckpt = str(tmp_path / "run.npz")

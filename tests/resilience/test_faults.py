@@ -14,10 +14,13 @@ from repro.resilience.faults import (
     DELAY,
     NAN_GRAD,
     RANK_FAILURE,
+    RETRIES_EXHAUSTED,
+    TIMEOUT_EXHAUSTED,
     CollectiveFault,
     FaultEvent,
     FaultInjector,
     FaultSchedule,
+    RetryExhaustedError,
     RetryPolicy,
     inject_faults,
 )
@@ -116,6 +119,66 @@ class TestRetryPolicy:
         with pytest.raises(CollectiveFault):
             policy.run(dead)
         assert policy.simulated_wait_s <= 2.5
+
+    def test_final_retry_on_exact_budget_is_allowed(self):
+        """Backoff waits 0.05 + 0.1 + 0.2 land exactly on a 0.35s budget
+        — float accumulation (0.15000000000000002 + 0.2) must not
+        spuriously reject the final retry."""
+        policy = RetryPolicy(
+            max_retries=10, base_delay_s=0.05, backoff=2.0, timeout_s=0.35
+        )
+        failures = [0]
+
+        def flaky(attempt):
+            if failures[0] < 3:
+                failures[0] += 1
+                raise CollectiveFault("op", None, attempt)
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert policy.retries == 3
+        assert policy.gave_up == 0
+        assert policy.simulated_wait_s == pytest.approx(0.35)
+
+    def test_retries_exhausted_reason(self):
+        policy = RetryPolicy(max_retries=2, timeout_s=1e9)
+
+        def dead(attempt):
+            raise CollectiveFault("op", 7, attempt)
+
+        with pytest.raises(RetryExhaustedError) as exc_info:
+            policy.run(dead)
+        err = exc_info.value
+        assert err.reason == RETRIES_EXHAUSTED
+        assert "retry budget exhausted" in str(err)
+        assert isinstance(err.__cause__, CollectiveFault)
+        assert err.op == "op" and err.step == 7
+
+    def test_timeout_exhausted_reason_not_mistyped_as_retries(self):
+        """Running out of time budget with retries to spare must report
+        timeout exhaustion, not retries exhaustion."""
+        policy = RetryPolicy(max_retries=50, base_delay_s=1.0, timeout_s=2.5)
+
+        def dead(attempt):
+            raise CollectiveFault("op", None, attempt)
+
+        with pytest.raises(RetryExhaustedError) as exc_info:
+            policy.run(dead)
+        err = exc_info.value
+        assert err.reason == TIMEOUT_EXHAUSTED
+        assert "timeout budget exhausted" in str(err)
+        assert err.waited_s == pytest.approx(1.0)  # one 1s wait happened
+
+    def test_exhaustion_error_is_a_collective_fault(self):
+        """Existing handlers catch CollectiveFault; the typed error must
+        keep flowing through them."""
+        policy = RetryPolicy(max_retries=0)
+
+        def dead(attempt):
+            raise CollectiveFault("op", None, attempt)
+
+        with pytest.raises(CollectiveFault):
+            policy.run(dead)
 
 
 class TestCollectiveInjection:
@@ -221,6 +284,36 @@ class TestExpertParallelRecovery:
             np.testing.assert_array_equal(a, b)
         assert counters.get("ep_corrupt_payload_detected") >= 1
         assert policy.retries >= 1
+
+    def test_retry_does_not_double_count_comm_volume(self):
+        """Comm volume is per *logical* exchange: a retried all-to-all
+        must log exactly the same records as a clean run."""
+        from repro.distributed.expert_parallel import ExpertParallelDMoE
+
+        layer, mesh, x = self._setup()
+        clean = ExpertParallelDMoE(
+            layer, mesh, retry_policy=RetryPolicy(max_retries=3)
+        ).forward(x)
+
+        policy = RetryPolicy(max_retries=3)
+        ep = ExpertParallelDMoE(layer, mesh, retry_policy=policy)
+        injector = FaultInjector(
+            FaultSchedule(
+                [FaultEvent(CORRUPT_PAYLOAD, op="all_to_all", count=2)]
+            )
+        )
+        with inject_faults(injector):
+            faulty = ep.forward(x)
+        assert policy.retries >= 1  # retries actually happened
+
+        clean_log, faulty_log = clean.comm_log, faulty.comm_log
+        assert faulty_log.counts() == clean_log.counts()
+        assert faulty_log.total_bytes_per_rank(
+            "all_to_all"
+        ) == clean_log.total_bytes_per_rank("all_to_all")
+        assert [r.bytes_by_rank for r in faulty_log.records] == [
+            r.bytes_by_rank for r in clean_log.records
+        ]
 
     def test_unvalidated_path_lets_corruption_through(self):
         """Without a retry policy the legacy fast path is unchanged —

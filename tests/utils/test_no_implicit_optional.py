@@ -1,0 +1,124 @@
+"""Repo-wide implicit-Optional lint.
+
+PEP 484 outlawed the implicit-Optional convention (``x: int = None``),
+and mypy/ruff both flag it — but neither tool is a hard dependency of
+this repo, so the CI-enforceable check lives here as a plain test that
+walks every source file with ``ast``.  The same rule is configured for
+ruff in ``pyproject.toml`` (``RUF013``) for editors that run it.
+
+A parameter annotated with a type that cannot be ``None`` must not
+default to ``None``; spell it ``Optional[T]`` (or ``T | None``).
+Module-level aliases whose definition includes ``None`` (e.g.
+``RngLike = Union[None, int, Generator]``) are resolved and allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Set
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _collect_none_aliases(tree: ast.Module) -> Set[str]:
+    """Names assigned at module level to a type expression including None."""
+    aliases: Set[str] = set()
+    for node in tree.body:
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if isinstance(target, ast.Name) and value is not None:
+            text = ast.unparse(value)
+            if "None" in text or "Optional" in text:
+                aliases.add(target.id)
+    return aliases
+
+
+def _annotation_allows_none(ann: ast.expr, aliases: Set[str]) -> bool:
+    text = ast.unparse(ann)
+    if "Optional" in text or "None" in text:
+        return True
+    if text in ("Any", "object", '"Any"', "'Any'"):
+        return True
+    # A bare name that resolves to a None-including alias (local or
+    # imported — aliases are collected across the whole tree).
+    return text in aliases
+
+
+def _check_function(
+    node: ast.AST, aliases: Set[str], path: Path, failures: List[str]
+) -> None:
+    args = node.args
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(
+        positional[len(positional) - len(args.defaults) :], args.defaults
+    ):
+        _check_param(node, arg, default, aliases, path, failures)
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            _check_param(node, arg, default, aliases, path, failures)
+
+
+def _check_param(node, arg, default, aliases, path, failures) -> None:
+    if not (isinstance(default, ast.Constant) and default.value is None):
+        return
+    if arg.annotation is None:
+        return
+    if not _annotation_allows_none(arg.annotation, aliases):
+        failures.append(
+            f"{path}:{node.lineno} {node.name}({arg.arg}: "
+            f"{ast.unparse(arg.annotation)} = None) — annotate as "
+            f"Optional[...]"
+        )
+
+
+def test_no_implicit_optional_in_src():
+    assert SRC.is_dir(), SRC
+    # Aliases are shared across modules (RngLike is imported widely);
+    # collect them in a first pass over every file.
+    trees: Dict[Path, ast.Module] = {}
+    aliases: Set[str] = set()
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        trees[path] = tree
+        aliases |= _collect_none_aliases(tree)
+
+    failures: List[str] = []
+    for path, tree in trees.items():
+        rel = path.relative_to(SRC.parent)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _check_function(node, aliases, rel, failures)
+    assert not failures, (
+        "implicit-Optional parameters found (annotate with Optional[...]"
+        " or T | None):\n" + "\n".join(failures)
+    )
+
+
+def test_lint_catches_offender(tmp_path):
+    """The checker itself must flag the pattern it guards against."""
+    bad = ast.parse("def f(x: int = None): ...")
+    failures: List[str] = []
+    for node in ast.walk(bad):
+        if isinstance(node, ast.FunctionDef):
+            _check_function(node, set(), Path("bad.py"), failures)
+    assert len(failures) == 1 and "x: int = None" in failures[0]
+
+
+def test_lint_allows_resolved_alias():
+    good = ast.parse(
+        "RngLike = Union[None, int]\n"
+        "def f(rng: RngLike = None): ...\n"
+        "def g(x: Optional[int] = None): ...\n"
+        "def h(y: 'int | None' = None): ...\n"
+    )
+    aliases = _collect_none_aliases(good)
+    failures: List[str] = []
+    for node in ast.walk(good):
+        if isinstance(node, ast.FunctionDef):
+            _check_function(node, aliases, Path("good.py"), failures)
+    assert failures == []
