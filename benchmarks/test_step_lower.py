@@ -12,9 +12,11 @@ on shared CI machines swing by 1.5x+; the minimum of interleaved
 rounds is the stable dispatch-cost estimate).
 
 Lowering must be free (bit-identical losses across all three paths),
-broad (>= 60% of replayable records executed natively), and faster
-than the NumPy replay interpreter.  Results land in
-``BENCH_lower.json`` next to this file.
+broad (>= 90% of replayable records executed natively now that the
+grouped-GEMM and MoE-dispatch kernels run native), and faster both
+than the NumPy replay interpreter and than the previous lowering PR's
+recorded step time.  Results land in ``BENCH_lower.json`` next to this
+file.
 """
 
 import gc
@@ -66,10 +68,25 @@ REF_REPLAY_SMOKE_S = 0.029653243333310953
 #: canary's.
 MIN_COMPENSATED_SPEEDUP_VS_PR5 = 1.3
 
+#: The lowered (backend="cc") step time recorded by PR 6's committed
+#: ``BENCH_lower.json`` — the same session that recorded
+#: ``REF_REPLAY_SMOKE_S``, so the pair forms one more drift-free frozen
+#: ratio.  PR 6 kept GEMM and routing on the host; the grouped-GEMM /
+#: MoE-dispatch kernels must beat it.
+PR6_LOWERED_SMOKE_S = 0.025465328333666548
+
+#: Smoke-mode floor for the load-compensated speedup of this PR's
+#: lowered path over PR 6's: ``speedup_vs_replay * (PR6_LOWERED /
+#: REF_REPLAY)``.  Same construction as the PR-5 canary — an
+#: interleaved same-process ratio times a frozen same-session ratio —
+#: so host contention cancels out of both factors.
+MIN_COMPENSATED_SPEEDUP_VS_PR6_CC = 1.15
+
 #: Floor on the fraction of replayable records executed natively on the
-#: bench workload (fused segments + specialized kernels; GEMM, routing,
-#: and transcendental-heavy records stay host by design).
-MIN_LOWER_COVERAGE = 0.60
+#: bench workload.  With the grouped-GEMM, dense-GEMM, softmax, and
+#: router kernels native, only the dispatch-plan builders and a handful
+#: of scalar reductions stay host by design.
+MIN_LOWER_COVERAGE = 0.90
 
 
 def _build_trainer(backend: str) -> Trainer:
@@ -148,10 +165,13 @@ def test_step_lower(benchmark):
         result = _measure()
         if SMOKE:
             _, _, t = result
-            comp = (min(t["replay"]) / min(t["lowered"])) * (
-                PR5_REPLAY_SMOKE_S / REF_REPLAY_SMOKE_S
-            )
-            if comp < MIN_COMPENSATED_SPEEDUP_VS_PR5:
+            ratio = min(t["replay"]) / min(t["lowered"])
+            comp5 = ratio * (PR5_REPLAY_SMOKE_S / REF_REPLAY_SMOKE_S)
+            comp6 = ratio * (PR6_LOWERED_SMOKE_S / REF_REPLAY_SMOKE_S)
+            if (
+                comp5 < MIN_COMPENSATED_SPEEDUP_VS_PR5
+                or comp6 < MIN_COMPENSATED_SPEEDUP_VS_PR6_CC
+            ):
                 result = _measure()
         return result
 
@@ -169,6 +189,9 @@ def test_step_lower(benchmark):
     compensated_vs_pr5 = speedup_vs_replay * (
         PR5_REPLAY_SMOKE_S / REF_REPLAY_SMOKE_S
     )
+    compensated_vs_pr6_cc = speedup_vs_replay * (
+        PR6_LOWERED_SMOKE_S / REF_REPLAY_SMOKE_S
+    )
 
     plan = arms["lowered"].step_graph._lowered
     assert plan is not None, "backend='cc' did not attach a lowered plan"
@@ -183,7 +206,8 @@ def test_step_lower(benchmark):
         f"speedup = {speedup_vs_replay:.2f}x vs interleaved replay, "
         f"{speedup_vs_pr5:.2f}x vs PR 5's recorded "
         f"{PR5_REPLAY_SMOKE_S * 1e3:.2f}ms "
-        f"({compensated_vs_pr5:.2f}x load-compensated)"
+        f"({compensated_vs_pr5:.2f}x load-compensated, "
+        f"{compensated_vs_pr6_cc:.2f}x vs PR 6's lowered path)"
     )
     print(
         f"coverage: {plan.records_lowered}/{plan.records_total} replay "
@@ -207,6 +231,8 @@ def test_step_lower(benchmark):
         "pr5_replay_step_s": PR5_REPLAY_SMOKE_S,
         "speedup_vs_pr5": speedup_vs_pr5,
         "speedup_vs_pr5_load_compensated": compensated_vs_pr5,
+        "pr6_lowered_step_s": PR6_LOWERED_SMOKE_S,
+        "speedup_vs_pr6_cc_load_compensated": compensated_vs_pr6_cc,
         "records_total": plan.records_total,
         "records_lowered": plan.records_lowered,
         "coverage": coverage,
@@ -247,4 +273,9 @@ def test_step_lower(benchmark):
         assert compensated_vs_pr5 >= MIN_COMPENSATED_SPEEDUP_VS_PR5, (
             f"lowered {compensated_vs_pr5:.2f}x (load-compensated) vs PR 5 "
             f"replay, below the {MIN_COMPENSATED_SPEEDUP_VS_PR5}x floor"
+        )
+        assert compensated_vs_pr6_cc >= MIN_COMPENSATED_SPEEDUP_VS_PR6_CC, (
+            f"lowered {compensated_vs_pr6_cc:.2f}x (load-compensated) vs "
+            f"PR 6's lowered path, below the "
+            f"{MIN_COMPENSATED_SPEEDUP_VS_PR6_CC}x floor"
         )

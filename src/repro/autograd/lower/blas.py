@@ -1,0 +1,76 @@
+"""Locate the BLAS library NumPy itself links against.
+
+The grouped-GEMM kernels in the generated-C prelude must be *bitwise*
+identical to ``np.matmul`` — including the reduction-order and FMA
+decisions BLAS makes per (m, n, k, transpose) shape.  No reimplemented
+microkernel can guarantee that, so the generated code calls the exact
+``cblas_sgemm`` NumPy dispatches to: we resolve the symbol out of the
+``scipy-openblas`` shared object that ships inside the installed NumPy
+wheel and inject its address into the compiled translation unit via
+``repro_set_blas`` (see :mod:`repro.autograd.lower.runtime`).
+
+When the library or symbol cannot be found (a NumPy built against a
+different BLAS, a stripped vendored wheel), :func:`available` returns
+``False`` and the segmenter simply leaves GEMM-backed records on the
+host interpreter — the same graceful degradation as a missing C
+toolchain.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import glob
+import os
+from typing import Optional
+
+import numpy as np
+
+#: cblas enum values (shared with the C prelude's call sites).
+ROW_MAJOR = 101
+NO_TRANS = 111
+TRANS = 112
+
+#: Symbol exported by NumPy's vendored scipy-openblas build.  The
+#: ``64_`` suffix marks the ILP64 interface: every dimension/stride
+#: argument is a 64-bit integer, which is what the prelude passes.
+_SGEMM_SYMBOL = "scipy_cblas_sgemm64_"
+
+_UNPROBED = object()
+_state = _UNPROBED  # None = unavailable, else (lib, sgemm address)
+
+
+def _probe():
+    site = os.path.dirname(os.path.dirname(os.path.abspath(np.__file__)))
+    pattern = os.path.join(site, "numpy.libs", "libscipy_openblas*.so*")
+    for path in sorted(glob.glob(pattern)):
+        try:
+            lib = ctypes.CDLL(path)
+            fn = getattr(lib, _SGEMM_SYMBOL)
+        except (OSError, AttributeError):
+            continue
+        addr = ctypes.cast(fn, ctypes.c_void_p).value
+        if addr:
+            return lib, addr
+    return None
+
+
+def sgemm_addr() -> Optional[int]:
+    """Address of NumPy's ``cblas_sgemm`` (ILP64), or ``None``.
+
+    The probe runs once per process; the ``CDLL`` handle is kept alive
+    for the lifetime of the module so the address stays valid.
+    """
+    global _state
+    if _state is _UNPROBED:
+        _state = _probe()
+    return None if _state is None else _state[1]
+
+
+def available() -> bool:
+    """Whether native GEMM lowering can be bit-identical to NumPy."""
+    return sgemm_addr() is not None
+
+
+def _reset_for_tests() -> None:
+    global _state
+    _state = _UNPROBED

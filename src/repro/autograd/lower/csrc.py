@@ -581,6 +581,267 @@ void repro_scale_multi_f32(void **gs, const i64 *restrict sizes, i64 k,
         for (i64 i = 0; i < n; i++) g[i] *= s;
     }
 }
+
+/* ------------------------------------------------------------------ */
+/* BLAS bridge: GEMM kernels call the exact cblas_sgemm NumPy links    */
+/* against (resolved at runtime from the scipy-openblas wheel and      */
+/* injected via repro_set_blas) so every product is bitwise identical  */
+/* to np.matmul — same microkernel, same reduction order, same FMA     */
+/* decisions.  ILP64 interface: every dimension is an i64; the enums   */
+/* are CblasRowMajor=101, CblasNoTrans=111, CblasTrans=112.  The       */
+/* segmenter never classifies a GEMM-backed record unless the bridge   */
+/* resolved, so a null pointer here is unreachable from compiled       */
+/* plans.                                                              */
+/* ------------------------------------------------------------------ */
+typedef void (*repro_sgemm_t)(int order, int transa, int transb,
+                              i64 m, i64 n, i64 k, float alpha,
+                              const float *a, i64 lda,
+                              const float *b, i64 ldb, float beta,
+                              float *c, i64 ldc);
+static repro_sgemm_t repro_sgemm = 0;
+
+void repro_set_blas(void *sgemm) { repro_sgemm = (repro_sgemm_t)sgemm; }
+
+/* x @ w + bias over an optionally batched x ((batch, m, k) with a
+ * shared 2D w), exactly np.matmul(x, w, out=out); np.add(out, b, out).
+ * wtrans: w stored (n, k) row-major (an F-contiguous (k, n) operand);
+ * wld is the stored leading dimension (n when wtrans=0, k when 1). */
+void repro_linbias_f32(const float *restrict x, const float *restrict w,
+                       const float *restrict b, float *restrict out,
+                       i64 batch, i64 m, i64 k, i64 n, i64 wtrans, i64 wld)
+{
+    for (i64 t = 0; t < batch; t++) {
+        float *o = out + t * m * n;
+        repro_sgemm(101, 111, wtrans ? 112 : 111, m, n, k, 1.0f,
+                    x + t * m * k, k, w, wld, 0.0f, o, n);
+        for (i64 i = 0; i < m; i++) {
+            float *row = o + i * n;
+            for (i64 j = 0; j < n; j++) row[j] += b[j];
+        }
+    }
+}
+
+/* Plain matmul: np.matmul(a, b, out=out) with the same batching and
+ * transpose conventions as repro_linbias_f32. */
+void repro_mm_f32(const float *restrict a, const float *restrict b,
+                  float *restrict out, i64 batch, i64 m, i64 k, i64 n,
+                  i64 btrans, i64 bld)
+{
+    for (i64 t = 0; t < batch; t++)
+        repro_sgemm(101, 111, btrans ? 112 : 111, m, n, k, 1.0f,
+                    a + t * m * k, k, b, bld, 0.0f, out + t * m * n, n);
+}
+
+/* Softmax stage 1 (last axis): subtract the NaN-propagating row max
+ * into buf.  np.exp runs in the Python runner between the two stages
+ * (transcendentals stay NumPy for bit-identity); stage 2 reuses
+ * repro_attn_fwd2_f32 (pairwise row sum + divide in place). */
+void repro_softmax_fwd1_f32(const float *restrict x, float *restrict buf,
+                            i64 rows, i64 n)
+{
+    for (i64 r = 0; r < rows; r++) {
+        const float *xr = x + r * n;
+        float *br = buf + r * n;
+        /* >= not >: np.maximum returns its second operand on ties, so
+         * the reduction keeps the LAST equal element — observable only
+         * through signed zeros (and washed out by the exp that follows,
+         * but the stage must match the eager subtract bit for bit). */
+        float m = xr[0];
+        for (i64 j = 1; j < n; j++) {
+            float v = xr[j];
+            if (isnan(v) || v >= m) m = v;
+        }
+        for (i64 j = 0; j < n; j++) br[j] = xr[j] - m;
+    }
+}
+
+/* _Softmax.backward: buf = out * (g - sum(g * out)) per row, with the
+ * dot taken pairwise over the g*out products exactly like the
+ * keepdims row sum of the eager multiply/sum/subtract/multiply
+ * sequence. */
+void repro_softmax_bwd_f32(const float *restrict g,
+                           const float *restrict out,
+                           float *restrict buf, i64 rows, i64 n)
+{
+    for (i64 r = 0; r < rows; r++) {
+        const float *gr = g + r * n;
+        const float *pr = out + r * n;
+        float *br = buf + r * n;
+        for (i64 j = 0; j < n; j++) br[j] = gr[j] * pr[j];
+        float dot = pw32(br, n);
+        for (i64 j = 0; j < n; j++) br[j] = pr[j] * (gr[j] - dot);
+    }
+}
+
+/* Top-1 routing: (-scores).argsort(kind="stable")[..., :1].  The first
+ * column of a stable ascending sort of -scores is the first occurrence
+ * of the row max; NaN sorts last and is never picked unless the whole
+ * row is NaN (then the stable identity order leaves index 0 first). */
+void repro_topk1_i64(const float *restrict scores, i64 *restrict out,
+                     i64 rows, i64 n)
+{
+    for (i64 r = 0; r < rows; r++) {
+        const float *sr = scores + r * n;
+        i64 best = -1;
+        float bv = 0.0f;
+        for (i64 j = 0; j < n; j++) {
+            float v = sr[j];
+            if (!isnan(v) && (best < 0 || v > bv)) { best = j; bv = v; }
+        }
+        out[r] = best < 0 ? 0 : best;
+    }
+}
+
+/* _lb_fractions: bincount(idx, minlength=e) / max(n, 1), divided in
+ * float64 and rounded to f32 on the store — the astype chain of the
+ * host op. */
+void repro_lbfrac_f32(const i64 *restrict idx, float *restrict out,
+                      i64 n, i64 e, i64 *restrict counts)
+{
+    for (i64 t = 0; t < e; t++) counts[t] = 0;
+    for (i64 i = 0; i < n; i++) counts[idx[i]]++;
+    double denom = (double)(n > 0 ? n : 1);
+    for (i64 t = 0; t < e; t++)
+        out[t] = (float)((double)counts[t] / denom);
+}
+
+/* bool(np.isfinite(x).all()) over a contiguous f32 buffer. */
+i64 repro_allfinite_f32(const float *restrict x, i64 n)
+{
+    for (i64 i = 0; i < n; i++)
+        if (!isfinite(x[i])) return 0;
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Grouped block-sparse GEMMs over the memoized DispatchPlan groups.   */
+/* gt is the (G, 5) int64 group table [row_start, row_count,           */
+/* col_start, col_count, val_start] in block units; stage is a         */
+/* max_group_blocks*bs*bs scratch holding one group's dense rectangle. */
+/* Dense operands carry (ld, trans) pairs: trans means the effective   */
+/* matrix is the transpose of the row-major storage, so slicing rows   */
+/* of the effective matrix offsets *within* stored rows (and vice      */
+/* versa for columns) — the pointer arithmetic mirrors the zero-copy   */
+/* NumPy views of repro.sparse.dispatch exactly.                       */
+/* ------------------------------------------------------------------ */
+
+/* Copy one group's blocks from the BCSR value array into the dense
+ * stage rectangle (r*bs, c*bs): the _group_values reshape/swapaxes. */
+static void repro_group_gather(const float *restrict values,
+                               float *restrict stage,
+                               i64 r, i64 c, i64 v0, i64 bs)
+{
+    i64 ng = c * bs;
+    for (i64 br = 0; br < r; br++)
+        for (i64 bc = 0; bc < c; bc++) {
+            const float *vb = values + (v0 + br * c + bc) * bs * bs;
+            float *sb = stage + br * bs * ng + bc * bs;
+            for (i64 ii = 0; ii < bs; ii++)
+                memcpy(sb + ii * ng, vb + ii * bs,
+                       (size_t)bs * sizeof(float));
+        }
+}
+
+/* SDD: values of (A_eff @ B_eff) at each group rectangle; the product
+ * lands in stage and is scattered block-by-block into values. */
+void repro_grouped_sdd_f32(const float *restrict a, i64 ald, i64 atrans,
+                           const float *restrict b, i64 bld, i64 btrans,
+                           float *restrict values, const i64 *restrict gt,
+                           i64 G, i64 k, i64 bs, float *restrict stage)
+{
+    for (i64 g = 0; g < G; g++) {
+        i64 r0 = gt[g * 5], r = gt[g * 5 + 1];
+        i64 c0 = gt[g * 5 + 2], c = gt[g * 5 + 3], v0 = gt[g * 5 + 4];
+        i64 mg = r * bs, ng = c * bs;
+        const float *ap = atrans ? a + r0 * bs : a + r0 * bs * ald;
+        const float *bp = btrans ? b + c0 * bs * bld : b + c0 * bs;
+        repro_sgemm(101, atrans ? 112 : 111, btrans ? 112 : 111,
+                    mg, ng, k, 1.0f, ap, ald, bp, bld, 0.0f, stage, ng);
+        for (i64 br = 0; br < r; br++)
+            for (i64 bc = 0; bc < c; bc++) {
+                float *vb = values + (v0 + br * c + bc) * bs * bs;
+                const float *sb = stage + br * bs * ng + bc * bs;
+                for (i64 ii = 0; ii < bs; ii++)
+                    memcpy(vb + ii * bs, sb + ii * ng,
+                           (size_t)bs * sizeof(float));
+            }
+    }
+}
+
+/* DSD: out = (S or S^T) @ B_eff, one GEMM per gathered group. */
+void repro_grouped_dsd_f32(const float *restrict values,
+                           const float *restrict b, i64 bld, i64 btrans,
+                           float *restrict out, i64 n,
+                           const i64 *restrict gt, i64 G, i64 strans,
+                           i64 bs, float *restrict stage)
+{
+    for (i64 g = 0; g < G; g++) {
+        i64 r0 = gt[g * 5], r = gt[g * 5 + 1];
+        i64 c0 = gt[g * 5 + 2], c = gt[g * 5 + 3], v0 = gt[g * 5 + 4];
+        i64 mg = r * bs, ng = c * bs;
+        repro_group_gather(values, stage, r, c, v0, bs);
+        if (strans) {
+            const float *bp = btrans ? b + r0 * bs : b + r0 * bs * bld;
+            repro_sgemm(101, 112, btrans ? 112 : 111, ng, n, mg, 1.0f,
+                        stage, ng, bp, bld, 0.0f, out + c0 * bs * n, n);
+        } else {
+            const float *bp = btrans ? b + c0 * bs : b + c0 * bs * bld;
+            repro_sgemm(101, 111, btrans ? 112 : 111, mg, n, ng, 1.0f,
+                        stage, ng, bp, bld, 0.0f, out + r0 * bs * n, n);
+        }
+    }
+}
+
+/* DDS: out = A_eff @ (S or S^T); each group fills an output column
+ * band of the (mo, nout) row-major out. */
+void repro_grouped_dds_f32(const float *restrict a, i64 ald, i64 atrans,
+                           const float *restrict values,
+                           float *restrict out, i64 mo, i64 nout,
+                           const i64 *restrict gt, i64 G, i64 strans,
+                           i64 bs, float *restrict stage)
+{
+    for (i64 g = 0; g < G; g++) {
+        i64 r0 = gt[g * 5], r = gt[g * 5 + 1];
+        i64 c0 = gt[g * 5 + 2], c = gt[g * 5 + 3], v0 = gt[g * 5 + 4];
+        i64 mg = r * bs, ng = c * bs;
+        repro_group_gather(values, stage, r, c, v0, bs);
+        if (strans) {
+            const float *ap = atrans ? a + c0 * bs * ald : a + c0 * bs;
+            repro_sgemm(101, atrans ? 112 : 111, 112, mo, mg, ng, 1.0f,
+                        ap, ald, stage, ng, 0.0f, out + r0 * bs, nout);
+        } else {
+            const float *ap = atrans ? a + r0 * bs * ald : a + r0 * bs;
+            repro_sgemm(101, atrans ? 112 : 111, 111, mo, ng, mg, 1.0f,
+                        ap, ald, stage, ng, 0.0f, out + c0 * bs, nout);
+        }
+    }
+}
+
+/* The reduceat tail of _segment_reduce_bias_grad: per-segment sums of
+ * colsum rows walked in transpose-permutation order.  np.add.reduceat
+ * reduces each segment as first + pairwise(rest) — a single-row
+ * segment is copied, never added to 0.0f (that would flip -0.0).
+ * tstart has ns+1 entries (the nonempty segment starts plus the total
+ * block count); nerow[t] is the destination row of segment t; rows
+ * not named by nerow keep the caller's zero fill. */
+void repro_segsum_tr_f32(const float *restrict colsum,
+                         const i64 *restrict tbo,
+                         const i64 *restrict nerow,
+                         const i64 *restrict tstart,
+                         float *restrict gbias, i64 ns, i64 bs)
+{
+    for (i64 t = 0; t < ns; t++) {
+        i64 s = tstart[t], len = tstart[t + 1] - s;
+        float *o = gbias + nerow[t] * bs;
+        const float *r0 = colsum + tbo[s] * bs;
+        if (len == 1) {
+            for (i64 j = 0; j < bs; j++) o[j] = r0[j];
+        } else {
+            for (i64 j = 0; j < bs; j++)
+                o[j] = r0[j] + pw32g(colsum, tbo, s + 1, len - 1, bs, j);
+        }
+    }
+}
 """
 
 

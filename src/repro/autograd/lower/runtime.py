@@ -74,16 +74,47 @@ _KERNEL_SIGS = {
     "repro_attn_fwd2_f32": [_PTR, _c_i64, _c_i64],
     "repro_attn_bwd_f32": [_PTR] * 4 + [_c_i64] * 2 + [_c_double],
     "repro_sum_lead_f32": [_PTR, _PTR, _c_i64, _c_i64],
+    "repro_set_blas": [_PTR],
+    "repro_linbias_f32": [_PTR] * 4 + [_c_i64] * 6,
+    "repro_mm_f32": [_PTR] * 3 + [_c_i64] * 6,
+    "repro_softmax_fwd1_f32": [_PTR, _PTR, _c_i64, _c_i64],
+    "repro_softmax_bwd_f32": [_PTR] * 3 + [_c_i64] * 2,
+    "repro_topk1_i64": [_PTR, _PTR, _c_i64, _c_i64],
+    "repro_lbfrac_f32": [_PTR, _PTR, _c_i64, _c_i64, _PTR],
+    "repro_allfinite_f32": [_PTR, _c_i64],
+    "repro_grouped_sdd_f32": (
+        [_PTR, _c_i64, _c_i64, _PTR, _c_i64, _c_i64, _PTR, _PTR]
+        + [_c_i64] * 3 + [_PTR]
+    ),
+    "repro_grouped_dsd_f32": (
+        [_PTR, _PTR, _c_i64, _c_i64, _PTR, _c_i64, _PTR]
+        + [_c_i64] * 3 + [_PTR]
+    ),
+    "repro_grouped_dds_f32": (
+        [_PTR, _c_i64, _c_i64, _PTR, _PTR, _c_i64, _c_i64, _PTR]
+        + [_c_i64] * 3 + [_PTR]
+    ),
+    "repro_segsum_tr_f32": [_PTR] * 5 + [_c_i64] * 2,
 }
 
 
 def bind(lib) -> None:
-    """Set argtypes/restype on the prelude kernels (idempotent)."""
+    """Set argtypes/restype on the prelude kernels (idempotent), and
+    inject the address of NumPy's own ``cblas_sgemm`` into the library
+    so the GEMM-backed kernels reduce in exactly NumPy's order.  When
+    the BLAS probe fails the pointer stays NULL — the segmenter never
+    emits GEMM-backed units in that case, so nothing dereferences it."""
     for name, argtypes in _KERNEL_SIGS.items():
         fn = getattr(lib, name)
         fn.argtypes = argtypes
         fn.restype = None
     lib.repro_clip_sumsq_f32.restype = ctypes.c_double
+    lib.repro_allfinite_f32.restype = _c_i64
+    from repro.autograd.lower import blas
+
+    addr = blas.sgemm_addr()
+    if addr:
+        lib.repro_set_blas(addr)
 
 
 def _resolver(graph, spec) -> Callable:
@@ -159,6 +190,27 @@ def _check(a, desc) -> bool:
         and a.shape == desc[1]
         and a.strides == desc[2]
     )
+
+
+_TR_SEG_ATTR = "_lower_tr_segments"
+
+
+def _tr_segments(topo, nonempty, starts):
+    """Flat int64 ``(transpose_block_offsets, nonempty_rows, extended
+    starts)`` triple for :c:func:`repro_segsum_tr_f32`, memoized on the
+    (frozen) topology like the dispatch plan.  ``starts`` gains one
+    trailing entry — the total block count — so segment ``t`` always
+    spans ``[starts[t], starts[t+1])``."""
+    cached = getattr(topo, _TR_SEG_ATTR, None)
+    if cached is None:
+        tbo = np.ascontiguousarray(topo.transpose_block_offsets, _I64)
+        ne = np.ascontiguousarray(nonempty, _I64)
+        st = np.empty(len(starts) + 1, _I64)
+        st[:-1] = starts
+        st[-1] = topo.nnz_blocks
+        cached = (tbo, ne, st)
+        object.__setattr__(topo, _TR_SEG_ATTR, cached)
+    return cached
 
 
 class LoweredPlan:
@@ -818,6 +870,300 @@ class LoweredPlan:
 
             return run_transpose
 
+        if unit.kind == "linbias" or unit.kind == "mm":
+            has_bias = unit.kind == "linbias"
+            meta = unit.meta
+            batch = int(meta["batch"])
+            m = int(meta["m"])
+            k = int(meta["k"])
+            n = int(meta["n"])
+            side_trans = int(meta["wtrans" if has_bias else "btrans"])
+            side_ld = int(meta["wld" if has_bias else "bld"])
+            out_shape = rec.descs[0][1]
+            res_x = _resolver(graph, rec.specs[0])
+            res_w = _resolver(graph, rec.specs[1])
+            res_b = _resolver(graph, rec.specs[2]) if has_bias else None
+            descs = [d for d in rec.descs[1][: 3 if has_bias else 2]]
+            cfn = lib.repro_linbias_f32 if has_bias else lib.repro_mm_f32
+            cache = [None] * len(descs)
+
+            def run_gemm(values, inputs):
+                x = res_x(values, inputs)
+                w = res_w(values, inputs)
+                b = res_b(values, inputs) if has_bias else None
+                ops = (x, w, b) if has_bias else (x, w)
+                for t, a in enumerate(ops):
+                    if a is not cache[t]:
+                        if not _check(a, descs[t]):
+                            fb_counter.inc()
+                            fallback(values, inputs)
+                            return
+                        cache[t] = a
+                out = arena.matmul_buf(x, w)
+                if out is None:
+                    out = np.empty(out_shape, _F4)
+                if has_bias:
+                    cfn(x.ctypes.data, w.ctypes.data, b.ctypes.data,
+                        out.ctypes.data, batch, m, k, n, side_trans, side_ld)
+                else:
+                    cfn(x.ctypes.data, w.ctypes.data, out.ctypes.data,
+                        batch, m, k, n, side_trans, side_ld)
+                ctx = Context()
+                ctx.saved = (x, w, b.shape) if has_bias else (x, w)
+                values[i] = (ctx, out)
+
+            return run_gemm
+
+        if unit.kind == "softmax":
+            shape = unit.meta["shape"]
+            n = int(unit.meta["n"])
+            rows = 1
+            for d in shape[:-1]:
+                rows *= int(d)
+            if len(rec.specs) > 1:
+                axis = rec.specs[1][1]  # _CONST payload (classify checked)
+            else:
+                axis = (rec.kwargs or {}).get("axis", -1)
+            res_x = _resolver(graph, rec.specs[0])
+            x_d = rec.descs[1][0]
+            cfn1 = lib.repro_softmax_fwd1_f32
+            cfn2 = lib.repro_attn_fwd2_f32
+            cache = [None]
+
+            def run_softmax(values, inputs):
+                x = res_x(values, inputs)
+                if x is not cache[0]:
+                    if not _check(x, x_d):
+                        fb_counter.inc()
+                        fallback(values, inputs)
+                        return
+                    cache[0] = x
+                buf = arena.empty(shape, _F4)
+                cfn1(x.ctypes.data, buf.ctypes.data, rows, n)
+                np.exp(buf, out=buf)
+                cfn2(buf.ctypes.data, rows, n)
+                ctx = Context()
+                ctx.saved = (buf, axis)
+                values[i] = (ctx, buf)
+
+            return run_softmax
+
+        if unit.kind == "sdd":
+            from repro.sparse import dispatch as _D
+            from repro.sparse import stats as _SS
+
+            res_x = _resolver(graph, rec.specs[0])
+            res_w = _resolver(graph, rec.specs[1])
+            res_t = _resolver(graph, rec.specs[2])
+            cfn = lib.repro_grouped_sdd_f32
+
+            def run_sdd(values, inputs):
+                x = res_x(values, inputs)
+                w = res_w(values, inputs)
+                topo = res_t(values, inputs)
+                bs = topo.block_size
+                dplan = _D.analyze(topo)
+                if not _D.use_grouped(dplan, False):
+                    # Blocked mode is the *planned* eager path for this
+                    # topology (dispatch heuristic), not a guard breach:
+                    # replay the host op without counting a fallback.
+                    fallback(values, inputs)
+                    return
+                if not (
+                    type(x) is _ndarray
+                    and x.dtype is _F4
+                    and x.ndim == 2
+                    and x.flags.c_contiguous
+                    and type(w) is _ndarray
+                    and w.dtype is _F4
+                    and w.ndim == 2
+                    and w.flags.c_contiguous
+                    and bs >= 2
+                    and x.shape[1] >= 2
+                    and w.shape[0] == x.shape[1]
+                    and (x.shape[0], w.shape[1]) == topo.shape
+                ):
+                    fb_counter.inc()
+                    fallback(values, inputs)
+                    return
+                gt = _D.group_table(topo)
+                k = x.shape[1]
+                vals = arena.empty((topo.nnz_blocks, bs, bs), _F4)
+                stage = arena.out_buf((dplan.max_group_blocks * bs * bs,), _F4)
+                sbuf = (
+                    stage
+                    if stage is not None
+                    else np.empty(dplan.max_group_blocks * bs * bs, _F4)
+                )
+                cfn(x.ctypes.data, k, 0, w.ctypes.data, w.shape[1], 0,
+                    vals.ctypes.data, gt.ctypes.data, gt.shape[0], k, bs,
+                    sbuf.ctypes.data)
+                arena.release(stage)
+                _SS.record_op("sdd", _SS.PATH_GROUPED, 2 * topo.nnz * k)
+                ctx = Context()
+                ctx.saved = (x, w, topo)
+                values[i] = (ctx, vals)
+
+            return run_sdd
+
+        if unit.kind == "dsd":
+            from repro.sparse import dispatch as _D
+            from repro.sparse import stats as _SS
+
+            res_v = _resolver(graph, rec.specs[0])
+            res_w = _resolver(graph, rec.specs[1])
+            res_t = _resolver(graph, rec.specs[2])
+            cfn = lib.repro_grouped_dsd_f32
+
+            def run_dsd(values, inputs):
+                v = res_v(values, inputs)
+                w = res_w(values, inputs)
+                topo = res_t(values, inputs)
+                bs = topo.block_size
+                dplan = _D.analyze(topo)
+                rows_s, cols_s = topo.shape
+                if not _D.use_grouped(dplan, False):
+                    # Planned blocked-mode topology, not a guard breach.
+                    fallback(values, inputs)
+                    return
+                if not (
+                    type(v) is _ndarray
+                    and v.dtype is _F4
+                    and v.shape == (topo.nnz_blocks, bs, bs)
+                    and v.flags.c_contiguous
+                    and type(w) is _ndarray
+                    and w.dtype is _F4
+                    and w.ndim == 2
+                    and w.flags.c_contiguous
+                    and bs >= 2
+                    and w.shape[0] == cols_s
+                    and w.shape[1] >= 2
+                ):
+                    fb_counter.inc()
+                    fallback(values, inputs)
+                    return
+                gt = _D.group_table(topo)
+                n = w.shape[1]
+                full = dplan.rows_covered_blocks * bs == rows_s
+                out = (
+                    arena.empty((rows_s, n), _F4)
+                    if full
+                    else arena.zeros((rows_s, n), _F4)
+                )
+                stage = arena.out_buf((dplan.max_group_blocks * bs * bs,), _F4)
+                sbuf = (
+                    stage
+                    if stage is not None
+                    else np.empty(dplan.max_group_blocks * bs * bs, _F4)
+                )
+                cfn(v.ctypes.data, w.ctypes.data, n, 0, out.ctypes.data, n,
+                    gt.ctypes.data, gt.shape[0], 0, bs, sbuf.ctypes.data)
+                arena.release(stage)
+                _SS.record_op("dsd", _SS.PATH_GROUPED, 2 * topo.nnz * n)
+                ctx = Context()
+                ctx.saved = (v, w, topo)
+                values[i] = (ctx, out)
+
+            return run_dsd
+
+        if unit.kind == "topk1":
+            from repro.autograd.graph import GraphInvalidated, _host_equal
+
+            res_s = _resolver(graph, rec.specs[0])
+            cfn = lib.repro_topk1_i64
+            guard = rec.guard
+            host_fn = rec.fn
+            expected = rec.expected
+
+            def run_topk1(values, inputs):
+                s = res_s(values, inputs)
+                if not (
+                    type(s) is _ndarray
+                    and s.dtype is _F4
+                    and s.ndim == 2
+                    and s.shape[1] >= 1
+                    and s.flags.c_contiguous
+                ):
+                    fb_counter.inc()
+                    fallback(values, inputs)
+                    return
+                out = np.empty((s.shape[0], 1), _I64)
+                cfn(s.ctypes.data, out.ctypes.data, s.shape[0], s.shape[1])
+                if guard and not _host_equal(out, expected):
+                    raise GraphInvalidated(
+                        f"guard {host_fn.__name__} diverged from capture: "
+                        f"{expected!r} -> {out!r}"
+                    )
+                values[i] = (None, out)
+
+            return run_topk1
+
+        if unit.kind == "lbfrac":
+            from repro.autograd.graph import GraphInvalidated, _host_equal
+
+            E = int(unit.meta["E"])
+            res_idx = _resolver(graph, rec.specs[0])
+            cfn = lib.repro_lbfrac_f32
+            guard = rec.guard
+            host_fn = rec.fn
+            expected = rec.expected
+            plan = self
+
+            def run_lbfrac(values, inputs):
+                idx = res_idx(values, inputs)
+                ok = type(idx) is _ndarray and idx.dtype.kind in "iu"
+                if ok:
+                    flat = np.ascontiguousarray(idx.reshape(-1), _I64)
+                    nt = flat.size
+                    ok = nt == 0 or (
+                        int(flat.min()) >= 0 and int(flat.max()) < E
+                    )
+                if not ok:
+                    fb_counter.inc()
+                    fallback(values, inputs)
+                    return
+                out = np.empty(E, _F4)
+                counts = plan._iscratch(E)
+                cfn(flat.ctypes.data, out.ctypes.data, nt, E,
+                    counts.ctypes.data)
+                if guard and not _host_equal(out, expected):
+                    raise GraphInvalidated(
+                        f"guard {host_fn.__name__} diverged from capture: "
+                        f"{expected!r} -> {out!r}"
+                    )
+                values[i] = (None, out)
+
+            return run_lbfrac
+
+        if unit.kind == "finite":
+            from repro.autograd.graph import GraphInvalidated, _host_equal
+
+            res_x = _resolver(graph, rec.specs[0])
+            cfn = lib.repro_allfinite_f32
+            guard = rec.guard
+            host_fn = rec.fn
+            expected = rec.expected
+
+            def run_finite(values, inputs):
+                x = res_x(values, inputs)
+                if not (
+                    type(x) is _ndarray
+                    and x.dtype is _F4
+                    and x.flags.c_contiguous
+                ):
+                    fb_counter.inc()
+                    fallback(values, inputs)
+                    return
+                res = bool(cfn(x.ctypes.data, x.size))
+                if guard and not _host_equal(res, expected):
+                    raise GraphInvalidated(
+                        f"guard {host_fn.__name__} diverged from capture: "
+                        f"{expected!r} -> {res!r}"
+                    )
+                values[i] = (None, res)
+
+            return run_finite
+
         raise LoweringError(f"unhandled kernel kind {unit.kind!r}")
 
     # -- backward swaps --------------------------------------------------
@@ -1048,6 +1394,7 @@ class LoweredPlan:
 
                 orig_s = _SparseBiasGelu.backward
                 ccol = lib.repro_gelu_bwd_colsum_f32
+                cseg = lib.repro_segsum_tr_f32
 
                 def sbgelu_bwd(ctx, grad):
                     a, t, topo = ctx.saved
@@ -1073,15 +1420,18 @@ class LoweredPlan:
                     colsum = arena.empty((nnz, bs), _F4)
                     ccol(grad.ctypes.data, a.ctypes.data, t.ctypes.data,
                          g.ctypes.data, colsum.ctypes.data, nnz, bs, K, C)
-                    # The tail of _segment_reduce_bias_grad, verbatim,
-                    # with the per-block column sums already computed.
+                    # The tail of _segment_reduce_bias_grad with the
+                    # per-block column sums already computed: the
+                    # transpose-order ``np.add.reduceat`` as a native
+                    # segment loop (first element + pairwise rest per
+                    # segment — reduceat's exact reduction shape).
                     gbias = arena.zeros((topo.block_cols, bs), grad.dtype)
                     nonempty, starts = segment_meta(topo, transpose=True)
                     if len(nonempty):
-                        sorted_blocks = colsum[topo.transpose_block_offsets]
-                        gbias[nonempty] = np.add.reduceat(
-                            sorted_blocks, starts, axis=0
-                        )
+                        tbo, ne, st = _tr_segments(topo, nonempty, starts)
+                        cseg(colsum.ctypes.data, tbo.ctypes.data,
+                             ne.ctypes.data, st.ctypes.data,
+                             gbias.ctypes.data, len(ne), bs)
                     arena.release(colsum)
                     return g, gbias.reshape(-1)
 
@@ -1271,6 +1621,172 @@ class LoweredPlan:
 
             return getitem_bwd
 
+        if kind == "sdd" or kind == "dsd":
+            # Grouped transposed products of MegaBlocks §5.1, through
+            # NumPy's own sgemm.  Any check failure (including a forced
+            # "blocked" dispatch mode or a non-rectangular topology)
+            # falls back wholesale to the original backward, which
+            # re-runs the full dispatch decision per product.
+            from repro.sparse import dispatch as _D
+            from repro.sparse import stats as _SS
+            from repro.sparse.autograd_ops import _DsdMM, _SddMM
+
+            csdd = lib.repro_grouped_sdd_f32
+            cdsd = lib.repro_grouped_dsd_f32
+            cdds = lib.repro_grouped_dds_f32
+            grouped = _SS.PATH_GROUPED
+            rec_op = _SS.record_op
+
+            def _stage_for(dplan, bs):
+                size = dplan.max_group_blocks * bs * bs
+                buf = arena.out_buf((size,), _F4)
+                return buf, (buf if buf is not None else np.empty(size, _F4))
+
+            if kind == "sdd":
+                orig = _SddMM.backward
+
+                def sdd_bwd(ctx, grad):
+                    x, w, topo = ctx.saved
+                    bs = topo.block_size
+                    dplan = _D.analyze(topo)
+                    rows_s, cols_s = topo.shape
+                    if not (
+                        _D.use_grouped(dplan, False)
+                        and _D.use_grouped(dplan, True)
+                        and type(grad) is _ndarray
+                        and grad.dtype is _F4
+                        and grad.shape == (topo.nnz_blocks, bs, bs)
+                        and grad.flags.c_contiguous
+                        and type(x) is _ndarray
+                        and x.dtype is _F4
+                        and x.ndim == 2
+                        and x.flags.c_contiguous
+                        and type(w) is _ndarray
+                        and w.dtype is _F4
+                        and w.ndim == 2
+                        and w.flags.c_contiguous
+                        and bs >= 2
+                        and x.shape[1] >= 2
+                        and x.shape[0] == rows_s
+                        and w.shape == (x.shape[1], cols_s)
+                    ):
+                        return orig(ctx, grad)
+                    gt = _D.group_table(topo)
+                    G = gt.shape[0]
+                    k = x.shape[1]
+                    stage, sbuf = _stage_for(dplan, bs)
+                    # DSD^T: dX = dH @ W^T over group row slices.
+                    full = dplan.rows_covered_blocks * bs == rows_s
+                    dx = (
+                        arena.empty((rows_s, k), _F4)
+                        if full
+                        else arena.zeros((rows_s, k), _F4)
+                    )
+                    cdsd(grad.ctypes.data, w.ctypes.data, w.shape[1], 1,
+                         dx.ctypes.data, k, gt.ctypes.data, G, 0, bs,
+                         sbuf.ctypes.data)
+                    rec_op("dsd", grouped, 2 * topo.nnz * k)
+                    # DD^TS: dW = X^T @ dH into group column bands.
+                    full = (
+                        dplan.cols_disjoint
+                        and dplan.cols_covered_blocks * bs == cols_s
+                    )
+                    dw = (
+                        arena.empty((k, cols_s), _F4)
+                        if full
+                        else arena.zeros((k, cols_s), _F4)
+                    )
+                    cdds(x.ctypes.data, k, 1, grad.ctypes.data,
+                         dw.ctypes.data, k, cols_s, gt.ctypes.data, G, 0, bs,
+                         sbuf.ctypes.data)
+                    arena.release(stage)
+                    rec_op("dds", grouped, 2 * topo.nnz * k)
+                    return dx, dw
+
+                return sdd_bwd
+
+            orig = _DsdMM.backward
+
+            def dsd_bwd(ctx, grad):
+                h_values, w, topo = ctx.saved
+                bs = topo.block_size
+                dplan = _D.analyze(topo)
+                rows_s, cols_s = topo.shape
+                if not (
+                    _D.use_grouped(dplan, False)
+                    and _D.use_grouped(dplan, True)
+                    and type(grad) is _ndarray
+                    and grad.dtype is _F4
+                    and grad.ndim == 2
+                    and grad.flags.c_contiguous
+                    and type(h_values) is _ndarray
+                    and h_values.dtype is _F4
+                    and h_values.shape == (topo.nnz_blocks, bs, bs)
+                    and h_values.flags.c_contiguous
+                    and type(w) is _ndarray
+                    and w.dtype is _F4
+                    and w.flags.c_contiguous
+                    and bs >= 2
+                    and grad.shape[0] == rows_s
+                    and grad.shape[1] >= 2
+                    and w.shape == (cols_s, grad.shape[1])
+                ):
+                    return orig(ctx, grad)
+                gt = _D.group_table(topo)
+                G = gt.shape[0]
+                n = grad.shape[1]
+                stage, sbuf = _stage_for(dplan, bs)
+                # SDD^T: dH = dY @ W^T sampled at H's topology.
+                dh = arena.empty((topo.nnz_blocks, bs, bs), _F4)
+                csdd(grad.ctypes.data, n, 0, w.ctypes.data, w.shape[1], 1,
+                     dh.ctypes.data, gt.ctypes.data, G, n, bs,
+                     sbuf.ctypes.data)
+                rec_op("sdd", grouped, 2 * topo.nnz * n)
+                # DS^TD: dW = H^T @ dY into group column-range rows.
+                full = (
+                    dplan.cols_disjoint
+                    and dplan.cols_covered_blocks * bs == cols_s
+                )
+                dw = (
+                    arena.empty((cols_s, n), _F4)
+                    if full
+                    else arena.zeros((cols_s, n), _F4)
+                )
+                cdsd(h_values.ctypes.data, grad.ctypes.data, n, 0,
+                     dw.ctypes.data, n, gt.ctypes.data, G, 1, bs,
+                     sbuf.ctypes.data)
+                arena.release(stage)
+                rec_op("ds^td", grouped, 2 * topo.nnz * n)
+                return dh, dw
+
+            return dsd_bwd
+
+        if kind == "softmax2":
+            orig = _N._Softmax.backward
+            cfn = lib.repro_softmax_bwd_f32
+
+            def softmax2_bwd(ctx, g):
+                out, axis = ctx.saved
+                if not (
+                    type(g) is _ndarray
+                    and g.dtype is _F4
+                    and g.shape == out.shape
+                    and g.flags.c_contiguous
+                    and type(out) is _ndarray
+                    and out.dtype is _F4
+                    and out.flags.c_contiguous
+                    and axis in (-1, out.ndim - 1)
+                    and out.shape[-1] >= 1
+                ):
+                    return orig(ctx, g)
+                n = out.shape[-1]
+                buf = arena.empty(g.shape, _F4)
+                cfn(g.ctypes.data, out.ctypes.data, buf.ctypes.data,
+                    g.size // n, n)
+                return (buf,)
+
+            return softmax2_bwd
+
         return None
 
 
@@ -1295,7 +1811,7 @@ def attach(graph, strict: bool = False) -> Optional[LoweredPlan]:
         reg.counter("lower_toolchain_fallbacks").inc()
         return None
     source = csrc.render_unit(analysis)
-    lib = toolchain.compile_and_load(source, tag="graph")
+    lib = toolchain.compile_and_load(source, tag="graph2")
     if lib is None:
         reg.counter("lower_toolchain_fallbacks").inc()
         return None

@@ -78,8 +78,9 @@ class KernUnit:
 
     ``kind`` is one of ``ln``, ``embed``, ``gather``, ``scatter``,
     ``getitem_dyn``, ``getitem_const``, ``reshape``, ``transpose``,
-    ``sbgelu``, ``attn``.  ``native`` marks kinds that execute
-    generated C.
+    ``sbgelu``, ``attn``, ``linbias``, ``mm``, ``softmax``, ``sdd``,
+    ``dsd``, or — for host records — ``topk1``, ``lbfrac``,
+    ``finite``.  ``native`` marks kinds that execute generated C.
     """
 
     __slots__ = ("index", "kind", "meta", "native")
@@ -306,6 +307,98 @@ def _classify_elem(i, rec, out_static, strict) -> Optional[tuple]:
     return op, operands, descs
 
 
+def _blas_ok() -> bool:
+    """Whether NumPy's own cblas_sgemm is resolvable for injection —
+    the precondition for every GEMM-backed native kind (the generated
+    kernels call it by function pointer for bit-identity)."""
+    from repro.autograd.lower import blas
+
+    return blas.available()
+
+
+def _gemm_side(desc):
+    """``(trans, ld)`` for a 2-D GEMM right-operand descriptor, or
+    ``None``.
+
+    ``trans=0``: plain row-major storage (ld = cols).  ``trans=1``: the
+    effective matrix is F-contiguous — physically its row-major
+    transpose (ld = rows) — and is passed to cblas with a transpose
+    flag, exactly how NumPy dispatches such views.  One-wide operands
+    are excluded: NumPy routes those through sgemv, whose reduction
+    order sgemm does not replicate."""
+    if desc is None or desc[0] != "<f4" or len(desc[1]) != 2:
+        return None
+    (rows, cols), (s0, s1) = desc[1], desc[2]
+    if rows < 2 or cols < 2:
+        return None
+    if (s0, s1) == (cols * 4, 4):
+        return 0, cols
+    if (s0, s1) == (4, rows * 4):
+        return 1, rows
+    return None
+
+
+def _gemm_lead(desc):
+    """``(batch, m, k)`` for a C-contiguous 2-D/3-D f4 left operand
+    with every GEMM dimension >= 2, or ``None``.  A 3-D lead batches a
+    shared 2-D right operand, NumPy-matmul style."""
+    if desc is None or desc[0] != "<f4" or not _is_c_contiguous(desc):
+        return None
+    shape = desc[1]
+    if len(shape) == 2:
+        batch, (m, k) = 1, shape
+    elif len(shape) == 3:
+        batch, m, k = shape
+    else:
+        return None
+    if m < 2 or k < 2 or batch < 1:
+        return None
+    return batch, m, k
+
+
+_HOST_KINDS = None
+
+
+def _host_kinds():
+    # Resolved lazily: repro.moe.router transitively imports
+    # repro.autograd, which must finish importing before this module's
+    # callers run.
+    global _HOST_KINDS
+    if _HOST_KINDS is None:
+        from repro.moe import router as _R
+
+        _HOST_KINDS = {
+            _R.top_k_indices: "topk1",
+            _R._lb_fractions: "lbfrac",
+            _R._logits_finite: "finite",
+        }
+    return _HOST_KINDS
+
+
+def _classify_host(i, rec) -> Optional[KernUnit]:
+    """Native kinds for MoE routing *host records* (non-tape callables).
+
+    Host records carry no layout descriptors — they are classified by
+    function identity plus frozen scalar arguments, and the runtime
+    runner checks the live array layouts on every call (tokens-per-
+    expert wobble changes them between replays)."""
+    kind = _host_kinds().get(rec.fn)
+    if kind is None:
+        return None
+    if kind == "topk1":
+        # Only the top-1 argmax scan is implemented; k > 1 stays host.
+        k = _const_value(rec.specs[1]) if len(rec.specs) > 1 else _NO_CONST
+        if k is _NO_CONST or k != 1:
+            return None
+        return KernUnit(i, "topk1", {}, native=True)
+    if kind == "lbfrac":
+        e = _const_value(rec.specs[1]) if len(rec.specs) > 1 else _NO_CONST
+        if e is _NO_CONST or int(e) < 1:
+            return None
+        return KernUnit(i, "lbfrac", {"E": int(e)}, native=True)
+    return KernUnit(i, "finite", {}, native=True)
+
+
 def _classify_kern(i, rec, out_static) -> Optional[KernUnit]:
     fn = rec.fn
     descs = rec.descs
@@ -448,6 +541,113 @@ def _classify_kern(i, rec, out_static) -> Optional[KernUnit]:
             return None
         return KernUnit(i, "getitem_dyn", {"shape": a_d[1]}, native=False)
 
+    if fn is _F._LinearBias:
+        # forward(ctx, x, w, b): one sgemm (+ the elementwise bias add)
+        # per batch row through NumPy's own BLAS.
+        if not _blas_ok():
+            return None
+        lead = _gemm_lead(arg_descs[0])
+        side = _gemm_side(arg_descs[1])
+        b_d = arg_descs[2]
+        if lead is None or side is None or b_d is None:
+            return None
+        batch, m, k = lead
+        wtrans, wld = side
+        n = arg_descs[1][1][1]
+        if (
+            arg_descs[1][1][0] != k
+            or b_d[0] != "<f4"
+            or len(b_d[1]) != 1
+            or b_d[1][0] != n
+            or not _is_c_contiguous(b_d)
+            or out_desc is None
+            or out_desc[0] != "<f4"
+            or not _is_c_contiguous(out_desc)
+        ):
+            return None
+        meta = {
+            "batch": batch, "m": m, "k": k, "n": n,
+            "wtrans": wtrans, "wld": wld,
+        }
+        return KernUnit(i, "linbias", meta, native=True)
+
+    if fn is _B._MatMul:
+        if not _blas_ok():
+            return None
+        lead = _gemm_lead(arg_descs[0])
+        side = _gemm_side(arg_descs[1])
+        if lead is None or side is None:
+            return None
+        batch, m, k = lead
+        btrans, bld = side
+        n = arg_descs[1][1][1]
+        if (
+            arg_descs[1][1][0] != k
+            or out_desc is None
+            or out_desc[0] != "<f4"
+            or not _is_c_contiguous(out_desc)
+        ):
+            return None
+        meta = {
+            "batch": batch, "m": m, "k": k, "n": n,
+            "btrans": btrans, "bld": bld,
+        }
+        return KernUnit(i, "mm", meta, native=True)
+
+    if fn is _N._Softmax:
+        # Last-axis softmax: the max-subtract and sum-divide passes run
+        # in C around one NumPy np.exp (transcendentals stay NumPy).
+        x_d = arg_descs[0]
+        if (
+            x_d is None
+            or x_d[0] != "<f4"
+            or not _is_c_contiguous(x_d)
+            or len(x_d[1]) < 1
+        ):
+            return None
+        if len(rec.specs) > 1:
+            axis = _const_value(rec.specs[1])
+            if axis is _NO_CONST:
+                return None
+        else:
+            axis = (rec.kwargs or {}).get("axis", -1)
+        if axis not in (-1, len(x_d[1]) - 1):
+            return None
+        return KernUnit(
+            i, "softmax", {"shape": x_d[1], "n": x_d[1][-1]}, native=True
+        )
+
+    if fn is _S._SddMM:
+        # forward(ctx, x, w, topology): grouped BCSR sampling GEMM.  The
+        # topology is a host-record output (tokens-per-expert wobble),
+        # so nothing is baked here — the runner re-reads the live
+        # dispatch plan per call and falls back per-record when the
+        # grouped path declines.
+        if not _blas_ok():
+            return None
+        x_d, w_d = arg_descs[0], arg_descs[1]
+        if w_d is None or _gemm_lead(x_d) is None:
+            return None
+        if _gemm_side(w_d) != (0, w_d[1][1]) or len(x_d[1]) != 2:
+            return None
+        return KernUnit(i, "sdd", {}, native=True)
+
+    if fn is _S._DsdMM:
+        # forward(ctx, h_values, w, topology): grouped sparse-dense GEMM.
+        if not _blas_ok():
+            return None
+        v_d, w_d = arg_descs[0], arg_descs[1]
+        if (
+            v_d is None
+            or w_d is None
+            or v_d[0] != "<f4"
+            or len(v_d[1]) != 3
+            or v_d[1][1] != v_d[1][2]
+            or _gemm_side(w_d) != (0, w_d[1][1])
+        ):
+            return None
+        return KernUnit(i, "dsd", {}, native=True)
+
     return None
 
 
@@ -521,7 +721,11 @@ def analyze(graph, strict: bool = False) -> Analysis:
             _append_step(seg, i, rec, op, operands, descs)
             continue
 
-        kern = _classify_kern(i, rec, out_static) if is_op else None
+        kern = (
+            _classify_kern(i, rec, out_static)
+            if is_op
+            else _classify_host(i, rec)
+        )
         if kern is not None:
             flush_seg()
             flush_py()
@@ -622,6 +826,19 @@ def analyze(graph, strict: bool = False) -> Analysis:
                 bwd[i] = ("linbias", {})
         elif fn is _B._GetItem:
             bwd[i] = ("getitem", {})
+        elif fn is _S._SddMM:
+            # backward = DSD + DDS grouped products; the closure
+            # re-reads the live topology per step and falls back
+            # wholesale when the grouped path declines.
+            if _blas_ok():
+                bwd[i] = ("sdd", {})
+        elif fn is _S._DsdMM:
+            if _blas_ok():
+                bwd[i] = ("dsd", {})
+        elif fn is _N._Softmax:
+            u = _classify_kern(i, rec, out_static)
+            if u is not None and u.kind == "softmax":
+                bwd[i] = ("softmax2", u.meta)
 
     return Analysis(units, bwd, lowered, native, n)
 

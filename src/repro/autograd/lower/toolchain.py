@@ -36,6 +36,12 @@ logger = logging.getLogger(__name__)
 #: code stays bit-identical while running 4-16 lanes wide.
 CFLAGS = ("-O3", "-march=native", "-fPIC", "-shared", "-ffp-contract=off")
 
+#: Artifact-key epoch, bumped when the prelude's runtime ABI changes in
+#: a way the source hash alone cannot capture — e.g. the grouped-GEMM
+#: kernels now expect ``repro_set_blas`` to be called after load, so a
+#: stale ``.so`` from a pre-BLAS-bridge cache must never be served.
+CACHE_VERSION = "2"
+
 # None = not probed yet; False = unavailable; (cc_path, version) = usable.
 _probe: Optional[object] = None
 _warned = False
@@ -118,7 +124,7 @@ def compile_and_load(source: str, tag: str = "graph") -> Optional[ctypes.CDLL]:
     from repro.observability.metrics import registry
 
     key = hashlib.sha256(
-        "\x00".join((version,) + CFLAGS + (source,)).encode()
+        "\x00".join((CACHE_VERSION, version) + CFLAGS + (source,)).encode()
     ).hexdigest()[:24]
     lib = _libs.get(key)
     if lib is not None:

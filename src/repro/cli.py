@@ -40,6 +40,14 @@ serving stack (see ``docs/serving.md``):
 the O(T²) baseline); ``serve-bench`` runs a synthetic mixed-length
 request stream through the continuous-batching scheduler and prints the
 TTFT / per-token latency percentile table.
+
+The ``lower report`` subcommand trains a few steps with
+``backend="cc"`` and prints the native-lowering breakdown — which
+replay records run as generated C (fused segments, grouped-GEMM,
+router kernels), which stay on the host interpreter, and the fallback
+counters (see ``docs/codegen.md``):
+
+    python -m repro.cli lower report --steps 3
 """
 
 from __future__ import annotations
@@ -395,6 +403,148 @@ def serve_bench_main(argv=None) -> int:
     return 0
 
 
+def build_lower_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.cli lower",
+        description="Report on the native-code lowering of a captured "
+        "step graph (backend='cc').",
+    )
+    sub = p.add_subparsers(dest="action", required=True)
+    rep = sub.add_parser(
+        "report", help="train a few steps and print the per-unit breakdown"
+    )
+    rep.add_argument("--model", default="XS", help="Table-1 size")
+    rep.add_argument("--system", default="dmoe", choices=SYSTEMS)
+    rep.add_argument("--scale", type=float, default=1 / 16)
+    rep.add_argument("--num-experts", type=int, default=None)
+    rep.add_argument("--top-k", type=int, default=1)
+    rep.add_argument("--steps", type=int, default=3)
+    rep.add_argument("--global-batch", type=int, default=8)
+    rep.add_argument("--micro-batch", type=int, default=4)
+    rep.add_argument("--vocab-size", type=int, default=64)
+    rep.add_argument("--tokens", type=int, default=8_000)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of a table")
+    return p
+
+
+def lower_main(argv=None) -> int:
+    """``python -m repro.cli lower report``: native-lowering breakdown."""
+    from collections import Counter
+
+    from repro.autograd import lower
+
+    args = build_lower_parser().parse_args(argv)
+    seed_all(args.seed)
+    model = build_model(
+        args.model,
+        system=args.system,
+        scale=args.scale,
+        num_experts=args.num_experts,
+        top_k=args.top_k,
+        vocab_size=args.vocab_size,
+        rng=args.seed,
+    )
+    pile = SyntheticPile(
+        PileConfig(vocab_size=args.vocab_size, num_domains=3), seed=args.seed + 1
+    )
+    train, _ = LMDataset(
+        pile.token_stream(args.tokens, seq_len=32), seq_len=16
+    ).split(0.1)
+    cfg = TrainerConfig(
+        global_batch=args.global_batch,
+        micro_batch=args.micro_batch,
+        max_steps=args.steps,
+        eval_every=0,
+        log_every=0,
+        steady_state=True,
+        backend="cc",
+    )
+    trainer = Trainer(
+        model, train, config=cfg,
+        optimizer=Adam(model.parameters(), lr=3e-3), rng=args.seed + 2,
+    )
+    reg = registry()
+    counter_names = (
+        "graph_lowered", "lower_compile_ms", "lower_cache_hits",
+        "lower_segment_fallbacks", "lower_toolchain_fallbacks",
+    )
+    before = {k: reg.counter(k).value for k in counter_names}
+    for step in range(args.steps):
+        trainer.train_step(step)
+    counts = {k: reg.counter(k).value - before[k] for k in counter_names}
+
+    graph = trainer.step_graph
+    if graph is None:
+        print("error: no step graph was captured", file=sys.stderr)
+        return 1
+    analysis = lower.analyze(graph, False)
+    plan = graph._lowered
+
+    fused_units = fused_records = 0
+    kern_kinds: Counter = Counter()
+    host_fns: Counter = Counter()
+    for unit in analysis.units:
+        kind = getattr(unit, "kind", None)
+        if kind is not None:
+            kern_kinds[kind] += 1
+        elif hasattr(unit, "ctype"):  # FusedSeg
+            fused_units += 1
+            fused_records += len(unit.indices)
+        else:  # PyUnit: host-interpreter remainder
+            for idx in unit.indices:
+                host_fns[graph.records[idx].fn.__name__] += 1
+    coverage = len(analysis.lowered) / analysis.total if analysis.total else 0.0
+
+    report = {
+        "attached": plan is not None,
+        "records_total": analysis.total,
+        "records_lowered": len(analysis.lowered),
+        "coverage": coverage,
+        "fused_segments": fused_units,
+        "fused_records": fused_records,
+        "kernel_units": dict(sorted(kern_kinds.items())),
+        "backward_swaps": dict(
+            sorted(Counter(e[0] for e in analysis.bwd.values()).items())
+        ),
+        "host_records": dict(sorted(host_fns.items())),
+        **counts,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    attached = "attached" if plan is not None else "NOT attached (no toolchain?)"
+    print(
+        f"lowering report ({args.system} {args.model}, {args.steps} steps): "
+        f"plan {attached}"
+    )
+    print(
+        f"  coverage: {report['records_lowered']}/{report['records_total']} "
+        f"replay records native ({coverage:.1%})"
+    )
+    print(f"  fused elementwise: {fused_units} segments, {fused_records} records")
+    print("  kernel units:")
+    for kind, n in sorted(kern_kinds.items()):
+        print(f"    {kind:14} {n}")
+    print("  backward swaps:")
+    for kind, n in report["backward_swaps"].items():
+        print(f"    {kind:14} {n}")
+    print("  host remainder:")
+    for name, n in sorted(host_fns.items()):
+        print(f"    {name:28} {n}")
+    print(
+        "  counters: "
+        f"{counts['graph_lowered']} graphs lowered, "
+        f"{counts['lower_compile_ms']}ms compiling "
+        f"({counts['lower_cache_hits']} cache hits), "
+        f"{counts['lower_segment_fallbacks']} segment fallbacks, "
+        f"{counts['lower_toolchain_fallbacks']} toolchain fallbacks"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -406,6 +556,8 @@ def main(argv=None) -> int:
         return generate_main(argv[1:])
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "lower":
+        return lower_main(argv[1:])
     args = build_parser().parse_args(argv)
     seed_all(args.seed)
 

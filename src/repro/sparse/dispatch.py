@@ -160,6 +160,26 @@ class DispatchPlan:
             )
         )
 
+    def element_groups(self, bs: int) -> tuple:
+        """Per-group slices in *element* coordinates, cached per plan:
+        ``(row_lo, row_hi, col_lo, col_hi, row_count, col_count,
+        val_start)`` with the block ranges scaled by the block size.
+
+        This is the bounds form :func:`iter_group_slices` consumes, so
+        the training executors and the serving ``grouped_rows_gemm``
+        drive the same iteration primitive."""
+        cached = self.__dict__.get("_element_groups")
+        if cached is None or cached[0] != bs:
+            cached = (
+                bs,
+                tuple(
+                    (r0 * bs, (r0 + r) * bs, c0 * bs, (c0 + c) * bs, r, c, v0)
+                    for r0, r, c0, c, v0 in self.groups
+                ),
+            )
+            self.__dict__["_element_groups"] = cached
+        return cached[1]
+
 
 def _build_plan(topo: Topology) -> DispatchPlan | None:
     """Decompose ``topo`` into dense rectangular groups, or ``None``.
@@ -234,6 +254,57 @@ def analyze(topo: Topology) -> DispatchPlan | None:
 
 _UNSET = object()
 
+_GROUP_TABLE_ATTR = "_dispatch_group_table"
+
+
+def group_table(topo: Topology) -> Optional[np.ndarray]:
+    """C-contiguous ``(num_groups, 5)`` int64 group descriptor table —
+    ``[row_start, row_count, col_start, col_count, val_start]`` per row,
+    in block units.
+
+    This is the flat form the generated-C grouped-GEMM kernels iterate
+    (:mod:`repro.autograd.lower.csrc`); like the plan itself it is
+    derived metadata, cached on the topology so the per-step native
+    dispatch never rebuilds it.  ``None`` when the topology has no
+    rectangular group structure."""
+    plan = analyze(topo)
+    if plan is None:
+        return None
+    table = topo.__dict__.get(_GROUP_TABLE_ATTR, _UNSET)
+    if table is _UNSET:
+        table = np.ascontiguousarray(
+            np.stack(
+                [
+                    plan.row_start,
+                    plan.row_count,
+                    plan.col_start,
+                    plan.col_count,
+                    plan.val_start,
+                ],
+                axis=1,
+            ).astype(np.int64)
+        )
+        object.__setattr__(topo, _GROUP_TABLE_ATTR, table)
+    return table
+
+
+def iter_group_slices(groups):
+    """The one shared group-slice iterator: yield every *non-empty*
+    group tuple from ``groups``, an iterable of ``(start, end,
+    payload...)`` slices.
+
+    Empty groups (``start >= end``) are skipped — an expert that
+    received no tokens contributes no GEMM.  Both the serving-path
+    :func:`grouped_rows_gemm` (token prefix-sum offsets, where empty
+    experts are routine) and the training grouped executors
+    (:meth:`DispatchPlan.element_groups`, whose groups are non-empty by
+    construction) iterate through here, so the skip rule lives in
+    exactly one place."""
+    for item in groups:
+        if item[0] >= item[1]:
+            continue
+        yield item
+
 
 def use_grouped(plan: DispatchPlan | None, needs_disjoint_cols: bool) -> bool:
     """Dispatch decision for one kernel call."""
@@ -291,9 +362,11 @@ def grouped_sdd(
     # slice is written exactly once — no zero-init needed.
     values = arena.empty((topo.nnz_blocks, bs, bs), out_dtype)
     stage = _stage_buf(plan, bs, np.result_type(a_eff, b_eff))
-    for r0, r, c0, c, v0 in plan.groups:
-        a_g = a_eff[r0 * bs : (r0 + r) * bs]
-        b_g = b_eff[:, c0 * bs : (c0 + c) * bs]
+    for rlo, rhi, clo, chi, r, c, v0 in iter_group_slices(
+        plan.element_groups(bs)
+    ):
+        a_g = a_eff[rlo:rhi]
+        b_g = b_eff[:, clo:chi]
         if stage is None:
             prod = np.matmul(a_g, b_g)
         else:
@@ -329,20 +402,14 @@ def grouped_dsd(
         else arena.zeros((m_eff, b_eff.shape[1]), out_dtype)
     )
     stage = _stage_buf(plan, bs, values.dtype)
-    for r0, r, c0, c, v0 in plan.groups:
+    for rlo, rhi, clo, chi, r, c, v0 in iter_group_slices(
+        plan.element_groups(bs)
+    ):
         s_g = _group_values(values, v0, r, c, stage)
         if trans_s:
-            np.matmul(
-                s_g.T,
-                b_eff[r0 * bs : (r0 + r) * bs],
-                out=out[c0 * bs : (c0 + c) * bs],
-            )
+            np.matmul(s_g.T, b_eff[rlo:rhi], out=out[clo:chi])
         else:
-            np.matmul(
-                s_g,
-                b_eff[c0 * bs : (c0 + c) * bs],
-                out=out[r0 * bs : (r0 + r) * bs],
-            )
+            np.matmul(s_g, b_eff[clo:chi], out=out[rlo:rhi])
     arena.release(stage)
     return out
 
@@ -371,20 +438,14 @@ def grouped_dds(
         else arena.zeros((a_eff.shape[0], n_eff), out_dtype)
     )
     stage = _stage_buf(plan, bs, values.dtype)
-    for r0, r, c0, c, v0 in plan.groups:
+    for rlo, rhi, clo, chi, r, c, v0 in iter_group_slices(
+        plan.element_groups(bs)
+    ):
         s_g = _group_values(values, v0, r, c, stage)
         if trans_s:
-            np.matmul(
-                a_eff[:, c0 * bs : (c0 + c) * bs],
-                s_g.T,
-                out=out[:, r0 * bs : (r0 + r) * bs],
-            )
+            np.matmul(a_eff[:, clo:chi], s_g.T, out=out[:, rlo:rhi])
         else:
-            np.matmul(
-                a_eff[:, r0 * bs : (r0 + r) * bs],
-                s_g,
-                out=out[:, c0 * bs : (c0 + c) * bs],
-            )
+            np.matmul(a_eff[:, rlo:rhi], s_g, out=out[:, clo:chi])
     arena.release(stage)
     return out
 
@@ -421,10 +482,10 @@ def grouped_rows_gemm(
         (x.shape[0], stacked_w.shape[-1]),
         dtype=np.result_type(x.dtype, stacked_w.dtype),
     )
-    for g in range(num_groups):
-        s, e = int(group_offsets[g]), int(group_offsets[g + 1])
-        if s == e:
-            continue
+    offs = [int(o) for o in group_offsets]
+    for s, e, g in iter_group_slices(
+        zip(offs[:-1], offs[1:], range(num_groups))
+    ):
         xg = x[s:e]
         y = stable_matmul(xg, stacked_w[g]) if stable else xg @ stacked_w[g]
         if stacked_b is not None:

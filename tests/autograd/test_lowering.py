@@ -175,6 +175,303 @@ class TestKernelFuzz:
 
 
 # ----------------------------------------------------------------------
+# GEMM / MoE-dispatch kernels (this PR) vs their exact eager sequences.
+# ----------------------------------------------------------------------
+@needs_cc
+class TestGemmMoeKernelFuzz:
+    """Differential fuzz for the grouped-GEMM and router kernels.
+
+    Every comparison is bitwise (``assert_array_equal`` on float32, or
+    uint32 views where NaN payloads matter).  The GEMM kernels route
+    through the same OpenBLAS ``sgemm`` NumPy links, so they are gated
+    on :func:`blas.available` exactly like the segmenter is.
+    """
+
+    def test_softmax_forward_pipeline(self):
+        from repro.autograd.ops_nn import _Softmax
+
+        lib = _lib()
+        rng = np.random.default_rng(5)
+        for it in range(40):
+            rows = int(rng.integers(1, 40))
+            n = int(rng.integers(2, 200))
+            x = (rng.standard_normal((rows, n)) * 4).astype(np.float32)
+            # Signed zeros and exact ties: np.maximum returns its second
+            # operand on ties, so the row max keeps the *last* equal
+            # element — observable only through -0.0 vs +0.0 in x - max.
+            if it % 3 == 0:
+                x[rng.integers(0, rows)] = rng.choice(
+                    [-0.0, 0.0, 1.5], size=n
+                ).astype(np.float32)
+            if it % 5 == 0:
+                r = int(rng.integers(0, rows))
+                x[r, : n // 2] = x[r, n // 2 : 2 * (n // 2)][::-1]
+            ref = x - x.max(axis=-1, keepdims=True)
+            buf = np.empty_like(x)
+            lib.repro_softmax_fwd1_f32(*_ptrs(x, buf), rows, n)
+            np.testing.assert_array_equal(
+                buf.view(np.uint32), ref.view(np.uint32)
+            )
+            np.exp(ref, out=ref)
+            np.divide(ref, ref.sum(axis=-1, keepdims=True), out=ref)
+            np.exp(buf, out=buf)
+            lib.repro_attn_fwd2_f32(buf.ctypes.data, rows, n)
+            np.testing.assert_array_equal(buf, ref)
+            # Full eager op for good measure.
+            from repro.autograd.function import Context
+
+            ctx = Context()
+            np.testing.assert_array_equal(buf, _Softmax.forward(ctx, x))
+
+    def test_softmax_backward_matches_eager_sequence(self):
+        lib = _lib()
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            rows = int(rng.integers(1, 30))
+            n = int(rng.integers(2, 120))
+            out = rng.random((rows, n)).astype(np.float32)
+            g = rng.standard_normal((rows, n)).astype(np.float32)
+            ref = np.multiply(g, out)
+            dot = ref.sum(axis=-1, keepdims=True)
+            ref = np.subtract(g, dot)
+            ref = np.multiply(out, ref)
+            got = np.empty_like(g)
+            lib.repro_softmax_bwd_f32(*_ptrs(g, out, got), rows, n)
+            np.testing.assert_array_equal(got, ref)
+
+    def test_topk1_matches_stable_argsort(self):
+        lib = _lib()
+        rng = np.random.default_rng(7)
+        for it in range(40):
+            rows = int(rng.integers(1, 50))
+            n = int(rng.integers(1, 16))
+            s = rng.standard_normal((rows, n)).astype(np.float32)
+            if it % 3 == 0:  # ties: stable sort keeps the first max
+                s[:, : max(1, n // 2)] = 0.25
+            if it % 4 == 0:  # NaNs sort last under -s argsort
+                s[rng.integers(0, rows), rng.integers(0, n)] = np.nan
+            if it % 7 == 0:
+                s[rng.integers(0, rows)] = np.nan  # all-NaN row -> idx 0
+            ref = (-s).argsort(axis=-1, kind="stable")[..., :1]
+            got = np.empty((rows, 1), np.int64)
+            lib.repro_topk1_i64(*_ptrs(s, got), rows, n)
+            np.testing.assert_array_equal(got, ref)
+
+    def test_lbfrac_matches_bincount_sequence(self):
+        lib = _lib()
+        rng = np.random.default_rng(8)
+        for nt, E in [(0, 4), (1, 1), (17, 4), (256, 8), (1000, 3)]:
+            idx = rng.integers(0, E, size=nt).astype(np.int64)
+            ref = (
+                np.bincount(idx, minlength=E).astype(np.float64)
+                / max(idx.size, 1)
+            ).astype(np.float32)
+            got = np.empty(E, np.float32)
+            counts = np.empty(E, np.int64)
+            lib.repro_lbfrac_f32(*_ptrs(idx, got), nt, E, counts.ctypes.data)
+            np.testing.assert_array_equal(got, ref)
+
+    def test_allfinite(self):
+        lib = _lib()
+        rng = np.random.default_rng(9)
+        for bad in (None, np.nan, np.inf, -np.inf):
+            x = rng.standard_normal(777).astype(np.float32)
+            if bad is not None:
+                x[int(rng.integers(0, x.size))] = bad
+            ref = bool(np.isfinite(x).all())
+            assert bool(lib.repro_allfinite_f32(x.ctypes.data, x.size)) == ref
+
+    @staticmethod
+    def _random_topology(rng, bs):
+        from repro.sparse import Topology
+
+        ne = int(rng.integers(1, 6))
+        rows = rng.integers(0, 5, size=ne)  # empty experts allowed
+        cols = rng.integers(1, 4, size=ne)
+        if rows.sum() == 0:
+            rows[0] = 1
+        return Topology.block_diagonal(rows, cols, bs)
+
+    def test_grouped_kernels_all_transpose_variants(self):
+        """repro_grouped_{sdd,dsd,dds}_f32 vs the eager grouped
+        executors over ragged block-diagonal topologies — every
+        (trans_a/trans_b/trans_s) variant the backward swaps emit."""
+        from repro.sparse import dispatch
+
+        lib = _lib()
+        rng = np.random.default_rng(10)
+        tried = 0
+        for it in range(60):
+            bs = int(rng.choice([2, 3, 4, 8]))
+            topo = self._random_topology(rng, bs)
+            plan = dispatch.analyze(topo)
+            if plan is None:
+                continue
+            tried += 1
+            gt = dispatch.group_table(topo)
+            G = gt.shape[0]
+            M, N = topo.shape
+            k = int(rng.integers(2, 10))
+            n = int(rng.integers(2, 10))
+            mo = int(rng.integers(2, 10))
+            nnz = topo.nnz_blocks
+            vals = rng.standard_normal((nnz, bs, bs)).astype(np.float32)
+            stage = np.empty(plan.max_group_blocks * bs * bs, np.float32)
+            f4 = np.dtype(np.float32)
+
+            for at in (0, 1):
+                for bt in (0, 1):
+                    a = rng.standard_normal(
+                        (k, M) if at else (M, k)
+                    ).astype(np.float32)
+                    b = rng.standard_normal(
+                        (N, k) if bt else (k, N)
+                    ).astype(np.float32)
+                    ref = dispatch.grouped_sdd(
+                        a.T if at else a, b.T if bt else b, topo, plan, f4
+                    )
+                    got = np.empty((nnz, bs, bs), np.float32)
+                    lib.repro_grouped_sdd_f32(
+                        a.ctypes.data, a.shape[1], at,
+                        b.ctypes.data, b.shape[1], bt,
+                        got.ctypes.data, gt.ctypes.data, G, k, bs,
+                        stage.ctypes.data,
+                    )
+                    np.testing.assert_array_equal(got, ref)
+
+            for st in (0, 1):
+                for bt in (0, 1):
+                    kdim = M if st else N
+                    b = rng.standard_normal(
+                        (n, kdim) if bt else (kdim, n)
+                    ).astype(np.float32)
+                    ref = dispatch.grouped_dsd(
+                        vals, b.T if bt else b, topo, plan, bool(st), f4
+                    )
+                    m_eff = N if st else M
+                    got = np.zeros((m_eff, n), np.float32)
+                    lib.repro_grouped_dsd_f32(
+                        vals.ctypes.data, b.ctypes.data, b.shape[1], bt,
+                        got.ctypes.data, n, gt.ctypes.data, G, st, bs,
+                        stage.ctypes.data,
+                    )
+                    np.testing.assert_array_equal(got, ref)
+
+            for at in (0, 1):
+                for st in (0, 1):
+                    kdim = N if st else M
+                    a = rng.standard_normal(
+                        (kdim, mo) if at else (mo, kdim)
+                    ).astype(np.float32)
+                    ref = dispatch.grouped_dds(
+                        a.T if at else a, vals, topo, plan, bool(st), f4
+                    )
+                    n_eff = M if st else N
+                    got = np.zeros((mo, n_eff), np.float32)
+                    lib.repro_grouped_dds_f32(
+                        a.ctypes.data, a.shape[1], at, vals.ctypes.data,
+                        got.ctypes.data, mo, n_eff, gt.ctypes.data, G, st,
+                        bs, stage.ctypes.data,
+                    )
+                    np.testing.assert_array_equal(got, ref)
+        assert tried >= 30  # the fuzz actually exercised grouped plans
+
+    def test_grouped_sdd_wobble_across_calls(self):
+        """One bound kernel serves topologies of different shapes
+        back-to-back — the live-row re-read that replaces guard
+        fallbacks when tokens-per-expert wobbles between replays."""
+        from repro.sparse import Topology, dispatch
+
+        lib = _lib()
+        rng = np.random.default_rng(12)
+        bs, k = 4, 8
+        for rows_per_e in ([2, 3, 1], [4, 1, 2], [1, 1, 1], [3, 0, 5]):
+            topo = Topology.block_diagonal(
+                np.asarray(rows_per_e), np.full(3, 2), bs
+            )
+            plan = dispatch.analyze(topo)
+            gt = dispatch.group_table(topo)
+            M, N = topo.shape
+            x = rng.standard_normal((M, k)).astype(np.float32)
+            w = rng.standard_normal((k, N)).astype(np.float32)
+            ref = dispatch.grouped_sdd(x, w, topo, plan, np.dtype(np.float32))
+            got = np.empty((topo.nnz_blocks, bs, bs), np.float32)
+            stage = np.empty(plan.max_group_blocks * bs * bs, np.float32)
+            lib.repro_grouped_sdd_f32(
+                x.ctypes.data, k, 0, w.ctypes.data, N, 0, got.ctypes.data,
+                gt.ctypes.data, gt.shape[0], k, bs, stage.ctypes.data,
+            )
+            np.testing.assert_array_equal(got, ref)
+
+    def test_linbias_and_mm_match_numpy(self):
+        from repro.autograd.lower import blas
+
+        if not blas.available():
+            pytest.skip("no cblas_sgemm symbol in this NumPy build")
+        lib = _lib()
+        rng = np.random.default_rng(13)
+        for _ in range(40):
+            m = int(rng.integers(2, 30))
+            k = int(rng.integers(2, 30))
+            n = int(rng.integers(2, 30))
+            batch = int(rng.choice([1, 1, int(rng.integers(2, 5))]))
+            lead = (m, k) if batch == 1 else (batch, m, k)
+            x = rng.standard_normal(lead).astype(np.float32)
+            for trans in (0, 1):
+                # trans=1 stores w row-major (n, k) and the kernel
+                # multiplies by its transpose — the F-contiguous view
+                # eager sees for tied / reshaped weights.
+                wst = rng.standard_normal(
+                    (n, k) if trans else (k, n)
+                ).astype(np.float32)
+                w = wst.T if trans else wst
+                b = rng.standard_normal(n).astype(np.float32)
+                ref = np.matmul(x, w)
+                ref = np.add(ref, b, out=ref)
+                got = np.empty(ref.shape, np.float32)
+                lib.repro_linbias_f32(
+                    *_ptrs(x, wst, b, got), batch, m, k, n, trans,
+                    wst.shape[1],
+                )
+                np.testing.assert_array_equal(got, ref)
+                ref2 = np.matmul(x, w)
+                got2 = np.empty(ref2.shape, np.float32)
+                lib.repro_mm_f32(
+                    *_ptrs(x, wst, got2), batch, m, k, n, trans,
+                    wst.shape[1],
+                )
+                np.testing.assert_array_equal(got2, ref2)
+
+    def test_segsum_tr_matches_reduceat_tail(self):
+        """The transpose-segment bias reduction vs the exact eager
+        sequence (gather by transpose offsets + pairwise reduceat)."""
+        from repro.autograd.lower.runtime import _tr_segments
+        from repro.sparse.ops import segment_meta
+
+        lib = _lib()
+        rng = np.random.default_rng(14)
+        for _ in range(40):
+            bs = int(rng.choice([2, 4, 8]))
+            topo = self._random_topology(rng, bs)
+            nnz = topo.nnz_blocks
+            colsum = rng.standard_normal((nnz, bs)).astype(np.float32)
+            nonempty, starts = segment_meta(topo, transpose=True)
+            n_cols_b = topo.shape[1] // bs
+            ref = np.zeros((n_cols_b, bs), np.float32)
+            if len(nonempty):
+                ref[nonempty] = np.add.reduceat(
+                    colsum[topo.transpose_block_offsets], starts, axis=0
+                )
+            got = np.zeros((n_cols_b, bs), np.float32)
+            if len(nonempty):
+                tbo, nerow, st = _tr_segments(topo, nonempty, starts)
+                lib.repro_segsum_tr_f32(
+                    *_ptrs(colsum, tbo, nerow, st, got), len(nerow), bs
+                )
+            np.testing.assert_array_equal(got, ref)
+
+
+# ----------------------------------------------------------------------
 # Structural units.
 # ----------------------------------------------------------------------
 def _capture_tiny(extra_input=None):

@@ -62,3 +62,33 @@ class TestMain:
         assert main(["--system", "dmoe", "--checkpoint", ckpt] + self.COMMON) == 0
         assert os.path.exists(ckpt)
         assert main(["--system", "dmoe", "--resume", ckpt] + self.COMMON) == 0
+
+
+class TestLowerReport:
+    COMMON = [
+        "report", "--steps", "3", "--tokens", "8000",
+        "--global-batch", "8", "--micro-batch", "4",
+    ]
+
+    def test_report_table(self, capsys):
+        assert main(["lower"] + self.COMMON) == 0
+        out = capsys.readouterr().out
+        assert "lowering report" in out
+        assert "replay records native" in out
+        assert "host remainder" in out
+
+    def test_report_json_structure(self, capsys):
+        import json
+
+        assert main(["lower"] + self.COMMON + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["records_total"] > 0
+        assert 0.0 <= report["coverage"] <= 1.0
+        assert report["records_lowered"] <= report["records_total"]
+        # The segmenter's view is toolchain-independent; the plan only
+        # attaches when cc is available.
+        from repro.autograd import lower
+
+        assert report["attached"] == lower.cc_available()
+        assert isinstance(report["kernel_units"], dict)
+        assert isinstance(report["host_records"], dict)

@@ -168,3 +168,42 @@ class TestNoToolchain:
         ]
         assert len(warnings) == 1, "must warn exactly once"
         assert reg.counter("lower_toolchain_fallbacks").value > before
+
+    def test_no_cc_gemm_moe_units_degrade_to_replay(self, monkeypatch, caplog):
+        """The GEMM and MoE-dispatch units (linbias/mm/softmax, grouped
+        sdd/dsd, router topk1/lbfrac/finite) must obey the same
+        degradation contract as the original segments: the pure-Python
+        segmenter still classifies them, attach declines with the single
+        toolchain warning, and the replay math is untouched."""
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        toolchain._reset_for_tests()
+
+        replay = _trainer(True, steady=True)
+        ref = _fingerprint(replay, replay.train())
+
+        with caplog.at_level("WARNING", logger="repro.autograd.lower.toolchain"):
+            lowered = _trainer(True, steady=True, backend="cc")
+            got = _fingerprint(lowered, lowered.train())
+
+        _assert_same(ref, got)
+        graph = lowered.step_graph
+        assert graph is not None and graph._lowered is None
+
+        # Classification is toolchain-independent: the units the native
+        # path would have claimed are all visible to the segmenter.
+        analysis = lower.analyze(graph, False)
+        kinds = {getattr(u, "kind", None) for u in analysis.units}
+        assert {"softmax", "topk1", "lbfrac", "finite"} <= kinds
+        bwd_kinds = {entry[0] for entry in analysis.bwd.values()}
+        assert "softmax2" in bwd_kinds
+        from repro.autograd.lower import blas
+
+        if blas.available():  # GEMM units need the sgemm symbol, not cc
+            assert {"linbias", "mm", "sdd", "dsd"} <= kinds
+            assert {"sdd", "dsd"} <= bwd_kinds
+
+        warnings = [
+            r for r in caplog.records
+            if "native lowering unavailable" in r.getMessage()
+        ]
+        assert len(warnings) == 1, "must warn exactly once"
